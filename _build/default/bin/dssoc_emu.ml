@@ -1,0 +1,294 @@
+(* dssoc_emu — command-line front end of the user-space DSSoC emulation
+   framework: list applications and platforms, run emulations in
+   validation or performance mode on either engine, and convert
+   monolithic C programs into DAG applications. *)
+
+module App_spec = Dssoc_apps.App_spec
+module Reference_apps = Dssoc_apps.Reference_apps
+module Workload = Dssoc_apps.Workload
+module Config = Dssoc_soc.Config
+module Host = Dssoc_soc.Host
+module Emulator = Dssoc_runtime.Emulator
+module Scheduler = Dssoc_runtime.Scheduler
+module Stats = Dssoc_runtime.Stats
+module Driver = Dssoc_compiler.Driver
+module Table = Dssoc_stats.Table
+
+open Cmdliner
+
+(* ---------------------- shared options ---------------------- *)
+
+let host_arg =
+  let doc = "Host COTS platform: zcu102 or odroid-xu3." in
+  Arg.(value & opt string "zcu102" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let cores_arg =
+  Arg.(value & opt int 3 & info [ "cores" ] ~docv:"N" ~doc:"CPU PEs (zcu102).")
+
+let ffts_arg =
+  Arg.(value & opt int 2 & info [ "ffts" ] ~docv:"N" ~doc:"FFT accelerator PEs (zcu102).")
+
+let big_arg = Arg.(value & opt int 3 & info [ "big" ] ~docv:"N" ~doc:"big-core PEs (odroid).")
+
+let little_arg =
+  Arg.(value & opt int 2 & info [ "little" ] ~docv:"N" ~doc:"LITTLE-core PEs (odroid).")
+
+let config_of host cores ffts big little =
+  match String.lowercase_ascii host with
+  | "zcu102" -> Ok (Config.zcu102_cores_ffts ~cores ~ffts)
+  | "odroid-xu3" | "odroid" -> Ok (Config.odroid_big_little ~big ~little)
+  | other -> Error (Printf.sprintf "unknown host %S (try zcu102 or odroid-xu3)" other)
+  | exception Invalid_argument msg -> Error msg
+
+let policy_arg =
+  Arg.(value & opt string "FRFS" & info [ "policy" ] ~docv:"POLICY" ~doc:"Scheduling policy.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
+
+let jitter_arg =
+  Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"SIGMA" ~doc:"Execution-time jitter stddev fraction.")
+
+let native_arg =
+  Arg.(value & flag & info [ "native" ] ~doc:"Run on real OCaml domains instead of the virtual engine.")
+
+let reservation_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "reservation" ] ~docv:"DEPTH"
+        ~doc:"Per-PE reservation-queue depth (0 = the paper's released framework).")
+
+(* ---------------------- apps ---------------------- *)
+
+let apps_cmd =
+  let dump =
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"NAME" ~doc:"Print the JSON of one application.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write JSON to FILE.")
+  in
+  let run dump out =
+    match dump with
+    | Some name -> (
+      match Reference_apps.by_name name with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok spec -> (
+        match out with
+        | Some path ->
+          App_spec.to_file path spec;
+          Printf.printf "wrote %s\n" path;
+          0
+        | None ->
+          print_endline (Dssoc_json.Json.to_string (App_spec.to_json spec));
+          0))
+    | None ->
+      let rows =
+        List.map
+          (fun spec ->
+            [
+              spec.App_spec.app_name;
+              string_of_int (App_spec.task_count spec);
+              string_of_int (App_spec.critical_path_length spec);
+              spec.App_spec.shared_object;
+            ])
+          (Reference_apps.all ())
+      in
+      print_string
+        (Table.render ~header:[ "application"; "tasks"; "critical path"; "shared object" ] ~rows);
+      0
+  in
+  Cmd.v (Cmd.info "apps" ~doc:"List or dump the built-in reference applications.")
+    Term.(const run $ dump $ out)
+
+(* ---------------------- platforms ---------------------- *)
+
+let platforms_cmd =
+  let run host cores ffts big little =
+    Format.printf "%a@.%a@.@." Host.pp Host.zcu102 Host.pp Host.odroid_xu3;
+    match config_of host cores ffts big little with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok config ->
+      Format.printf "%a" Config.pp config;
+      0
+  in
+  Cmd.v
+    (Cmd.info "platforms" ~doc:"Describe host platforms and a configuration's PE placement.")
+    Term.(const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg)
+
+(* ---------------------- policies ---------------------- *)
+
+let policies_cmd =
+  let run () =
+    List.iter print_endline (Scheduler.names ());
+    0
+  in
+  Cmd.v (Cmd.info "policies" ~doc:"List available scheduling policies.") Term.(const run $ const ())
+
+(* ---------------------- run ---------------------- *)
+
+let parse_app_counts spec_str =
+  (* "range_detection=2,wifi_tx=5" *)
+  let parts = String.split_on_char ',' spec_str in
+  List.fold_left
+    (fun acc part ->
+      Result.bind acc (fun acc ->
+          match String.split_on_char '=' (String.trim part) with
+          | [ name; count ] -> (
+            match (Reference_apps.by_name name, int_of_string_opt count) with
+            | Ok app, Some n when n > 0 -> Ok ((app, n) :: acc)
+            | Error msg, _ -> Error msg
+            | _, _ -> Error (Printf.sprintf "bad count in %S" part))
+          | _ -> Error (Printf.sprintf "expected name=count, got %S" part)))
+    (Ok []) parts
+  |> Result.map List.rev
+
+let run_cmd =
+  let mode =
+    Arg.(value & opt string "validation" & info [ "mode" ] ~docv:"MODE" ~doc:"validation or performance.")
+  in
+  let apps =
+    Arg.(
+      value
+      & opt string "pulse_doppler=1,range_detection=1,wifi_tx=1,wifi_rx=1"
+      & info [ "apps" ] ~docv:"SPEC" ~doc:"Validation-mode workload, e.g. wifi_rx=3,range_detection=2.")
+  in
+  let rate =
+    Arg.(value & opt float 1.71 & info [ "rate" ] ~docv:"R" ~doc:"Performance-mode Table-II injection rate (jobs/ms).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-task records to FILE.")
+  in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace-event file (open in chrome://tracing or Perfetto).")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of the schedule.") in
+  let app_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "app-file" ] ~docv:"FILE"
+          ~doc:
+            "Load an application from a Listing-1-style JSON file instead of --apps (validation \
+             mode, one instance).  Its runfuncs must resolve against the built-in shared objects.")
+  in
+  let run host cores ffts big little policy seed jitter native reservation mode apps_spec rate csv
+      trace gantt app_file =
+    let ( let* ) = Result.bind in
+    let result =
+      let* config = config_of host cores ffts big little in
+      let* workload =
+        match (app_file, String.lowercase_ascii mode) with
+        | Some path, _ ->
+          Reference_apps.ensure_kernels_registered ();
+          let* spec = App_spec.of_file path in
+          Ok (Workload.validation [ (spec, 1) ])
+        | None, "validation" ->
+          let* apps = parse_app_counts apps_spec in
+          Ok (Workload.validation apps)
+        | None, "performance" -> (
+          match Workload.table2_workload ~rate () with
+          | wl -> Ok wl
+          | exception Invalid_argument msg -> Error msg)
+        | None, other -> Error (Printf.sprintf "unknown mode %S" other)
+      in
+      let engine =
+        if native then Emulator.Native
+        else Emulator.virtual_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
+      in
+      Emulator.run ~engine ~policy ~config ~workload ()
+    in
+    match result with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok report ->
+      Format.printf "%a" Stats.pp_summary report;
+      (match csv with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (Stats.records_csv report));
+        Printf.printf "wrote %d task records to %s\n" (List.length report.Stats.records) path);
+      (match trace with
+      | None -> ()
+      | Some path ->
+        Dssoc_json.Json.to_file path (Stats.chrome_trace report);
+        Printf.printf "wrote Chrome trace to %s\n" path);
+      if gantt then print_string (Stats.gantt report);
+      0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an emulation and print the collected statistics.")
+    Term.(
+      const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg $ policy_arg $ seed_arg
+      $ jitter_arg $ native_arg $ reservation_arg $ mode $ apps $ rate $ csv $ trace $ gantt
+      $ app_file)
+
+(* ---------------------- convert ---------------------- *)
+
+let convert_cmd =
+  let source =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"FILE" ~doc:"Mini-C source file (default: the built-in monolithic range detection).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the generated DAG JSON to FILE.")
+  in
+  let no_optimize =
+    Arg.(value & flag & info [ "no-optimize" ] ~doc:"Disable hash-based kernel recognition/substitution.")
+  in
+  let parallelize =
+    Arg.(
+      value & flag
+      & info [ "parallelize" ]
+          ~doc:"Link nodes by memory-dependence edges so independent kernels run in parallel.")
+  in
+  let emulate = Arg.(value & flag & info [ "emulate" ] ~doc:"Also run the converted app on 3Core+1FFT.") in
+  let run source out no_optimize parallelize emulate =
+    let name, src, inputs =
+      match source with
+      | None ->
+        ("rd_monolithic", Driver.range_detection_source, Driver.range_detection_inputs ())
+      | Some path ->
+        ( Filename.remove_extension (Filename.basename path),
+          In_channel.with_open_bin path In_channel.input_all,
+          Driver.range_detection_inputs () )
+    in
+    match Driver.convert ~optimize:(not no_optimize) ~parallelize ~name ~source:src ~inputs () with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok conv ->
+      print_string (Driver.summary conv);
+      (match out with
+      | None -> ()
+      | Some path ->
+        App_spec.to_file path conv.Driver.spec;
+        Printf.printf "wrote %s\n" path);
+      if emulate then begin
+        let config = Config.zcu102_cores_ffts ~cores:3 ~ffts:1 in
+        let workload = Workload.validation [ (conv.Driver.spec, 1) ] in
+        match Emulator.run ~engine:(Emulator.virtual_seeded ~jitter:0.0 1L) ~config ~workload () with
+        | Ok report -> Format.printf "@.%a" Stats.pp_summary report
+        | Error msg -> prerr_endline msg
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Automatically convert monolithic C code into a DAG application.")
+    Term.(const run $ source $ out $ no_optimize $ parallelize $ emulate)
+
+let () =
+  let info =
+    Cmd.info "dssoc_emu" ~version:"1.0.0"
+      ~doc:"User-space emulation framework for domain-specific SoC design."
+  in
+  exit (Cmd.eval' (Cmd.group info [ apps_cmd; platforms_cmd; policies_cmd; run_cmd; convert_cmd ]))

@@ -1,0 +1,1 @@
+examples/auto_convert.ml: Array Dssoc_apps Dssoc_compiler Dssoc_runtime Dssoc_soc Format List Printf Result String

@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Dssoc_apps Dssoc_runtime Dssoc_soc Dssoc_stats Float Format Int64 List Sys

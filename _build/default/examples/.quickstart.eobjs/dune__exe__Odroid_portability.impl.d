@@ -1,0 +1,1 @@
+examples/odroid_portability.ml: Dssoc_apps Dssoc_runtime Dssoc_soc Dssoc_stats Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dssoc_apps Dssoc_dsp Dssoc_json Dssoc_runtime Dssoc_soc Float Format List Result String

@@ -1,0 +1,1 @@
+examples/scheduler_study.ml: Dssoc_apps Dssoc_runtime Dssoc_soc Dssoc_stats Format List Printf

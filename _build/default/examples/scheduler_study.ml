@@ -1,0 +1,76 @@
+(* Case Study 2 (performance mode): compare FRFS, MET and EFT under
+   increasing dynamic injection rates on a 3Core+2FFT ZCU102
+   configuration — the experiment behind Fig. 10 and Tables I/II.
+
+   Run with:  dune exec examples/scheduler_study.exe *)
+
+module Workload = Dssoc_apps.Workload
+module Reference_apps = Dssoc_apps.Reference_apps
+module App_spec = Dssoc_apps.App_spec
+module Config = Dssoc_soc.Config
+module Emulator = Dssoc_runtime.Emulator
+module Stats = Dssoc_runtime.Stats
+module Table = Dssoc_stats.Table
+
+let policies = [ "FRFS"; "MET"; "EFT" ]
+
+let () =
+  let config = Config.zcu102_cores_ffts ~cores:3 ~ffts:2 in
+  let engine = Emulator.virtual_seeded ~jitter:0.0 1L in
+  (* Table I: standalone execution time per application. *)
+  Format.printf "Standalone application runs on %s (FRFS):@.@." config.Config.label;
+  let rows =
+    List.map
+      (fun app ->
+        let wl = Workload.validation [ (app, 1) ] in
+        let r = Emulator.run_exn ~engine ~config ~workload:wl () in
+        [
+          app.App_spec.app_name;
+          Printf.sprintf "%.2f" (float_of_int r.Stats.makespan_ns /. 1e6);
+          string_of_int r.Stats.task_count;
+        ])
+      (Reference_apps.all ())
+  in
+  print_string (Table.render ~header:[ "Application"; "Execution Time (ms)"; "Task Count" ] ~rows);
+  (* Fig. 10: sweep the Table II injection rates. *)
+  Format.printf "@.Performance mode, injection-rate sweep:@.@.";
+  let results =
+    List.map
+      (fun rate ->
+        let per_policy =
+          List.map
+            (fun policy ->
+              let wl = Workload.table2_workload ~rate () in
+              let r = Emulator.run_exn ~engine ~policy ~config ~workload:wl () in
+              (policy, r))
+            policies
+        in
+        (rate, per_policy))
+      Workload.table2_rates
+  in
+  let exec_curves =
+    List.map
+      (fun policy ->
+        ( policy,
+          List.map
+            (fun (_, per) -> float_of_int (List.assoc policy per).Stats.makespan_ns /. 1e6)
+            results ))
+      policies
+  in
+  Format.printf "(a) workload execution time (ms) vs injection rate (jobs/ms):@.";
+  print_string (Table.series ~x_label:"rate" ~xs:Workload.table2_rates ~curves:exec_curves ());
+  let ovh_curves =
+    List.map
+      (fun policy ->
+        ( policy,
+          List.map
+            (fun (_, per) -> Stats.avg_sched_overhead_ns (List.assoc policy per) /. 1e3)
+            results ))
+      policies
+  in
+  Format.printf "@.(b) average scheduling overhead per invocation (us):@.";
+  print_string (Table.series ~x_label:"rate" ~xs:Workload.table2_rates ~curves:ovh_curves ());
+  Format.printf
+    "@.FRFS wins despite its simplicity: without per-PE reservation queues the scheduler runs@.\
+     on every task completion, so MET's O(n) and EFT's O(n^2) ready-list scans accumulate@.\
+     into the workload execution time while FRFS stays at a constant per-invocation cost.@."

@@ -1,0 +1,1 @@
+lib/apps/app_spec.ml: Dssoc_json Hashtbl List Option Printf Queue Result Store

@@ -1,0 +1,1 @@
+lib/apps/app_spec.mli: Dssoc_json Store

@@ -1,0 +1,1 @@
+lib/apps/kernels.ml: App_spec Hashtbl List Option Printf Store

@@ -1,0 +1,1 @@
+lib/apps/reference_apps.ml: App_spec Array Dssoc_dsp Dssoc_util Float Int32 Kernels List Printf Store

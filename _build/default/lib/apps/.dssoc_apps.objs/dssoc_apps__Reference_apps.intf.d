@@ -1,0 +1,1 @@
+lib/apps/reference_apps.mli: App_spec

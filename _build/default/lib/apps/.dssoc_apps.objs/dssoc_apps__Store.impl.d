@@ -1,0 +1,1 @@
+lib/apps/store.ml: Array Bytes Char Dssoc_dsp Hashtbl Int32 List Printf

@@ -1,0 +1,1 @@
+lib/apps/store.mli: Bytes Dssoc_dsp

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: App_spec Dssoc_util Float Hashtbl List Option Printf Reference_apps

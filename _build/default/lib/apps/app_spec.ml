@@ -1,0 +1,330 @@
+module Json = Dssoc_json.Json
+
+type platform_entry = {
+  platform : string;
+  runfunc : string;
+  shared_object : string option;
+  cost_us : float option;
+}
+
+type node = {
+  node_name : string;
+  arguments : string list;
+  predecessors : string list;
+  successors : string list;
+  platforms : platform_entry list;
+  kernel_class : string;
+  size : int;
+  bytes_in : int;
+  bytes_out : int;
+}
+
+type t = {
+  app_name : string;
+  shared_object : string;
+  variables : (string * Store.var_spec) list;
+  nodes : node list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let validate t =
+  let* () = if t.nodes = [] then err "application %S has no nodes" t.app_name else Ok () in
+  let names = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        if Hashtbl.mem names n.node_name then err "duplicate node %S" n.node_name
+        else begin
+          Hashtbl.add names n.node_name n;
+          Ok ()
+        end)
+      (Ok ()) t.nodes
+  in
+  let var_names = List.map fst t.variables in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        let* () =
+          List.fold_left
+            (fun acc a ->
+              let* () = acc in
+              if List.mem a var_names then Ok ()
+              else err "node %S references undeclared variable %S" n.node_name a)
+            (Ok ()) n.arguments
+        in
+        let check_ref kind m =
+          if Hashtbl.mem names m then Ok () else err "node %S lists unknown %s %S" n.node_name kind m
+        in
+        let* () =
+          List.fold_left (fun acc m -> let* () = acc in check_ref "predecessor" m) (Ok ()) n.predecessors
+        in
+        let* () =
+          List.fold_left (fun acc m -> let* () = acc in check_ref "successor" m) (Ok ()) n.successors
+        in
+        if n.platforms = [] then err "node %S has no platform entries" n.node_name else Ok ())
+      (Ok ()) t.nodes
+  in
+  (* Mutual consistency of the redundant predecessor/successor lists. *)
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        List.fold_left
+          (fun acc p ->
+            let* () = acc in
+            let pred = Hashtbl.find names p in
+            if List.mem n.node_name pred.successors then Ok ()
+            else err "node %S lists predecessor %S, which does not list it back" n.node_name p)
+          (Ok ()) n.predecessors)
+      (Ok ()) t.nodes
+  in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        List.fold_left
+          (fun acc s ->
+            let* () = acc in
+            let succ = Hashtbl.find names s in
+            if List.mem n.node_name succ.predecessors then Ok ()
+            else err "node %S lists successor %S, which does not list it back" n.node_name s)
+          (Ok ()) n.successors)
+      (Ok ()) t.nodes
+  in
+  (* Acyclicity via Kahn's algorithm. *)
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indeg n.node_name (List.length n.predecessors)) t.nodes;
+  let queue = Queue.create () in
+  List.iter (fun n -> if List.length n.predecessors = 0 then Queue.add n queue) t.nodes;
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr visited;
+    List.iter
+      (fun s ->
+        let d = Hashtbl.find indeg s - 1 in
+        Hashtbl.replace indeg s d;
+        if d = 0 then Queue.add (Hashtbl.find names s) queue)
+      n.successors
+  done;
+  if !visited <> List.length t.nodes then err "application %S has a dependency cycle" t.app_name
+  else Ok t
+
+let of_edges ~app_name ~shared_object ~variables ~nodes =
+  let succs = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun p ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt succs p) in
+          Hashtbl.replace succs p (prev @ [ n.node_name ]))
+        n.predecessors)
+    nodes;
+  let nodes =
+    List.map
+      (fun n -> { n with successors = Option.value ~default:[] (Hashtbl.find_opt succs n.node_name) })
+      nodes
+  in
+  match validate { app_name; shared_object; variables; nodes } with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "App_spec.of_edges: %s" msg)
+
+let node t name =
+  match List.find_opt (fun n -> n.node_name = name) t.nodes with
+  | Some n -> n
+  | None -> raise Not_found
+
+let entry_nodes t = List.filter (fun n -> n.predecessors = []) t.nodes
+
+let topological_order t =
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indeg n.node_name (List.length n.predecessors)) t.nodes;
+  let out = ref [] in
+  let rec loop remaining =
+    match List.partition (fun n -> Hashtbl.find indeg n.node_name = 0) remaining with
+    | [], [] -> ()
+    | [], _ -> invalid_arg "App_spec.topological_order: cycle"
+    | ready, rest ->
+      List.iter
+        (fun n ->
+          out := n :: !out;
+          Hashtbl.replace indeg n.node_name (-1);
+          List.iter (fun s -> Hashtbl.replace indeg s (Hashtbl.find indeg s - 1)) n.successors)
+        ready;
+      loop rest
+  in
+  loop t.nodes;
+  List.rev !out
+
+let critical_path_length t =
+  let depth = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let d =
+        List.fold_left (fun acc p -> max acc (Hashtbl.find depth p)) 0 n.predecessors + 1
+      in
+      Hashtbl.replace depth n.node_name d)
+    (topological_order t);
+  Hashtbl.fold (fun _ d acc -> max d acc) depth 0
+
+let task_count t = List.length t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let var_spec_of_json name j : (Store.var_spec, string) result =
+  let* bytes = Result.bind (Json.member "bytes" j) Json.to_int in
+  let* is_ptr = Result.bind (Json.member "is_ptr" j) Json.to_bool in
+  let* ptr_alloc_bytes = Result.bind (Json.member "ptr_alloc_bytes" j) Json.to_int in
+  let* init_json = Result.bind (Json.member "val" j) Json.to_list in
+  let* init =
+    List.fold_left
+      (fun acc b ->
+        let* acc = acc in
+        let* v = Json.to_int b in
+        Ok (v :: acc))
+      (Ok []) init_json
+  in
+  ignore name;
+  Ok { Store.bytes; is_ptr; ptr_alloc_bytes; init = List.rev init }
+
+let platform_of_json j =
+  let* platform = Result.bind (Json.member "name" j) Json.to_str in
+  let* runfunc = Result.bind (Json.member "runfunc" j) Json.to_str in
+  let shared_object =
+    match Json.member_opt "shared_object" j with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let cost_us =
+    match Json.member_opt "cost_us" j with
+    | Some v -> Result.to_option (Json.to_float v)
+    | None -> None
+  in
+  Ok { platform; runfunc; shared_object; cost_us }
+
+let string_list_of_json j =
+  let* items = Json.to_list j in
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* s = Json.to_str item in
+      Ok (acc @ [ s ]))
+    (Ok []) items
+
+let node_of_json name j =
+  let* arguments = Result.bind (Json.member "arguments" j) string_list_of_json in
+  let* predecessors = Result.bind (Json.member "predecessors" j) string_list_of_json in
+  let* successors = Result.bind (Json.member "successors" j) string_list_of_json in
+  let* platform_list = Result.bind (Json.member "platforms" j) Json.to_list in
+  let* platforms =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* e = platform_of_json p in
+        Ok (acc @ [ e ]))
+      (Ok []) platform_list
+  in
+  let opt_int key default =
+    match Json.member_opt key j with
+    | Some v -> Result.value ~default (Json.to_int v)
+    | None -> default
+  in
+  let kernel_class =
+    match Json.member_opt "kernel" j with Some (Json.String s) -> s | _ -> "generic"
+  in
+  Ok
+    {
+      node_name = name;
+      arguments;
+      predecessors;
+      successors;
+      platforms;
+      kernel_class;
+      size = opt_int "size" 1;
+      bytes_in = opt_int "bytes_in" 0;
+      bytes_out = opt_int "bytes_out" 0;
+    }
+
+let of_json j =
+  let* app_name = Result.bind (Json.member "AppName" j) Json.to_str in
+  let* shared_object = Result.bind (Json.member "SharedObject" j) Json.to_str in
+  let* vars_obj = Result.bind (Json.member "Variables" j) Json.to_obj in
+  let* variables =
+    List.fold_left
+      (fun acc (name, vj) ->
+        let* acc = acc in
+        let* v = var_spec_of_json name vj in
+        Ok (acc @ [ (name, v) ]))
+      (Ok []) vars_obj
+  in
+  let* dag_obj = Result.bind (Json.member "DAG" j) Json.to_obj in
+  let* nodes =
+    List.fold_left
+      (fun acc (name, nj) ->
+        let* acc = acc in
+        let* n = node_of_json name nj in
+        Ok (acc @ [ n ]))
+      (Ok []) dag_obj
+  in
+  validate { app_name; shared_object; variables; nodes }
+
+let var_spec_to_json (v : Store.var_spec) =
+  Json.obj
+    [
+      ("bytes", Json.int v.Store.bytes);
+      ("is_ptr", Json.bool v.Store.is_ptr);
+      ("ptr_alloc_bytes", Json.int v.Store.ptr_alloc_bytes);
+      ("val", Json.list (List.map Json.int v.Store.init));
+    ]
+
+let platform_to_json e =
+  Json.obj
+    (List.concat
+       [
+         [ ("name", Json.str e.platform); ("runfunc", Json.str e.runfunc) ];
+         (match e.shared_object with Some s -> [ ("shared_object", Json.str s) ] | None -> []);
+         (match e.cost_us with Some c -> [ ("cost_us", Json.float c) ] | None -> []);
+       ])
+
+let node_to_json n =
+  Json.obj
+    (List.concat
+       [
+         [
+           ("arguments", Json.list (List.map Json.str n.arguments));
+           ("predecessors", Json.list (List.map Json.str n.predecessors));
+           ("successors", Json.list (List.map Json.str n.successors));
+           ("platforms", Json.list (List.map platform_to_json n.platforms));
+         ];
+         (if n.kernel_class <> "generic" then [ ("kernel", Json.str n.kernel_class) ] else []);
+         (if n.size <> 1 then [ ("size", Json.int n.size) ] else []);
+         (if n.bytes_in <> 0 then [ ("bytes_in", Json.int n.bytes_in) ] else []);
+         (if n.bytes_out <> 0 then [ ("bytes_out", Json.int n.bytes_out) ] else []);
+       ])
+
+let to_json t =
+  Json.obj
+    [
+      ("AppName", Json.str t.app_name);
+      ("SharedObject", Json.str t.shared_object);
+      ("Variables", Json.obj (List.map (fun (n, v) -> (n, var_spec_to_json v)) t.variables));
+      ("DAG", Json.obj (List.map (fun n -> (n.node_name, node_to_json n)) t.nodes));
+    ]
+
+let of_file path =
+  match Json.of_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Json.error_to_string e))
+  | Ok j -> of_json j
+
+let to_file path t = Json.to_file path (to_json t)

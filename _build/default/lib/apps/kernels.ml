@@ -1,0 +1,41 @@
+type kernel = Store.t -> string list -> unit
+
+let registry : (string, (string, kernel) Hashtbl.t) Hashtbl.t = Hashtbl.create 8
+
+let register_object name syms =
+  let tbl =
+    match Hashtbl.find_opt registry name with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace registry name tbl;
+      tbl
+  in
+  List.iter (fun (sym, k) -> Hashtbl.replace tbl sym k) syms
+
+let lookup ~shared_object ~symbol =
+  match Hashtbl.find_opt registry shared_object with
+  | None -> Error (Printf.sprintf "shared object %S is not registered" shared_object)
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl symbol with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "symbol %S not found in %S" symbol shared_object))
+
+let lookup_exn ~shared_object ~symbol =
+  match lookup ~shared_object ~symbol with
+  | Ok k -> k
+  | Error msg -> invalid_arg (Printf.sprintf "Kernels.lookup_exn: %s" msg)
+
+let objects () = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare
+
+let symbols name =
+  match Hashtbl.find_opt registry name with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let resolve ~(app : App_spec.t) ~(node : App_spec.node) ~(platform : App_spec.platform_entry) =
+  ignore node;
+  let shared_object =
+    Option.value platform.App_spec.shared_object ~default:app.App_spec.shared_object
+  in
+  lookup ~shared_object ~symbol:platform.App_spec.runfunc

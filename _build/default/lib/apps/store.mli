@@ -1,0 +1,79 @@
+(** Per-instance variable store with the memory semantics of Listing 1.
+
+    Every application variable is declared with [bytes] of inline
+    storage, an [is_ptr] flag, and — for pointers — a heap block of
+    [ptr_alloc_bytes] allocated at instance initialisation and
+    optionally pre-filled from a little-endian byte list ([val] in the
+    JSON).  Kernels exchange data exclusively through the store, which
+    is what lets the resource manager compute accelerator DMA sizes
+    from the same description.
+
+    Typed views decode the raw bytes: 32-bit little-endian integers,
+    IEEE-754 single-precision floats, interleaved complex float32
+    pairs (8 bytes per sample, as in Listing 1 where a 256-sample
+    buffer is 2048 bytes), and bit arrays stored one byte per bit. *)
+
+type var_spec = {
+  bytes : int;  (** inline storage for the variable itself *)
+  is_ptr : bool;
+  ptr_alloc_bytes : int;  (** heap block size when [is_ptr] *)
+  init : int list;  (** initial bytes (little-endian), may be shorter than the target *)
+}
+
+type t
+
+val create : (string * var_spec) list -> t
+(** Allocate and initialise all variables.
+    @raise Invalid_argument on duplicate names or negative sizes. *)
+
+val names : t -> string list
+val spec : t -> string -> var_spec
+(** @raise Not_found for unknown variables — kernel argument lists are
+    validated at parse time, so a miss here is a programming error. *)
+
+val payload_bytes : t -> string -> int
+(** Size of the data a kernel argument transfers: [ptr_alloc_bytes]
+    for pointers, [bytes] for scalars.  Used for DMA pricing. *)
+
+(** {1 Scalar views} *)
+
+val get_i32 : t -> string -> int
+val set_i32 : t -> string -> int -> unit
+val get_f32 : t -> string -> float
+val set_f32 : t -> string -> float -> unit
+
+(** {1 Block views (pointer variables)} *)
+
+val get_f32_array : t -> string -> float array
+val set_f32_array : t -> string -> float array -> unit
+(** @raise Invalid_argument if the array exceeds the block. *)
+
+val get_i32_array : t -> string -> int array
+(** The block as an array of 32-bit little-endian integers. *)
+
+val set_i32_array : t -> string -> int array -> unit
+
+val get_cbuf : t -> string -> Dssoc_dsp.Cbuf.t
+(** Interpret the block as interleaved complex float32. *)
+
+val set_cbuf : t -> string -> Dssoc_dsp.Cbuf.t -> unit
+
+val get_cbuf_slice : t -> string -> off:int -> len:int -> Dssoc_dsp.Cbuf.t
+(** [len] complex samples starting at sample [off] — used by kernels
+    that own one pulse of a batched buffer, so a 256-pulse store is not
+    decoded wholesale for every task.
+    @raise Invalid_argument when the slice exceeds the block. *)
+
+val set_cbuf_slice : t -> string -> off:int -> Dssoc_dsp.Cbuf.t -> unit
+
+val get_bits : t -> string -> bool array
+(** One byte per bit, nonzero = true; length = block size. *)
+
+val set_bits : t -> string -> bool array -> unit
+
+val get_raw : t -> string -> Bytes.t
+(** The backing block itself (shared, mutable) — the accelerator DMA
+    path copies out of / into this. *)
+
+val copy : t -> t
+(** Deep copy; instances of the same archetype never share storage. *)

@@ -1,0 +1,1 @@
+lib/compiler/dag_gen.ml: Array Ast Deps Dssoc_apps Dssoc_dsp Hashtbl Int32 Interp Ir List Option Outline Printf Recognize String

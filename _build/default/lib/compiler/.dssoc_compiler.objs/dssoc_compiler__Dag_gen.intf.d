@@ -1,0 +1,1 @@
+lib/compiler/dag_gen.mli: Dssoc_apps Hashtbl Interp Ir Outline Recognize

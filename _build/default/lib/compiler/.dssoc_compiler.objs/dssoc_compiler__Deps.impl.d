@@ -1,0 +1,1 @@
+lib/compiler/deps.ml: Array Ast Hashtbl Ir List Option Outline Printf Set String

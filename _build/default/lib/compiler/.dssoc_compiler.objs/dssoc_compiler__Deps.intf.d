@@ -1,0 +1,1 @@
+lib/compiler/deps.mli: Ir Outline

@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Array Buffer Dag_gen Dssoc_apps Dssoc_dsp Interp Ir Kernel_detect List Option Outline Parser Printf Recognize Result String

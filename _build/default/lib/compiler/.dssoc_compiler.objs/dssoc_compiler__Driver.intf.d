@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Dssoc_apps Ir Kernel_detect Outline Recognize

@@ -1,0 +1,1 @@
+lib/compiler/interp.ml: Array Ast Buffer Char Float Hashtbl Ir List Option Printf String

@@ -1,0 +1,1 @@
+lib/compiler/interp.mli: Ast Hashtbl Ir

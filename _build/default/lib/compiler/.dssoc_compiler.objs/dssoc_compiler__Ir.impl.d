@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Array Ast Format List Option

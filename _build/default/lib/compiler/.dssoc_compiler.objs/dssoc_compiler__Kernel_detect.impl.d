@@ -1,0 +1,1 @@
+lib/compiler/kernel_detect.ml: Array Ast Format Hashtbl Interp Ir List Option

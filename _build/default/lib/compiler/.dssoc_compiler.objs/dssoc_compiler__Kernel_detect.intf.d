@@ -1,0 +1,1 @@
+lib/compiler/kernel_detect.mli: Format Interp Ir

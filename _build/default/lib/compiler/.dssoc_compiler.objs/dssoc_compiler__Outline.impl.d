@@ -1,0 +1,1 @@
+lib/compiler/outline.ml: Array Format Hashtbl Interp Ir Kernel_detect List Option Printf String

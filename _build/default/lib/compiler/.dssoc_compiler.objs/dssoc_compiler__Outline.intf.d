@@ -1,0 +1,1 @@
+lib/compiler/outline.mli: Format Interp Ir Kernel_detect

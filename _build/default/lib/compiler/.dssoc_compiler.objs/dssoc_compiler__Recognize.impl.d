@@ -1,0 +1,1 @@
+lib/compiler/recognize.ml: Array Ast Buffer Digest Float Hashtbl Ir List Option Outline Printf

@@ -1,0 +1,1 @@
+lib/compiler/recognize.mli: Hashtbl Ir Outline

@@ -1,0 +1,100 @@
+type ty = Tint | Tfloat
+
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of { name : string; ty : ty; init : expr option }
+  | Decl_array of { name : string; ty : ty; size : int }
+  | Decl_malloc of { name : string; ty : ty; count : expr }
+  | Assign of { name : string; index : expr option; value : expr }
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { init : stmt; cond : expr; step : stmt; body : stmt list }
+  | Return of expr option
+
+type program = stmt list
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+let rec pp_expr fmt = function
+  | Int_lit i -> Format.fprintf fmt "%d" i
+  | Float_lit f -> Format.fprintf fmt "%g" f
+  | Var v -> Format.fprintf fmt "%s" v
+  | Index (a, e) -> Format.fprintf fmt "%s[%a]" a pp_expr e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Unop (Neg, e) -> Format.fprintf fmt "(-%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf fmt "(!%a)" pp_expr e
+  | Call (f, args) ->
+    Format.fprintf fmt "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_expr)
+      args
+
+let ty_str = function Tint -> "int" | Tfloat -> "float"
+
+let rec pp_stmt fmt = function
+  | Decl { name; ty; init = None } -> Format.fprintf fmt "%s %s;" (ty_str ty) name
+  | Decl { name; ty; init = Some e } ->
+    Format.fprintf fmt "%s %s = %a;" (ty_str ty) name pp_expr e
+  | Decl_array { name; ty; size } -> Format.fprintf fmt "%s %s[%d];" (ty_str ty) name size
+  | Decl_malloc { name; ty; count } ->
+    Format.fprintf fmt "%s *%s = malloc(%a);" (ty_str ty) name pp_expr count
+  | Assign { name; index = None; value } -> Format.fprintf fmt "%s = %a;" name pp_expr value
+  | Assign { name; index = Some i; value } ->
+    Format.fprintf fmt "%s[%a] = %a;" name pp_expr i pp_expr value
+  | Expr e -> Format.fprintf fmt "%a;" pp_expr e
+  | If (c, t, []) -> Format.fprintf fmt "if (%a) { %a }" pp_expr c pp_block t
+  | If (c, t, e) -> Format.fprintf fmt "if (%a) { %a } else { %a }" pp_expr c pp_block t pp_block e
+  | While (c, b) -> Format.fprintf fmt "while (%a) { %a }" pp_expr c pp_block b
+  | For { init; cond; step; body } ->
+    Format.fprintf fmt "for (%a %a; %a) { %a }" pp_stmt init pp_expr cond pp_for_step step
+      pp_block body
+  | Return None -> Format.fprintf fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+
+and pp_for_step fmt = function
+  | Assign { name; index = None; value } -> Format.fprintf fmt "%s = %a" name pp_expr value
+  | s -> pp_stmt fmt s
+
+and pp_block fmt stmts =
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ") pp_stmt fmt stmts
+
+let expr_vars e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  let rec go = function
+    | Int_lit _ | Float_lit _ -> ()
+    | Var v -> add v
+    | Index (a, e) ->
+      add a;
+      go e
+    | Binop (_, a, b) ->
+      go a;
+      go b
+    | Unop (_, e) -> go e
+    | Call (_, args) -> List.iter go args
+  in
+  go e;
+  List.rev !out
+
+let intrinsics = [ "sin"; "cos"; "sqrt"; "fabs"; "floor"; "read_ch"; "write_ch" ]

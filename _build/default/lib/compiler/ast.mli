@@ -1,0 +1,54 @@
+(** Abstract syntax of mini-C, the monolithic unlabeled-C subset the
+    automatic application-conversion toolchain accepts (Section II-E).
+
+    The subset covers what the paper's motivating programs need:
+    int/float scalars, fixed-size arrays, malloc'd float buffers,
+    assignments, arithmetic/relational/logical expressions, [for],
+    [while], [if]/[else], math intrinsics, and channel I/O builtins
+    ([read_ch]/[write_ch]) standing in for file I/O. *)
+
+type ty = Tint | Tfloat
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr  (** a\[e\] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+      (** intrinsics: sin, cos, sqrt, fabs, read_ch; [write_ch] appears
+          only in expression statements *)
+
+type stmt =
+  | Decl of { name : string; ty : ty; init : expr option }
+  | Decl_array of { name : string; ty : ty; size : int }
+  | Decl_malloc of { name : string; ty : ty; count : expr }
+      (** [float *p = malloc(e);] — e in bytes, statically analysed *)
+  | Assign of { name : string; index : expr option; value : expr }
+  | Expr of expr  (** expression statement, e.g. a write_ch call *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { init : stmt; cond : expr; step : stmt; body : stmt list }
+  | Return of expr option
+
+type program = stmt list
+(** The body of [main]. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val expr_vars : expr -> string list
+(** Variable (and array) names read by an expression, without
+    duplicates, in first-use order. *)
+
+val intrinsics : string list
+(** Names callable in expressions: sin, cos, sqrt, fabs, floor,
+    read_ch, write_ch. *)

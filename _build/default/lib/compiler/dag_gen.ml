@@ -1,0 +1,423 @@
+module App_spec = Dssoc_apps.App_spec
+module Store = Dssoc_apps.Store
+module Kernels = Dssoc_apps.Kernels
+module Cbuf = Dssoc_dsp.Cbuf
+module Fft = Dssoc_dsp.Fft
+
+type generated = {
+  spec : App_spec.t;
+  substitutions : (string * Recognize.dft_info) list;
+  consts : (string, int) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Static analyses                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fold_constants (ir : Ir.t) =
+  let consts = Hashtbl.create 16 in
+  let rec fold e =
+    match e with
+    | Ast.Int_lit i -> Some i
+    | Ast.Var v -> Hashtbl.find_opt consts v
+    | Ast.Binop (op, a, b) -> (
+      match (fold a, fold b) with
+      | Some x, Some y -> (
+        match op with
+        | Ast.Add -> Some (x + y)
+        | Ast.Sub -> Some (x - y)
+        | Ast.Mul -> Some (x * y)
+        | Ast.Div -> if y = 0 then None else Some (x / y)
+        | Ast.Mod -> if y = 0 then None else Some (x mod y)
+        | _ -> None)
+      | _ -> None)
+    | Ast.Unop (Ast.Neg, e) -> Option.map (fun v -> -v) (fold e)
+    | _ -> None
+  in
+  (* Walk the entry block's straight-line code only: the "initial"
+     declarations the paper's memory analysis targets. *)
+  let entry = ir.Ir.blocks.(ir.Ir.entry) in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Decl { name; ty = Ast.Tint; init = Some e } | Ir.Assign { name; index = None; value = e }
+        -> (
+        match fold e with
+        | Some v -> Hashtbl.replace consts name v
+        | None -> Hashtbl.remove consts name)
+      | _ -> ())
+    entry.Ir.instrs;
+  consts
+
+type vkind = Kint | Kfloat | Kfarr of int | Kiarr of int
+
+let variable_kinds (ir : Ir.t) consts =
+  let kinds = Hashtbl.create 32 in
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Decl { name; ty; _ } ->
+            Hashtbl.replace kinds name (match ty with Ast.Tint -> Kint | Ast.Tfloat -> Kfloat)
+          | Ir.Decl_array { name; ty; size } ->
+            Hashtbl.replace kinds name
+              (match ty with Ast.Tint -> Kiarr size | Ast.Tfloat -> Kfarr size)
+          | Ir.Decl_malloc { name; ty; count } -> (
+            let bytes =
+              let rec f e =
+                match e with
+                | Ast.Int_lit v -> Some v
+                | Ast.Var v -> Hashtbl.find_opt consts v
+                | Ast.Binop (Ast.Mul, a, b) -> (
+                  match (f a, f b) with Some x, Some y -> Some (x * y) | _ -> None)
+                | Ast.Binop (Ast.Add, a, b) -> (
+                  match (f a, f b) with Some x, Some y -> Some (x + y) | _ -> None)
+                | _ -> None
+              in
+              f count
+            in
+            match bytes with
+            | Some b when b > 0 ->
+              let n = b / 4 in
+              Hashtbl.replace kinds name
+                (match ty with Ast.Tint -> Kiarr n | Ast.Tfloat -> Kfarr n)
+            | _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Dag_gen: cannot statically size malloc of %S (the paper's toolchain has the \
+                    same restriction)"
+                   name))
+          | Ir.Assign _ | Ir.Eval _ -> ())
+        blk.Ir.instrs)
+    ir.Ir.blocks;
+  kinds
+
+(* Channels referenced with literal ids. *)
+let channels_used (ir : Ir.t) first last =
+  let reads = ref [] and writes = ref [] in
+  let add l c = if not (List.mem c !l) then l := !l @ [ c ] in
+  let rec expr = function
+    | Ast.Call ("read_ch", Ast.Int_lit c :: rest) ->
+      add reads c;
+      List.iter expr rest
+    | Ast.Call ("write_ch", Ast.Int_lit c :: rest) ->
+      add writes c;
+      List.iter expr rest
+    | Ast.Call (_, args) -> List.iter expr args
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Unop (_, e) | Ast.Index (_, e) -> expr e
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> ()
+  in
+  for b = first to last do
+    let blk = ir.Ir.blocks.(b) in
+    List.iter
+      (fun i ->
+        match i with
+        | Ir.Decl { init = Some e; _ } -> expr e
+        | Ir.Decl { init = None; _ } | Ir.Decl_array _ -> ()
+        | Ir.Decl_malloc { count; _ } -> expr count
+        | Ir.Assign { index; value; _ } ->
+          Option.iter expr index;
+          expr value
+        | Ir.Eval e -> expr e)
+      blk.Ir.instrs;
+    match blk.Ir.term with Ir.Branch { cond; _ } -> expr cond | _ -> ()
+  done;
+  (!reads, !writes)
+
+let in_ch_name c = Printf.sprintf "__in_ch%d" c
+let out_ch_name c = Printf.sprintf "__out_ch%d" c
+
+(* ------------------------------------------------------------------ *)
+(* Kernel closures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let load_env store kinds vars =
+  let env : Interp.env = Hashtbl.create 32 in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt kinds v with
+      | Some Kint -> Hashtbl.replace env v (Interp.Scalar (ref (Interp.Vint (Store.get_i32 store v))))
+      | Some Kfloat ->
+        Hashtbl.replace env v (Interp.Scalar (ref (Interp.Vfloat (Store.get_f32 store v))))
+      | Some (Kfarr _) -> Hashtbl.replace env v (Interp.Farr (Store.get_f32_array store v))
+      | Some (Kiarr _) -> Hashtbl.replace env v (Interp.Iarr (Store.get_i32_array store v))
+      | None -> ())
+    vars;
+  env
+
+let flush_env store kinds vars (env : Interp.env) =
+  List.iter
+    (fun v ->
+      match (Hashtbl.find_opt kinds v, Hashtbl.find_opt env v) with
+      | Some Kint, Some (Interp.Scalar r) -> Store.set_i32 store v (Interp.(match !r with Vint i -> i | Vfloat f -> int_of_float f))
+      | Some Kfloat, Some (Interp.Scalar r) ->
+        Store.set_f32 store v (Interp.(match !r with Vfloat f -> f | Vint i -> float_of_int i))
+      | Some (Kfarr _), Some (Interp.Farr a) -> Store.set_f32_array store v a
+      | Some (Kiarr _), Some (Interp.Iarr a) -> Store.set_i32_array store v a
+      | _ -> ())
+    vars
+
+let make_group_kernel ~ir ~kinds ~(group : Outline.group) ~all_in_chs ~out_chs ~flush_vars :
+    Kernels.kernel =
+  fun store _args ->
+   let env = load_env store kinds group.Outline.vars in
+   let inputs = List.map (fun c -> (c, Store.get_f32_array store (in_ch_name c))) all_in_chs in
+   let outputs = Hashtbl.create 4 in
+   List.iter
+     (fun c -> Hashtbl.replace outputs c (Store.get_f32_array store (out_ch_name c)))
+     out_chs;
+   Interp.run_range ~env ~inputs ~outputs ~first:group.Outline.first_block
+     ~last:group.Outline.last_block ir;
+   (* Only live-out state is written back, so independent groups never
+      race on dead scratch variables when they execute in parallel. *)
+   flush_env store kinds flush_vars env;
+   List.iter (fun c -> Store.set_f32_array store (out_ch_name c) (Hashtbl.find outputs c)) out_chs
+
+let make_fft_kernel (info : Recognize.dft_info) : Kernels.kernel =
+  fun store _args ->
+   let n = info.Recognize.n in
+   let re = Store.get_f32_array store info.Recognize.in_re in
+   let im = Store.get_f32_array store info.Recognize.in_im in
+   let buf = { Cbuf.re = Array.sub re 0 n; im = Array.sub im 0 n } in
+   let out =
+     if info.Recognize.inverse then begin
+       let y = Fft.ifft buf in
+       (* Fft.ifft already applies 1/n; an unscaled source IDFT needs
+          the factor undone. *)
+       if info.Recognize.scaled then y else Cbuf.scale y (float_of_int n)
+     end
+     else Fft.fft buf
+   in
+   Store.set_f32_array store info.Recognize.out_re out.Cbuf.re;
+   Store.set_f32_array store info.Recognize.out_im out.Cbuf.im
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let verify_linear_chain (ir : Ir.t) (groups : Outline.group list) (trace : Interp.trace) =
+  let n = Ir.block_count ir in
+  let gmap = Array.make n (-1) in
+  List.iter
+    (fun g ->
+      for b = g.Outline.first_block to g.Outline.last_block do
+        gmap.(b) <- g.Outline.gid
+      done)
+    groups;
+  let seq = ref [] in
+  Array.iter
+    (fun bid ->
+      if bid < n && gmap.(bid) >= 0 then
+        match !seq with
+        | g :: _ when g = gmap.(bid) -> ()
+        | _ -> seq := gmap.(bid) :: !seq)
+    trace.Interp.blocks;
+  let seq = List.rev !seq in
+  let expected = List.map (fun g -> g.Outline.gid) groups in
+  if seq = expected then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "traced group sequence [%s] is not the linear chain [%s]; the program's control flow \
+          cannot be outlined into a sequential DAG"
+         (String.concat ";" (List.map string_of_int seq))
+         (String.concat ";" (List.map string_of_int expected)))
+
+let le32 v = [ v land 0xFF; (v lsr 8) land 0xFF; (v lsr 16) land 0xFF; (v lsr 24) land 0xFF ]
+
+let f32_bytes f = le32 (Int32.to_int (Int32.logand (Int32.bits_of_float f) 0xFFFFFFFFl))
+
+let farr_init a = Array.to_list a |> List.concat_map f32_bytes
+
+let generate ?(optimize = true) ?(parallelize = false) ~name ~(ir : Ir.t)
+    ~(groups : Outline.group list) ~(trace : Interp.trace) ~inputs () =
+  let groups = if parallelize then Outline.merge_prologues ~ir ~trace groups else groups in
+  let dependence = if parallelize then Some (Deps.analyse ir groups) else None in
+  match verify_linear_chain ir groups trace with
+  | Error _ as e -> e
+  | Ok () ->
+    let consts = fold_constants ir in
+    let kinds = variable_kinds ir consts in
+    let all_in_chs, all_out_chs = channels_used ir 0 (Ir.block_count ir - 1) in
+    let missing =
+      List.filter (fun c -> not (List.mem_assoc c inputs)) all_in_chs
+    in
+    if missing <> [] then
+      Error
+        (Printf.sprintf "program reads input channel(s) %s but no data was supplied"
+           (String.concat ", " (List.map string_of_int missing)))
+    else begin
+      let shared_object = name ^ ".gen.so" in
+      (* Variables: program variables + channels. *)
+      let scalar_var () : Store.var_spec = { bytes = 4; is_ptr = false; ptr_alloc_bytes = 0; init = [] } in
+      let ptr_var ?(init = []) alloc : Store.var_spec =
+        { bytes = 8; is_ptr = true; ptr_alloc_bytes = alloc; init }
+      in
+      let variables =
+        Hashtbl.fold
+          (fun v kind acc ->
+            let spec =
+              match kind with
+              | Kint | Kfloat -> scalar_var ()
+              | Kfarr n | Kiarr n -> ptr_var (4 * n)
+            in
+            (v, spec) :: acc)
+          kinds []
+        |> List.sort compare
+      in
+      let variables =
+        variables
+        @ List.map
+            (fun c ->
+              let data = List.assoc c inputs in
+              (in_ch_name c, ptr_var (4 * Array.length data) ~init:(farr_init data)))
+            all_in_chs
+        @ List.map (fun c -> (out_ch_name c, ptr_var (4 * Interp.output_capacity))) all_out_chs
+      in
+      (* Nodes: one per group, chained linearly. *)
+      let substitutions = ref [] in
+      let prev = ref None in
+      let node_name_of_gid : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      let nodes =
+        List.map
+          (fun (g : Outline.group) ->
+            let gid_of_this = g.Outline.gid in
+            let classification =
+              if not optimize then Recognize.Opaque
+              else begin
+                match g.Outline.kind with
+                | Outline.Cold -> Recognize.Opaque
+                | Outline.Kernel _ ->
+                  let d = Recognize.digest ~ir ~group:g in
+                  (match Recognize.lookup_table d with
+                  | Some (Recognize.Pure_dft _) ->
+                    (* Hash hit: the kernel's shape is known, but the
+                       substitution must bind to *this* occurrence's
+                       arrays, so re-extract the roles. *)
+                    Recognize.classify ~ir ~consts ~group:g
+                  | Some c -> c
+                  | None ->
+                    let c = Recognize.classify ~ir ~consts ~group:g in
+                    Recognize.learn d c;
+                    c)
+              end
+            in
+            let kind_tag =
+              match (g.Outline.kind, classification) with
+              | Outline.Cold, _ -> "NONKERNEL"
+              | _, Recognize.Pure_dft info ->
+                if info.Recognize.inverse then "IDFT" else "DFT"
+              | Outline.Kernel _, _ -> if g.Outline.does_io then "IO_KERNEL" else "KERNEL"
+            in
+            let node_name = Printf.sprintf "%s_%d" kind_tag g.Outline.gid in
+            Hashtbl.replace node_name_of_gid gid_of_this node_name;
+            let base_sym = Printf.sprintf "%s_g%d" name g.Outline.gid in
+            let g_reads, g_writes = channels_used ir g.Outline.first_block g.Outline.last_block in
+            let args =
+              g.Outline.vars
+              @ List.map in_ch_name g_reads
+              @ List.map out_ch_name g_writes
+            in
+            let flush_vars =
+              match dependence with
+              | None -> g.Outline.vars
+              | Some d -> List.assoc g.Outline.gid d.Deps.flush
+            in
+            Kernels.register_object shared_object
+              [
+                ( base_sym,
+                  make_group_kernel ~ir ~kinds ~group:g ~all_in_chs ~out_chs:g_writes ~flush_vars );
+              ];
+            let kernel_class, size, platforms =
+              match classification with
+              | Recognize.Pure_dft info ->
+                substitutions := (node_name, info) :: !substitutions;
+                let fft_sym = base_sym ^ "_fft" in
+                let k = make_fft_kernel info in
+                Kernels.register_object "fft_lib.so" [ (fft_sym, k) ];
+                Kernels.register_object "fft_accel.so" [ (fft_sym, k) ];
+                ( "fft_lib",
+                  info.Recognize.n,
+                  [
+                    {
+                      App_spec.platform = "cpu";
+                      runfunc = fft_sym;
+                      shared_object = Some "fft_lib.so";
+                      cost_us = None;
+                    };
+                    {
+                      App_spec.platform = "fft";
+                      runfunc = fft_sym;
+                      shared_object = Some "fft_accel.so";
+                      cost_us = None;
+                    };
+                  ] )
+              | Recognize.Io_kernel | Recognize.Opaque ->
+                let cls =
+                  match g.Outline.kind with
+                  | Outline.Kernel _ when g.Outline.does_io -> "file_io"
+                  | _ -> "interp_ops"
+                in
+                ( cls,
+                  g.Outline.ops,
+                  [
+                    {
+                      App_spec.platform = "cpu";
+                      runfunc = base_sym;
+                      shared_object = None;
+                      cost_us = None;
+                    };
+                  ] )
+            in
+            let node =
+              {
+                App_spec.node_name;
+                arguments = args;
+                predecessors =
+                  (match dependence with
+                  | None -> (match !prev with None -> [] | Some p -> [ p ])
+                  | Some d ->
+                    List.filter_map
+                      (fun gid -> Hashtbl.find_opt node_name_of_gid gid)
+                      (Deps.predecessors d gid_of_this));
+                successors = [];
+                platforms;
+                kernel_class;
+                size;
+                bytes_in = (match classification with Recognize.Pure_dft i -> 8 * i.Recognize.n | _ -> 0);
+                bytes_out = (match classification with Recognize.Pure_dft i -> 8 * i.Recognize.n | _ -> 0);
+              }
+            in
+            prev := Some node_name;
+            node)
+          groups
+      in
+      match
+        App_spec.validate
+          {
+            App_spec.app_name = name;
+            shared_object;
+            variables;
+            nodes =
+              (let succs = Hashtbl.create 16 in
+               List.iter
+                 (fun (n : App_spec.node) ->
+                   List.iter
+                     (fun p ->
+                       Hashtbl.replace succs p
+                         (Option.value ~default:[] (Hashtbl.find_opt succs p) @ [ n.App_spec.node_name ]))
+                     n.App_spec.predecessors)
+                 nodes;
+               List.map
+                 (fun (n : App_spec.node) ->
+                   { n with App_spec.successors = Option.value ~default:[] (Hashtbl.find_opt succs n.App_spec.node_name) })
+                 nodes);
+          }
+      with
+      | Ok spec -> Ok { spec; substitutions = List.rev !substitutions; consts }
+      | Error msg -> Error msg
+    end

@@ -1,0 +1,55 @@
+(** DAG generation: the final stage of the conversion toolchain.
+
+    Turns the outlined groups into a framework-compatible application
+    (the JSON-based DAG of Listing 1) plus registered kernels:
+
+    - every program variable becomes a [Variables] entry sized by the
+      memory analysis (scalars 4 bytes; arrays 4 bytes per element;
+      malloc blocks by statically folding their byte-count argument);
+    - input channels are baked into [__in_ch<c>] variables, output
+      channels become [__out_ch<c>] blocks;
+    - each group becomes a DAG node calling an interpreter closure
+      registered in ["<name>.gen.so"]; nodes chain linearly (automatic
+      parallelisation of independent kernels is the paper's future
+      work);
+    - with [optimize], kernels classified {!Recognize.Pure_dft} are
+      redirected to an optimized FFT-library runfunc in ["fft_lib.so"]
+      plus an FFT-accelerator platform entry in ["fft_accel.so"] — the
+      Case Study 4 substitution;
+    - node costs come from the dynamic trace ([interp_ops] x traced
+      statement count; [file_io] for I/O kernels; [dft_naive] /
+      [fft_lib] for recognised transforms). *)
+
+type generated = {
+  spec : Dssoc_apps.App_spec.t;
+  substitutions : (string * Recognize.dft_info) list;
+      (** (node name, transform) pairs that were redirected *)
+  consts : (string, int) Hashtbl.t;  (** folded scalar constants *)
+}
+
+val fold_constants : Ir.t -> (string, int) Hashtbl.t
+(** Abstract interpretation of the entry block's straight-line scalar
+    code; used to size mallocs and resolve DFT loop bounds. *)
+
+val generate :
+  ?optimize:bool ->
+  ?parallelize:bool ->
+  name:string ->
+  ir:Ir.t ->
+  groups:Outline.group list ->
+  trace:Interp.trace ->
+  inputs:(int * float array) list ->
+  unit ->
+  (generated, string) result
+(** Fails when the traced group-entry sequence is not the linear chain
+    the conversion assumes (each group entered exactly once, in
+    order).
+
+    With [parallelize] (default false, the paper's released tool), the
+    nodes are linked by {!Deps} memory-dependence edges instead of a
+    sequential chain — loop prologues are merged into their kernels,
+    scratch scalars privatised, and independent kernels (the two DFTs
+    of the range-detection case study) become parallel DAG branches:
+    the "automatic parallelization of independent kernels via analysis
+    of their runtime memory access patterns" the paper lists as future
+    work. *)

@@ -1,0 +1,188 @@
+type access = { live_in : string list; writes : string list }
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction reads/writes, including channel pseudo-variables    *)
+(* ------------------------------------------------------------------ *)
+
+let in_ch c = Printf.sprintf "__in_ch%d" c
+let out_ch c = Printf.sprintf "__out_ch%d" c
+
+(* Collect variable reads of an expression in evaluation order,
+   mapping channel intrinsics onto their pseudo-variables.  write_ch
+   both reads and writes its channel block (the outlined kernels flush
+   whole blocks). *)
+let rec expr_accesses e ~read ~write =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> ()
+  | Ast.Var v -> read v
+  | Ast.Index (a, i) ->
+    expr_accesses i ~read ~write;
+    read a
+  | Ast.Binop (_, a, b) ->
+    expr_accesses a ~read ~write;
+    expr_accesses b ~read ~write
+  | Ast.Unop (_, e) -> expr_accesses e ~read ~write
+  | Ast.Call ("read_ch", (Ast.Int_lit c :: _ as args)) ->
+    List.iter (fun a -> expr_accesses a ~read ~write) args;
+    read (in_ch c)
+  | Ast.Call ("write_ch", (Ast.Int_lit c :: _ as args)) ->
+    List.iter (fun a -> expr_accesses a ~read ~write) args;
+    read (out_ch c);
+    write (out_ch c)
+  | Ast.Call (_, args) -> List.iter (fun a -> expr_accesses a ~read ~write) args
+
+(* (reads-in-order, full-kill write option, partial-write option) *)
+let instr_accesses (i : Ir.instr) ~read ~write ~kill =
+  match i with
+  | Ir.Decl { name; init; _ } ->
+    Option.iter (fun e -> expr_accesses e ~read ~write) init;
+    kill name
+  | Ir.Decl_array { name; _ } -> kill name
+  | Ir.Decl_malloc { name; count; _ } ->
+    expr_accesses count ~read ~write;
+    kill name
+  | Ir.Assign { name; index = None; value } ->
+    expr_accesses value ~read ~write;
+    kill name
+  | Ir.Assign { name; index = Some idx; value } ->
+    expr_accesses idx ~read ~write;
+    expr_accesses value ~read ~write;
+    (* Partial update: the location is written but earlier contents
+       survive, so it does not kill upward-exposed reads. *)
+    write name
+  | Ir.Eval e -> expr_accesses e ~read ~write
+
+module S = Set.Make (String)
+
+(* Per-block upward-exposed reads (gen) and full definitions (kill),
+   computed by a sequential walk. *)
+let block_gen_kill (blk : Ir.block) =
+  let gen = ref S.empty and killed = ref S.empty and writes = ref S.empty in
+  let read v = if not (S.mem v !killed) then gen := S.add v !gen in
+  let write v = writes := S.add v !writes in
+  let kill v =
+    killed := S.add v !killed;
+    writes := S.add v !writes
+  in
+  List.iter (fun i -> instr_accesses i ~read ~write ~kill) blk.Ir.instrs;
+  (match blk.Ir.term with
+  | Ir.Branch { cond; _ } -> expr_accesses cond ~read ~write
+  | Ir.Jump _ | Ir.Return -> ());
+  (!gen, !killed, !writes)
+
+let group_access (ir : Ir.t) (g : Outline.group) =
+  let first = g.Outline.first_block and last = g.Outline.last_block in
+  let n = last - first + 1 in
+  let gen = Array.make n S.empty and kill = Array.make n S.empty in
+  let writes = ref S.empty in
+  for b = first to last do
+    let ge, ki, wr = block_gen_kill ir.Ir.blocks.(b) in
+    gen.(b - first) <- ge;
+    kill.(b - first) <- ki;
+    writes := S.union !writes wr
+  done;
+  (* Backward liveness restricted to the group's internal edges:
+     live_in(b) = gen(b) + (live_out(b) - kill(b)). *)
+  let live_in = Array.make n S.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = last downto first do
+      let out =
+        List.fold_left
+          (fun acc s ->
+            if s >= first && s <= last then S.union acc live_in.(s - first) else acc)
+          S.empty
+          (Ir.successors ir.Ir.blocks.(b))
+      in
+      let v = S.union gen.(b - first) (S.diff out kill.(b - first)) in
+      if not (S.equal v live_in.(b - first)) then begin
+        live_in.(b - first) <- v;
+        changed := true
+      end
+    done
+  done;
+  { live_in = S.elements live_in.(0); writes = S.elements !writes }
+
+(* ------------------------------------------------------------------ *)
+(* Inter-group dependence edges                                        *)
+(* ------------------------------------------------------------------ *)
+
+type analysis = {
+  accesses : (int * access) list;
+  edges : (int * int) list;
+  flush : (int * string list) list;
+}
+
+let analyse (ir : Ir.t) (groups : Outline.group list) =
+  let accesses = List.map (fun g -> (g.Outline.gid, group_access ir g)) groups in
+  let acc_of gid = List.assoc gid accesses in
+  (* Variables with partial (indexed) writes anywhere are array-like:
+     their writers are kept fully ordered. *)
+  let array_like =
+    let s = ref S.empty in
+    Array.iter
+      (fun blk ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Assign { name; index = Some _; _ } -> s := S.add name !s
+            | Ir.Decl_array { name; _ } | Ir.Decl_malloc { name; _ } -> s := S.add name !s
+            | _ -> ())
+          blk.Ir.instrs)
+      ir.Ir.blocks;
+    !s
+  in
+  let ordered_gids = List.map (fun g -> g.Outline.gid) groups in
+  (* For the output-dependence rule: does any group after [gid] read v? *)
+  let read_later v gid =
+    List.exists (fun g -> g > gid && List.mem v (acc_of g).live_in) ordered_gids
+  in
+  let edges = Hashtbl.create 64 in
+  let add_edge a b = if a <> b then Hashtbl.replace edges (a, b) () in
+  let all_vars =
+    List.fold_left
+      (fun s (_, a) -> S.union s (S.union (S.of_list a.live_in) (S.of_list a.writes)))
+      S.empty accesses
+  in
+  S.iter
+    (fun v ->
+      let last_writer = ref None in
+      let readers = ref [] in
+      List.iter
+        (fun gid ->
+          let a = acc_of gid in
+          let reads = List.mem v a.live_in and writes_v = List.mem v a.writes in
+          if reads then begin
+            Option.iter (fun w -> add_edge w gid) !last_writer;
+            readers := gid :: !readers
+          end;
+          if writes_v then begin
+            (* anti: outstanding readers must finish first *)
+            List.iter (fun r -> add_edge r gid) !readers;
+            (* output: keep writers ordered when the old value is still
+               wanted downstream, and always for array-like blocks *)
+            (match !last_writer with
+            | Some w when S.mem v array_like || read_later v gid -> add_edge w gid
+            | _ -> ());
+            last_writer := Some gid;
+            readers := []
+          end)
+        ordered_gids)
+    all_vars;
+  let flush =
+    List.map
+      (fun gid ->
+        let a = acc_of gid in
+        ( gid,
+          List.filter (fun v -> S.mem v array_like || read_later v gid) a.writes ))
+      ordered_gids
+  in
+  {
+    accesses;
+    edges = Hashtbl.fold (fun (a, b) () acc -> (a, b) :: acc) edges [] |> List.sort compare;
+    flush;
+  }
+
+let predecessors t gid =
+  List.filter_map (fun (a, b) -> if b = gid then Some a else None) t.edges |> List.sort_uniq compare

@@ -1,0 +1,51 @@
+(** Memory-access dependence analysis between outlined groups — the
+    paper's future-work item "support for automatic parallelization of
+    independent kernels via analysis of their runtime memory access
+    patterns" (Case Study 4 discussion).
+
+    For each group the analysis computes:
+
+    - [live_in]: variables possibly read before being written (a
+      forward must-write dataflow over the group's internal CFG, so
+      loop counters initialised by a merged prologue are *privatised*
+      rather than serialising every loop on a shared temporary);
+    - [writes]: variables the group may write.
+
+    Channel I/O is modelled with pseudo-variables: [read_ch c] reads
+    [__in_ch<c>]; [write_ch c] reads and writes [__out_ch<c>] (the
+    outlined kernels flush whole channel blocks, so same-channel
+    writers must stay ordered).
+
+    Dependence edges between groups (in program order) are the minimal
+    set that keeps every shared-store access race-free when
+    independent groups execute in parallel:
+
+    - flow: a group with [v] live-in depends on the nearest preceding
+      writer of [v];
+    - anti: a group with [v] live-in blocks the next writer of [v];
+    - output: consecutive writers of [v] stay ordered when a later
+      group still reads [v].
+
+    A written variable that is never live-in to any later group is
+    dead at group boundaries; it is excluded from the flush set so
+    parallel groups never race on scratch scalars. *)
+
+type access = {
+  live_in : string list;  (** possibly read before written, in first-use order *)
+  writes : string list;  (** possibly written *)
+}
+
+val group_access : Ir.t -> Outline.group -> access
+
+type analysis = {
+  accesses : (int * access) list;  (** by gid, in program order *)
+  edges : (int * int) list;  (** (from gid, to gid), deduplicated *)
+  flush : (int * string list) list;
+      (** per gid: written variables some later group still reads
+          (always including arrays and channels) *)
+}
+
+val analyse : Ir.t -> Outline.group list -> analysis
+
+val predecessors : analysis -> int -> int list
+(** Direct dependence predecessors of a group, sorted. *)

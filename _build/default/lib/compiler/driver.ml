@@ -1,0 +1,185 @@
+module App_spec = Dssoc_apps.App_spec
+module Radar = Dssoc_dsp.Radar
+module Cbuf = Dssoc_dsp.Cbuf
+
+type conversion = {
+  spec : App_spec.t;
+  ir : Ir.t;
+  detection : Kernel_detect.result;
+  groups : Outline.group list;
+  substitutions : (string * Recognize.dft_info) list;
+  trace_ops : int;
+  reference_outputs : (int * float array) list;
+}
+
+let ( let* ) = Result.bind
+
+let convert ?(optimize = true) ?(parallelize = false) ~name ~source ~inputs () =
+  let* program = Parser.parse source in
+  let ir = Ir.lower program in
+  let* outcome =
+    match Interp.run ~trace:true ~inputs ir with
+    | o -> Ok o
+    | exception Interp.Runtime_error msg -> Error ("reference run failed: " ^ msg)
+  in
+  let trace = Option.get outcome.Interp.trace in
+  let detection = Kernel_detect.detect ~ir ~trace () in
+  let groups = Outline.outline ~ir ~detection ~trace in
+  let* generated = Dag_gen.generate ~optimize ~parallelize ~name ~ir ~groups ~trace ~inputs () in
+  Ok
+    {
+      spec = generated.Dag_gen.spec;
+      ir;
+      detection;
+      groups;
+      substitutions = generated.Dag_gen.substitutions;
+      trace_ops = trace.Interp.total_ops;
+      reference_outputs = outcome.Interp.outputs;
+    }
+
+let summary conv =
+  let buf = Buffer.create 256 in
+  let kernels = conv.detection.Kernel_detect.kernels in
+  let io = List.length (List.filter (fun k -> k.Kernel_detect.does_io) kernels) in
+  let dft =
+    List.length
+      (List.filter
+         (fun (n, _) -> String.length n >= 3 && String.sub n 0 3 = "DFT")
+         conv.substitutions)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "converted %S: %d blocks, %d dynamic statements\n"
+       conv.spec.App_spec.app_name (Ir.block_count conv.ir) conv.trace_ops);
+  Buffer.add_string buf
+    (Printf.sprintf "kernels detected: %d (%d file-I/O, %d substitutable DFT, %d other)\n"
+       (List.length kernels) io dft
+       (List.length kernels - io - dft));
+  Buffer.add_string buf (Printf.sprintf "DAG nodes: %d\n" (App_spec.task_count conv.spec));
+  List.iter
+    (fun (node, (info : Recognize.dft_info)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "substituted %s: %s-%d on [%s/%s] -> fft_lib.so + fft accelerator entry\n"
+           node
+           (if info.Recognize.inverse then "IDFT" else "DFT")
+           info.Recognize.n info.Recognize.in_re info.Recognize.in_im))
+    conv.substitutions;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Case Study 4's monolithic program                                   *)
+(* ------------------------------------------------------------------ *)
+
+let range_detection_n = 512
+let range_detection_echo_delay = 137
+
+let range_detection_source =
+  {|
+int main() {
+  int n = 512;
+  int i = 0;
+  int k = 0;
+  int t = 0;
+  float wave_re[512];
+  float wave_im[512];
+  float rx_re[512];
+  float rx_im[512];
+  float WF_re[512];
+  float WF_im[512];
+  float RX_re[512];
+  float RX_im[512];
+  float *corr_mag = malloc(4 * n);
+  float ang = 0.0;
+  float c = 0.0;
+  float s = 0.0;
+  float sr = 0.0;
+  float si = 0.0;
+  float pr = 0.0;
+  float pi = 0.0;
+  float mag = 0.0;
+  int best = 0;
+  float bestv = 0.0;
+
+  /* load the reference waveform from disk */
+  for (i = 0; i < n; i = i + 1) {
+    wave_re[i] = read_ch(0, 2 * i);
+    wave_im[i] = read_ch(0, 2 * i + 1);
+  }
+  /* load the received samples from disk */
+  for (i = 0; i < n; i = i + 1) {
+    rx_re[i] = read_ch(1, 2 * i);
+    rx_im[i] = read_ch(1, 2 * i + 1);
+  }
+  /* naive for-loop DFT of the reference waveform */
+  for (k = 0; k < n; k = k + 1) {
+    sr = 0.0;
+    si = 0.0;
+    for (t = 0; t < n; t = t + 1) {
+      ang = -6.28318530718 * k * t / n;
+      c = cos(ang);
+      s = sin(ang);
+      sr = sr + wave_re[t] * c - wave_im[t] * s;
+      si = si + wave_re[t] * s + wave_im[t] * c;
+    }
+    WF_re[k] = sr;
+    WF_im[k] = si;
+  }
+  /* naive for-loop DFT of the received signal */
+  for (k = 0; k < n; k = k + 1) {
+    sr = 0.0;
+    si = 0.0;
+    for (t = 0; t < n; t = t + 1) {
+      ang = -6.28318530718 * k * t / n;
+      c = cos(ang);
+      s = sin(ang);
+      sr = sr + rx_re[t] * c - rx_im[t] * s;
+      si = si + rx_re[t] * s + rx_im[t] * c;
+    }
+    RX_re[k] = sr;
+    RX_im[k] = si;
+  }
+  /* conjugate multiply and inverse DFT, tracking the correlation peak */
+  for (t = 0; t < n; t = t + 1) {
+    sr = 0.0;
+    si = 0.0;
+    for (k = 0; k < n; k = k + 1) {
+      pr = RX_re[k] * WF_re[k] + RX_im[k] * WF_im[k];
+      pi = RX_im[k] * WF_re[k] - RX_re[k] * WF_im[k];
+      ang = 6.28318530718 * k * t / n;
+      c = cos(ang);
+      s = sin(ang);
+      sr = sr + pr * c - pi * s;
+      si = si + pr * s + pi * c;
+    }
+    sr = sr / n;
+    si = si / n;
+    mag = sr * sr + si * si;
+    corr_mag[t] = mag;
+    if (mag > bestv) {
+      bestv = mag;
+      best = t;
+    }
+  }
+  /* dump the correlation profile back to disk */
+  for (t = 0; t < n; t = t + 1) {
+    write_ch(2, t, corr_mag[t]);
+  }
+  write_ch(3, 0, best);
+  write_ch(3, 1, bestv);
+  return 0;
+}
+|}
+
+let interleave buf =
+  let n = Cbuf.length buf in
+  Array.init (2 * n) (fun i ->
+      let re, im = Cbuf.get buf (i / 2) in
+      if i mod 2 = 0 then re else im)
+
+let range_detection_inputs () =
+  let n = range_detection_n in
+  let wave = Radar.lfm_chirp ~n ~bandwidth:0.4e6 ~sample_rate:1.0e6 in
+  let rx =
+    Radar.delayed_echo None ~waveform:wave ~total:n ~delay:range_detection_echo_delay
+      ~attenuation:0.7 ~noise_sigma:0.0
+  in
+  [ (0, interleave wave); (1, interleave rx) ]

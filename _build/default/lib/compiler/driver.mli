@@ -1,0 +1,49 @@
+(** End-to-end automatic application conversion (Fig. 5):
+
+    source text -> mini-C AST -> basic-block IR -> traced reference run
+    -> kernel detection -> outlining -> (optional) kernel recognition
+    and FFT substitution -> framework-ready {!Dssoc_apps.App_spec} with
+    registered kernels. *)
+
+type conversion = {
+  spec : Dssoc_apps.App_spec.t;
+  ir : Ir.t;
+  detection : Kernel_detect.result;
+  groups : Outline.group list;
+  substitutions : (string * Recognize.dft_info) list;
+  trace_ops : int;  (** dynamic statements executed by the traced run *)
+  reference_outputs : (int * float array) list;
+      (** output channels of the direct (monolithic) interpretation —
+          the gold data DAG executions must reproduce *)
+}
+
+val convert :
+  ?optimize:bool ->
+  ?parallelize:bool ->
+  name:string ->
+  source:string ->
+  inputs:(int * float array) list ->
+  unit ->
+  (conversion, string) result
+(** [optimize] (default true) enables hash-based kernel recognition
+    and FFT substitution; [parallelize] (default false) links nodes by
+    memory-dependence edges instead of a sequential chain (see
+    {!Dag_gen.generate}). *)
+
+val summary : conversion -> string
+(** Human-readable conversion report (kernel counts by kind,
+    substitutions) — what Case Study 4 narrates. *)
+
+(** {1 The monolithic range-detection program of Case Study 4} *)
+
+val range_detection_source : string
+(** Unlabeled C implementing range detection with for-loop DFT/IDFT
+    and channel I/O standing in for file I/O; n = 512 to match the
+    case study's transform size. *)
+
+val range_detection_n : int
+val range_detection_echo_delay : int
+
+val range_detection_inputs : unit -> (int * float array) list
+(** Channel 0: LFM reference waveform; channel 1: received signal with
+    the echo at {!range_detection_echo_delay}. *)

@@ -1,0 +1,246 @@
+type value = Vint of int | Vfloat of float
+
+type cell = Scalar of value ref | Farr of float array | Iarr of int array
+
+type env = (string, cell) Hashtbl.t
+
+type trace = { blocks : int array; ops_per_block : (int, int) Hashtbl.t; total_ops : int }
+
+type outcome = { env : env; outputs : (int * float array) list; trace : trace option }
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let to_float = function Vint i -> float_of_int i | Vfloat f -> f
+let to_int = function Vint i -> i | Vfloat f -> int_of_float f
+let truthy = function Vint 0 -> false | Vint _ -> true | Vfloat f -> f <> 0.0
+
+let arith op a b =
+  (* C-style promotion: float wins. *)
+  match (a, b) with
+  | Vint x, Vint y -> (
+    match op with
+    | Ast.Add -> Vint (x + y)
+    | Ast.Sub -> Vint (x - y)
+    | Ast.Mul -> Vint (x * y)
+    | Ast.Div -> if y = 0 then err "integer division by zero" else Vint (x / y)
+    | Ast.Mod -> if y = 0 then err "integer modulo by zero" else Vint (x mod y)
+    | _ -> assert false)
+  | _ ->
+    let x = to_float a and y = to_float b in
+    (match op with
+    | Ast.Add -> Vfloat (x +. y)
+    | Ast.Sub -> Vfloat (x -. y)
+    | Ast.Mul -> Vfloat (x *. y)
+    | Ast.Div -> Vfloat (x /. y)
+    | Ast.Mod -> Vfloat (Float.rem x y)
+    | _ -> assert false)
+
+let compare_op op a b =
+  let c =
+    match (a, b) with
+    | Vint x, Vint y -> compare x y
+    | _ -> compare (to_float a) (to_float b)
+  in
+  let r =
+    match op with
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0
+    | Ast.Eq -> c = 0
+    | Ast.Ne -> c <> 0
+    | _ -> assert false
+  in
+  Vint (if r then 1 else 0)
+
+type io = {
+  inputs : (int, float array) Hashtbl.t;
+  outputs : (int, float array) Hashtbl.t;
+}
+
+let output_capacity = 8192
+
+let out_channel_arr io c =
+  match Hashtbl.find_opt io.outputs c with
+  | Some a -> a
+  | None ->
+    let a = Array.make output_capacity 0.0 in
+    Hashtbl.replace io.outputs c a;
+    a
+
+let lookup env name =
+  match Hashtbl.find_opt env name with
+  | Some c -> c
+  | None -> err "unknown variable %S" name
+
+let rec eval env io e =
+  match e with
+  | Ast.Int_lit i -> Vint i
+  | Ast.Float_lit f -> Vfloat f
+  | Ast.Var name -> (
+    match lookup env name with
+    | Scalar r -> !r
+    | Farr _ | Iarr _ -> err "array %S used as a scalar" name)
+  | Ast.Index (name, ie) -> (
+    let i = to_int (eval env io ie) in
+    match lookup env name with
+    | Farr a ->
+      if i < 0 || i >= Array.length a then err "index %d out of bounds for %S" i name
+      else Vfloat a.(i)
+    | Iarr a ->
+      if i < 0 || i >= Array.length a then err "index %d out of bounds for %S" i name
+      else Vint a.(i)
+    | Scalar _ -> err "scalar %S indexed" name)
+  | Ast.Binop (Ast.And, a, b) ->
+    if truthy (eval env io a) then Vint (if truthy (eval env io b) then 1 else 0) else Vint 0
+  | Ast.Binop (Ast.Or, a, b) ->
+    if truthy (eval env io a) then Vint 1 else Vint (if truthy (eval env io b) then 1 else 0)
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op), a, b) ->
+    arith op (eval env io a) (eval env io b)
+  | Ast.Binop (op, a, b) -> compare_op op (eval env io a) (eval env io b)
+  | Ast.Unop (Ast.Neg, e) -> (
+    match eval env io e with Vint i -> Vint (-i) | Vfloat f -> Vfloat (-.f))
+  | Ast.Unop (Ast.Not, e) -> Vint (if truthy (eval env io e) then 0 else 1)
+  | Ast.Call (f, args) -> (
+    let vs = List.map (eval env io) args in
+    match (f, vs) with
+    | "sin", [ v ] -> Vfloat (sin (to_float v))
+    | "cos", [ v ] -> Vfloat (cos (to_float v))
+    | "sqrt", [ v ] -> Vfloat (sqrt (to_float v))
+    | "fabs", [ v ] -> Vfloat (Float.abs (to_float v))
+    | "floor", [ v ] -> Vfloat (Float.floor (to_float v))
+    | "read_ch", [ c; i ] -> (
+      let c = to_int c and i = to_int i in
+      match Hashtbl.find_opt io.inputs c with
+      | None -> err "read_ch: unknown input channel %d" c
+      | Some a ->
+        if i < 0 || i >= Array.length a then err "read_ch: index %d out of channel %d" i c
+        else Vfloat a.(i))
+    | "write_ch", [ c; i; v ] ->
+      let c = to_int c and i = to_int i in
+      let a = out_channel_arr io c in
+      if i < 0 || i >= Array.length a then err "write_ch: index %d out of channel %d" i c
+      else begin
+        a.(i) <- to_float v;
+        Vint 0
+      end
+    | _ -> err "bad intrinsic call %s/%d" f (List.length vs))
+
+let store_value env name index v io =
+  match index with
+  | None -> (
+    match lookup env name with
+    | Scalar r -> (
+      (* Preserve the declared type, C-style. *)
+      match !r with
+      | Vint _ -> r := Vint (to_int v)
+      | Vfloat _ -> r := Vfloat (to_float v))
+    | Farr _ | Iarr _ -> err "array %S assigned as a scalar" name)
+  | Some ie -> (
+    let i = to_int (eval env io ie) in
+    match lookup env name with
+    | Farr a ->
+      if i < 0 || i >= Array.length a then err "index %d out of bounds for %S" i name
+      else a.(i) <- to_float v
+    | Iarr a ->
+      if i < 0 || i >= Array.length a then err "index %d out of bounds for %S" i name
+      else a.(i) <- to_int v
+    | Scalar _ -> err "scalar %S indexed in assignment" name)
+
+let default_value = function Ast.Tint -> Vint 0 | Ast.Tfloat -> Vfloat 0.0
+
+let exec_instr env io (i : Ir.instr) =
+  match i with
+  | Ir.Decl { name; ty; init } ->
+    let v = match init with None -> default_value ty | Some e -> eval env io e in
+    let v = match ty with Ast.Tint -> Vint (to_int v) | Ast.Tfloat -> Vfloat (to_float v) in
+    Hashtbl.replace env name (Scalar (ref v))
+  | Ir.Decl_array { name; ty; size } ->
+    if size <= 0 then err "array %S has non-positive size" name;
+    Hashtbl.replace env name
+      (match ty with Ast.Tint -> Iarr (Array.make size 0) | Ast.Tfloat -> Farr (Array.make size 0.0))
+  | Ir.Decl_malloc { name; ty; count } ->
+    let bytes = to_int (eval env io count) in
+    if bytes <= 0 then err "malloc of %d bytes for %S" bytes name;
+    let n = bytes / 4 in
+    Hashtbl.replace env name
+      (match ty with Ast.Tint -> Iarr (Array.make n 0) | Ast.Tfloat -> Farr (Array.make n 0.0))
+  | Ir.Assign { name; index; value } -> store_value env name index (eval env io value) io
+  | Ir.Eval e -> ignore (eval env io e)
+
+let block_of (ir : Ir.t) bid =
+  if bid < 0 || bid >= Array.length ir.Ir.blocks then err "invalid block id %d" bid
+  else ir.Ir.blocks.(bid)
+
+let exec_block env io blk =
+  List.iter (exec_instr env io) blk.Ir.instrs;
+  match blk.Ir.term with
+  | Ir.Jump b -> Some b
+  | Ir.Return -> None
+  | Ir.Branch { cond; then_; else_ } ->
+    Some (if truthy (eval env io cond) then then_ else else_)
+
+let run ?(trace = true) ?(max_steps = 50_000_000) ~inputs (ir : Ir.t) =
+  let env : env = Hashtbl.create 64 in
+  let io = { inputs = Hashtbl.create 4; outputs = Hashtbl.create 4 } in
+  List.iter (fun (c, a) -> Hashtbl.replace io.inputs c (Array.copy a)) inputs;
+  let trace_blocks = if trace then Some (Buffer.create 4096) else None in
+  let ops_per_block = Hashtbl.create 32 in
+  let total_ops = ref 0 in
+  let steps = ref 0 in
+  let rec go bid =
+    incr steps;
+    if !steps > max_steps then err "interpreter exceeded %d block executions" max_steps;
+    let blk = block_of ir bid in
+    (match trace_blocks with
+    | Some buf ->
+      (* Block ids are stored as 3 bytes, plenty for mini-C programs. *)
+      Buffer.add_char buf (Char.chr (bid land 0xFF));
+      Buffer.add_char buf (Char.chr ((bid lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr ((bid lsr 16) land 0xFF));
+      let ops = List.length blk.Ir.instrs + 1 in
+      total_ops := !total_ops + ops;
+      Hashtbl.replace ops_per_block bid
+        (ops + Option.value ~default:0 (Hashtbl.find_opt ops_per_block bid))
+    | None -> ());
+    match exec_block env io blk with None -> () | Some next -> go next
+  in
+  go ir.Ir.entry;
+  let trace =
+    Option.map
+      (fun buf ->
+        let raw = Buffer.contents buf in
+        let n = String.length raw / 3 in
+        let blocks =
+          Array.init n (fun i ->
+              Char.code raw.[3 * i]
+              lor (Char.code raw.[(3 * i) + 1] lsl 8)
+              lor (Char.code raw.[(3 * i) + 2] lsl 16))
+        in
+        { blocks; ops_per_block; total_ops = !total_ops })
+      trace_blocks
+  in
+  let outputs =
+    Hashtbl.fold (fun c a acc -> (c, a) :: acc) io.outputs [] |> List.sort compare
+  in
+  { env; outputs; trace }
+
+let run_range ~env ~inputs ~outputs ~first ~last (ir : Ir.t) =
+  let io = { inputs = Hashtbl.create 4; outputs } in
+  List.iter (fun (c, a) -> Hashtbl.replace io.inputs c a) inputs;
+  let rec go bid =
+    if bid < first || bid > last then ()
+    else begin
+      let blk = block_of ir bid in
+      match exec_block env io blk with None -> () | Some next -> go next
+    end
+  in
+  go first
+
+let eval_const_int env e =
+  let io = { inputs = Hashtbl.create 1; outputs = Hashtbl.create 1 } in
+  match eval env io e with
+  | v -> Some (to_int v)
+  | exception Runtime_error _ -> None

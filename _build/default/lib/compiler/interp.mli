@@ -1,0 +1,63 @@
+(** IR interpreter with dynamic-trace instrumentation.
+
+    Plays the role of the instrumented tracing executable in the
+    TraceAtlas flow (Fig. 5): running a program produces its outputs
+    *and* a block-level execution trace that kernel detection analyses.
+
+    I/O: [read_ch c i] reads element [i] of input channel [c];
+    [write_ch c i v] writes element [i] of output channel [c].
+    Channels stand in for the original applications' file I/O. *)
+
+type value = Vint of int | Vfloat of float
+
+type cell =
+  | Scalar of value ref
+  | Farr of float array
+  | Iarr of int array
+
+type env = (string, cell) Hashtbl.t
+
+type trace = {
+  blocks : int array;  (** block id sequence, in execution order *)
+  ops_per_block : (int, int) Hashtbl.t;  (** total instructions executed per block *)
+  total_ops : int;
+}
+
+type outcome = {
+  env : env;  (** final variable state *)
+  outputs : (int * float array) list;  (** written output channels *)
+  trace : trace option;  (** present when tracing was enabled *)
+}
+
+exception Runtime_error of string
+
+val output_capacity : int
+(** Fixed element capacity of each output channel (8192). *)
+
+val run :
+  ?trace:bool ->
+  ?max_steps:int ->
+  inputs:(int * float array) list ->
+  Ir.t ->
+  outcome
+(** Interpret from the entry block until [Return].
+    @raise Runtime_error on type errors, unknown variables,
+    out-of-bounds accesses, or when [max_steps] (default 50 million
+    block executions) is exceeded. *)
+
+val run_range :
+  env:env ->
+  inputs:(int * float array) list ->
+  outputs:(int, float array) Hashtbl.t ->
+  first:int ->
+  last:int ->
+  Ir.t ->
+  unit
+(** Execute the single-entry region of blocks [first..last] starting
+    at [first], sharing the caller's environment and channel state;
+    returns when control leaves the range or the program returns.
+    This is how outlined kernels are invoked at emulation time. *)
+
+val eval_const_int : env -> Ast.expr -> int option
+(** Best-effort constant evaluation against the current environment —
+    the memory analysis uses it to size malloc blocks statically. *)

@@ -1,0 +1,153 @@
+type instr =
+  | Decl of { name : string; ty : Ast.ty; init : Ast.expr option }
+  | Decl_array of { name : string; ty : Ast.ty; size : int }
+  | Decl_malloc of { name : string; ty : Ast.ty; count : Ast.expr }
+  | Assign of { name : string; index : Ast.expr option; value : Ast.expr }
+  | Eval of Ast.expr
+
+type terminator = Jump of int | Branch of { cond : Ast.expr; then_ : int; else_ : int } | Return
+
+type block = { bid : int; instrs : instr list; term : terminator }
+
+type t = { blocks : block array; entry : int }
+
+(* Lowering allocates block ids strictly in execution order: a join
+   (or loop exit) block is only numbered after the bodies it follows,
+   so the bid sequence is monotone along forward control flow and the
+   only backward transfers are loop back-edges into the block range of
+   their own loop.  The outliner relies on this to cut the program
+   into contiguous single-entry regions. *)
+type block_rec = { rbid : int; mutable rinstrs : instr list (* reversed *); mutable rterm : terminator option }
+
+type builder = { mutable recs : block_rec list; mutable next_bid : int; mutable cur : block_rec }
+
+let new_rec b =
+  let r = { rbid = b.next_bid; rinstrs = []; rterm = None } in
+  b.next_bid <- b.next_bid + 1;
+  b.recs <- r :: b.recs;
+  r
+
+let instr_of_stmt = function
+  | Ast.Decl { name; ty; init } -> Decl { name; ty; init }
+  | Ast.Decl_array { name; ty; size } -> Decl_array { name; ty; size }
+  | Ast.Decl_malloc { name; ty; count } -> Decl_malloc { name; ty; count }
+  | Ast.Assign { name; index; value } -> Assign { name; index; value }
+  | Ast.Expr e -> Eval e
+  | Ast.If _ | Ast.While _ | Ast.For _ | Ast.Return _ ->
+    invalid_arg "Ir.instr_of_stmt: not a simple statement"
+
+let lower program =
+  let b =
+    let first = { rbid = 0; rinstrs = []; rterm = None } in
+    { recs = [ first ]; next_bid = 1; cur = first }
+  in
+  let rec lower_stmts stmts = List.iter lower_stmt stmts
+  and lower_stmt = function
+    | (Ast.Decl _ | Ast.Decl_array _ | Ast.Decl_malloc _ | Ast.Assign _ | Ast.Expr _) as s ->
+      b.cur.rinstrs <- instr_of_stmt s :: b.cur.rinstrs
+    | Ast.Return _ ->
+      (* Monolithic main: return ends the program; anything after is
+         unreachable but still lowered into a fresh block. *)
+      b.cur.rterm <- Some Return;
+      b.cur <- new_rec b
+    | Ast.If (cond, then_stmts, else_stmts) ->
+      let branch_src = b.cur in
+      let then_rec = new_rec b in
+      b.cur <- then_rec;
+      lower_stmts then_stmts;
+      let then_end = b.cur in
+      if else_stmts = [] then begin
+        let join = new_rec b in
+        branch_src.rterm <- Some (Branch { cond; then_ = then_rec.rbid; else_ = join.rbid });
+        then_end.rterm <- Some (Jump join.rbid);
+        b.cur <- join
+      end
+      else begin
+        let else_rec = new_rec b in
+        b.cur <- else_rec;
+        lower_stmts else_stmts;
+        let else_end = b.cur in
+        let join = new_rec b in
+        branch_src.rterm <- Some (Branch { cond; then_ = then_rec.rbid; else_ = else_rec.rbid });
+        then_end.rterm <- Some (Jump join.rbid);
+        else_end.rterm <- Some (Jump join.rbid);
+        b.cur <- join
+      end
+    | Ast.While (cond, body) -> lower_loop cond body None
+    | Ast.For { init; cond; step; body } ->
+      lower_stmt init;
+      lower_loop cond body (Some step)
+  and lower_loop cond body step =
+    let header = new_rec b in
+    b.cur.rterm <- Some (Jump header.rbid);
+    let body_rec = new_rec b in
+    b.cur <- body_rec;
+    lower_stmts body;
+    (match step with None -> () | Some s -> lower_stmt s);
+    b.cur.rterm <- Some (Jump header.rbid);
+    let exit_rec = new_rec b in
+    header.rterm <- Some (Branch { cond; then_ = body_rec.rbid; else_ = exit_rec.rbid });
+    b.cur <- exit_rec
+  in
+  lower_stmts program;
+  if b.cur.rterm = None then b.cur.rterm <- Some Return;
+  let blocks =
+    List.rev_map
+      (fun r ->
+        { bid = r.rbid; instrs = List.rev r.rinstrs; term = Option.value ~default:Return r.rterm })
+      b.recs
+    |> List.sort (fun x y -> compare x.bid y.bid)
+    |> Array.of_list
+  in
+  { blocks; entry = 0 }
+
+let block_count t = Array.length t.blocks
+
+let instr_reads = function
+  | Decl { init = Some e; _ } -> Ast.expr_vars e
+  | Decl { init = None; _ } | Decl_array _ -> []
+  | Decl_malloc { count; _ } -> Ast.expr_vars count
+  | Assign { index; value; _ } ->
+    let idx_vars = match index with None -> [] | Some e -> Ast.expr_vars e in
+    idx_vars @ Ast.expr_vars value
+  | Eval e -> Ast.expr_vars e
+
+let instr_writes = function
+  | Decl { name; _ } | Decl_array { name; _ } | Decl_malloc { name; _ } | Assign { name; _ } ->
+    Some name
+  | Eval _ -> None
+
+let term_reads = function
+  | Jump _ | Return -> []
+  | Branch { cond; _ } -> Ast.expr_vars cond
+
+let successors block =
+  match block.term with
+  | Jump b -> [ b ]
+  | Branch { then_; else_; _ } -> [ then_; else_ ]
+  | Return -> []
+
+let pp fmt t =
+  Array.iter
+    (fun blk ->
+      Format.fprintf fmt "B%d:@." blk.bid;
+      List.iter
+        (fun i ->
+          match i with
+          | Decl { name; init = None; _ } -> Format.fprintf fmt "  decl %s@." name
+          | Decl { name; init = Some e; _ } -> Format.fprintf fmt "  decl %s = %a@." name Ast.pp_expr e
+          | Decl_array { name; size; _ } -> Format.fprintf fmt "  decl %s[%d]@." name size
+          | Decl_malloc { name; count; _ } ->
+            Format.fprintf fmt "  %s = malloc(%a)@." name Ast.pp_expr count
+          | Assign { name; index = None; value } ->
+            Format.fprintf fmt "  %s = %a@." name Ast.pp_expr value
+          | Assign { name; index = Some i; value } ->
+            Format.fprintf fmt "  %s[%a] = %a@." name Ast.pp_expr i Ast.pp_expr value
+          | Eval e -> Format.fprintf fmt "  %a@." Ast.pp_expr e)
+        blk.instrs;
+      (match blk.term with
+      | Jump bid -> Format.fprintf fmt "  jmp B%d@." bid
+      | Branch { cond; then_; else_ } ->
+        Format.fprintf fmt "  br %a ? B%d : B%d@." Ast.pp_expr cond then_ else_
+      | Return -> Format.fprintf fmt "  ret@."))
+    t.blocks

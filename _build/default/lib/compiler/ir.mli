@@ -1,0 +1,42 @@
+(** Basic-block intermediate representation.
+
+    The lowering mirrors what the paper's flow obtains from Clang:
+    structured statements become a control-flow graph of basic blocks,
+    each holding straight-line instructions and one terminator.  Block
+    ids are assigned in source order, so a structured (goto-free)
+    program executes its blocks in non-decreasing id ranges — the
+    property the outliner relies on to extract contiguous single-entry
+    regions. *)
+
+type instr =
+  | Decl of { name : string; ty : Ast.ty; init : Ast.expr option }
+  | Decl_array of { name : string; ty : Ast.ty; size : int }
+  | Decl_malloc of { name : string; ty : Ast.ty; count : Ast.expr }
+  | Assign of { name : string; index : Ast.expr option; value : Ast.expr }
+  | Eval of Ast.expr
+
+type terminator =
+  | Jump of int
+  | Branch of { cond : Ast.expr; then_ : int; else_ : int }
+  | Return
+
+type block = { bid : int; instrs : instr list; term : terminator }
+
+type t = { blocks : block array; entry : int }
+
+val lower : Ast.program -> t
+(** Lower a program; block 0 is the entry and the last block returns. *)
+
+val block_count : t -> int
+
+val instr_reads : instr -> string list
+(** Variables read by an instruction (without duplicates). *)
+
+val instr_writes : instr -> string option
+(** The variable written (declared or assigned), if any. *)
+
+val term_reads : terminator -> string list
+
+val successors : block -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+type kernel = {
+  kid : int;
+  first_block : int;
+  last_block : int;
+  exec_count : int;
+  ops : int;
+  does_io : bool;
+}
+
+type result = { kernels : kernel list; hot_blocks : int list }
+
+let block_does_io (blk : Ir.block) =
+  let rec expr_io = function
+    | Ast.Call (("read_ch" | "write_ch"), _) -> true
+    | Ast.Call (_, args) -> List.exists expr_io args
+    | Ast.Binop (_, a, b) -> expr_io a || expr_io b
+    | Ast.Unop (_, e) -> expr_io e
+    | Ast.Index (_, e) -> expr_io e
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> false
+  in
+  let instr_io = function
+    | Ir.Decl { init = Some e; _ } -> expr_io e
+    | Ir.Decl { init = None; _ } | Ir.Decl_array _ -> false
+    | Ir.Decl_malloc { count; _ } -> expr_io count
+    | Ir.Assign { index; value; _ } ->
+      expr_io value || (match index with None -> false | Some e -> expr_io e)
+    | Ir.Eval e -> expr_io e
+  in
+  List.exists instr_io blk.Ir.instrs
+
+let detect ?(hot_threshold = 64) ?(edge_threshold = 16) ~(ir : Ir.t) ~(trace : Interp.trace) () =
+  let n = Ir.block_count ir in
+  let exec = Array.make n 0 in
+  Array.iter (fun bid -> if bid < n then exec.(bid) <- exec.(bid) + 1) trace.Interp.blocks;
+  let hot = Array.map (fun c -> c >= hot_threshold) exec in
+  (* Transition counts between consecutive trace entries. *)
+  let edges = Hashtbl.create 64 in
+  Array.iteri
+    (fun i bid ->
+      if i > 0 then begin
+        let prev = trace.Interp.blocks.(i - 1) in
+        let key = (min prev bid, max prev bid) in
+        Hashtbl.replace edges key (1 + Option.value ~default:0 (Hashtbl.find_opt edges key))
+      end)
+    trace.Interp.blocks;
+  (* Union-find over hot blocks connected by strong transitions. *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  Hashtbl.iter
+    (fun (a, b) count ->
+      if count >= edge_threshold && a < n && b < n && hot.(a) && hot.(b) then union a b)
+    edges;
+  let components = Hashtbl.create 8 in
+  for bid = 0 to n - 1 do
+    if hot.(bid) then begin
+      let root = find bid in
+      let members = Option.value ~default:[] (Hashtbl.find_opt components root) in
+      Hashtbl.replace components root (bid :: members)
+    end
+  done;
+  let kernels =
+    Hashtbl.fold
+      (fun _root members acc ->
+        let members = List.sort compare members in
+        let first_block = List.hd members and last_block = List.hd (List.rev members) in
+        let exec_count = List.fold_left (fun m b -> max m exec.(b)) 0 members in
+        let ops =
+          (* Attribute every dynamic op in the spanned range, including
+             cool blocks sandwiched inside a loop body. *)
+          let total = ref 0 in
+          for b = first_block to last_block do
+            total := !total + Option.value ~default:0 (Hashtbl.find_opt trace.Interp.ops_per_block b)
+          done;
+          !total
+        in
+        let does_io =
+          List.exists (fun b -> block_does_io ir.Ir.blocks.(b)) members
+        in
+        { kid = 0; first_block; last_block; exec_count; ops; does_io } :: acc)
+      components []
+    |> List.sort (fun a b -> compare a.first_block b.first_block)
+  in
+  (* Merge kernels whose block ranges overlap (nested loops detected as
+     separate components inside the same region). *)
+  let merged =
+    List.fold_left
+      (fun acc k ->
+        match acc with
+        | prev :: rest when k.first_block <= prev.last_block ->
+          {
+            prev with
+            last_block = max prev.last_block k.last_block;
+            exec_count = max prev.exec_count k.exec_count;
+            ops = prev.ops + (if k.last_block > prev.last_block then k.ops else 0);
+            does_io = prev.does_io || k.does_io;
+          }
+          :: rest
+        | _ -> k :: acc)
+      [] kernels
+    |> List.rev
+    |> List.mapi (fun i k -> { k with kid = i })
+  in
+  let hot_blocks =
+    List.concat_map (fun i -> if hot.(i) then [ i ] else []) (List.init n (fun i -> i))
+  in
+  { kernels = merged; hot_blocks }
+
+let pp_result fmt r =
+  Format.fprintf fmt "%d kernel(s):@." (List.length r.kernels);
+  List.iter
+    (fun k ->
+      Format.fprintf fmt "  K%d: blocks %d-%d, hottest %d execs, %d ops%s@." k.kid k.first_block
+        k.last_block k.exec_count k.ops
+        (if k.does_io then " [io]" else ""))
+    r.kernels

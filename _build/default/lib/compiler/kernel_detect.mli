@@ -1,0 +1,43 @@
+(** Trace-based kernel detection (the TraceAtlas stage of Fig. 5).
+
+    A *kernel* is a set of highly correlated basic blocks that execute
+    frequently in the traced run — "hot" regions, typically loops.
+    Detection works purely on the dynamic trace:
+
+    + count executions per block and transitions between consecutive
+      trace entries;
+    + blocks whose execution count reaches [hot_threshold] are hot;
+    + hot blocks joined by strong transitions (count >=
+      [edge_threshold]) cluster into connected components;
+    + each component becomes one kernel, reported as the contiguous
+      block-id range it spans (structured lowering guarantees loop
+      regions are contiguous). *)
+
+type kernel = {
+  kid : int;
+  first_block : int;
+  last_block : int;  (** inclusive *)
+  exec_count : int;  (** executions of the hottest member block *)
+  ops : int;  (** total dynamic instructions attributed to the kernel *)
+  does_io : bool;  (** contains read_ch / write_ch calls *)
+}
+
+type result = {
+  kernels : kernel list;  (** sorted by first_block *)
+  hot_blocks : int list;
+}
+
+val detect :
+  ?hot_threshold:int ->
+  ?edge_threshold:int ->
+  ir:Ir.t ->
+  trace:Interp.trace ->
+  unit ->
+  result
+(** Defaults: [hot_threshold] 64, [edge_threshold] 16. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val block_does_io : Ir.block -> bool
+(** Whether the block calls [read_ch] or [write_ch] anywhere (shared
+    with the outliner, which tags I/O groups for the cost model). *)

@@ -1,0 +1,131 @@
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+let keywords = [ "int"; "float"; "if"; "else"; "for"; "while"; "return"; "malloc" ]
+
+let token_to_string = function
+  | INT_LIT i -> string_of_int i
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and bol = ref 0 in
+  let out = ref [] in
+  let error msg =
+    Error (Printf.sprintf "lexical error at line %d, column %d: %s" !line (!pos - !bol + 1) msg)
+  in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  let advance () =
+    if !pos < n then begin
+      if src.[!pos] = '\n' then begin
+        incr line;
+        bol := !pos + 1
+      end;
+      incr pos
+    end
+  in
+  let emit tok col = out := { tok; line = !line; col } :: !out in
+  let rec loop () =
+    if !pos >= n then Ok ()
+    else begin
+      let c = peek 0 in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
+        advance ();
+        loop ()
+      end
+      else if c = '/' && peek 1 = '/' then begin
+        while !pos < n && peek 0 <> '\n' do advance () done;
+        loop ()
+      end
+      else if c = '/' && peek 1 = '*' then begin
+        advance ();
+        advance ();
+        let rec skip () =
+          if !pos >= n then error "unterminated comment"
+          else if peek 0 = '*' && peek 1 = '/' then begin
+            advance ();
+            advance ();
+            Ok ()
+          end
+          else begin
+            advance ();
+            skip ()
+          end
+        in
+        match skip () with Ok () -> loop () | Error _ as e -> e
+      end
+      else begin
+        let col = !pos - !bol + 1 in
+        if is_ident_start c then begin
+          let start = !pos in
+          while !pos < n && is_ident_char (peek 0) do advance () done;
+          let word = String.sub src start (!pos - start) in
+          emit (if List.mem word keywords then KW word else IDENT word) col;
+          loop ()
+        end
+        else if is_digit c || (c = '.' && is_digit (peek 1)) then begin
+          let start = !pos in
+          while is_digit (peek 0) do advance () done;
+          let is_float = ref false in
+          if peek 0 = '.' then begin
+            is_float := true;
+            advance ();
+            while is_digit (peek 0) do advance () done
+          end;
+          if peek 0 = 'e' || peek 0 = 'E' then begin
+            is_float := true;
+            advance ();
+            if peek 0 = '+' || peek 0 = '-' then advance ();
+            while is_digit (peek 0) do advance () done
+          end;
+          let text = String.sub src start (!pos - start) in
+          if !is_float then begin
+            emit (FLOAT_LIT (float_of_string text)) col;
+            loop ()
+          end
+          else begin
+            match int_of_string_opt text with
+            | Some i ->
+              emit (INT_LIT i) col;
+              loop ()
+            | None -> error (Printf.sprintf "bad integer literal %S" text)
+          end
+        end
+        else begin
+          let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+          if List.mem two [ "<="; ">="; "=="; "!="; "&&"; "||" ] then begin
+            advance ();
+            advance ();
+            emit (PUNCT two) col;
+            loop ()
+          end
+          else if String.contains "+-*/%<>=!(){}[];,." c then begin
+            advance ();
+            emit (PUNCT (String.make 1 c)) col;
+            loop ()
+          end
+          else error (Printf.sprintf "unexpected character %C" c)
+        end
+      end
+    end
+  in
+  match loop () with
+  | Ok () ->
+    out := { tok = EOF; line = !line; col = 1 } :: !out;
+    Ok (List.rev !out)
+  | Error _ as e -> e

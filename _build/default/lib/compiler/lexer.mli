@@ -1,0 +1,17 @@
+(** Mini-C lexer. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string  (** int float if else for while return malloc *)
+  | PUNCT of string  (** operators and delimiters, e.g. "+" "<=" "(" "]" ";" *)
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+val tokenize : string -> (located list, string) result
+(** Full-input tokenisation; C ([/* */]) and C++ ([//]) comments are
+    skipped.  Errors carry line/column context. *)
+
+val token_to_string : token -> string

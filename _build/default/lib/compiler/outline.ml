@@ -1,0 +1,118 @@
+type kind = Kernel of Kernel_detect.kernel | Cold
+
+type group = {
+  gid : int;
+  kind : kind;
+  first_block : int;
+  last_block : int;
+  vars : string list;
+  ops : int;
+  does_io : bool;
+}
+
+let range_vars (ir : Ir.t) first last =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  for b = first to last do
+    let blk = ir.Ir.blocks.(b) in
+    List.iter
+      (fun i ->
+        List.iter add (Ir.instr_reads i);
+        Option.iter add (Ir.instr_writes i))
+      blk.Ir.instrs;
+    List.iter add (Ir.term_reads blk.Ir.term)
+  done;
+  List.rev !out
+
+let range_ops (trace : Interp.trace) first last =
+  let total = ref 0 in
+  for b = first to last do
+    total := !total + Option.value ~default:0 (Hashtbl.find_opt trace.Interp.ops_per_block b)
+  done;
+  !total
+
+let range_io (ir : Ir.t) first last =
+  let io = ref false in
+  for b = first to last do
+    if Kernel_detect.block_does_io ir.Ir.blocks.(b) then io := true
+  done;
+  !io
+
+let range_has_instrs (ir : Ir.t) first last =
+  let has = ref false in
+  for b = first to last do
+    if ir.Ir.blocks.(b).Ir.instrs <> [] then has := true
+  done;
+  !has
+
+let outline ~(ir : Ir.t) ~(detection : Kernel_detect.result) ~trace =
+  let n = Ir.block_count ir in
+  let kernels = detection.Kernel_detect.kernels in
+  let groups = ref [] in
+  let next_gid = ref 0 in
+  let emit kind first last =
+    if first <= last && (match kind with Kernel _ -> true | Cold -> range_has_instrs ir first last)
+    then begin
+      let g =
+        {
+          gid = !next_gid;
+          kind;
+          first_block = first;
+          last_block = last;
+          vars = range_vars ir first last;
+          ops = range_ops trace first last;
+          does_io = range_io ir first last;
+        }
+      in
+      incr next_gid;
+      groups := g :: !groups
+    end
+  in
+  let rec walk bid remaining_kernels =
+    if bid < n then begin
+      match remaining_kernels with
+      | k :: rest when k.Kernel_detect.first_block = bid ->
+        emit (Kernel k) k.Kernel_detect.first_block k.Kernel_detect.last_block;
+        walk (k.Kernel_detect.last_block + 1) rest
+      | k :: _ ->
+        emit Cold bid (k.Kernel_detect.first_block - 1);
+        walk k.Kernel_detect.first_block remaining_kernels
+      | [] -> emit Cold bid (n - 1)
+    end
+  in
+  walk 0 kernels;
+  List.rev !groups
+
+let merge_prologues ?(max_ops = 8) ~(ir : Ir.t) ~trace groups =
+  let rebuild kind first last =
+    {
+      gid = 0;
+      kind;
+      first_block = first;
+      last_block = last;
+      vars = range_vars ir first last;
+      ops = range_ops trace first last;
+      does_io = range_io ir first last;
+    }
+  in
+  let rec go = function
+    | ({ kind = Cold; _ } as cold) :: ({ kind = Kernel k; _ } as kern) :: rest
+      when cold.ops <= max_ops && cold.last_block + 1 = kern.first_block ->
+      rebuild (Kernel k) cold.first_block kern.last_block :: go rest
+    | g :: rest -> g :: go rest
+    | [] -> []
+  in
+  List.mapi (fun i g -> { g with gid = i }) (go groups)
+
+let pp_group fmt g =
+  Format.fprintf fmt "G%d %s blocks %d-%d ops %d%s vars [%s]" g.gid
+    (match g.kind with Kernel k -> Printf.sprintf "kernel(K%d)" k.Kernel_detect.kid | Cold -> "cold")
+    g.first_block g.last_block g.ops
+    (if g.does_io then " io" else "")
+    (String.concat "; " g.vars)

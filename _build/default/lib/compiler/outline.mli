@@ -1,0 +1,36 @@
+(** Code outlining: the LLVM-CodeExtractor stage of the toolchain.
+
+    Partitions the program's block-id space into alternating cold /
+    kernel groups.  Thanks to the id-ordered lowering, each group is a
+    contiguous, single-entry block range that control enters at its
+    first block and leaves past its last block, so executing the range
+    with {!Interp.run_range} is exactly one outlined function call —
+    the "sequence of function calls" the paper's in-house tool
+    produces. *)
+
+type kind = Kernel of Kernel_detect.kernel | Cold
+
+type group = {
+  gid : int;
+  kind : kind;
+  first_block : int;
+  last_block : int;  (** inclusive *)
+  vars : string list;  (** variables read or written, in block order *)
+  ops : int;  (** dynamic instruction count from the trace *)
+  does_io : bool;
+}
+
+val outline : ir:Ir.t -> detection:Kernel_detect.result -> trace:Interp.trace -> group list
+(** Groups in execution (block-id) order, covering all blocks.  Cold
+    groups that contain no instructions at all are dropped (pure
+    control-flow glue folds into the neighbouring group's range). *)
+
+val merge_prologues : ?max_ops:int -> ir:Ir.t -> trace:Interp.trace -> group list -> group list
+(** Fold each tiny cold group (at most [max_ops] dynamic instructions,
+    default 8) that immediately precedes a kernel into that kernel —
+    typically the loop-counter initialisation the lowering left in the
+    preceding block.  After merging, a kernel writes its induction
+    variables before reading them, which is what lets the dependence
+    analysis privatise them and extract kernel-level parallelism. *)
+
+val pp_group : Format.formatter -> group -> unit

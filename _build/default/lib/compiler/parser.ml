@@ -1,0 +1,353 @@
+open Lexer
+
+type state = { mutable toks : located list }
+
+exception Parse_failure of string
+
+let fail l msg = raise (Parse_failure (Printf.sprintf "parse error at line %d, column %d: %s" l.line l.col msg))
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_punct st p =
+  let t = peek st in
+  match t.tok with
+  | PUNCT q when q = p -> advance st
+  | _ -> fail t (Printf.sprintf "expected %S, got %S" p (token_to_string t.tok))
+
+let expect_kw st kw =
+  let t = peek st in
+  match t.tok with
+  | KW q when q = kw -> advance st
+  | _ -> fail t (Printf.sprintf "expected %S, got %S" kw (token_to_string t.tok))
+
+let expect_ident st =
+  let t = peek st in
+  match t.tok with
+  | IDENT name ->
+    advance st;
+    name
+  | _ -> fail t (Printf.sprintf "expected identifier, got %S" (token_to_string t.tok))
+
+let is_punct st p = match (peek st).tok with PUNCT q -> q = p | _ -> false
+let is_kw st k = match (peek st).tok with KW q -> q = k | _ -> false
+
+(* ---------------- expressions (precedence climbing) ---------------- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while is_punct st "||" do
+    advance st;
+    let rhs = parse_and st in
+    lhs := Ast.Binop (Ast.Or, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while is_punct st "&&" do
+    advance st;
+    let rhs = parse_cmp st in
+    lhs := Ast.Binop (Ast.And, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (peek st).tok with
+    | PUNCT "<" -> Some Ast.Lt
+    | PUNCT "<=" -> Some Ast.Le
+    | PUNCT ">" -> Some Ast.Gt
+    | PUNCT ">=" -> Some Ast.Ge
+    | PUNCT "==" -> Some Ast.Eq
+    | PUNCT "!=" -> Some Ast.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    let rhs = parse_add st in
+    Ast.Binop (op, lhs, rhs)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec loop () =
+    match (peek st).tok with
+    | PUNCT "+" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Add, !lhs, parse_mul st);
+      loop ()
+    | PUNCT "-" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Sub, !lhs, parse_mul st);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    match (peek st).tok with
+    | PUNCT "*" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Mul, !lhs, parse_unary st);
+      loop ()
+    | PUNCT "/" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Div, !lhs, parse_unary st);
+      loop ()
+    | PUNCT "%" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Mod, !lhs, parse_unary st);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  match (peek st).tok with
+  | PUNCT "-" ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | PUNCT "!" ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.tok with
+  | INT_LIT i ->
+    advance st;
+    Ast.Int_lit i
+  | FLOAT_LIT f ->
+    advance st;
+    Ast.Float_lit f
+  | PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | IDENT name ->
+    advance st;
+    if is_punct st "(" then begin
+      advance st;
+      let args = ref [] in
+      if not (is_punct st ")") then begin
+        args := [ parse_expr st ];
+        while is_punct st "," do
+          advance st;
+          args := parse_expr st :: !args
+        done
+      end;
+      expect_punct st ")";
+      if not (List.mem name Ast.intrinsics) then
+        fail t (Printf.sprintf "unknown function %S (user functions are not supported)" name);
+      Ast.Call (name, List.rev !args)
+    end
+    else if is_punct st "[" then begin
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      Ast.Index (name, idx)
+    end
+    else Ast.Var name
+  | _ -> fail t (Printf.sprintf "unexpected token %S" (token_to_string t.tok))
+
+(* ---------------- statements ---------------- *)
+
+let parse_ty st =
+  if is_kw st "int" then begin
+    advance st;
+    Ast.Tint
+  end
+  else begin
+    expect_kw st "float";
+    Ast.Tfloat
+  end
+
+let rec parse_stmt st =
+  let t = peek st in
+  match t.tok with
+  | KW ("int" | "float") -> parse_decl st
+  | KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block st in
+    let else_ =
+      if is_kw st "else" then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    Ast.While (cond, parse_block st)
+  | KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = parse_simple st in
+    expect_punct st ";";
+    let cond = parse_expr st in
+    expect_punct st ";";
+    let step = parse_simple st in
+    expect_punct st ")";
+    Ast.For { init; cond; step; body = parse_block st }
+  | KW "return" ->
+    advance st;
+    if is_punct st ";" then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Ast.Return (Some e)
+    end
+  | IDENT _ ->
+    let s = parse_simple st in
+    expect_punct st ";";
+    s
+  | _ -> fail t (Printf.sprintf "unexpected token %S" (token_to_string t.tok))
+
+(* Declaration, assignment or expression statement, without the
+   trailing semicolon (shared by [for] headers and plain statements). *)
+and parse_simple st =
+  let t = peek st in
+  match t.tok with
+  | KW ("int" | "float") -> parse_decl_body st
+  | IDENT name ->
+    advance st;
+    if is_punct st "[" then begin
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      expect_punct st "=";
+      let v = parse_expr st in
+      Ast.Assign { name; index = Some idx; value = v }
+    end
+    else if is_punct st "=" then begin
+      advance st;
+      let v = parse_expr st in
+      Ast.Assign { name; index = None; value = v }
+    end
+    else if is_punct st "(" then begin
+      (* call statement: rewind is awkward, reparse as call *)
+      advance st;
+      let args = ref [] in
+      if not (is_punct st ")") then begin
+        args := [ parse_expr st ];
+        while is_punct st "," do
+          advance st;
+          args := parse_expr st :: !args
+        done
+      end;
+      expect_punct st ")";
+      if not (List.mem name Ast.intrinsics) then
+        fail t (Printf.sprintf "unknown function %S" name);
+      Ast.Expr (Ast.Call (name, List.rev !args))
+    end
+    else fail t "expected assignment or call"
+  | _ -> fail t (Printf.sprintf "unexpected token %S" (token_to_string t.tok))
+
+and parse_decl st =
+  let d = parse_decl_body st in
+  expect_punct st ";";
+  d
+
+and parse_decl_body st =
+  let ty = parse_ty st in
+  if is_punct st "*" then begin
+    advance st;
+    let name = expect_ident st in
+    expect_punct st "=";
+    expect_kw st "malloc";
+    expect_punct st "(";
+    let count = parse_expr st in
+    expect_punct st ")";
+    Ast.Decl_malloc { name; ty; count }
+  end
+  else begin
+    let name = expect_ident st in
+    if is_punct st "[" then begin
+      advance st;
+      let t = peek st in
+      match t.tok with
+      | INT_LIT size ->
+        advance st;
+        expect_punct st "]";
+        Ast.Decl_array { name; ty; size }
+      | _ -> fail t "array sizes must be integer literals"
+    end
+    else if is_punct st "=" then begin
+      advance st;
+      Ast.Decl { name; ty; init = Some (parse_expr st) }
+    end
+    else Ast.Decl { name; ty; init = None }
+  end
+
+and parse_block st =
+  if is_punct st "{" then begin
+    advance st;
+    let stmts = ref [] in
+    while not (is_punct st "}") do
+      stmts := parse_stmt st :: !stmts
+    done;
+    advance st;
+    List.rev !stmts
+  end
+  else [ parse_stmt st ]
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error msg -> Error msg
+  | Ok toks -> (
+    let st = { toks } in
+    try
+      (* Optional `int main() {` wrapper. *)
+      let wrapped =
+        match st.toks with
+        | { tok = KW "int"; _ } :: { tok = IDENT "main"; _ } :: { tok = PUNCT "("; _ }
+          :: { tok = PUNCT ")"; _ } :: { tok = PUNCT "{"; _ } :: rest ->
+          st.toks <- rest;
+          true
+        | _ -> false
+      in
+      let stmts = ref [] in
+      let at_end () =
+        match (peek st).tok with
+        | EOF -> true
+        | PUNCT "}" when wrapped -> true
+        | _ -> false
+      in
+      while not (at_end ()) do
+        stmts := parse_stmt st :: !stmts
+      done;
+      if wrapped then begin
+        expect_punct st "}";
+        match (peek st).tok with
+        | EOF -> ()
+        | _ -> fail (peek st) "trailing content after main"
+      end;
+      Ok (List.rev !stmts)
+    with Parse_failure msg -> Error msg)
+
+let parse_exn src =
+  match parse src with
+  | Ok p -> p
+  | Error msg -> failwith msg

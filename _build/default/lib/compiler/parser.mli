@@ -1,0 +1,10 @@
+(** Recursive-descent parser for mini-C.
+
+    Accepts either a bare statement sequence or a monolithic
+    [int main() { ... }] wrapper (the form the paper's toolchain
+    consumes).  All errors are located. *)
+
+val parse : string -> (Ast.program, string) result
+
+val parse_exn : string -> Ast.program
+(** @raise Failure with the parse error. *)

@@ -1,0 +1,259 @@
+type dft_info = {
+  n : int;
+  in_re : string;
+  in_im : string;
+  out_re : string;
+  out_im : string;
+  inverse : bool;
+  scaled : bool;
+}
+
+type classification = Pure_dft of dft_info | Io_kernel | Opaque
+
+(* ------------------------------------------------------------------ *)
+(* Normalized digest                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let digest ~(ir : Ir.t) ~(group : Outline.group) =
+  let rename = Hashtbl.create 16 in
+  let fresh = ref 0 in
+  let name v =
+    match Hashtbl.find_opt rename v with
+    | Some r -> r
+    | None ->
+      let r = Printf.sprintf "v%d" !fresh in
+      incr fresh;
+      Hashtbl.replace rename v r;
+      r
+  in
+  let buf = Buffer.create 256 in
+  let rec expr = function
+    | Ast.Int_lit i -> Buffer.add_string buf (string_of_int i)
+    | Ast.Float_lit f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Ast.Var v -> Buffer.add_string buf (name v)
+    | Ast.Index (a, e) ->
+      Buffer.add_string buf (name a);
+      Buffer.add_char buf '[';
+      expr e;
+      Buffer.add_char buf ']'
+    | Ast.Binop (op, a, b) ->
+      Buffer.add_char buf '(';
+      expr a;
+      Buffer.add_string buf (match op with
+        | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Mod -> "%"
+        | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">=" | Ast.Eq -> "=="
+        | Ast.Ne -> "!=" | Ast.And -> "&&" | Ast.Or -> "||");
+      expr b;
+      Buffer.add_char buf ')'
+    | Ast.Unop (Ast.Neg, e) ->
+      Buffer.add_string buf "(-";
+      expr e;
+      Buffer.add_char buf ')'
+    | Ast.Unop (Ast.Not, e) ->
+      Buffer.add_string buf "(!";
+      expr e;
+      Buffer.add_char buf ')'
+    | Ast.Call (f, args) ->
+      Buffer.add_string buf f;
+      Buffer.add_char buf '(';
+      List.iter (fun a -> expr a; Buffer.add_char buf ',') args;
+      Buffer.add_char buf ')'
+  in
+  for b = group.Outline.first_block to group.Outline.last_block do
+    let blk = ir.Ir.blocks.(b) in
+    List.iter
+      (fun i ->
+        (match i with
+        | Ir.Decl { name = v; init; _ } ->
+          Buffer.add_string buf ("decl " ^ name v ^ "=");
+          Option.iter expr init
+        | Ir.Decl_array { name = v; size; _ } ->
+          Buffer.add_string buf (Printf.sprintf "decla %s[%d]" (name v) size)
+        | Ir.Decl_malloc { name = v; count; _ } ->
+          Buffer.add_string buf ("malloc " ^ name v ^ "=");
+          expr count
+        | Ir.Assign { name = v; index; value } ->
+          Buffer.add_string buf (name v);
+          (match index with
+          | None -> ()
+          | Some e ->
+            Buffer.add_char buf '[';
+            expr e;
+            Buffer.add_char buf ']');
+          Buffer.add_char buf '=';
+          expr value
+        | Ir.Eval e -> expr e);
+        Buffer.add_char buf ';')
+      blk.Ir.instrs;
+    (match blk.Ir.term with
+    | Ir.Jump _ -> Buffer.add_string buf "j;"
+    | Ir.Return -> Buffer.add_string buf "r;"
+    | Ir.Branch { cond; _ } ->
+      Buffer.add_string buf "b:";
+      expr cond;
+      Buffer.add_char buf ';')
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Structural DFT classifier                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_calls f = function
+  | Ast.Call (g, args) -> g = f || List.exists (expr_calls f) args
+  | Ast.Binop (_, a, b) -> expr_calls f a || expr_calls f b
+  | Ast.Unop (_, e) -> expr_calls f e
+  | Ast.Index (_, e) -> expr_calls f e
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> false
+
+let rec expr_has_two_pi = function
+  | Ast.Float_lit f -> Float.abs (Float.abs f -. (2.0 *. Float.pi)) < 1e-3
+  | Ast.Binop (_, a, b) -> expr_has_two_pi a || expr_has_two_pi b
+  | Ast.Unop (_, e) -> expr_has_two_pi e
+  | Ast.Call (_, args) -> List.exists expr_has_two_pi args
+  | Ast.Index (_, e) -> expr_has_two_pi e
+  | Ast.Int_lit _ | Ast.Var _ -> false
+
+(* A negative angle constant (-2*pi or 0 - 2*pi*...) marks the forward
+   transform; a positive one marks the inverse. *)
+let rec angle_sign_negative = function
+  | Ast.Unop (Ast.Neg, e) when expr_has_two_pi e -> true
+  | Ast.Float_lit f when Float.abs (Float.abs f -. (2.0 *. Float.pi)) < 1e-3 -> f < 0.0
+  | Ast.Binop (Ast.Sub, Ast.Int_lit 0, e) when expr_has_two_pi e -> true
+  | Ast.Binop (_, a, b) -> (
+    match (expr_has_two_pi a, expr_has_two_pi b) with
+    | true, _ -> angle_sign_negative a
+    | _, true -> angle_sign_negative b
+    | _ -> false)
+  | Ast.Call (_, args) -> List.exists angle_sign_negative args
+  | _ -> false
+
+type group_scan = {
+  arrays_read : string list;
+  arrays_written : string list;
+  mac_targets : string list;  (** scalars accumulated with s = s + ... *)
+  has_sin : bool;
+  has_cos : bool;
+  has_two_pi : bool;
+  negative_angle : bool;
+  scaled_store : bool;  (** array store divides by a scalar *)
+  loop_bounds : (string * Ast.expr) list;  (** (loop var, bound expr) per branch *)
+}
+
+let scan (ir : Ir.t) (group : Outline.group) =
+  let arrays_read = ref [] and arrays_written = ref [] and mac_targets = ref [] in
+  let has_sin = ref false and has_cos = ref false and has_two_pi = ref false in
+  let negative_angle = ref false and scaled_store = ref false in
+  let loop_bounds = ref [] in
+  let add l v = if not (List.mem v !l) then l := !l @ [ v ] in
+  let rec expr_arrays e =
+    match e with
+    | Ast.Index (a, i) ->
+      add arrays_read a;
+      expr_arrays i
+    | Ast.Binop (_, a, b) ->
+      expr_arrays a;
+      expr_arrays b
+    | Ast.Unop (_, e) -> expr_arrays e
+    | Ast.Call (_, args) -> List.iter expr_arrays args
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> ()
+  in
+  for b = group.Outline.first_block to group.Outline.last_block do
+    let blk = ir.Ir.blocks.(b) in
+    List.iter
+      (fun i ->
+        (match i with
+        | Ir.Assign { name; index = Some idx; value } ->
+          add arrays_written name;
+          expr_arrays idx;
+          expr_arrays value;
+          (match value with
+          | Ast.Binop (Ast.Div, _, Ast.Var _) -> scaled_store := true
+          | _ -> ())
+        | Ir.Assign { name; index = None; value } ->
+          expr_arrays value;
+          (match value with
+          | Ast.Binop ((Ast.Add | Ast.Sub), Ast.Var v, _) when v = name -> add mac_targets name
+          | _ -> ())
+        | Ir.Decl { init = Some e; _ } -> expr_arrays e
+        | Ir.Decl { init = None; _ } | Ir.Decl_array _ | Ir.Decl_malloc _ -> ()
+        | Ir.Eval e -> expr_arrays e);
+        let all_exprs =
+          match i with
+          | Ir.Assign { value; _ } -> [ value ]
+          | Ir.Decl { init = Some e; _ } -> [ e ]
+          | Ir.Eval e -> [ e ]
+          | _ -> []
+        in
+        List.iter
+          (fun e ->
+            if expr_calls "sin" e then has_sin := true;
+            if expr_calls "cos" e then has_cos := true;
+            if expr_has_two_pi e then begin
+              has_two_pi := true;
+              if angle_sign_negative e then negative_angle := true
+            end)
+          all_exprs)
+      blk.Ir.instrs;
+    match blk.Ir.term with
+    | Ir.Branch { cond = Ast.Binop (Ast.Lt, Ast.Var v, bound); _ } ->
+      loop_bounds := !loop_bounds @ [ (v, bound) ]
+    | _ -> ()
+  done;
+  {
+    arrays_read =
+      List.filter (fun a -> not (List.mem a !arrays_written)) !arrays_read;
+    arrays_written = !arrays_written;
+    mac_targets = !mac_targets;
+    has_sin = !has_sin;
+    has_cos = !has_cos;
+    has_two_pi = !has_two_pi;
+    negative_angle = !negative_angle;
+    scaled_store = !scaled_store;
+    loop_bounds = !loop_bounds;
+  }
+
+let classify ~(ir : Ir.t) ~(consts : (string, int) Hashtbl.t) ~(group : Outline.group) =
+  if group.Outline.does_io then Io_kernel
+  else begin
+    let s = scan ir group in
+    let bound_value e =
+      match e with
+      | Ast.Int_lit i -> Some i
+      | Ast.Var v -> Hashtbl.find_opt consts v
+      | _ -> None
+    in
+    match (s.arrays_read, s.arrays_written) with
+    | [ in_re; in_im ], [ out_re; out_im ]
+      when s.has_sin && s.has_cos && s.has_two_pi
+           && List.length s.mac_targets >= 2
+           && List.length s.loop_bounds >= 2 -> (
+      let n =
+        List.fold_left
+          (fun acc (_, bound) -> match bound_value bound with Some v -> max acc v | None -> acc)
+          0 s.loop_bounds
+      in
+      if n <= 1 then Opaque
+      else
+        Pure_dft
+          {
+            n;
+            in_re;
+            in_im;
+            out_re;
+            out_im;
+            inverse = not s.negative_angle;
+            scaled = s.scaled_store;
+          })
+    | _ -> Opaque
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hash table of learned kernels                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table : (string, classification) Hashtbl.t = Hashtbl.create 16
+
+let lookup_table d = Hashtbl.find_opt table d
+
+let learn d c = Hashtbl.replace table d c

@@ -1,0 +1,42 @@
+(** Hash-based kernel recognition (Case Study 4).
+
+    Classifies outlined kernels structurally and, once a kernel's
+    normalized-IR digest is known, recognises later occurrences by
+    hash alone.  The only built-in pattern is the one the paper
+    exploits: a textbook doubly nested for-loop DFT/IDFT —
+    sin/cos of a [2*pi*k*t/n] angle feeding four multiply-accumulates
+    into two output arrays.  A match is substituted with an optimized
+    FFT-library call and an FFT-accelerator platform entry. *)
+
+type dft_info = {
+  n : int;  (** transform size (statically folded loop bound) *)
+  in_re : string;
+  in_im : string;
+  out_re : string;
+  out_im : string;
+  inverse : bool;  (** positive angle sign *)
+  scaled : bool;  (** output divided by n (IDFT normalisation) *)
+}
+
+type classification =
+  | Pure_dft of dft_info  (** substitutable *)
+  | Io_kernel
+  | Opaque  (** hot but unrecognised (e.g. the fused mul+IDFT+max) *)
+
+val classify :
+  ir:Ir.t ->
+  consts:(string, int) Hashtbl.t ->
+  group:Outline.group ->
+  classification
+(** [consts] maps scalars to statically folded values (from
+    {!Dag_gen.fold_constants}) for resolving loop bounds. *)
+
+val digest : ir:Ir.t -> group:Outline.group -> string
+(** Digest of the group's normalized IR (variables renamed by first
+    use), the key of the recognition table. *)
+
+val lookup_table : string -> classification option
+(** Previously learned digest -> classification. *)
+
+val learn : string -> classification -> unit
+(** Record a digest so future occurrences hit by hash. *)

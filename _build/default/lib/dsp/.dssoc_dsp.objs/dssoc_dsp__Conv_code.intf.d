@@ -1,0 +1,1 @@
+lib/dsp/conv_code.mli:

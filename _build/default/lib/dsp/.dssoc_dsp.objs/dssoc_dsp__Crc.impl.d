@@ -1,0 +1,1 @@
+lib/dsp/crc.ml: Array Bytes Char Int32 Lazy

@@ -1,0 +1,1 @@
+lib/dsp/crc.mli: Bytes

@@ -1,0 +1,1 @@
+lib/dsp/dft.ml: Array Cbuf Float

@@ -1,0 +1,1 @@
+lib/dsp/dft.mli: Cbuf

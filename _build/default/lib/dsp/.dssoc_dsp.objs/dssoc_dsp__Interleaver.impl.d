@@ -1,0 +1,1 @@
+lib/dsp/interleaver.ml: Array

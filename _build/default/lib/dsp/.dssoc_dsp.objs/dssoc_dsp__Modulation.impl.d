@@ -1,0 +1,1 @@
+lib/dsp/modulation.ml: Array Cbuf Printf

@@ -1,0 +1,1 @@
+lib/dsp/radar.ml: Array Cbuf Dssoc_util Fft Float

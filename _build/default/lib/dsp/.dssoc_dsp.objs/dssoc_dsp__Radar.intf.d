@@ -1,0 +1,1 @@
+lib/dsp/radar.mli: Cbuf Dssoc_util

@@ -1,0 +1,1 @@
+lib/dsp/viterbi.ml: Array Conv_code Lazy

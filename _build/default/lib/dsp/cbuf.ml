@@ -1,0 +1,110 @@
+type t = { re : float array; im : float array }
+
+let create n = { re = Array.make n 0.0; im = Array.make n 0.0 }
+
+let length t = Array.length t.re
+
+let copy t = { re = Array.copy t.re; im = Array.copy t.im }
+
+let of_complex_list l =
+  let n = List.length l in
+  let t = create n in
+  List.iteri
+    (fun i (re, im) ->
+      t.re.(i) <- re;
+      t.im.(i) <- im)
+    l;
+  t
+
+let to_complex_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) ((t.re.(i), t.im.(i)) :: acc) in
+  go (length t - 1) []
+
+let of_real a = { re = Array.copy a; im = Array.make (Array.length a) 0.0 }
+
+let get t i = (t.re.(i), t.im.(i))
+
+let set t i re im =
+  t.re.(i) <- re;
+  t.im.(i) <- im
+
+let fill t re im =
+  Array.fill t.re 0 (length t) re;
+  Array.fill t.im 0 (length t) im
+
+let check_same_length a b name =
+  if length a <> length b then invalid_arg (Printf.sprintf "Cbuf.%s: length mismatch" name)
+
+let blit ~src ~dst =
+  check_same_length src dst "blit";
+  Array.blit src.re 0 dst.re 0 (length src);
+  Array.blit src.im 0 dst.im 0 (length src)
+
+let mul_pointwise a b =
+  check_same_length a b "mul_pointwise";
+  let n = length a in
+  let out = create n in
+  for i = 0 to n - 1 do
+    out.re.(i) <- (a.re.(i) *. b.re.(i)) -. (a.im.(i) *. b.im.(i));
+    out.im.(i) <- (a.re.(i) *. b.im.(i)) +. (a.im.(i) *. b.re.(i))
+  done;
+  out
+
+let conj t =
+  let n = length t in
+  let out = create n in
+  for i = 0 to n - 1 do
+    out.re.(i) <- t.re.(i);
+    out.im.(i) <- -.t.im.(i)
+  done;
+  out
+
+let scale t k =
+  let n = length t in
+  let out = create n in
+  for i = 0 to n - 1 do
+    out.re.(i) <- t.re.(i) *. k;
+    out.im.(i) <- t.im.(i) *. k
+  done;
+  out
+
+let add a b =
+  check_same_length a b "add";
+  let n = length a in
+  let out = create n in
+  for i = 0 to n - 1 do
+    out.re.(i) <- a.re.(i) +. b.re.(i);
+    out.im.(i) <- a.im.(i) +. b.im.(i)
+  done;
+  out
+
+let magnitude t =
+  Array.init (length t) (fun i -> Float.hypot t.re.(i) t.im.(i))
+
+let power t =
+  Array.init (length t) (fun i -> (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i)))
+
+let energy t =
+  let acc = ref 0.0 in
+  for i = 0 to length t - 1 do
+    acc := !acc +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+  done;
+  !acc
+
+let max_abs_diff a b =
+  check_same_length a b "max_abs_diff";
+  let worst = ref 0.0 in
+  for i = 0 to length a - 1 do
+    worst := Float.max !worst (Float.abs (a.re.(i) -. b.re.(i)));
+    worst := Float.max !worst (Float.abs (a.im.(i) -. b.im.(i)))
+  done;
+  !worst
+
+let pp fmt t =
+  Format.fprintf fmt "[@[";
+  for i = 0 to Stdlib.min 7 (length t - 1) do
+    if i > 0 then Format.fprintf fmt ";@ ";
+    Format.fprintf fmt "%.4g%+.4gi" t.re.(i) t.im.(i)
+  done;
+  if length t > 8 then Format.fprintf fmt ";@ ... (%d samples)" (length t);
+  Format.fprintf fmt "@]]"

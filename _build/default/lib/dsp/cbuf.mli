@@ -1,0 +1,53 @@
+(** Complex sample buffers.
+
+    All signal-processing kernels operate on [Cbuf.t]: a pair of equal-
+    length float arrays holding the real and imaginary parts.  The
+    split (planar) layout keeps the FFT inner loops free of tuple or
+    record allocation. *)
+
+type t = { re : float array; im : float array }
+
+val create : int -> t
+(** Zero-filled buffer of the given length. *)
+
+val length : t -> int
+
+val copy : t -> t
+
+val of_complex_list : (float * float) list -> t
+val to_complex_list : t -> (float * float) list
+
+val of_real : float array -> t
+(** Real signal with zero imaginary part. *)
+
+val get : t -> int -> float * float
+val set : t -> int -> float -> float -> unit
+
+val fill : t -> float -> float -> unit
+
+val blit : src:t -> dst:t -> unit
+(** Copies [src] into [dst]; lengths must match. *)
+
+val mul_pointwise : t -> t -> t
+(** Elementwise complex product; lengths must match. *)
+
+val conj : t -> t
+
+val scale : t -> float -> t
+
+val add : t -> t -> t
+
+val magnitude : t -> float array
+(** Elementwise |z|. *)
+
+val power : t -> float array
+(** Elementwise |z|^2. *)
+
+val energy : t -> float
+(** Sum of |z|^2 — used by Parseval property tests. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest elementwise distance between two buffers, measured as
+    max(|re1-re2|, |im1-im2|); lengths must match. *)
+
+val pp : Format.formatter -> t -> unit

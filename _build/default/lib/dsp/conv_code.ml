@@ -1,0 +1,23 @@
+let constraint_length = 7
+let g0 = 0o133
+let g1 = 0o171
+
+let parity x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc lxor (x land 1)) in
+  go x 0
+
+let encoded_length n = 2 * (n + constraint_length - 1)
+
+let encode bits =
+  let n = Array.length bits in
+  let tail = constraint_length - 1 in
+  let out = Array.make (encoded_length n) false in
+  let state = ref 0 in
+  for i = 0 to n + tail - 1 do
+    let input = if i < n then bits.(i) else false in
+    let reg = ((if input then 1 else 0) lsl (constraint_length - 1)) lor !state in
+    out.(2 * i) <- parity (reg land g0) = 1;
+    out.((2 * i) + 1) <- parity (reg land g1) = 1;
+    state := reg lsr 1
+  done;
+  out

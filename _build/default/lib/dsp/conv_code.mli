@@ -1,0 +1,22 @@
+(** Rate-1/2, constraint-length-7 convolutional encoder.
+
+    Generator polynomials g0 = 133 (octal), g1 = 171 (octal) — the
+    industry-standard code used by 802.11a/g, which the WiFi reference
+    applications encode with and {!Viterbi} decodes. *)
+
+val constraint_length : int
+(** 7. *)
+
+val g0 : int
+(** 0o133. *)
+
+val g1 : int
+(** 0o171. *)
+
+val encode : bool array -> bool array
+(** [encode bits] produces [2 * (length bits + 6)] output bits: the
+    message followed by 6 flush (tail) bits that return the encoder to
+    the zero state, each input producing the (g0, g1) output pair. *)
+
+val encoded_length : int -> int
+(** Output length for a given message length. *)

@@ -1,0 +1,51 @@
+let table = lazy (
+  Array.init 256 (fun n ->
+      let c = ref (Int32.of_int n) in
+      for _ = 0 to 7 do
+        if Int32.logand !c 1l <> 0l then
+          c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+        else c := Int32.shift_right_logical !c 1
+      done;
+      !c))
+
+let update crc byte =
+  let t = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xFFl) in
+  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
+
+let of_bytes b =
+  let crc = ref 0xFFFFFFFFl in
+  Bytes.iter (fun c -> crc := update !crc (Char.code c)) b;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let of_string s = of_bytes (Bytes.of_string s)
+
+let pack_bits bits =
+  let n = Array.length bits in
+  let nbytes = (n + 7) / 8 in
+  let out = Bytes.make nbytes '\000' in
+  Array.iteri
+    (fun i b ->
+      if b then
+        let byte = i / 8 and bit = i mod 8 in
+        Bytes.set out byte (Char.chr (Char.code (Bytes.get out byte) lor (1 lsl bit))))
+    bits;
+  out
+
+let of_bits bits = of_bytes (pack_bits bits)
+
+let crc_to_bits crc = Array.init 32 (fun i -> Int32.logand (Int32.shift_right_logical crc i) 1l <> 0l)
+
+let append_bits payload =
+  let crc = of_bits payload in
+  Array.append payload (crc_to_bits crc)
+
+let check_bits framed =
+  let n = Array.length framed in
+  if n < 32 then false
+  else begin
+    let payload = Array.sub framed 0 (n - 32) in
+    let crc_bits = Array.sub framed (n - 32) 32 in
+    let expect = crc_to_bits (of_bits payload) in
+    expect = crc_bits
+  end

@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected).
+
+    WiFi frames append a CRC so the RX pipeline can verify end-to-end
+    correctness of the decoded payload — the framework's functional-
+    verification signal. *)
+
+val of_bytes : Bytes.t -> int32
+val of_string : string -> int32
+
+val of_bits : bool array -> int32
+(** Bits are packed little-endian-first into bytes (trailing partial
+    byte zero-padded) and then CRCed; used on decoded bit payloads. *)
+
+val append_bits : bool array -> bool array
+(** Payload followed by its 32 CRC bits (LSB first). *)
+
+val check_bits : bool array -> bool
+(** [check_bits (append_bits p)] is [true]; flipping any bit makes it
+    [false] (with CRC-32 certainty). *)

@@ -1,0 +1,29 @@
+let transform ~inverse (x : Cbuf.t) =
+  let n = Cbuf.length x in
+  if n = 0 then invalid_arg "Dft: empty buffer";
+  let sign = if inverse then 1.0 else -1.0 in
+  let out = Cbuf.create n in
+  for k = 0 to n - 1 do
+    let sum_re = ref 0.0 and sum_im = ref 0.0 in
+    for t = 0 to n - 1 do
+      let ang = sign *. 2.0 *. Float.pi *. float_of_int (k * t) /. float_of_int n in
+      let c = cos ang and s = sin ang in
+      sum_re := !sum_re +. (x.Cbuf.re.(t) *. c) -. (x.Cbuf.im.(t) *. s);
+      sum_im := !sum_im +. (x.Cbuf.re.(t) *. s) +. (x.Cbuf.im.(t) *. c)
+    done;
+    out.Cbuf.re.(k) <- !sum_re;
+    out.Cbuf.im.(k) <- !sum_im
+  done;
+  if inverse then begin
+    let inv_n = 1.0 /. float_of_int n in
+    for k = 0 to n - 1 do
+      out.Cbuf.re.(k) <- out.Cbuf.re.(k) *. inv_n;
+      out.Cbuf.im.(k) <- out.Cbuf.im.(k) *. inv_n
+    done
+  end;
+  out
+
+let dft x = transform ~inverse:false x
+let idft x = transform ~inverse:true x
+
+let flop_count n = 8 * n * n

@@ -1,0 +1,18 @@
+(** Naive O(n^2) discrete Fourier transform.
+
+    These are the "simple for-loop based DFTs" that the automatic
+    application-conversion toolchain detects inside monolithic range
+    detection (Case Study 4) and substitutes with {!Fft} or an
+    accelerator invocation.  Kept deliberately textbook so the
+    hash-based recognizer has a canonical target and so the ~100x
+    speedup factor of the paper is structurally reproduced. *)
+
+val dft : Cbuf.t -> Cbuf.t
+(** Forward transform. *)
+
+val idft : Cbuf.t -> Cbuf.t
+(** Inverse transform with 1/n normalisation. *)
+
+val flop_count : int -> int
+(** Approximate floating-point operation count of [dft] at size n,
+    used by the cost model to price unoptimized kernels. *)

@@ -1,0 +1,140 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+module Plan = struct
+  type t = {
+    size : int;
+    log2 : int;
+    bitrev : int array;
+    (* Twiddles for the forward transform, one per butterfly distance:
+       tw_re.(k) = cos(-2*pi*k/n), laid out stage-major for locality. *)
+    tw_re : float array;
+    tw_im : float array;
+  }
+
+  let make n =
+    if not (is_power_of_two n) then invalid_arg "Fft.Plan.make: size must be a power of two";
+    let log2 =
+      let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+      go 0 n
+    in
+    let bitrev =
+      Array.init n (fun i ->
+          let r = ref 0 and v = ref i in
+          for _ = 1 to log2 do
+            r := (!r lsl 1) lor (!v land 1);
+            v := !v lsr 1
+          done;
+          !r)
+    in
+    let half = max 1 (n / 2) in
+    let tw_re = Array.make half 1.0 and tw_im = Array.make half 0.0 in
+    for k = 0 to half - 1 do
+      let ang = -2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+      tw_re.(k) <- cos ang;
+      tw_im.(k) <- sin ang
+    done;
+    { size = n; log2; bitrev; tw_re; tw_im }
+
+  let size t = t.size
+
+  let exec t ~inverse (x : Cbuf.t) =
+    if Cbuf.length x <> t.size then invalid_arg "Fft.Plan.exec: buffer length mismatch";
+    let n = t.size in
+    let out = Cbuf.create n in
+    let re = out.Cbuf.re and im = out.Cbuf.im in
+    for i = 0 to n - 1 do
+      re.(i) <- x.Cbuf.re.(t.bitrev.(i));
+      im.(i) <- x.Cbuf.im.(t.bitrev.(i))
+    done;
+    let sign = if inverse then -1.0 else 1.0 in
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let step = n / !len in
+      let i = ref 0 in
+      while !i < n do
+        for k = 0 to half - 1 do
+          let tr = t.tw_re.(k * step) and ti = sign *. t.tw_im.(k * step) in
+          let a = !i + k and b = !i + k + half in
+          let br = (re.(b) *. tr) -. (im.(b) *. ti) in
+          let bi = (re.(b) *. ti) +. (im.(b) *. tr) in
+          re.(b) <- re.(a) -. br;
+          im.(b) <- im.(a) -. bi;
+          re.(a) <- re.(a) +. br;
+          im.(a) <- im.(a) +. bi
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done;
+    if inverse then begin
+      let inv_n = 1.0 /. float_of_int n in
+      for i = 0 to n - 1 do
+        re.(i) <- re.(i) *. inv_n;
+        im.(i) <- im.(i) *. inv_n
+      done
+    end;
+    out
+end
+
+(* Bluestein's chirp-z reduction: an arbitrary-size DFT becomes a
+   circular convolution, computed with power-of-two FFTs of size >= 2n-1. *)
+let bluestein ~inverse (x : Cbuf.t) =
+  let n = Cbuf.length x in
+  let sign = if inverse then 1.0 else -1.0 in
+  let m =
+    let rec go m = if m >= (2 * n) - 1 then m else go (m * 2) in
+    go 1
+  in
+  let plan = Plan.make m in
+  (* chirp.(k) = exp(sign * i * pi * k^2 / n) *)
+  let chirp_re = Array.make n 0.0 and chirp_im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* k^2 mod 2n keeps the angle argument small and exact. *)
+    let k2 = k * k mod (2 * n) in
+    let ang = sign *. Float.pi *. float_of_int k2 /. float_of_int n in
+    chirp_re.(k) <- cos ang;
+    chirp_im.(k) <- sin ang
+  done;
+  let a = Cbuf.create m in
+  for k = 0 to n - 1 do
+    a.Cbuf.re.(k) <- (x.Cbuf.re.(k) *. chirp_re.(k)) -. (x.Cbuf.im.(k) *. chirp_im.(k));
+    a.Cbuf.im.(k) <- (x.Cbuf.re.(k) *. chirp_im.(k)) +. (x.Cbuf.im.(k) *. chirp_re.(k))
+  done;
+  let b = Cbuf.create m in
+  b.Cbuf.re.(0) <- chirp_re.(0);
+  b.Cbuf.im.(0) <- -.chirp_im.(0);
+  for k = 1 to n - 1 do
+    b.Cbuf.re.(k) <- chirp_re.(k);
+    b.Cbuf.im.(k) <- -.chirp_im.(k);
+    b.Cbuf.re.(m - k) <- chirp_re.(k);
+    b.Cbuf.im.(m - k) <- -.chirp_im.(k)
+  done;
+  let fa = Plan.exec plan ~inverse:false a in
+  let fb = Plan.exec plan ~inverse:false b in
+  let prod = Cbuf.mul_pointwise fa fb in
+  let conv = Plan.exec plan ~inverse:true prod in
+  let out = Cbuf.create n in
+  for k = 0 to n - 1 do
+    let cr = conv.Cbuf.re.(k) and ci = conv.Cbuf.im.(k) in
+    out.Cbuf.re.(k) <- (cr *. chirp_re.(k)) -. (ci *. chirp_im.(k));
+    out.Cbuf.im.(k) <- (cr *. chirp_im.(k)) +. (ci *. chirp_re.(k))
+  done;
+  if inverse then begin
+    let inv_n = 1.0 /. float_of_int n in
+    for k = 0 to n - 1 do
+      out.Cbuf.re.(k) <- out.Cbuf.re.(k) *. inv_n;
+      out.Cbuf.im.(k) <- out.Cbuf.im.(k) *. inv_n
+    done
+  end;
+  out
+
+let transform ~inverse x =
+  let n = Cbuf.length x in
+  if n = 0 then invalid_arg "Fft: empty buffer"
+  else if n = 1 then Cbuf.copy x
+  else if is_power_of_two n then Plan.exec (Plan.make n) ~inverse x
+  else bluestein ~inverse x
+
+let fft x = transform ~inverse:false x
+let ifft x = transform ~inverse:true x

@@ -1,0 +1,30 @@
+(** Fast Fourier transforms.
+
+    The optimized transform the framework offers as an "FFT library"
+    substitution target (the FFTW analogue of Case Study 4) and the
+    compute model behind the FFT accelerator.  Power-of-two sizes use
+    an iterative radix-2 Cooley-Tukey with precomputed twiddles and
+    bit-reversal; other sizes go through Bluestein's algorithm. *)
+
+val is_power_of_two : int -> bool
+
+val fft : Cbuf.t -> Cbuf.t
+(** Forward DFT of any size n >= 1 (out-of-place). *)
+
+val ifft : Cbuf.t -> Cbuf.t
+(** Inverse DFT, normalised by 1/n, so [ifft (fft x) = x]. *)
+
+(** Plans precompute twiddles and the bit-reversal permutation for a
+    fixed power-of-two size; repeated transforms of the same size (the
+    pulse-Doppler matched filter runs 256 of them) reuse the plan. *)
+module Plan : sig
+  type t
+
+  val make : int -> t
+  (** @raise Invalid_argument if the size is not a power of two. *)
+
+  val size : t -> int
+
+  val exec : t -> inverse:bool -> Cbuf.t -> Cbuf.t
+  (** Transform of a buffer whose length equals [size t]. *)
+end

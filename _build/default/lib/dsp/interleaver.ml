@@ -1,0 +1,21 @@
+let permutation ~rows ~n =
+  if rows <= 0 then invalid_arg "Interleaver: rows must be positive";
+  if n mod rows <> 0 then invalid_arg "Interleaver: length not divisible by rows";
+  let cols = n / rows in
+  (* Output position i reads column-major: i = c*rows + r maps to
+     row-major input index r*cols + c. *)
+  Array.init n (fun i ->
+      let c = i / rows and r = i mod rows in
+      (r * cols) + c)
+
+let interleave ~rows bits =
+  let n = Array.length bits in
+  let p = permutation ~rows ~n in
+  Array.init n (fun i -> bits.(p.(i)))
+
+let deinterleave ~rows bits =
+  let n = Array.length bits in
+  let p = permutation ~rows ~n in
+  let out = Array.make n false in
+  Array.iteri (fun i src -> out.(src) <- bits.(i)) p;
+  out

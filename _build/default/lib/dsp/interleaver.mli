@@ -1,0 +1,17 @@
+(** Block interleaver.
+
+    An 802.11-style row/column interleaver: bits are written into a
+    [rows x cols] matrix row-major and read out column-major, spreading
+    adjacent coded bits across the OFDM symbol so burst errors hit
+    separated codeword positions.  [deinterleave] inverts it exactly
+    (the permutation is a bijection). *)
+
+val interleave : rows:int -> bool array -> bool array
+(** Length must be divisible by [rows].
+    @raise Invalid_argument otherwise. *)
+
+val deinterleave : rows:int -> bool array -> bool array
+
+val permutation : rows:int -> n:int -> int array
+(** [permutation ~rows ~n] is the index map [p] with
+    [interleaved.(i) = original.(p.(i))]; exposed for property tests. *)

@@ -1,0 +1,70 @@
+type scheme = Bpsk | Qpsk | Qam16
+
+let bits_per_symbol = function Bpsk -> 1 | Qpsk -> 2 | Qam16 -> 4
+
+let inv_sqrt2 = 1.0 /. sqrt 2.0
+let inv_sqrt10 = 1.0 /. sqrt 10.0
+
+(* Gray-mapped 2-bit PAM level for one 16-QAM axis: 00 -> -3, 01 -> -1,
+   11 -> +1, 10 -> +3 (scaled by 1/sqrt(10) for unit average energy). *)
+let pam4_level b0 b1 =
+  match (b0, b1) with
+  | false, false -> -3.0
+  | false, true -> -1.0
+  | true, true -> 1.0
+  | true, false -> 3.0
+
+let pam4_bits level =
+  if level < -2.0 then (false, false)
+  else if level < 0.0 then (false, true)
+  else if level < 2.0 then (true, true)
+  else (true, false)
+
+let modulate scheme bits =
+  let bps = bits_per_symbol scheme in
+  let n = Array.length bits in
+  if n mod bps <> 0 then invalid_arg "Modulation.modulate: bit count not divisible";
+  let n_sym = n / bps in
+  let out = Cbuf.create n_sym in
+  for s = 0 to n_sym - 1 do
+    match scheme with
+    | Bpsk ->
+      out.Cbuf.re.(s) <- (if bits.(s) then 1.0 else -1.0);
+      out.Cbuf.im.(s) <- 0.0
+    | Qpsk ->
+      out.Cbuf.re.(s) <- (if bits.(2 * s) then inv_sqrt2 else -.inv_sqrt2);
+      out.Cbuf.im.(s) <- (if bits.((2 * s) + 1) then inv_sqrt2 else -.inv_sqrt2)
+    | Qam16 ->
+      out.Cbuf.re.(s) <- pam4_level bits.(4 * s) bits.((4 * s) + 1) *. inv_sqrt10;
+      out.Cbuf.im.(s) <- pam4_level bits.((4 * s) + 2) bits.((4 * s) + 3) *. inv_sqrt10
+  done;
+  out
+
+let demodulate scheme syms =
+  let n_sym = Cbuf.length syms in
+  let bps = bits_per_symbol scheme in
+  let out = Array.make (n_sym * bps) false in
+  for s = 0 to n_sym - 1 do
+    let re = syms.Cbuf.re.(s) and im = syms.Cbuf.im.(s) in
+    match scheme with
+    | Bpsk -> out.(s) <- re >= 0.0
+    | Qpsk ->
+      out.(2 * s) <- re >= 0.0;
+      out.((2 * s) + 1) <- im >= 0.0
+    | Qam16 ->
+      let b0, b1 = pam4_bits (re /. inv_sqrt10) in
+      let b2, b3 = pam4_bits (im /. inv_sqrt10) in
+      out.(4 * s) <- b0;
+      out.((4 * s) + 1) <- b1;
+      out.((4 * s) + 2) <- b2;
+      out.((4 * s) + 3) <- b3
+  done;
+  out
+
+let scheme_to_string = function Bpsk -> "bpsk" | Qpsk -> "qpsk" | Qam16 -> "qam16"
+
+let scheme_of_string = function
+  | "bpsk" -> Ok Bpsk
+  | "qpsk" -> Ok Qpsk
+  | "qam16" -> Ok Qam16
+  | s -> Error (Printf.sprintf "unknown modulation scheme %S" s)

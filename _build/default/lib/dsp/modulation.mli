@@ -1,0 +1,21 @@
+(** Digital modulation: bit <-> complex-symbol mapping.
+
+    BPSK, QPSK and 16-QAM with Gray mapping, unit average symbol
+    energy.  The WiFi reference applications modulate coded bits onto
+    subcarriers before the IFFT (TX) and demodulate after the FFT
+    (RX). *)
+
+type scheme = Bpsk | Qpsk | Qam16
+
+val bits_per_symbol : scheme -> int
+
+val modulate : scheme -> bool array -> Cbuf.t
+(** Bit count must be a multiple of [bits_per_symbol].
+    @raise Invalid_argument otherwise. *)
+
+val demodulate : scheme -> Cbuf.t -> bool array
+(** Hard-decision (minimum-distance) demapping;
+    [demodulate s (modulate s bits) = bits]. *)
+
+val scheme_to_string : scheme -> string
+val scheme_of_string : string -> (scheme, string) result

@@ -1,0 +1,79 @@
+module Prng = Dssoc_util.Prng
+
+let lfm_chirp ~n ~bandwidth ~sample_rate =
+  if n <= 0 then invalid_arg "Radar.lfm_chirp: n must be positive";
+  let out = Cbuf.create n in
+  let dt = 1.0 /. sample_rate in
+  let duration = float_of_int n *. dt in
+  let k = bandwidth /. duration in
+  for i = 0 to n - 1 do
+    let t = float_of_int i *. dt in
+    (* Instantaneous frequency sweeps -B/2 .. +B/2: phase(t) = pi*k*t^2 - pi*B*t *)
+    let phase = (Float.pi *. k *. t *. t) -. (Float.pi *. bandwidth *. t) in
+    out.Cbuf.re.(i) <- cos phase;
+    out.Cbuf.im.(i) <- sin phase
+  done;
+  out
+
+let delayed_echo prng ~waveform ~total ~delay ~attenuation ~noise_sigma =
+  if delay < 0 || delay >= total then invalid_arg "Radar.delayed_echo: delay out of window";
+  (* An echo arriving late is truncated at the window end, like a
+     target near the edge of the receive gate. *)
+  let n = min (Cbuf.length waveform) (total - delay) in
+  let out = Cbuf.create total in
+  for i = 0 to n - 1 do
+    out.Cbuf.re.(delay + i) <- attenuation *. waveform.Cbuf.re.(i);
+    out.Cbuf.im.(delay + i) <- attenuation *. waveform.Cbuf.im.(i)
+  done;
+  (match prng with
+  | Some g when noise_sigma > 0.0 ->
+    for i = 0 to total - 1 do
+      out.Cbuf.re.(i) <- out.Cbuf.re.(i) +. Prng.gaussian g ~mu:0.0 ~sigma:noise_sigma;
+      out.Cbuf.im.(i) <- out.Cbuf.im.(i) +. Prng.gaussian g ~mu:0.0 ~sigma:noise_sigma
+    done
+  | _ -> ());
+  out
+
+let zero_pad buf n =
+  let out = Cbuf.create n in
+  let m = min n (Cbuf.length buf) in
+  Array.blit buf.Cbuf.re 0 out.Cbuf.re 0 m;
+  Array.blit buf.Cbuf.im 0 out.Cbuf.im 0 m;
+  out
+
+let xcorr_freq ~reference ~received =
+  let n = Cbuf.length received in
+  let ref_padded = zero_pad reference n in
+  let fr = Fft.fft ref_padded in
+  let fx = Fft.fft received in
+  Fft.ifft (Cbuf.mul_pointwise fx (Cbuf.conj fr))
+
+let peak buf =
+  let mags = Cbuf.magnitude buf in
+  let best = ref 0 in
+  for i = 1 to Array.length mags - 1 do
+    if mags.(i) > mags.(!best) then best := i
+  done;
+  (!best, mags.(!best))
+
+let speed_of_light = 299_792_458.0
+
+let lag_to_range ~lag ~sample_rate =
+  float_of_int lag /. sample_rate *. speed_of_light /. 2.0
+
+let doppler_bins pulses ~bin =
+  let m = Array.length pulses in
+  if m = 0 then invalid_arg "Radar.doppler_bins: no pulses";
+  let out = Cbuf.create m in
+  Array.iteri
+    (fun p pulse ->
+      out.Cbuf.re.(p) <- pulse.Cbuf.re.(bin);
+      out.Cbuf.im.(p) <- pulse.Cbuf.im.(bin))
+    pulses;
+  out
+
+let doppler_velocity ~peak_bin ~n_pulses ~prf ~carrier_hz =
+  (* Map FFT bin to signed Doppler frequency, then to radial velocity. *)
+  let bin = if peak_bin > n_pulses / 2 then peak_bin - n_pulses else peak_bin in
+  let doppler_hz = float_of_int bin *. prf /. float_of_int n_pulses in
+  doppler_hz *. speed_of_light /. (2.0 *. carrier_hz)

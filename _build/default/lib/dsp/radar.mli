@@ -1,0 +1,45 @@
+(** Radar waveform kernels used by the range-detection and
+    pulse-Doppler reference applications (Figures 2 and 8 of the
+    paper). *)
+
+val lfm_chirp : n:int -> bandwidth:float -> sample_rate:float -> Cbuf.t
+(** Linear-FM (chirp) reference waveform of [n] complex samples
+    sweeping [-bandwidth/2, +bandwidth/2] over the pulse. *)
+
+val delayed_echo :
+  Dssoc_util.Prng.t option ->
+  waveform:Cbuf.t ->
+  total:int ->
+  delay:int ->
+  attenuation:float ->
+  noise_sigma:float ->
+  Cbuf.t
+(** Synthesises a received signal of [total] samples containing the
+    [waveform] starting at sample [delay] (truncated at the window
+    end), scaled by [attenuation], plus white Gaussian noise (none
+    when the generator is [None] or [noise_sigma = 0.]).
+    @raise Invalid_argument when [delay] lies outside the window. *)
+
+val xcorr_freq : reference:Cbuf.t -> received:Cbuf.t -> Cbuf.t
+(** Circular cross-correlation computed in the frequency domain:
+    IFFT (FFT received .* conj (FFT reference)), both inputs zero-
+    padded to the received length.  The range-detection DAG computes
+    the same thing split into FFT/MUL/IFFT kernels. *)
+
+val peak : Cbuf.t -> int * float
+(** Index and magnitude of the largest-magnitude sample. *)
+
+val lag_to_range : lag:int -> sample_rate:float -> float
+(** One-way target range in metres for a correlation peak at [lag]
+    (speed of light, two-way travel). *)
+
+val doppler_bins : Cbuf.t array -> bin:int -> Cbuf.t
+(** Slow-time vector across pulses for a fixed fast-time [bin]: input
+    is one buffer per pulse; output has one sample per pulse.  The
+    pulse-Doppler application FFTs these vectors to extract target
+    velocity. *)
+
+val doppler_velocity :
+  peak_bin:int -> n_pulses:int -> prf:float -> carrier_hz:float -> float
+(** Radial velocity (m/s) for a Doppler-FFT peak at [peak_bin], given
+    the pulse repetition frequency and the carrier frequency. *)

@@ -1,0 +1,12 @@
+let run ~seed bits =
+  let state = ref (seed land 0x7F) in
+  if !state = 0 then state := 0x7F;
+  Array.map
+    (fun b ->
+      (* Feedback bit = x7 xor x4 (bits 6 and 3 of the register). *)
+      let fb = ((!state lsr 6) lxor (!state lsr 3)) land 1 in
+      state := ((!state lsl 1) lor fb) land 0x7F;
+      b <> (fb = 1))
+    bits
+
+let descramble = run

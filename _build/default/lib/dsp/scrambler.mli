@@ -1,0 +1,13 @@
+(** 802.11-style frame scrambler.
+
+    A 7-bit LFSR with polynomial x^7 + x^4 + 1 whitens the payload
+    bits (WiFi TX) and, run again with the same seed, recovers them
+    (WiFi RX descrambler) — scrambling is an involution. *)
+
+val run : seed:int -> bool array -> bool array
+(** [run ~seed bits] XORs the LFSR sequence into [bits].  Only the low
+    7 bits of [seed] are used; a zero state is replaced by the standard
+    all-ones state (a zero LFSR would be a fixed point). *)
+
+val descramble : seed:int -> bool array -> bool array
+(** Alias of {!run}; provided so application DAGs read naturally. *)

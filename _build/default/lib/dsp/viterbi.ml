@@ -1,0 +1,63 @@
+let n_states = 64 (* 2^(K-1) *)
+
+let parity x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc lxor (x land 1)) in
+  go x 0
+
+(* Branch outputs for (state, input): the encoder register is
+   (input << 6) | state, with the most recent previous input at state
+   bit 5 — must mirror Conv_code.encode exactly. *)
+let branch_out = lazy (
+  Array.init (n_states * 2) (fun idx ->
+      let state = idx lsr 1 and input = idx land 1 in
+      let reg = (input lsl 6) lor state in
+      let o0 = parity (reg land Conv_code.g0) in
+      let o1 = parity (reg land Conv_code.g1) in
+      (o0 = 1, o1 = 1)))
+
+let next_state state input = (input lsl 5) lor (state lsr 1)
+
+let hamming_distance a b =
+  if Array.length a <> Array.length b then invalid_arg "Viterbi.hamming_distance";
+  let d = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
+  !d
+
+let decode ~message_length coded =
+  let steps = message_length + Conv_code.constraint_length - 1 in
+  if Array.length coded < 2 * steps then invalid_arg "Viterbi.decode: coded input too short";
+  let outs = Lazy.force branch_out in
+  let infinity_metric = max_int / 2 in
+  let metric = Array.make n_states infinity_metric in
+  metric.(0) <- 0;
+  (* survivors.(t).(s) = (previous state, input bit) leading into s at step t *)
+  let survivors = Array.make_matrix steps n_states (-1) in
+  let next_metric = Array.make n_states 0 in
+  for t = 0 to steps - 1 do
+    Array.fill next_metric 0 n_states infinity_metric;
+    let r0 = coded.(2 * t) and r1 = coded.((2 * t) + 1) in
+    for s = 0 to n_states - 1 do
+      if metric.(s) < infinity_metric then
+        for input = 0 to 1 do
+          let o0, o1 = outs.((s lsl 1) lor input) in
+          let cost = (if o0 <> r0 then 1 else 0) + (if o1 <> r1 then 1 else 0) in
+          let ns = next_state s input in
+          let m = metric.(s) + cost in
+          if m < next_metric.(ns) then begin
+            next_metric.(ns) <- m;
+            survivors.(t).(ns) <- (s lsl 1) lor input
+          end
+        done
+    done;
+    Array.blit next_metric 0 metric 0 n_states
+  done;
+  (* Tail bits drive the encoder back to state 0, so trace back from 0. *)
+  let bits = Array.make steps false in
+  let s = ref 0 in
+  for t = steps - 1 downto 0 do
+    let packed = survivors.(t).(!s) in
+    if packed < 0 then invalid_arg "Viterbi.decode: broken trellis";
+    bits.(t) <- packed land 1 = 1;
+    s := packed lsr 1
+  done;
+  Array.sub bits 0 message_length

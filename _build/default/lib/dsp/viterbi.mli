@@ -1,0 +1,18 @@
+(** Hard-decision Viterbi decoder for the {!Conv_code} encoder.
+
+    Full 64-state trellis with traceback; the single most
+    compute-intensive kernel in the WiFi RX application (it dominates
+    the 2.22 ms standalone RX time of Table I). *)
+
+val decode : message_length:int -> bool array -> bool array
+(** [decode ~message_length coded] recovers the original message bits
+    from [Conv_code.encode] output (message + 6 tail bits, rate 1/2).
+
+    [coded] may contain bit errors; maximum-likelihood decoding
+    corrects error patterns within the code's capability.
+
+    @raise Invalid_argument if [coded] is shorter than
+    [Conv_code.encoded_length message_length]. *)
+
+val hamming_distance : bool array -> bool array -> int
+(** Helper shared with tests: number of differing positions. *)

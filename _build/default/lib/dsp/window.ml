@@ -1,0 +1,36 @@
+type kind = Rectangular | Hamming | Hann | Blackman
+
+let coefficients kind n =
+  if n <= 0 then invalid_arg "Window.coefficients: n must be positive";
+  let denom = float_of_int (max 1 (n - 1)) in
+  Array.init n (fun i ->
+      let x = float_of_int i /. denom in
+      match kind with
+      | Rectangular -> 1.0
+      | Hamming -> 0.54 -. (0.46 *. cos (2.0 *. Float.pi *. x))
+      | Hann -> 0.5 -. (0.5 *. cos (2.0 *. Float.pi *. x))
+      | Blackman ->
+        0.42 -. (0.5 *. cos (2.0 *. Float.pi *. x)) +. (0.08 *. cos (4.0 *. Float.pi *. x)))
+
+let apply kind buf =
+  let n = Cbuf.length buf in
+  let w = coefficients kind n in
+  let out = Cbuf.create n in
+  for i = 0 to n - 1 do
+    out.Cbuf.re.(i) <- buf.Cbuf.re.(i) *. w.(i);
+    out.Cbuf.im.(i) <- buf.Cbuf.im.(i) *. w.(i)
+  done;
+  out
+
+let kind_to_string = function
+  | Rectangular -> "rectangular"
+  | Hamming -> "hamming"
+  | Hann -> "hann"
+  | Blackman -> "blackman"
+
+let kind_of_string = function
+  | "rectangular" -> Ok Rectangular
+  | "hamming" -> Ok Hamming
+  | "hann" -> Ok Hann
+  | "blackman" -> Ok Blackman
+  | s -> Error (Printf.sprintf "unknown window kind %S" s)

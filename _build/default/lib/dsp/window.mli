@@ -1,0 +1,13 @@
+(** Window functions for spectral shaping (pulse-Doppler uses a window
+    before the slow-time FFT to control Doppler sidelobes). *)
+
+type kind = Rectangular | Hamming | Hann | Blackman
+
+val coefficients : kind -> int -> float array
+(** [coefficients kind n] is the length-[n] window. *)
+
+val apply : kind -> Cbuf.t -> Cbuf.t
+(** Pointwise product of the signal with the window. *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result

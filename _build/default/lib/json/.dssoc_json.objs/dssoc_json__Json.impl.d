@@ -1,0 +1,1 @@
+lib/json/json.ml: Buffer Char Float Format Hashtbl In_channel List Out_channel Printf String

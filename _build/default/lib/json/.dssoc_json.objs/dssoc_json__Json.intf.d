@@ -1,0 +1,1 @@
+lib/json/json.mli: Format

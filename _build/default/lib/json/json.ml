@@ -1,0 +1,402 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+type error = { line : int; col : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d, column %d: %s" e.line e.col e.message
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Lexing / parsing state                                              *)
+(* ------------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+exception Parse_error of error
+
+let fail st message =
+  raise (Parse_error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\255' else st.src.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let rec skip_ws st =
+  match peek st with
+  | ' ' | '\t' | '\n' | '\r' ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  if peek st <> c then fail st (Printf.sprintf "expected '%c'" c);
+  advance st
+
+let expect_keyword st kw value =
+  let n = String.length kw in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = kw then begin
+    for _ = 1 to n do advance st done;
+    value
+  end
+  else fail st (Printf.sprintf "expected '%s'" kw)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let c = peek st in
+    let d =
+      if is_digit c then Char.code c - Char.code '0'
+      else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+      else if c >= 'A' && c <= 'F' then Char.code c - Char.code 'A' + 10
+      else fail st "invalid \\u escape"
+    in
+    v := (!v * 16) + d;
+    advance st
+  done;
+  !v
+
+(* Encode a Unicode scalar value as UTF-8 into the buffer. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated string";
+    let c = peek st in
+    if c = '"' then begin advance st; Buffer.contents buf end
+    else if c = '\\' then begin
+      advance st;
+      (match peek st with
+      | '"' -> Buffer.add_char buf '"'; advance st
+      | '\\' -> Buffer.add_char buf '\\'; advance st
+      | '/' -> Buffer.add_char buf '/'; advance st
+      | 'b' -> Buffer.add_char buf '\b'; advance st
+      | 'f' -> Buffer.add_char buf '\012'; advance st
+      | 'n' -> Buffer.add_char buf '\n'; advance st
+      | 'r' -> Buffer.add_char buf '\r'; advance st
+      | 't' -> Buffer.add_char buf '\t'; advance st
+      | 'u' ->
+        advance st;
+        let hi = parse_hex4 st in
+        if hi >= 0xD800 && hi <= 0xDBFF then begin
+          (* Surrogate pair. *)
+          expect st '\\';
+          expect st 'u';
+          let lo = parse_hex4 st in
+          if lo < 0xDC00 || lo > 0xDFFF then fail st "invalid low surrogate";
+          let cp = 0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00) in
+          add_utf8 buf cp
+        end
+        else if hi >= 0xDC00 && hi <= 0xDFFF then fail st "unpaired low surrogate"
+        else add_utf8 buf hi
+      | _ -> fail st "invalid escape sequence");
+      loop ()
+    end
+    else if Char.code c < 0x20 then fail st "unescaped control character in string"
+    else begin
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = '-' then advance st;
+  if peek st = '0' then advance st
+  else if is_digit (peek st) then while is_digit (peek st) do advance st done
+  else fail st "invalid number";
+  if peek st = '.' then begin
+    is_float := true;
+    advance st;
+    if not (is_digit (peek st)) then fail st "digit expected after '.'";
+    while is_digit (peek st) do advance st done
+  end;
+  (match peek st with
+  | 'e' | 'E' ->
+    is_float := true;
+    advance st;
+    (match peek st with '+' | '-' -> advance st | _ -> ());
+    if not (is_digit (peek st)) then fail st "digit expected in exponent";
+    while is_digit (peek st) do advance st done
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | '{' -> parse_obj st
+  | '[' -> parse_list st
+  | '"' -> String (parse_string_body st)
+  | 't' -> expect_keyword st "true" (Bool true)
+  | 'f' -> expect_keyword st "false" (Bool false)
+  | 'n' -> expect_keyword st "null" Null
+  | c when c = '-' || is_digit c -> parse_number st
+  | '\255' -> fail st "unexpected end of input"
+  | c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = '}' then begin advance st; Obj [] end
+  else begin
+    let members = ref [] in
+    let seen = Hashtbl.create 8 in
+    let rec loop () =
+      skip_ws st;
+      let key = parse_string_body st in
+      if Hashtbl.mem seen key then fail st (Printf.sprintf "duplicate key %S" key);
+      Hashtbl.add seen key ();
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      members := (key, v) :: !members;
+      skip_ws st;
+      match peek st with
+      | ',' -> advance st; loop ()
+      | '}' -> advance st
+      | _ -> fail st "expected ',' or '}'"
+    in
+    loop ();
+    Obj (List.rev !members)
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = ']' then begin advance st; List [] end
+  else begin
+    let items = ref [] in
+    let rec loop () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | ',' -> advance st; loop ()
+      | ']' -> advance st
+      | _ -> fail st "expected ',' or ']'"
+    in
+    loop ();
+    List (List.rev !items)
+  end
+
+let parse src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if eof st then Ok v
+    else Error { line = st.line; col = st.pos - st.bol + 1; message = "trailing content" }
+  | exception Parse_error e -> Error e
+
+let parse_exn src =
+  match parse src with
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "Json.parse_exn: %s" (error_to_string e))
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error { line = 0; col = 0; message = msg }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(minify = false) v =
+  let buf = Buffer.create 256 in
+  let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_nan f || Float.is_integer f = false && Float.abs f = Float.infinity then
+        invalid_arg "Json.to_string: non-finite float"
+      else if Float.abs f = Float.infinity then invalid_arg "Json.to_string: non-finite float"
+      else Buffer.add_string buf (float_repr f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      if minify then begin
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go depth item)
+          items;
+        Buffer.add_char buf ']'
+      end
+      else begin
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            indent (depth + 1);
+            go (depth + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf ']'
+      end
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+      if minify then begin
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            go depth v)
+          members;
+        Buffer.add_char buf '}'
+      end
+      else begin
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            indent (depth + 1);
+            escape_string buf k;
+            Buffer.add_string buf ": ";
+            go (depth + 1) v)
+          members;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf '}'
+      end
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let to_file ?minify path v =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (to_string ?minify v);
+      Out_channel.output_char oc '\n')
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let member key = function
+  | Obj members -> (
+    match List.assoc_opt key members with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing key %S" key))
+  | v -> Error (Printf.sprintf "expected object for key %S, got %s" key (type_name v))
+
+let member_opt key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let to_bool = function
+  | Bool b -> Ok b
+  | v -> Error (Printf.sprintf "expected bool, got %s" (type_name v))
+
+let to_int = function
+  | Int i -> Ok i
+  | Float f when Float.is_integer f && Float.abs f <= 1e15 -> Ok (int_of_float f)
+  | v -> Error (Printf.sprintf "expected int, got %s" (type_name v))
+
+let to_float = function
+  | Float f -> Ok f
+  | Int i -> Ok (float_of_int i)
+  | v -> Error (Printf.sprintf "expected number, got %s" (type_name v))
+
+let to_str = function
+  | String s -> Ok s
+  | v -> Error (Printf.sprintf "expected string, got %s" (type_name v))
+
+let to_list = function
+  | List l -> Ok l
+  | v -> Error (Printf.sprintf "expected list, got %s" (type_name v))
+
+let to_obj = function
+  | Obj m -> Ok m
+  | v -> Error (Printf.sprintf "expected object, got %s" (type_name v))
+
+let keys = function
+  | Obj m -> List.map fst m
+  | _ -> []
+
+let obj m = Obj m
+let list l = List l
+let str s = String s
+let int i = Int i
+let float f = Float f
+let bool b = Bool b

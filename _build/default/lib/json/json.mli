@@ -1,0 +1,81 @@
+(** Minimal standalone JSON implementation.
+
+    The application-description format of the emulation framework
+    (Listing 1 of the paper) is JSON; no JSON package is vendored in
+    the build environment, so this module provides the subset the
+    framework needs: full RFC 8259 parsing (with the usual OCaml
+    int/float split), deterministic pretty-printing, and combinator
+    accessors returning [result] for recoverable errors. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Member order is preserved; duplicate keys are rejected at
+          parse time. *)
+
+(** {1 Parsing} *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse : string -> (t, error) result
+(** Parse a complete JSON document.  Trailing non-whitespace input is an
+    error. *)
+
+val parse_exn : string -> t
+(** @raise Failure with a located message on malformed input. *)
+
+val of_file : string -> (t, error) result
+(** Read and parse a file.  I/O failures are reported as an [error]
+    with line 0. *)
+
+(** {1 Printing} *)
+
+val to_string : ?minify:bool -> t -> string
+(** Render; default is 2-space indented pretty output with members in
+    their stored order.  [print |> parse] is the identity. *)
+
+val to_file : ?minify:bool -> string -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Accessors}
+
+    Accessors return [Error msg] describing the path that failed, so
+    application-spec validation can produce usable diagnostics. *)
+
+val member : string -> t -> (t, string) result
+(** Object member lookup. *)
+
+val member_opt : string -> t -> t option
+(** [None] when absent or when the value is not an object. *)
+
+val to_bool : t -> (bool, string) result
+val to_int : t -> (int, string) result
+(** Accepts [Int] and integral [Float]s. *)
+
+val to_float : t -> (float, string) result
+(** Accepts [Float] and [Int]. *)
+
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+val to_obj : t -> ((string * t) list, string) result
+
+val keys : t -> string list
+(** Keys of an object, in stored order; [[]] for non-objects. *)
+
+(** {1 Construction helpers} *)
+
+val obj : (string * t) list -> t
+val list : t list -> t
+val str : string -> t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t

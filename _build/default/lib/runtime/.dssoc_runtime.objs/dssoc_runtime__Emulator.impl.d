@@ -1,0 +1,1 @@
+lib/runtime/emulator.ml: Native_engine Printf Scheduler Virtual_engine

@@ -1,0 +1,1 @@
+lib/runtime/emulator.mli: Dssoc_apps Dssoc_soc Stats Task Virtual_engine

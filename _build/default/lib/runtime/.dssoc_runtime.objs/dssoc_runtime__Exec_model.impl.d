@@ -1,0 +1,1 @@
+lib/runtime/exec_model.ml: Dssoc_apps Dssoc_soc Float Hashtbl Printf Task

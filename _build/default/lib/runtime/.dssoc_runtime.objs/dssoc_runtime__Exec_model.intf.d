@@ -1,0 +1,1 @@
+lib/runtime/exec_model.mli: Dssoc_apps Dssoc_soc Task

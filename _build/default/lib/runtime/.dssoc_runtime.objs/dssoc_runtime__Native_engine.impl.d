@@ -1,0 +1,1 @@
+lib/runtime/native_engine.ml: Array Buffer Condition Domain Dssoc_apps Dssoc_soc Dssoc_util Exec_model Hashtbl List Mutex Option Printf Queue Scheduler Seq Stats Task Unix

@@ -1,0 +1,1 @@
+lib/runtime/native_engine.mli: Dssoc_apps Dssoc_soc Scheduler Stats Task

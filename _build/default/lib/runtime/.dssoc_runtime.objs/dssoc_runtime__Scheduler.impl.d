@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Array Dssoc_soc Dssoc_util Float Hashtbl List Printf String Task

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.mli: Dssoc_soc Dssoc_util Task

@@ -1,0 +1,1 @@
+lib/runtime/stats.ml: Buffer Bytes Char Dssoc_json Format Hashtbl List Option Printf String

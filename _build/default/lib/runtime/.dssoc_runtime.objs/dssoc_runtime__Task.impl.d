@@ -1,0 +1,1 @@
+lib/runtime/task.ml: Array Dssoc_apps Dssoc_soc Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/runtime/task.mli: Dssoc_apps Dssoc_soc

@@ -1,0 +1,1 @@
+lib/runtime/virtual_engine.ml: Array Dssoc_apps Dssoc_soc Dssoc_util Effect Exec_model Float Hashtbl List Option Printf Queue Scheduler Seq Stats Task

@@ -1,0 +1,1 @@
+lib/runtime/virtual_engine.mli: Dssoc_apps Dssoc_soc Scheduler Stats Task

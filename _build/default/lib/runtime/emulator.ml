@@ -1,0 +1,32 @@
+type engine = Virtual of Virtual_engine.params | Native
+
+let virtual_seeded ?(jitter = 0.03) ?(reservation_depth = 0) seed =
+  Virtual { Virtual_engine.seed; jitter; reservation_depth }
+
+let run ?(engine = Virtual Virtual_engine.default_params) ?(policy = "FRFS") ~config ~workload () =
+  match Scheduler.find policy with
+  | Error _ as e -> e
+  | Ok policy -> (
+    try
+      Ok
+        (match engine with
+        | Virtual params -> Virtual_engine.run ~params ~config ~workload ~policy ()
+        | Native -> Native_engine.run ~config ~workload ~policy ())
+    with Invalid_argument msg -> Error msg)
+
+let run_exn ?engine ?policy ~config ~workload () =
+  match run ?engine ?policy ~config ~workload () with
+  | Ok r -> r
+  | Error msg -> invalid_arg (Printf.sprintf "Emulator.run_exn: %s" msg)
+
+let run_detailed ?(engine = Virtual Virtual_engine.default_params) ?(policy = "FRFS") ~config
+    ~workload () =
+  match Scheduler.find policy with
+  | Error _ as e -> e
+  | Ok policy -> (
+    try
+      Ok
+        (match engine with
+        | Virtual params -> Virtual_engine.run_detailed ~params ~config ~workload ~policy ()
+        | Native -> Native_engine.run_detailed ~config ~workload ~policy ())
+    with Invalid_argument msg -> Error msg)

@@ -1,0 +1,47 @@
+(** Top-level emulation API.
+
+    Wraps engine selection, policy lookup and workload construction so
+    examples, the CLI and the benchmark harness share one entry
+    point. *)
+
+type engine =
+  | Virtual of Virtual_engine.params
+      (** deterministic virtual-time simulation (used by all figure
+          benches) *)
+  | Native
+      (** OCaml 5 domains executing the same handler protocol in real
+          time on the machine running the emulator *)
+
+val virtual_seeded : ?jitter:float -> ?reservation_depth:int -> int64 -> engine
+(** Convenience: virtual engine with the given seed (jitter defaults
+    to 0.03, reservation queues off — see
+    {!Virtual_engine.params}). *)
+
+val run :
+  ?engine:engine ->
+  ?policy:string ->
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  unit ->
+  (Stats.report, string) result
+(** Defaults: deterministic virtual engine (seed 1, 3% jitter), FRFS.
+    Errors on unknown policy names or unsupported tasks. *)
+
+val run_exn :
+  ?engine:engine ->
+  ?policy:string ->
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  unit ->
+  Stats.report
+
+val run_detailed :
+  ?engine:engine ->
+  ?policy:string ->
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  unit ->
+  (Stats.report * Task.instance array, string) result
+(** Like {!run} but also returns the executed instances (in workload
+    order), giving access to the final variable stores for functional
+    verification. *)

@@ -1,0 +1,64 @@
+module App_spec = Dssoc_apps.App_spec
+module Kernels = Dssoc_apps.Kernels
+module Pe = Dssoc_soc.Pe
+module Cost_model = Dssoc_soc.Cost_model
+
+let entry_for (task : Task.t) pe =
+  match Task.platform_entry_for task pe with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Exec_model: task %s/%s does not support PE %s" task.Task.app_name
+         task.Task.node.App_spec.node_name pe.Pe.label)
+
+let dma_bytes (node : App_spec.node) =
+  let default = 8 * node.App_spec.size in
+  let bi = if node.App_spec.bytes_in > 0 then node.App_spec.bytes_in else default in
+  let bo = if node.App_spec.bytes_out > 0 then node.App_spec.bytes_out else default in
+  (bi, bo)
+
+let accel_phases_ns (task : Task.t) (acl : Pe.accel_class) =
+  let node = task.Task.node in
+  let bytes_in, bytes_out = dma_bytes node in
+  Cost_model.accel_phases_ns ~bytes_in ~bytes_out ~n:node.App_spec.size acl
+
+(* The schedulers (EFT in particular) call estimate_ns for every
+   (ready task, PE) pair on every invocation; the result only depends
+   on the node's cost metadata and the PE class, so memoize. *)
+let memo : (string * int * int * int * float option * Pe.kind, int) Hashtbl.t = Hashtbl.create 256
+
+let clear_cache () = Hashtbl.reset memo
+
+let estimate_ns (task : Task.t) pe =
+  let entry = entry_for task pe in
+  match entry.App_spec.cost_us with
+  | Some us -> int_of_float (Float.round (us *. 1e3))
+  | None -> (
+    let node = task.Task.node in
+    let key =
+      ( node.App_spec.kernel_class,
+        node.App_spec.size,
+        node.App_spec.bytes_in,
+        node.App_spec.bytes_out,
+        None,
+        pe.Pe.kind )
+    in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+      let v =
+        match pe.Pe.kind with
+        | Pe.Cpu cls ->
+          Cost_model.cpu_cost_ns ~kernel:node.App_spec.kernel_class ~n:node.App_spec.size cls
+        | Pe.Accel acl ->
+          let i, c, o = accel_phases_ns task acl in
+          i + c + o
+      in
+      Hashtbl.replace memo key v;
+      v)
+
+let resolve_kernel (task : Task.t) pe =
+  let entry = entry_for task pe in
+  match Kernels.resolve ~app:task.Task.spec ~node:task.Task.node ~platform:entry with
+  | Ok k -> k
+  | Error msg -> invalid_arg (Printf.sprintf "Exec_model.resolve_kernel: %s" msg)

@@ -1,0 +1,26 @@
+(** Task execution-time estimation.
+
+    Bridges the cost model to tasks: picks the matching platform entry,
+    honours an explicit [cost_us] override from the JSON, and otherwise
+    prices CPU execution from the kernel profile and accelerator
+    execution from the device model.  Both the virtual engine (to
+    charge time) and the MET/EFT schedulers (to estimate) use it. *)
+
+val estimate_ns : Task.t -> Dssoc_soc.Pe.t -> int
+(** Full turnaround estimate on the given PE.  Memoized per (cost
+    metadata, PE class) — call {!clear_cache} after re-registering a
+    kernel profile in {!Dssoc_soc.Cost_model}.
+    @raise Invalid_argument when the task does not support the PE. *)
+
+val clear_cache : unit -> unit
+(** Drop the estimate memo table. *)
+
+val accel_phases_ns : Task.t -> Dssoc_soc.Pe.accel_class -> int * int * int
+(** [(dma_in, device_compute, dma_out)]; DMA sizes come from the node's
+    [bytes_in]/[bytes_out], defaulting to [8 * size] (one complex
+    float32 per sample) when unspecified. *)
+
+val resolve_kernel : Task.t -> Dssoc_soc.Pe.t -> Dssoc_apps.Kernels.kernel
+(** The functional kernel to execute for this (task, PE) pairing.
+    @raise Invalid_argument on unknown shared object or symbol — app
+    parsing is supposed to catch this earlier. *)

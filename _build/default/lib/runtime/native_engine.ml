@@ -1,0 +1,293 @@
+module Pe = Dssoc_soc.Pe
+module Host = Dssoc_soc.Host
+module Config = Dssoc_soc.Config
+module App_spec = Dssoc_apps.App_spec
+module Workload = Dssoc_apps.Workload
+module Prng = Dssoc_util.Prng
+
+type nhandler = {
+  pe : Pe.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable status : [ `Idle | `Run | `Complete | `Stop ];
+  mutable task : Task.t option;
+  mutable busy_ns : int;
+  mutable tasks_run : int;
+  mutable busy_until : int;
+}
+
+let now_ns ref_start = int_of_float ((Unix.gettimeofday () -. ref_start) *. 1e9)
+
+(* Resource-manager body (Fig. 4): wait for an assignment, execute it
+   according to the PE type, flag completion, repeat. *)
+let resource_manager ref_start h () =
+  let rec loop () =
+    Mutex.lock h.mutex;
+    while h.status <> `Run && h.status <> `Stop do
+      Condition.wait h.cond h.mutex
+    done;
+    if h.status = `Stop then Mutex.unlock h.mutex
+    else begin
+      let task = Option.get h.task in
+      Mutex.unlock h.mutex;
+      let kernel = Exec_model.resolve_kernel task h.pe in
+      let args = task.Task.node.App_spec.arguments in
+      (match h.pe.Pe.kind with
+      | Pe.Cpu _ -> kernel task.Task.store args
+      | Pe.Accel acl ->
+        (* Real copies stand in for the DMA transfers; a timed sleep
+           stands in for the device compute. *)
+        let scratch = Buffer.create 256 in
+        List.iter
+          (fun a -> Buffer.add_bytes scratch (Dssoc_apps.Store.get_raw task.Task.store a))
+          (List.filter
+             (fun a -> (Dssoc_apps.Store.spec task.Task.store a).Dssoc_apps.Store.is_ptr)
+             args);
+        kernel task.Task.store args;
+        let _, compute, _ = Exec_model.accel_phases_ns task acl in
+        Unix.sleepf (float_of_int compute /. 1e9);
+        ignore (Buffer.contents scratch));
+      Mutex.lock h.mutex;
+      task.Task.completed_at <- now_ns ref_start;
+      h.status <- `Complete;
+      Mutex.unlock h.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let run_detailed ~(config : Config.t) ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
+  let items = Array.of_list workload.Workload.items in
+  let task_id_base = ref 0 in
+  let instances =
+    Array.mapi
+      (fun i (item : Workload.item) ->
+        let inst =
+          Task.instantiate ~task_id_base:!task_id_base ~inst_id:i
+            ~arrival_ns:item.Workload.arrival_ns item.Workload.spec
+        in
+        task_id_base := !task_id_base + Array.length inst.Task.tasks;
+        inst)
+      items
+  in
+  let pes = Config.pes config in
+  Array.iter
+    (fun inst ->
+      Array.iter
+        (fun (t : Task.t) ->
+          if not (List.exists (Task.supports t) pes) then
+            invalid_arg
+              (Printf.sprintf "Native_engine.run: task %s/%s supports no PE of %s"
+                 t.Task.app_name t.Task.node.App_spec.node_name config.Config.label))
+        inst.Task.tasks)
+    instances;
+  let handlers =
+    Array.of_list
+      (List.map
+         (fun (p : Config.placement) ->
+           {
+             pe = p.Config.pe;
+             mutex = Mutex.create ();
+             cond = Condition.create ();
+             status = `Idle;
+             task = None;
+             busy_ns = 0;
+             tasks_run = 0;
+             busy_until = 0;
+           })
+         config.Config.placements)
+  in
+  let ref_start = Unix.gettimeofday () in
+  let domains =
+    Array.map (fun h -> Domain.spawn (resource_manager ref_start h)) handlers
+  in
+  let prng = Prng.create ~seed:7L in
+  let ready : Task.t Queue.t = Queue.create () in
+  let pending = ref (Array.to_list instances) in
+  let unfinished = ref (Array.length instances) in
+  let records = ref [] in
+  let sched_ns = ref 0 and sched_inv = ref 0 and wm_ns = ref 0 in
+  let make_ready t =
+    t.Task.status <- Task.Ready;
+    t.Task.ready_at <- now_ns ref_start;
+    Queue.add t ready
+  in
+  (* Workload-manager loop (Fig. 3) on the calling domain. *)
+  while !unfinished > 0 do
+    let loop_start = Unix.gettimeofday () in
+    (* monitor *)
+    Array.iter
+      (fun h ->
+        Mutex.lock h.mutex;
+        if h.status = `Complete then begin
+          (match h.task with
+          | None -> ()
+          | Some task ->
+            task.Task.status <- Task.Done;
+            h.busy_ns <- h.busy_ns + (task.Task.completed_at - task.Task.dispatched_at);
+            h.tasks_run <- h.tasks_run + 1;
+            records :=
+              {
+                Stats.app = task.Task.app_name;
+                instance = task.Task.instance_id;
+                node = task.Task.node.App_spec.node_name;
+                pe = task.Task.pe_label;
+                ready_ns = task.Task.ready_at;
+                dispatched_ns = task.Task.dispatched_at;
+                completed_ns = task.Task.completed_at;
+              }
+              :: !records;
+            let inst = instances.(task.Task.instance_id) in
+            inst.Task.remaining <- inst.Task.remaining - 1;
+            if inst.Task.remaining = 0 then begin
+              inst.Task.completed_at <- now_ns ref_start;
+              decr unfinished
+            end;
+            List.iter
+              (fun (succ : Task.t) ->
+                succ.Task.unmet <- succ.Task.unmet - 1;
+                if succ.Task.unmet = 0 then make_ready succ)
+              task.Task.successors);
+          h.task <- None;
+          h.status <- `Idle
+        end;
+        Mutex.unlock h.mutex)
+      handlers;
+    (* inject *)
+    let now = now_ns ref_start in
+    let rec drain () =
+      match !pending with
+      | inst :: rest when inst.Task.arrival_ns <= now ->
+        pending := rest;
+        List.iter make_ready inst.Task.entry;
+        drain ()
+      | _ -> ()
+    in
+    drain ();
+    (* schedule + dispatch *)
+    let have_idle =
+      Array.exists
+        (fun h ->
+          Mutex.lock h.mutex;
+          let idle = h.status = `Idle in
+          Mutex.unlock h.mutex;
+          idle)
+        handlers
+    in
+    while (not (Queue.is_empty ready)) && (Queue.peek ready).Task.status <> Task.Ready do
+      ignore (Queue.pop ready)
+    done;
+    if (not (Queue.is_empty ready)) && have_idle then begin
+      let snapshot =
+        let out = ref [] and taken = ref 0 in
+        (try
+           Seq.iter
+             (fun t ->
+               if t.Task.status = Task.Ready then begin
+                 out := t :: !out;
+                 incr taken;
+                 if !taken >= 64 then raise Exit
+               end)
+             (Queue.to_seq ready)
+         with Exit -> ());
+        List.rev !out
+      in
+      let pe_states =
+        Array.map
+          (fun h -> { Scheduler.pe = h.pe; idle = h.status = `Idle; busy_until = h.busy_until })
+          handlers
+      in
+      let t0 = Unix.gettimeofday () in
+      let ctx =
+        {
+          Scheduler.now;
+          ready = snapshot;
+          pes = pe_states;
+          estimate = Exec_model.estimate_ns;
+          prng;
+          ops = 0;
+        }
+      in
+      let assignments = policy.Scheduler.schedule ctx in
+      sched_ns := !sched_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+      incr sched_inv;
+      (* Dispatch flips status to Running, which lazily removes the
+         task from the ready queue. *)
+      List.iter
+        (fun (a : Scheduler.assignment) ->
+          let h = handlers.(a.Scheduler.pe_index) and task = a.Scheduler.task in
+          Mutex.lock h.mutex;
+          task.Task.status <- Task.Running;
+          task.Task.dispatched_at <- now_ns ref_start;
+          task.Task.pe_label <- h.pe.Pe.label;
+          h.task <- Some task;
+          h.status <- `Run;
+          h.busy_until <- task.Task.dispatched_at + Exec_model.estimate_ns task h.pe;
+          Condition.signal h.cond;
+          Mutex.unlock h.mutex)
+        assignments
+    end;
+    wm_ns := !wm_ns + int_of_float ((Unix.gettimeofday () -. loop_start) *. 1e9);
+    if !unfinished > 0 then Domain.cpu_relax ()
+  done;
+  Array.iter
+    (fun h ->
+      Mutex.lock h.mutex;
+      h.status <- `Stop;
+      Condition.signal h.cond;
+      Mutex.unlock h.mutex)
+    handlers;
+  Array.iter Domain.join domains;
+  let makespan = Array.fold_left (fun acc i -> max acc i.Task.completed_at) 0 instances in
+  let app_tbl = Hashtbl.create 4 in
+  Array.iter
+    (fun inst ->
+      let name = inst.Task.app.App_spec.app_name in
+      let lat = inst.Task.completed_at - inst.Task.arrival_ns in
+      Hashtbl.replace app_tbl name (lat :: Option.value ~default:[] (Hashtbl.find_opt app_tbl name)))
+    instances;
+  ( {
+    Stats.host_name = config.Config.host.Host.name ^ " (native)";
+    config_label = config.Config.label;
+    policy_name = policy.Scheduler.name;
+    makespan_ns = makespan;
+    job_count = Array.length instances;
+    task_count = Array.fold_left (fun acc i -> acc + Array.length i.Task.tasks) 0 instances;
+    pe_usage =
+      Array.to_list
+        (Array.map
+           (fun h ->
+             {
+               Stats.pe_label = h.pe.Pe.label;
+               pe_kind = Pe.kind_name h.pe.Pe.kind;
+               busy_ns = h.busy_ns;
+               tasks_run = h.tasks_run;
+               busy_energy_mj = float_of_int h.busy_ns *. Pe.busy_w h.pe.Pe.kind *. 1e-6;
+               energy_mj =
+                 (float_of_int h.busy_ns *. Pe.busy_w h.pe.Pe.kind
+                 +. float_of_int (max 0 (makespan - h.busy_ns)) *. Pe.idle_w h.pe.Pe.kind)
+                 *. 1e-6;
+             })
+           handlers);
+    sched_invocations = !sched_inv;
+    sched_ns = !sched_ns;
+    wm_overhead_ns = !wm_ns;
+    records = List.rev !records;
+    app_stats =
+      Hashtbl.fold
+        (fun name lats acc ->
+          let n = List.length lats in
+          ( name,
+            {
+              Stats.instances = n;
+              mean_latency_ns =
+                float_of_int (List.fold_left ( + ) 0 lats) /. float_of_int (max 1 n);
+              max_latency_ns = List.fold_left max 0 lats;
+            } )
+          :: acc)
+        app_tbl []
+      |> List.sort compare;
+  },
+    instances )
+
+let run ~config ~workload ~policy () = fst (run_detailed ~config ~workload ~policy ())

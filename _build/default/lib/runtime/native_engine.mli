@@ -1,0 +1,35 @@
+(** Native emulation engine: the framework running for real.
+
+    One OCaml 5 domain per PE plays the resource-manager thread; the
+    calling domain plays the workload manager on the "overlay" core.
+    The handler protocol is the paper's: status [idle]/[run]/[complete]
+    guarded by a per-handler mutex, the workload manager polling
+    completion and dispatching through the handler, the resource
+    manager blocking on its condition variable until work arrives.
+
+    Kernels execute for real and times are wall-clock measurements, so
+    results vary with the machine — this engine demonstrates the
+    framework is a genuine user-space runtime and cross-checks the
+    virtual engine's functional outputs.  Hardware accelerators do not
+    exist on the host, so an accelerator PE performs its DMA phases as
+    real buffer copies and emulates device compute with a timed sleep
+    of the modelled duration (substitution documented in DESIGN.md). *)
+
+val run :
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  policy:Scheduler.policy ->
+  unit ->
+  Stats.report
+(** Run to completion using real domains.
+    @raise Invalid_argument if some task supports no PE of the
+    configuration. *)
+
+val run_detailed :
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  policy:Scheduler.policy ->
+  unit ->
+  Stats.report * Task.instance array
+(** Like {!run} but also returns the executed instances so callers can
+    inspect final variable stores. *)

@@ -1,0 +1,197 @@
+module Pe = Dssoc_soc.Pe
+module Cost_model = Dssoc_soc.Cost_model
+module Prng = Dssoc_util.Prng
+
+type pe_state = { pe : Pe.t; mutable idle : bool; mutable busy_until : int }
+
+type context = {
+  now : int;
+  ready : Task.t list;
+  pes : pe_state array;
+  estimate : Task.t -> Pe.t -> int;
+  prng : Prng.t;
+  mutable ops : int;
+}
+
+type assignment = { task : Task.t; pe_index : int }
+
+type policy = { name : string; schedule : context -> assignment list }
+
+(* ------------------------------------------------------------------ *)
+(* Built-ins                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let frfs =
+  let schedule ctx =
+    let out = ref [] in
+    List.iter
+      (fun task ->
+        let chosen = ref None in
+        Array.iteri
+          (fun i st ->
+            ctx.ops <- ctx.ops + 1;
+            if !chosen = None && st.idle && Task.supports task st.pe then chosen := Some i)
+          ctx.pes;
+        match !chosen with
+        | Some i ->
+          ctx.pes.(i).idle <- false;
+          out := { task; pe_index = i } :: !out
+        | None -> ())
+      ctx.ready;
+    List.rev !out
+  in
+  { name = "FRFS"; schedule }
+
+let met =
+  let schedule ctx =
+    let out = ref [] in
+    List.iter
+      (fun task ->
+        let best = ref None in
+        Array.iteri
+          (fun i st ->
+            ctx.ops <- ctx.ops + 1;
+            if st.idle && Task.supports task st.pe then begin
+              let est = ctx.estimate task st.pe in
+              match !best with
+              | Some (_, best_est) when best_est <= est -> ()
+              | _ -> best := Some (i, est)
+            end)
+          ctx.pes;
+        match !best with
+        | Some (i, _) ->
+          ctx.pes.(i).idle <- false;
+          out := { task; pe_index = i } :: !out
+        | None -> ())
+      ctx.ready;
+    List.rev !out
+  in
+  { name = "MET"; schedule }
+
+let eft =
+  let schedule ctx =
+    (* Virtual availability starts from the real PE state and advances
+       as the pass commits or reserves tasks, so one invocation plans
+       several tasks ahead.  A task whose earliest-finish PE is busy
+       *reserves* it (pushing the availability horizon) and stays in
+       the ready list — the "wait for the better PE" behaviour that
+       distinguishes EFT from MET. *)
+    let avail = Array.map (fun st -> if st.idle then ctx.now else st.busy_until) ctx.pes in
+    let out = ref [] in
+    List.iter
+      (fun task ->
+        let best = ref None in
+        Array.iteri
+          (fun i st ->
+            ctx.ops <- ctx.ops + 1;
+            if Task.supports task st.pe then begin
+              let finish = max ctx.now avail.(i) + ctx.estimate task st.pe in
+              match !best with
+              | Some (_, best_finish) when best_finish <= finish -> ()
+              | _ -> best := Some (i, finish)
+            end)
+          ctx.pes;
+        match !best with
+        | None -> ()
+        | Some (i, finish) ->
+          avail.(i) <- finish;
+          if ctx.pes.(i).idle then begin
+            ctx.pes.(i).idle <- false;
+            out := { task; pe_index = i } :: !out
+          end)
+      ctx.ready;
+    List.rev !out
+  in
+  { name = "EFT"; schedule }
+
+let power =
+  let schedule ctx =
+    let out = ref [] in
+    List.iter
+      (fun task ->
+        let best = ref None in
+        Array.iteri
+          (fun i st ->
+            ctx.ops <- ctx.ops + 1;
+            if st.idle && Task.supports task st.pe then begin
+              let est = ctx.estimate task st.pe in
+              (* Energy-to-completion for this task on this PE; ties
+                 broken by execution time. *)
+              let energy = float_of_int est *. Pe.busy_w st.pe.Pe.kind in
+              match !best with
+              | Some (_, best_energy, best_est)
+                when best_energy < energy || (best_energy = energy && best_est <= est) ->
+                ()
+              | _ -> best := Some (i, energy, est)
+            end)
+          ctx.pes;
+        match !best with
+        | Some (i, _, _) ->
+          ctx.pes.(i).idle <- false;
+          out := { task; pe_index = i } :: !out
+        | None -> ())
+      ctx.ready;
+    List.rev !out
+  in
+  { name = "POWER"; schedule }
+
+let random =
+  let schedule ctx =
+    let out = ref [] in
+    List.iter
+      (fun task ->
+        let candidates = ref [] in
+        Array.iteri
+          (fun i st ->
+            ctx.ops <- ctx.ops + 1;
+            if st.idle && Task.supports task st.pe then candidates := i :: !candidates)
+          ctx.pes;
+        match !candidates with
+        | [] -> ()
+        | cs ->
+          let arr = Array.of_list cs in
+          let i = Prng.choose ctx.prng arr in
+          ctx.pes.(i).idle <- false;
+          out := { task; pe_index = i } :: !out)
+      ctx.ready;
+    List.rev !out
+  in
+  { name = "RANDOM"; schedule }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (string, policy) Hashtbl.t = Hashtbl.create 8
+
+let register p = Hashtbl.replace registry (String.uppercase_ascii p.name) p
+
+let () = List.iter register [ frfs; met; eft; random; power ]
+
+let find name =
+  match Hashtbl.find_opt registry (String.uppercase_ascii name) with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown scheduling policy %S (available: %s)" name
+         (String.concat ", "
+            (Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare)))
+
+let names () = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Overhead model                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let overhead_ns ~policy_name ~ready ~pes ~ops =
+  let open Cost_model in
+  let examined = min ready sched_examined_cap in
+  let extra =
+    match String.uppercase_ascii policy_name with
+    | "FRFS" -> sched_frfs_per_pe_ns *. float_of_int pes
+    | "RANDOM" -> sched_frfs_per_pe_ns *. float_of_int (pes + examined)
+    | "MET" | "POWER" -> sched_met_per_task_ns *. float_of_int examined
+    | "EFT" -> sched_eft_per_pair_ns *. float_of_int (examined * examined)
+    | _ -> 60.0 *. float_of_int ops
+  in
+  int_of_float (Float.round (sched_base_ns +. extra))

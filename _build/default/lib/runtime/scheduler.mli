@@ -1,0 +1,79 @@
+(** Task-scheduling policy library (Section II-C).
+
+    The workload manager hands the policy a snapshot of the ready-task
+    list and the PE states; the policy returns assignments of ready
+    tasks to *idle* PEs.  The default library implements the paper's
+    four policies — FRFS, MET, EFT and RANDOM — and user policies can
+    be registered under new names (the paper's "custom scheduling
+    algorithm" hook). *)
+
+type pe_state = {
+  pe : Dssoc_soc.Pe.t;
+  mutable idle : bool;
+  mutable busy_until : int;
+      (** estimated completion of the in-flight task (EFT looks at
+          this); meaningful only when not idle *)
+}
+
+type context = {
+  now : int;
+  ready : Task.t list;  (** in ready (FIFO) order *)
+  pes : pe_state array;
+  estimate : Task.t -> Dssoc_soc.Pe.t -> int;  (** modelled execution time *)
+  prng : Dssoc_util.Prng.t;
+  mutable ops : int;
+      (** policies increment this per elementary examination; the
+          engine charges overlay-core time proportional to the policy's
+          complexity model *)
+}
+
+type assignment = { task : Task.t; pe_index : int }
+
+type policy = { name : string; schedule : context -> assignment list }
+
+(** {1 Built-in policies} *)
+
+val frfs : policy
+(** First ready-first start: walk the ready list in order; each task
+    goes to the first idle PE that supports it. *)
+
+val met : policy
+(** Minimum execution time: each ready task goes to the idle
+    supporting PE with the smallest estimated execution time. *)
+
+val eft : policy
+(** Earliest finish time: a planning pass in ready order; each task
+    picks the supporting PE with the earliest finish (busy PEs finish
+    at [busy_until] + estimate, and the pass advances a virtual
+    availability horizon as it commits tasks).  A task whose winner is
+    busy reserves it and keeps waiting instead of falling back to an
+    idle PE — the behaviour whose O(n^2) cost Case Study 2 charges. *)
+
+val random : policy
+(** Uniformly random idle supporting PE per ready task. *)
+
+val power : policy
+(** Power-aware heuristic (the paper's future-work extension): each
+    ready task goes to the idle supporting PE with the lowest
+    estimated energy-to-completion (execution time x active power),
+    ties broken by execution time.  On big.LITTLE hosts this steers
+    work to LITTLE cores until they saturate. *)
+
+(** {1 Registry} *)
+
+val register : policy -> unit
+(** Add or replace a policy by name.  Built-ins are pre-registered. *)
+
+val find : string -> (policy, string) result
+(** Case-insensitive lookup. *)
+
+val names : unit -> string list
+
+(** {1 Overhead model} *)
+
+val overhead_ns : policy_name:string -> ready:int -> pes:int -> ops:int -> int
+(** Modelled scheduling-invocation cost on the reference overlay core:
+    FRFS is linear in PE count, MET linear in ready-task count, EFT
+    quadratic in ready-task count (the complexities stated in Case
+    Study 2); unknown (custom) policies are charged per recorded
+    elementary operation. *)

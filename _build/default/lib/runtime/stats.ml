@@ -1,0 +1,167 @@
+type task_record = {
+  app : string;
+  instance : int;
+  node : string;
+  pe : string;
+  ready_ns : int;
+  dispatched_ns : int;
+  completed_ns : int;
+}
+
+type pe_usage = {
+  pe_label : string;
+  pe_kind : string;
+  busy_ns : int;
+  tasks_run : int;
+  busy_energy_mj : float;
+  energy_mj : float;
+}
+
+type app_summary = { instances : int; mean_latency_ns : float; max_latency_ns : int }
+
+type report = {
+  host_name : string;
+  config_label : string;
+  policy_name : string;
+  makespan_ns : int;
+  job_count : int;
+  task_count : int;
+  pe_usage : pe_usage list;
+  sched_invocations : int;
+  sched_ns : int;
+  wm_overhead_ns : int;
+  records : task_record list;
+  app_stats : (string * app_summary) list;
+}
+
+let utilization r =
+  let span = float_of_int (max 1 r.makespan_ns) in
+  List.map (fun u -> (u.pe_label, float_of_int u.busy_ns /. span)) r.pe_usage
+
+let mean_utilization_by_kind r =
+  let span = float_of_int (max 1 r.makespan_ns) in
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun u ->
+      let sum, n = Option.value ~default:(0.0, 0) (Hashtbl.find_opt tbl u.pe_kind) in
+      Hashtbl.replace tbl u.pe_kind (sum +. (float_of_int u.busy_ns /. span), n + 1))
+    r.pe_usage;
+  Hashtbl.fold (fun k (sum, n) acc -> (k, sum /. float_of_int n) :: acc) tbl []
+  |> List.sort compare
+
+let total_energy_mj r = List.fold_left (fun acc u -> acc +. u.energy_mj) 0.0 r.pe_usage
+
+let total_busy_energy_mj r = List.fold_left (fun acc u -> acc +. u.busy_energy_mj) 0.0 r.pe_usage
+
+let avg_sched_overhead_ns r =
+  if r.sched_invocations = 0 then 0.0
+  else float_of_int r.wm_overhead_ns /. float_of_int r.sched_invocations
+
+let pp_summary fmt r =
+  let ms ns = float_of_int ns /. 1e6 in
+  Format.fprintf fmt "== %s | %s | %s ==@." r.host_name r.config_label r.policy_name;
+  Format.fprintf fmt "  jobs: %d   tasks: %d   makespan: %.3f ms@." r.job_count r.task_count
+    (ms r.makespan_ns);
+  Format.fprintf fmt "  scheduler: %d invocations, %.3f ms total, %.2f us avg WM overhead@."
+    r.sched_invocations (ms r.sched_ns) (avg_sched_overhead_ns r /. 1e3);
+  Format.fprintf fmt "  energy: %.3f mJ across all PEs@." (total_energy_mj r);
+  List.iter
+    (fun u ->
+      Format.fprintf fmt "  %-8s busy %.3f ms (%d tasks, %.1f%% util)@." u.pe_label (ms u.busy_ns)
+        u.tasks_run
+        (100.0 *. float_of_int u.busy_ns /. float_of_int (max 1 r.makespan_ns)))
+    r.pe_usage;
+  List.iter
+    (fun (app, s) ->
+      Format.fprintf fmt "  %-16s x%d  mean latency %.3f ms  max %.3f ms@." app s.instances
+        (s.mean_latency_ns /. 1e6) (ms s.max_latency_ns))
+    r.app_stats
+
+let records_csv r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "app,instance,node,pe,ready_ns,dispatched_ns,completed_ns\n";
+  List.iter
+    (fun rec_ ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s,%s,%d,%d,%d\n" rec_.app rec_.instance rec_.node rec_.pe
+           rec_.ready_ns rec_.dispatched_ns rec_.completed_ns))
+    r.records;
+  Buffer.contents buf
+
+let chrome_trace r =
+  let module Json = Dssoc_json.Json in
+  let pe_index =
+    List.mapi (fun i u -> (u.pe_label, i)) r.pe_usage
+  in
+  let events =
+    List.map
+      (fun t ->
+        Json.obj
+          [
+            ("name", Json.str (Printf.sprintf "%s/%d:%s" t.app t.instance t.node));
+            ("cat", Json.str t.app);
+            ("ph", Json.str "X");
+            ("ts", Json.float (float_of_int t.dispatched_ns /. 1e3));
+            ("dur", Json.float (float_of_int (t.completed_ns - t.dispatched_ns) /. 1e3));
+            ("pid", Json.int 1);
+            ("tid", Json.int (Option.value ~default:0 (List.assoc_opt t.pe pe_index)));
+            ("args", Json.obj [ ("ready_us", Json.float (float_of_int t.ready_ns /. 1e3)) ]);
+          ])
+      r.records
+  in
+  let threads =
+    List.map
+      (fun (label, i) ->
+        Json.obj
+          [
+            ("name", Json.str "thread_name");
+            ("ph", Json.str "M");
+            ("pid", Json.int 1);
+            ("tid", Json.int i);
+            ("args", Json.obj [ ("name", Json.str label) ]);
+          ])
+      pe_index
+  in
+  Json.obj
+    [
+      ("traceEvents", Json.list (threads @ events));
+      ("displayTimeUnit", Json.str "ms");
+      ( "otherData",
+        Json.obj
+          [
+            ("config", Json.str r.config_label);
+            ("policy", Json.str r.policy_name);
+            ("host", Json.str r.host_name);
+          ] );
+    ]
+
+let gantt ?(width = 100) r =
+  let span = float_of_int (max 1 r.makespan_ns) in
+  let apps = List.sort_uniq compare (List.map (fun t -> t.app) r.records) in
+  let letter app =
+    match List.find_index (fun a -> a = app) apps with
+    | Some i when i < 26 -> Char.chr (Char.code 'a' + i)
+    | _ -> '?'
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (app : string) -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" (letter app) app))
+    apps;
+  List.iter
+    (fun u ->
+      let row = Bytes.make width '.' in
+      List.iter
+        (fun t ->
+          if t.pe = u.pe_label then begin
+            let pos ns = min (width - 1) (int_of_float (float_of_int ns /. span *. float_of_int width)) in
+            for i = pos t.dispatched_ns to pos t.completed_ns do
+              Bytes.set row i (letter t.app)
+            done
+          end)
+        r.records;
+      Buffer.add_string buf (Printf.sprintf "%-8s |%s|\n" u.pe_label (Bytes.to_string row)))
+    r.pe_usage;
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s  0%s%.3f ms\n" "" (String.make (max 1 (width - 8)) ' ')
+       (float_of_int r.makespan_ns /. 1e6));
+  Buffer.contents buf

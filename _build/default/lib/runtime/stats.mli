@@ -1,0 +1,86 @@
+(** Emulation statistics (the "scheduling statistics for all the
+    applications and their tasks" collected before termination,
+    Section II-A). *)
+
+type task_record = {
+  app : string;
+  instance : int;
+  node : string;
+  pe : string;
+  ready_ns : int;
+  dispatched_ns : int;
+  completed_ns : int;
+}
+
+type pe_usage = {
+  pe_label : string;
+  pe_kind : string;
+  busy_ns : int;  (** accumulated execution occupancy *)
+  tasks_run : int;
+  busy_energy_mj : float;  (** busy_ns x active power *)
+  energy_mj : float;
+      (** busy energy plus idle power over the makespan remainder,
+          from the PE class's power figures (power-awareness
+          extension) *)
+}
+
+type app_summary = {
+  instances : int;
+  mean_latency_ns : float;  (** arrival to last-task completion *)
+  max_latency_ns : int;
+}
+
+type report = {
+  host_name : string;
+  config_label : string;
+  policy_name : string;
+  makespan_ns : int;  (** workload execution time *)
+  job_count : int;  (** application instances *)
+  task_count : int;
+  pe_usage : pe_usage list;
+  sched_invocations : int;
+  sched_ns : int;  (** time spent inside the scheduling policy *)
+  wm_overhead_ns : int;
+      (** total workload-manager overhead: completion monitoring +
+          ready-list updates + scheduling + dispatch communication
+          (the Fig. 10b definition) *)
+  records : task_record list;  (** by completion time *)
+  app_stats : (string * app_summary) list;  (** sorted by app name *)
+}
+
+val utilization : report -> (string * float) list
+(** Per-PE busy-time fraction of the makespan, in PE order. *)
+
+val mean_utilization_by_kind : report -> (string * float) list
+(** Average utilisation per PE kind ("cpu", "fft", "big", ...) — the
+    Fig. 9b series. *)
+
+val avg_sched_overhead_ns : report -> float
+(** Mean workload-manager overhead per scheduling invocation — the
+    Fig. 10b metric. *)
+
+val total_energy_mj : report -> float
+(** Sum of per-PE energy over the whole emulation. *)
+
+val total_busy_energy_mj : report -> float
+(** Active-power component only (excludes idle draw) — the metric a
+    race-to-idle comparison needs alongside {!total_energy_mj}. *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** Multi-line human-readable summary. *)
+
+val records_csv : report -> string
+(** Per-task records as CSV (header + one line per task). *)
+
+val chrome_trace : report -> Dssoc_json.Json.t
+(** Task records as a Chrome trace-event document (one complete "X"
+    event per task, one row per PE) — load the written file in
+    chrome://tracing or Perfetto.  Timestamps are emulation-time
+    microseconds. *)
+
+val gantt : ?width:int -> report -> string
+(** ASCII Gantt chart: one row per PE, time on the x axis scaled to
+    the makespan; occupied spans are drawn with per-application
+    letters ('a' = first application name alphabetically, etc.), idle
+    time with dots.  Intended for eyeballing schedules of small
+    workloads. *)

@@ -1,0 +1,54 @@
+(** Tasks and application instances.
+
+    A task is one DAG node of one application instance; it carries the
+    bookkeeping the workload manager needs for scheduling, dispatch
+    and measurement (the "DAG node data structure" of Section II-C). *)
+
+type status =
+  | Blocked  (** waiting on unfinished predecessors *)
+  | Ready  (** in the ready-task list *)
+  | Running  (** dispatched to a PE *)
+  | Done
+
+type t = {
+  id : int;  (** unique within an emulation *)
+  instance_id : int;
+  app_name : string;
+  node : Dssoc_apps.App_spec.node;
+  spec : Dssoc_apps.App_spec.t;
+  store : Dssoc_apps.Store.t;  (** shared with the other tasks of the instance *)
+  mutable status : status;
+  mutable unmet : int;  (** outstanding predecessor count *)
+  mutable successors : t list;
+  mutable ready_at : int;  (** ns, emulation time *)
+  mutable dispatched_at : int;
+  mutable completed_at : int;
+  mutable pe_label : string;  (** PE that executed it, once dispatched *)
+}
+
+type instance = {
+  inst_id : int;
+  app : Dssoc_apps.App_spec.t;
+  store : Dssoc_apps.Store.t;
+  arrival_ns : int;
+  tasks : t array;  (** in spec declaration order *)
+  entry : t list;  (** tasks with no predecessors *)
+  mutable remaining : int;  (** tasks not yet Done *)
+  mutable completed_at : int;  (** -1 until the last task finishes *)
+}
+
+val instantiate :
+  task_id_base:int -> inst_id:int -> arrival_ns:int -> Dssoc_apps.App_spec.t -> instance
+(** Allocate the instance store (initialising variables per the spec)
+    and build linked task records.  Returns an instance whose tasks
+    occupy ids [task_id_base ..= task_id_base + task_count - 1]. *)
+
+val supports : t -> Dssoc_soc.Pe.t -> bool
+(** True when some platform entry of the node matches the PE: the
+    generic entry name ["cpu"] matches any CPU-class PE, anything else
+    matches by exact PE-class name. *)
+
+val platform_entry_for : t -> Dssoc_soc.Pe.t -> Dssoc_apps.App_spec.platform_entry option
+(** The first matching platform entry, if any. *)
+
+val status_to_string : status -> string

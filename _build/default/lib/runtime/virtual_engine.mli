@@ -1,0 +1,68 @@
+(** Deterministic virtual-time emulation engine.
+
+    Reimplements the framework's three-component runtime (application
+    handler, workload manager, resource managers) on top of a
+    discrete-event simulation with a virtual nanosecond clock:
+
+    - Manager threads are lightweight processes (OCaml effects) placed
+      on modelled host cores according to the configuration (Section
+      II-D).  A core running several manager threads processor-shares
+      among them and pays a context-switch penalty, which reproduces
+      the contention anomalies of Figs. 9 and 11.
+    - CPU task execution charges {!Exec_model.estimate_ns}, scaled by
+      the core class; accelerator execution splits into DMA-in /
+      device compute / DMA-out, with the manager thread occupying its
+      core only during the DMA phases (it "sleeps" while the device
+      runs, as Section II-D describes).
+    - The workload manager runs on the overlay core and is charged
+      completion-monitoring, ready-list-update, scheduling and
+      dispatch costs per loop iteration.
+    - Every kernel is also executed functionally on the host, so
+      emulation output data is real and checkable.
+
+    Determinism: all randomness (execution-time jitter modelling
+    run-to-run platform variance, and the RANDOM policy) flows from
+    the seed. *)
+
+type params = {
+  seed : int64;
+  jitter : float;
+      (** stddev of the multiplicative Gaussian noise on modelled task
+          times; [0.] gives perfectly repeatable runs, the default
+          [0.03] gives the spread the paper's Fig. 9 box plots show
+          across 50 iterations on real hardware *)
+  reservation_depth : int;
+      (** per-PE reservation-queue depth.  [0] reproduces the paper's
+          released framework (no queues: the scheduler runs on every
+          task completion and PEs stall until the next dispatch);
+          [> 0] implements the future-work optimisation of Section
+          III-C — the workload manager queues up to this many extra
+          tasks on each PE and batches scheduling invocations, and the
+          resource manager starts queued work without a round trip *)
+}
+
+val default_params : params
+(** seed 1, jitter 0.03, no reservation queues. *)
+
+val run :
+  ?params:params ->
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  policy:Scheduler.policy ->
+  unit ->
+  Stats.report
+(** Run the workload to completion and return the collected
+    statistics.
+    @raise Invalid_argument if some task supports no PE of the
+    configuration. *)
+
+val run_detailed :
+  ?params:params ->
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  policy:Scheduler.policy ->
+  unit ->
+  Stats.report * Task.instance array
+(** Like {!run} but also returns the executed instances (in workload
+    order) so callers can inspect final variable stores — the
+    functional-verification path. *)

@@ -1,0 +1,1 @@
+lib/soc/config.ml: Format Hashtbl Host List Option Pe Printf Result String

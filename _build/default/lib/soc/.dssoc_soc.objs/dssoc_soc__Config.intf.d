@@ -1,0 +1,1 @@
+lib/soc/config.mli: Format Host Pe

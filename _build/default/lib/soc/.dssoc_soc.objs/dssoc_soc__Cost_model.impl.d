@@ -1,0 +1,1 @@
+lib/soc/cost_model.ml: Dma Float Hashtbl List Pe Printf

@@ -1,0 +1,1 @@
+lib/soc/cost_model.mli: Pe

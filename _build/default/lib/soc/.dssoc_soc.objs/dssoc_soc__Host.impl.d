@@ -1,0 +1,1 @@
+lib/soc/host.ml: Format List Pe Printf String

@@ -1,0 +1,1 @@
+lib/soc/host.mli: Format Pe

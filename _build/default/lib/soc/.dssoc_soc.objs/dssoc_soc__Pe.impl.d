@@ -1,0 +1,1 @@
+lib/soc/pe.ml: Dma Format Printf

@@ -1,0 +1,1 @@
+lib/soc/pe.mli: Dma Format

@@ -1,0 +1,171 @@
+type request = { kind : Pe.kind; count : int }
+
+type placement = { pe : Pe.t; host_core : Host.core; dedicated : bool }
+
+type t = { host : Host.t; label : string; placements : placement list }
+
+let label_of_requests host requests =
+  let part r =
+    let n = r.count in
+    match r.kind with
+    | Pe.Cpu c when c.Pe.cpu_name = "big" -> Printf.sprintf "%dBIG" n
+    | Pe.Cpu c when c.Pe.cpu_name = "little" -> Printf.sprintf "%dLTL" n
+    | Pe.Cpu _ -> Printf.sprintf "%dCore" n
+    | Pe.Accel a -> Printf.sprintf "%d%s" n (String.uppercase_ascii a.Pe.accel_name)
+  in
+  let parts = List.map part (List.filter (fun r -> r.count >= 0) requests) in
+  let parts =
+    (* Keep the paper's habit of always printing the accelerator count
+       on ZCU102 ("1Core+0FFT"). *)
+    if host.Host.name = "ZCU102" && not (List.exists (fun r -> not (Pe.is_cpu r.kind)) requests)
+    then parts @ [ "0FFT" ]
+    else parts
+  in
+  String.concat "+" parts
+
+let make ~host ~requests =
+  let ( let* ) = Result.bind in
+  let* () =
+    if List.exists (fun r -> r.count < 0) requests then Error "negative PE count"
+    else if List.for_all (fun r -> r.count = 0) requests then Error "empty configuration"
+    else Ok ()
+  in
+  (* CPU PEs claim dedicated cores of the matching class, in pool order. *)
+  let used = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  let fresh_pe kind =
+    let pe = Pe.make ~id:!next_id ~kind in
+    incr next_id;
+    pe
+  in
+  let place_cpu cls n =
+    let candidates =
+      List.filter
+        (fun c ->
+          c.Host.core_class.Pe.cpu_name = cls.Pe.cpu_name && not (Hashtbl.mem used c.Host.core_id))
+        host.Host.pool
+    in
+    if List.length candidates < n then
+      Error
+        (Printf.sprintf "requested %d %S CPU PEs but only %d matching pool cores are free" n
+           cls.Pe.cpu_name (List.length candidates))
+    else begin
+      let chosen = List.filteri (fun i _ -> i < n) candidates in
+      List.iter (fun c -> Hashtbl.add used c.Host.core_id ()) chosen;
+      Ok (List.map (fun c -> (fresh_pe (Pe.Cpu cls), c)) chosen)
+    end
+  in
+  (* Two passes: CPUs first (they claim dedicated cores), then
+     accelerator managers over what is left. *)
+  let cpu_requests, accel_requests = List.partition (fun r -> Pe.is_cpu r.kind) requests in
+  let* cpu_placements =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        match r.kind with
+        | Pe.Cpu cls ->
+          let* placed = place_cpu cls r.count in
+          Ok (acc @ placed)
+        | Pe.Accel _ -> assert false)
+      (Ok []) cpu_requests
+  in
+  let* accel_pes =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        match r.kind with
+        | Pe.Accel cls ->
+          let slots =
+            List.length
+              (List.filter (fun s -> s.Pe.accel_name = cls.Pe.accel_name) host.Host.accel_slots)
+          in
+          if r.count > slots then
+            Error
+              (Printf.sprintf "requested %d %S accelerators but host %s has %d slot(s)" r.count
+                 cls.Pe.accel_name host.Host.name slots)
+          else Ok (acc @ List.init r.count (fun _ -> fresh_pe (Pe.Accel cls)))
+        | Pe.Cpu _ -> assert false)
+      (Ok []) accel_requests
+  in
+  (* Accelerator manager placement: unused pool cores first; once those
+     are gone, round-robin among non-dedicated cores (i.e. the cores
+     hosting accelerator managers); if every pool core is dedicated,
+     round-robin across the whole pool. *)
+  let load = Hashtbl.create 8 in
+  List.iter (fun (_, c) -> Hashtbl.replace load c.Host.core_id 1) cpu_placements;
+  let core_load c = Option.value ~default:0 (Hashtbl.find_opt load c.Host.core_id) in
+  let dedicated_ids =
+    List.map (fun (_, c) -> c.Host.core_id) cpu_placements |> List.sort_uniq compare
+  in
+  let accel_placements =
+    List.map
+      (fun pe ->
+        let unused = List.filter (fun c -> core_load c = 0) host.Host.pool in
+        let target =
+          match unused with
+          | c :: _ -> c
+          | [] ->
+            let shared =
+              List.filter (fun c -> not (List.mem c.Host.core_id dedicated_ids)) host.Host.pool
+            in
+            let candidates = if shared = [] then host.Host.pool else shared in
+            List.fold_left
+              (fun best c -> if core_load c < core_load best then c else best)
+              (List.hd candidates) (List.tl candidates)
+        in
+        Hashtbl.replace load target.Host.core_id (core_load target + 1);
+        (pe, target))
+      accel_pes
+  in
+  let all = cpu_placements @ accel_placements in
+  let count_on core_id =
+    List.length (List.filter (fun (_, c) -> c.Host.core_id = core_id) all)
+  in
+  let placements =
+    List.map
+      (fun (pe, core) -> { pe; host_core = core; dedicated = count_on core.Host.core_id = 1 })
+      all
+  in
+  Ok { host; label = label_of_requests host requests; placements }
+
+let make_exn ~host ~requests =
+  match make ~host ~requests with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Config.make_exn: %s" msg)
+
+let zcu102_cores_ffts ~cores ~ffts =
+  make_exn ~host:Host.zcu102
+    ~requests:
+      (List.concat
+         [
+           (if cores > 0 then [ { kind = Pe.Cpu Pe.a53; count = cores } ] else []);
+           (if ffts > 0 then [ { kind = Pe.Accel Pe.zynq_fft; count = ffts } ] else []);
+         ])
+
+let odroid_big_little ~big ~little =
+  make_exn ~host:Host.odroid_xu3
+    ~requests:
+      (List.concat
+         [
+           (if big > 0 then [ { kind = Pe.Cpu Pe.a15_big; count = big } ] else []);
+           (if little > 0 then [ { kind = Pe.Cpu Pe.a7_little; count = little } ] else []);
+         ])
+
+let pes t = List.map (fun p -> p.pe) t.placements
+
+let core_sharing t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl p.host_core.Host.core_id) in
+      Hashtbl.replace tbl p.host_core.Host.core_id (prev @ [ p.pe.Pe.label ]))
+    t.placements;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let pp fmt t =
+  Format.fprintf fmt "%s on %s:@." t.label t.host.Host.name;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  %a -> core %d%s@." Pe.pp p.pe p.host_core.Host.core_id
+        (if p.dedicated then "" else " (shared)"))
+    t.placements

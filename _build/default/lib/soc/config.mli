@@ -1,0 +1,53 @@
+(** DSSoC test configurations.
+
+    A configuration instantiates PEs out of the host's resource pool
+    and places one resource-manager thread per PE onto a host core,
+    following Section II-D of the paper:
+
+    - each CPU PE pins its manager thread to a dedicated, unused pool
+      core of the matching class;
+    - accelerator PEs fill the remaining unused cores first, then
+      round-robin across the cores already hosting accelerator
+      managers (so in a 2Core+2FFT ZCU102 configuration both FFT
+      manager threads share the one leftover core and "cyclically
+      preempt each other" — the Fig. 9 anomaly); only when every pool
+      core is dedicated to a CPU PE do accelerator managers share the
+      CPU-PE cores (the 3Core+2FFT case). *)
+
+type request = { kind : Pe.kind; count : int }
+
+type placement = {
+  pe : Pe.t;
+  host_core : Host.core;  (** core running this PE's resource-manager thread *)
+  dedicated : bool;  (** true when no other manager thread shares the core *)
+}
+
+type t = {
+  host : Host.t;
+  label : string;  (** e.g. "2Core+1FFT", "3BIG+2LTL" *)
+  placements : placement list;
+}
+
+val make : host:Host.t -> requests:request list -> (t, string) result
+(** Fails when a CPU request exceeds the matching pool cores, or an
+    accelerator request exceeds the host's accelerator slots. *)
+
+val make_exn : host:Host.t -> requests:request list -> t
+
+val zcu102_cores_ffts : cores:int -> ffts:int -> t
+(** Convenience builder for the Fig. 9 / Fig. 10 sweep
+    ([cores] A53 CPU PEs + [ffts] PL FFT accelerators).
+    @raise Invalid_argument when infeasible on ZCU102. *)
+
+val odroid_big_little : big:int -> little:int -> t
+(** Convenience builder for the Fig. 11 sweep.
+    @raise Invalid_argument when infeasible on Odroid XU3. *)
+
+val pes : t -> Pe.t list
+
+val core_sharing : t -> (int * string list) list
+(** [(host core id, manager-thread labels)] for every core that hosts
+    at least one manager thread — diagnostic used by tests and the
+    [platforms] CLI command. *)
+
+val pp : Format.formatter -> t -> unit

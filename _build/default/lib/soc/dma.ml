@@ -1,0 +1,14 @@
+type t = { latency_ns : int; bandwidth_bytes_per_us : float }
+
+let make ~latency_ns ~bandwidth_mb_s =
+  if latency_ns < 0 then invalid_arg "Dma.make: negative latency";
+  if bandwidth_mb_s <= 0.0 then invalid_arg "Dma.make: bandwidth must be positive";
+  (* 1 MB/s = 1 byte/us. *)
+  { latency_ns; bandwidth_bytes_per_us = bandwidth_mb_s }
+
+let transfer_ns t ~bytes =
+  if bytes < 0 then invalid_arg "Dma.transfer_ns: negative size";
+  t.latency_ns + int_of_float (Float.round (float_of_int bytes /. t.bandwidth_bytes_per_us *. 1e3))
+
+let round_trip_ns t ~bytes_in ~bytes_out =
+  transfer_ns t ~bytes:bytes_in + transfer_ns t ~bytes:bytes_out

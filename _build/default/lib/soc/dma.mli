@@ -1,0 +1,23 @@
+(** DMA engine model.
+
+    On the ZCU102 the framework moves data between DDR and
+    accelerator-local BRAM through an AXI4-Stream DMA block backed by a
+    udmabuf contiguous buffer (Figure 6 of the paper).  The model
+    prices a transfer as a fixed per-transaction latency (descriptor
+    setup, interrupt) plus bytes over a sustained bandwidth.  This
+    overhead is what makes a 128-point FFT *slower* on the accelerator
+    than on an A53 core — the central observation of Case Study 1. *)
+
+type t = {
+  latency_ns : int;  (** per-transfer fixed cost (setup + completion) *)
+  bandwidth_bytes_per_us : float;  (** sustained streaming bandwidth *)
+}
+
+val make : latency_ns:int -> bandwidth_mb_s:float -> t
+
+val transfer_ns : t -> bytes:int -> int
+(** Modelled wall time of moving [bytes] in one direction. *)
+
+val round_trip_ns : t -> bytes_in:int -> bytes_out:int -> int
+(** Input transfer plus output transfer (the device compute between
+    them is priced separately by {!Accel}). *)

@@ -1,0 +1,45 @@
+type core = {
+  core_id : int;
+  core_class : Pe.cpu_class;
+  quantum_ns : int;
+  ctx_switch_ns : int;
+}
+
+type t = {
+  name : string;
+  overlay : core;
+  pool : core list;
+  accel_slots : Pe.accel_class list;
+}
+
+(* Linux CFS-scale timeslices; the context-switch figure folds in cache
+   disturbance, which is why two accelerator-manager threads sharing a
+   core visibly hurt (Fig. 9, 2Core+2FFT). *)
+let mk_core ~id ~cls = { core_id = id; core_class = cls; quantum_ns = 100_000; ctx_switch_ns = 25_000 }
+
+let zcu102 =
+  {
+    name = "ZCU102";
+    overlay = mk_core ~id:0 ~cls:Pe.a53;
+    pool = List.map (fun id -> mk_core ~id ~cls:Pe.a53) [ 1; 2; 3 ];
+    accel_slots = [ Pe.zynq_fft; Pe.zynq_fft ];
+  }
+
+let odroid_xu3 =
+  {
+    name = "Odroid-XU3";
+    overlay = mk_core ~id:0 ~cls:Pe.a7_little;
+    pool =
+      List.map (fun id -> mk_core ~id ~cls:Pe.a15_big) [ 1; 2; 3; 4 ]
+      @ List.map (fun id -> mk_core ~id ~cls:Pe.a7_little) [ 5; 6; 7 ];
+    accel_slots = [];
+  }
+
+let pool_size t = List.length t.pool
+
+let pp fmt t =
+  Format.fprintf fmt "%s: overlay %s, pool [%s], %d accel slot(s)" t.name
+    t.overlay.core_class.Pe.micro_arch
+    (String.concat "; "
+       (List.map (fun c -> Printf.sprintf "%d:%s" c.core_id c.core_class.Pe.micro_arch) t.pool))
+    (List.length t.accel_slots)

@@ -1,0 +1,35 @@
+(** Host (COTS) platform description.
+
+    The emulation framework runs on a commercial SoC and builds
+    hypothetical DSSoC configurations out of its real cores plus
+    attached accelerators.  One host core is reserved as the *overlay*
+    processor running the application handler and workload manager;
+    the remaining cores form the resource pool (Section III-B). *)
+
+type core = {
+  core_id : int;
+  core_class : Pe.cpu_class;
+  quantum_ns : int;  (** round-robin timeslice when threads share the core *)
+  ctx_switch_ns : int;  (** cost charged at each preemption *)
+}
+
+type t = {
+  name : string;
+  overlay : core;  (** runs application handler + workload manager *)
+  pool : core list;  (** resource-pool cores, in allocation order *)
+  accel_slots : Pe.accel_class list;
+      (** accelerator classes this host can instantiate (e.g. PL FFTs);
+          slots bound how many can exist in one configuration *)
+}
+
+val zcu102 : t
+(** Zynq UltraScale+ MPSoC: 4x Cortex-A53; core 0 is the overlay, cores
+    1-3 the pool; two PL FFT accelerator slots (Section III-B). *)
+
+val odroid_xu3 : t
+(** Exynos 5422: one Cortex-A7 LITTLE overlay, pool of 4x A15 big then
+    3x A7 LITTLE; no accelerator slots. *)
+
+val pool_size : t -> int
+
+val pp : Format.formatter -> t -> unit

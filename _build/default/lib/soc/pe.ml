@@ -1,0 +1,67 @@
+type cpu_class = {
+  cpu_name : string;
+  micro_arch : string;
+  freq_mhz : float;
+  perf_factor : float;
+  busy_w : float;
+  idle_w : float;
+}
+
+type accel_class = {
+  accel_name : string;
+  device : string;
+  local_mem_bytes : int;
+  setup_ns : int;
+  per_sample_ns : float;
+  dma : Dma.t;
+  busy_w : float;
+  idle_w : float;
+}
+
+type kind = Cpu of cpu_class | Accel of accel_class
+
+let kind_name = function Cpu c -> c.cpu_name | Accel a -> a.accel_name
+
+let busy_w = function Cpu c -> c.busy_w | Accel a -> a.busy_w
+let idle_w = function Cpu c -> c.idle_w | Accel a -> a.idle_w
+
+let is_cpu = function Cpu _ -> true | Accel _ -> false
+
+type t = { id : int; kind : kind; label : string }
+
+let make ~id ~kind =
+  let label = Printf.sprintf "%s%d" (kind_name kind) id in
+  { id; kind; label }
+
+let pp fmt t =
+  match t.kind with
+  | Cpu c -> Format.fprintf fmt "%s(%s@@%.0fMHz)" t.label c.micro_arch c.freq_mhz
+  | Accel a -> Format.fprintf fmt "%s(%s)" t.label a.device
+
+(* Power figures are per-core active/idle estimates in line with
+   published Zynq UltraScale+ and Exynos 5422 measurements; they feed
+   the energy accounting and the POWER scheduling policy (the paper's
+   future-work "power aware heuristics"). *)
+let a53 =
+  { cpu_name = "cpu"; micro_arch = "Cortex-A53"; freq_mhz = 1200.0; perf_factor = 1.0;
+    busy_w = 0.35; idle_w = 0.05 }
+
+let a15_big =
+  { cpu_name = "big"; micro_arch = "Cortex-A15"; freq_mhz = 2000.0; perf_factor = 2.6;
+    busy_w = 1.60; idle_w = 0.18 }
+
+let a7_little =
+  { cpu_name = "little"; micro_arch = "Cortex-A7"; freq_mhz = 1400.0; perf_factor = 0.75;
+    busy_w = 0.30; idle_w = 0.04 }
+
+let zynq_fft =
+  {
+    accel_name = "fft";
+    device = "PL FFT (AXI4-Stream)";
+    local_mem_bytes = 32 * 1024;
+    setup_ns = 2_000;
+    per_sample_ns = 15.0;
+    dma = Dma.make ~latency_ns:4_000 ~bandwidth_mb_s:400.0;
+    busy_w = 0.45;
+    idle_w = 0.08;
+  }

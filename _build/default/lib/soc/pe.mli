@@ -1,0 +1,68 @@
+(** Processing-element classes and instances.
+
+    A DSSoC configuration instantiates PEs drawn from two families:
+    general-purpose CPU cores (identified to the scheduler by the
+    platform name ["cpu"], or ["big"]/["little"] on Odroid) and
+    fixed-function accelerators (["fft"]).  Application DAG nodes list
+    which PE names they support (the [platforms] key of Listing 1). *)
+
+type cpu_class = {
+  cpu_name : string;  (** scheduler-visible platform name, e.g. "cpu", "big", "little" *)
+  micro_arch : string;  (** descriptive, e.g. "Cortex-A53" *)
+  freq_mhz : float;
+  perf_factor : float;
+      (** execution-speed multiplier relative to the calibration
+          reference core (ZCU102 Cortex-A53 @ 1200 MHz = 1.0); kernel
+          base costs are divided by this *)
+  busy_w : float;  (** active power draw (W) while executing a task *)
+  idle_w : float;  (** idle power draw (W) *)
+}
+
+type accel_class = {
+  accel_name : string;  (** scheduler-visible platform name, e.g. "fft" *)
+  device : string;  (** descriptive, e.g. "PL FFT (AXI4-Stream)" *)
+  local_mem_bytes : int;  (** BRAM capacity; transfers beyond it are chunked *)
+  setup_ns : int;  (** per-invocation device programming cost *)
+  per_sample_ns : float;  (** streaming compute cost per complex sample *)
+  dma : Dma.t;
+  busy_w : float;  (** device power while processing *)
+  idle_w : float;  (** static fabric power *)
+}
+
+type kind = Cpu of cpu_class | Accel of accel_class
+
+val kind_name : kind -> string
+(** Scheduler-visible platform name of the class. *)
+
+val busy_w : kind -> float
+val idle_w : kind -> float
+(** Power figures of the class, for the energy accounting and the
+    power-aware scheduling extension. *)
+
+val is_cpu : kind -> bool
+
+type t = {
+  id : int;  (** dense index within a configuration *)
+  kind : kind;
+  label : string;  (** e.g. "cpu0", "fft1" *)
+}
+
+val make : id:int -> kind:kind -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Built-in classes} *)
+
+val a53 : cpu_class
+(** ZCU102 Cortex-A53 @ 1200 MHz — the calibration reference. *)
+
+val a15_big : cpu_class
+(** Odroid XU3 Cortex-A15 @ 2000 MHz (platform name "big"). *)
+
+val a7_little : cpu_class
+(** Odroid XU3 Cortex-A7 @ 1400 MHz (platform name "little"). *)
+
+val zynq_fft : accel_class
+(** ZCU102 programmable-logic FFT with AXI DMA, calibrated so that a
+    128-point transform loses to an A53 core once both DMA directions
+    are counted (Case Study 1) while larger transforms win. *)

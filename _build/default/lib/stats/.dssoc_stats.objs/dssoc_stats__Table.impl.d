@@ -1,0 +1,1 @@
+lib/stats/table.ml: Buffer Bytes Float List Printf String

@@ -1,0 +1,42 @@
+let check xs name = if Array.length xs = 0 then invalid_arg ("Quantile." ^ name ^ ": empty input")
+
+let mean xs =
+  check xs "mean";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  check xs "stddev";
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let min xs =
+  check xs "min";
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  check xs "max";
+  Array.fold_left Float.max xs.(0) xs
+
+let quantile xs q =
+  check xs "quantile";
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantile.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = Stdlib.min (n - 1) (lo + 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs 0.5
+
+type boxplot = { lo : float; q1 : float; med : float; q3 : float; hi : float }
+
+let boxplot xs =
+  { lo = min xs; q1 = quantile xs 0.25; med = median xs; q3 = quantile xs 0.75; hi = max xs }

@@ -1,0 +1,79 @@
+let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let rows =
+    List.map
+      (fun r ->
+        let len = List.length r in
+        if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> ""))
+      rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) (String.length h) rows)
+      header
+  in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad c (List.nth widths i)))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Buffer.add_string buf (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let render_csv ~header ~rows =
+  let line cells = String.concat "," cells ^ "\n" in
+  line header ^ String.concat "" (List.map line rows)
+
+let bar_chart ?(width = 40) entries =
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 entries in
+  let lw = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if vmax <= 0.0 then 0 else int_of_float (Float.round (v /. vmax *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s |%s%s| %g\n" (pad label lw) (String.make n '#')
+           (String.make (width - n) ' ')
+           v))
+    entries;
+  Buffer.contents buf
+
+let box_row ?(width = 50) ~scale_hi ~lo ~q1 ~med ~q3 ~hi () =
+  let pos v =
+    if scale_hi <= 0.0 then 0
+    else min (width - 1) (max 0 (int_of_float (Float.round (v /. scale_hi *. float_of_int (width - 1)))))
+  in
+  let line = Bytes.make width ' ' in
+  let plo = pos lo and pq1 = pos q1 and pmed = pos med and pq3 = pos q3 and phi = pos hi in
+  for i = plo to phi do Bytes.set line i '-' done;
+  for i = pq1 to pq3 do Bytes.set line i '=' done;
+  Bytes.set line plo '|';
+  Bytes.set line phi '|';
+  if pq1 <> pq3 then begin
+    Bytes.set line pq1 '[';
+    Bytes.set line pq3 ']'
+  end;
+  Bytes.set line pmed '#';
+  Bytes.to_string line
+
+let series ?(width = 9) ~x_label ~xs ~curves () =
+  let header = x_label :: List.map fst curves in
+  let fmt v = Printf.sprintf "%*.3f" width v in
+  let rows =
+    List.mapi
+      (fun i x -> fmt x :: List.map (fun (_, ys) -> fmt (List.nth ys i)) curves)
+      xs
+  in
+  render ~header ~rows

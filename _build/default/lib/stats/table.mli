@@ -1,0 +1,31 @@
+(** ASCII table and chart rendering for the benchmark harness.
+
+    Every table/figure of the paper is re-emitted as monospace text so
+    [dune exec bench/main.exe] output can be diffed and pasted into
+    EXPERIMENTS.md. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a rule under the header.  Rows shorter
+    than the header are padded with empty cells. *)
+
+val render_csv : header:string list -> rows:string list list -> string
+
+val bar_chart : ?width:int -> (string * float) list -> string
+(** Horizontal bars scaled to the maximum value, one line per entry:
+    {v label |######    | 12.3 v} *)
+
+val box_row :
+  ?width:int -> scale_hi:float -> lo:float -> q1:float -> med:float -> q3:float -> hi:float ->
+  unit -> string
+(** One box-and-whisker line scaled to [scale_hi]:
+    {v   |----[==|==]-------| v} *)
+
+val series :
+  ?width:int ->
+  x_label:string ->
+  xs:float list ->
+  curves:(string * float list) list ->
+  unit ->
+  string
+(** Multi-series numeric table (one row per x, one column per curve),
+    for line figures such as Figs. 10 and 11. *)

@@ -1,0 +1,33 @@
+(** Binary min-heap keyed by a user-supplied comparison.
+
+    The discrete-event engine keeps its future event list in this heap;
+    pops must be deterministic, so ties are broken by insertion order
+    (FIFO among equal keys). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp]; the minimum element pops first.  Among
+    elements that compare equal, the earliest-pushed pops first. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap order of the backing array). *)
+
+val drain : 'a t -> 'a list
+(** Pop everything; result is in ascending key order. *)

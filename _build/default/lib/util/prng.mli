@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the emulator flows through explicitly seeded
+    [Prng.t] states so that every workload trace, scheduling decision
+    and benchmark is reproducible bit-for-bit across runs.  The
+    implementation is xoshiro256** seeded through SplitMix64, the
+    combination recommended by the xoshiro authors. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator from a 64-bit seed.  Equal seeds
+    yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting from [t]'s current
+    state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  Streams
+    of the parent and child are statistically independent. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed variate with the given mean. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal variate via Box-Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element.  Raises [Invalid_argument] on empty. *)

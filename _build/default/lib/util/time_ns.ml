@@ -1,0 +1,25 @@
+type t = int
+
+let zero = 0
+let of_ns ns = ns
+let of_us us = int_of_float (Float.round (us *. 1e3))
+let of_ms ms = int_of_float (Float.round (ms *. 1e6))
+let of_sec s = int_of_float (Float.round (s *. 1e9))
+let to_ns t = t
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
+let add = ( + )
+let sub a b = Stdlib.max 0 (a - b)
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Stdlib.compare
+
+let pp fmt t =
+  let ft = float_of_int t in
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (ft /. 1e3)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.3fms" (ft /. 1e6)
+  else Format.fprintf fmt "%.4fs" (ft /. 1e9)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,29 @@
+(** Virtual time as integer nanoseconds.
+
+    The virtual engine advances a deterministic clock; using integer
+    nanoseconds (63-bit, ~292 years of range) avoids floating-point
+    drift when accumulating millions of small events. *)
+
+type t = int
+(** Nanoseconds.  Always non-negative in engine use. *)
+
+val zero : t
+val of_ns : int -> t
+val of_us : float -> t
+val of_ms : float -> t
+val of_sec : float -> t
+val to_ns : t -> int
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] clamps at zero rather than going negative. *)
+
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)
+
+val to_string : t -> string

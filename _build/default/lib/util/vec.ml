@@ -1,0 +1,71 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create ?(capacity = 0) () =
+  ignore capacity;
+  { data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let push t v =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let nd = Array.make ncap v in
+    Array.blit t.data 0 nd 0 t.size;
+    t.data <- nd
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1
+
+let check t i = if i < 0 || i >= t.size then invalid_arg "Vec: index out of bounds"
+
+let get t i = check t i; t.data.(i)
+let set t i v = check t i; t.data.(i) <- v
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    t.size <- t.size - 1;
+    Some t.data.(t.size)
+  end
+
+let clear t = t.size <- 0
+
+let iter f t = for i = 0 to t.size - 1 do f t.data.(i) done
+let iteri f t = for i = 0 to t.size - 1 do f i t.data.(i) done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do acc := f !acc t.data.(i) done;
+  !acc
+
+let exists p t =
+  let rec go i = i < t.size && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(i) :: acc) in
+  go (t.size - 1) []
+
+let to_array t = Array.sub t.data 0 t.size
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let filter_in_place p t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if p t.data.(i) then begin
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  t.size <- !j
+
+let sort cmp t =
+  let a = to_array t in
+  Array.stable_sort cmp a;
+  Array.blit a 0 t.data 0 t.size

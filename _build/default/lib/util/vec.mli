@@ -1,0 +1,35 @@
+(** Growable array, used for hot per-tick buffers in the engines where
+    list churn would be wasteful. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val clear : 'a t -> unit
+(** Logical clear; capacity is retained. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only elements satisfying the predicate, preserving order. *)
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** Stable in-place sort. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Dssoc_apps Dssoc_dsp Dssoc_util Filename Float Fun Int64 List Printf QCheck QCheck_alcotest Result Sys

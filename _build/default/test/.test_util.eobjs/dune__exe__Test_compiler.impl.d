@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Buffer Dssoc_apps Dssoc_compiler Dssoc_runtime Dssoc_soc Float Hashtbl Lazy List Option Printf QCheck QCheck_alcotest Result String

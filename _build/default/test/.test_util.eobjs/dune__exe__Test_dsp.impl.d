@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Array Dssoc_dsp Dssoc_util Float Int64 List Printf QCheck QCheck_alcotest Result

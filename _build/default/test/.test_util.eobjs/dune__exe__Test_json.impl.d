@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Dssoc_json Float Hashtbl List QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Dssoc_apps Dssoc_json Dssoc_runtime Dssoc_soc Dssoc_util Int64 List Printf QCheck QCheck_alcotest Result String

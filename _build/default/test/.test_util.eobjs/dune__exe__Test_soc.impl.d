@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Dssoc_soc Float List QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Dssoc_stats Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dssoc_util Float Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,408 @@
+module Cbuf = Dssoc_dsp.Cbuf
+module Fft = Dssoc_dsp.Fft
+module Dft = Dssoc_dsp.Dft
+module Radar = Dssoc_dsp.Radar
+module Scrambler = Dssoc_dsp.Scrambler
+module Conv_code = Dssoc_dsp.Conv_code
+module Viterbi = Dssoc_dsp.Viterbi
+module Interleaver = Dssoc_dsp.Interleaver
+module Modulation = Dssoc_dsp.Modulation
+module Crc = Dssoc_dsp.Crc
+module Window = Dssoc_dsp.Window
+module Prng = Dssoc_util.Prng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let random_cbuf seed n =
+  let g = Prng.create ~seed:(Int64.of_int seed) in
+  let buf = Cbuf.create n in
+  for i = 0 to n - 1 do
+    Cbuf.set buf i (Prng.float g 2.0 -. 1.0) (Prng.float g 2.0 -. 1.0)
+  done;
+  buf
+
+let arb_signal =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_range 0 10_000) (int_range 1 256))
+
+let arb_pow2_signal =
+  QCheck.make
+    ~print:(fun (seed, logn) -> Printf.sprintf "seed=%d n=%d" seed (1 lsl logn))
+    QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 9))
+
+(* ---------------------- FFT ---------------------- *)
+
+let prop_fft_ifft_identity =
+  QCheck.Test.make ~name:"ifft (fft x) = x (any size incl. non-pow2)" ~count:150 arb_signal
+    (fun (seed, n) ->
+      let x = random_cbuf seed n in
+      Cbuf.max_abs_diff x (Fft.ifft (Fft.fft x)) < 1e-6)
+
+let prop_fft_matches_naive_dft =
+  QCheck.Test.make ~name:"fft = naive dft" ~count:80 arb_signal (fun (seed, n) ->
+      let x = random_cbuf seed n in
+      Cbuf.max_abs_diff (Fft.fft x) (Dft.dft x) < 1e-5)
+
+let prop_ifft_matches_naive_idft =
+  QCheck.Test.make ~name:"ifft = naive idft" ~count:80 arb_signal (fun (seed, n) ->
+      let x = random_cbuf seed n in
+      Cbuf.max_abs_diff (Fft.ifft x) (Dft.idft x) < 1e-5)
+
+let prop_parseval =
+  QCheck.Test.make ~name:"Parseval: energy(fft x) = n * energy x" ~count:100 arb_pow2_signal
+    (fun (seed, logn) ->
+      let n = 1 lsl logn in
+      let x = random_cbuf seed n in
+      let lhs = Cbuf.energy (Fft.fft x) and rhs = float_of_int n *. Cbuf.energy x in
+      Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1.0 rhs)
+
+let prop_fft_linear =
+  QCheck.Test.make ~name:"fft (x+y) = fft x + fft y" ~count:80 arb_pow2_signal
+    (fun (seed, logn) ->
+      let n = 1 lsl logn in
+      let x = random_cbuf seed n and y = random_cbuf (seed + 1) n in
+      Cbuf.max_abs_diff (Fft.fft (Cbuf.add x y)) (Cbuf.add (Fft.fft x) (Fft.fft y)) < 1e-6)
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is flat ones. *)
+  let x = Cbuf.create 16 in
+  Cbuf.set x 0 1.0 0.0;
+  let y = Fft.fft x in
+  for i = 0 to 15 do
+    let re, im = Cbuf.get y i in
+    Alcotest.(check bool) "flat spectrum" true (Float.abs (re -. 1.0) < 1e-9 && Float.abs im < 1e-9)
+  done
+
+let test_fft_single_tone () =
+  (* FFT of exp(2 pi i k0 t / n) concentrates on bin k0. *)
+  let n = 64 and k0 = 5 in
+  let x = Cbuf.create n in
+  for t = 0 to n - 1 do
+    let ang = 2.0 *. Float.pi *. float_of_int (k0 * t) /. float_of_int n in
+    Cbuf.set x t (cos ang) (sin ang)
+  done;
+  let idx, mag = Radar.peak (Fft.fft x) in
+  Alcotest.(check int) "tone bin" k0 idx;
+  Alcotest.(check bool) "bin magnitude n" true (Float.abs (mag -. float_of_int n) < 1e-6)
+
+let test_plan_reuse () =
+  let plan = Fft.Plan.make 128 in
+  Alcotest.(check int) "size" 128 (Fft.Plan.size plan);
+  let x = random_cbuf 9 128 in
+  let direct = Fft.fft x in
+  let planned = Fft.Plan.exec plan ~inverse:false x in
+  Alcotest.(check bool) "plan matches" true (Cbuf.max_abs_diff direct planned < 1e-12)
+
+let test_plan_rejects_non_pow2 () =
+  Alcotest.check_raises "non-pow2 plan"
+    (Invalid_argument "Fft.Plan.make: size must be a power of two") (fun () ->
+      ignore (Fft.Plan.make 100))
+
+let test_fft_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Fft: empty buffer") (fun () ->
+      ignore (Fft.fft (Cbuf.create 0)))
+
+(* ---------------------- Radar ---------------------- *)
+
+let test_chirp_unit_magnitude () =
+  let w = Radar.lfm_chirp ~n:128 ~bandwidth:0.4e6 ~sample_rate:1e6 in
+  Array.iter
+    (fun m -> Alcotest.(check bool) "unit modulus" true (Float.abs (m -. 1.0) < 1e-9))
+    (Cbuf.magnitude w)
+
+let prop_xcorr_recovers_delay =
+  QCheck.Test.make ~name:"correlation peak at echo delay" ~count:60
+    QCheck.(pair (int_range 0 100) (int_range 0 383))
+    (fun (seed, delay) ->
+      let w = Radar.lfm_chirp ~n:128 ~bandwidth:0.4e6 ~sample_rate:1e6 in
+      let g = Prng.create ~seed:(Int64.of_int seed) in
+      let rx =
+        Radar.delayed_echo (Some g) ~waveform:w ~total:512 ~delay ~attenuation:0.8
+          ~noise_sigma:0.05
+      in
+      let corr = Radar.xcorr_freq ~reference:w ~received:rx in
+      fst (Radar.peak corr) = delay)
+
+let test_delayed_echo_bounds () =
+  let w = Radar.lfm_chirp ~n:16 ~bandwidth:0.4e6 ~sample_rate:1e6 in
+  Alcotest.check_raises "delay outside window"
+    (Invalid_argument "Radar.delayed_echo: delay out of window") (fun () ->
+      ignore (Radar.delayed_echo None ~waveform:w ~total:16 ~delay:16 ~attenuation:1.0 ~noise_sigma:0.0))
+
+let test_doppler_velocity_signs () =
+  (* Bin above n/2 is a negative (closing) velocity. *)
+  let v_pos = Radar.doppler_velocity ~peak_bin:8 ~n_pulses:64 ~prf:1000.0 ~carrier_hz:1e9 in
+  let v_neg = Radar.doppler_velocity ~peak_bin:56 ~n_pulses:64 ~prf:1000.0 ~carrier_hz:1e9 in
+  Alcotest.(check bool) "positive bin positive velocity" true (v_pos > 0.0);
+  Alcotest.(check bool) "mirrored bin negative velocity" true (v_neg < 0.0);
+  Alcotest.(check (float 1e-6)) "symmetric" (-.v_pos) v_neg
+
+let test_doppler_bins () =
+  let pulses = Array.init 4 (fun p ->
+      let b = Cbuf.create 8 in
+      Cbuf.set b 3 (float_of_int p) 0.0;
+      b)
+  in
+  let slow = Radar.doppler_bins pulses ~bin:3 in
+  Alcotest.(check int) "one sample per pulse" 4 (Cbuf.length slow);
+  for p = 0 to 3 do
+    Alcotest.(check (float 1e-9)) "gathered value" (float_of_int p) (fst (Cbuf.get slow p))
+  done
+
+(* ---------------------- Scrambler / coding ---------------------- *)
+
+let arb_bits =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_range 0 100_000) (int_range 1 256))
+
+let make_bits seed n =
+  let g = Prng.create ~seed:(Int64.of_int seed) in
+  Array.init n (fun _ -> Prng.bool g)
+
+let prop_scrambler_involution =
+  QCheck.Test.make ~name:"scramble twice = identity" ~count:200
+    QCheck.(pair arb_bits (int_range 0 127))
+    (fun ((seed, n), lfsr_seed) ->
+      let bits = make_bits seed n in
+      Scrambler.descramble ~seed:lfsr_seed (Scrambler.run ~seed:lfsr_seed bits) = bits)
+
+let prop_scrambler_whitens =
+  QCheck.Test.make ~name:"scrambling changes the data" ~count:100 arb_bits (fun (seed, n) ->
+      QCheck.assume (n >= 16);
+      let bits = make_bits seed n in
+      Scrambler.run ~seed:93 bits <> bits)
+
+let prop_viterbi_inverts_encoder =
+  QCheck.Test.make ~name:"viterbi decodes clean codewords" ~count:100 arb_bits (fun (seed, n) ->
+      let bits = make_bits seed n in
+      Viterbi.decode ~message_length:n (Conv_code.encode bits) = bits)
+
+let prop_viterbi_corrects_errors =
+  QCheck.Test.make ~name:"viterbi corrects 2 scattered bit flips" ~count:60
+    QCheck.(pair (int_range 0 10_000) (int_range 32 128))
+    (fun (seed, n) ->
+      let bits = make_bits seed n in
+      let coded = Conv_code.encode bits in
+      (* Two flips far apart are within the free distance. *)
+      let m = Array.length coded in
+      coded.(m / 4) <- not coded.(m / 4);
+      coded.(3 * m / 4) <- not coded.(3 * m / 4);
+      Viterbi.decode ~message_length:n coded = bits)
+
+let test_encoder_length () =
+  Alcotest.(check int) "rate 1/2 with 6 tail bits" 140 (Array.length (Conv_code.encode (Array.make 64 false)));
+  Alcotest.(check int) "encoded_length" 140 (Conv_code.encoded_length 64)
+
+let test_viterbi_short_input_rejected () =
+  Alcotest.check_raises "short input" (Invalid_argument "Viterbi.decode: coded input too short")
+    (fun () -> ignore (Viterbi.decode ~message_length:64 (Array.make 10 false)))
+
+let test_hamming () =
+  Alcotest.(check int) "distance" 2
+    (Viterbi.hamming_distance [| true; false; true |] [| false; false; false |])
+
+(* ---------------------- Interleaver ---------------------- *)
+
+let prop_interleaver_bijection =
+  QCheck.Test.make ~name:"deinterleave inverts interleave" ~count:200
+    QCheck.(triple (int_range 0 10_000) (int_range 1 8) (int_range 1 32))
+    (fun (seed, rows, cols) ->
+      let bits = make_bits seed (rows * cols) in
+      Interleaver.deinterleave ~rows (Interleaver.interleave ~rows bits) = bits)
+
+let prop_interleaver_permutation =
+  QCheck.Test.make ~name:"permutation is a bijection" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 1 32))
+    (fun (rows, cols) ->
+      let p = Interleaver.permutation ~rows ~n:(rows * cols) in
+      List.sort compare (Array.to_list p) = List.init (rows * cols) (fun i -> i))
+
+let test_interleaver_bad_length () =
+  Alcotest.check_raises "length not divisible"
+    (Invalid_argument "Interleaver: length not divisible by rows") (fun () ->
+      ignore (Interleaver.interleave ~rows:3 (Array.make 7 false)))
+
+let test_interleaver_spreads_adjacent () =
+  (* Adjacent input bits end up rows apart in the output. *)
+  let n = 16 and rows = 4 in
+  let p = Interleaver.permutation ~rows ~n in
+  let pos = Array.make n 0 in
+  Array.iteri (fun out_i in_i -> pos.(in_i) <- out_i) p;
+  Alcotest.(check int) "bit 0 vs bit 1 separation" rows (abs (pos.(1) - pos.(0)))
+
+(* ---------------------- Modulation ---------------------- *)
+
+let prop_modulation_roundtrip =
+  let scheme_gen = QCheck.Gen.oneofl [ Modulation.Bpsk; Modulation.Qpsk; Modulation.Qam16 ] in
+  QCheck.Test.make ~name:"demodulate (modulate bits) = bits" ~count:200
+    (QCheck.make
+       ~print:(fun (s, (seed, n)) ->
+         Printf.sprintf "%s seed=%d n=%d" (Modulation.scheme_to_string s) seed n)
+       QCheck.Gen.(pair scheme_gen (pair (int_range 0 10_000) (int_range 1 64))))
+    (fun (scheme, (seed, n_sym)) ->
+      let bps = Modulation.bits_per_symbol scheme in
+      let bits = make_bits seed (n_sym * bps) in
+      Modulation.demodulate scheme (Modulation.modulate scheme bits) = bits)
+
+let prop_modulation_unit_energy =
+  let scheme_gen = QCheck.Gen.oneofl [ Modulation.Bpsk; Modulation.Qpsk; Modulation.Qam16 ] in
+  QCheck.Test.make ~name:"average symbol energy ~ 1" ~count:50
+    (QCheck.make
+       ~print:(fun (s, seed) -> Printf.sprintf "%s seed=%d" (Modulation.scheme_to_string s) seed)
+       QCheck.Gen.(pair scheme_gen (int_range 0 10_000)))
+    (fun (scheme, seed) ->
+      let bps = Modulation.bits_per_symbol scheme in
+      let n_sym = 512 in
+      let bits = make_bits seed (n_sym * bps) in
+      let syms = Modulation.modulate scheme bits in
+      let e = Cbuf.energy syms /. float_of_int n_sym in
+      Float.abs (e -. 1.0) < 0.2)
+
+let test_modulation_bad_length () =
+  Alcotest.check_raises "bits not divisible"
+    (Invalid_argument "Modulation.modulate: bit count not divisible") (fun () ->
+      ignore (Modulation.modulate Modulation.Qpsk (Array.make 3 false)))
+
+let test_scheme_strings () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "roundtrip" true
+        (Modulation.scheme_of_string (Modulation.scheme_to_string s) = Ok s))
+    [ Modulation.Bpsk; Modulation.Qpsk; Modulation.Qam16 ];
+  Alcotest.(check bool) "unknown" true (Result.is_error (Modulation.scheme_of_string "pam5"))
+
+(* ---------------------- CRC ---------------------- *)
+
+let test_crc_known_value () =
+  (* Standard CRC-32 check value. *)
+  Alcotest.(check int32) "crc32 of '123456789'" 0xCBF43926l (Crc.of_string "123456789")
+
+let prop_crc_detects_single_flip =
+  QCheck.Test.make ~name:"crc detects any single bit flip" ~count:200
+    QCheck.(triple (int_range 0 10_000) (int_range 1 128) (int_range 0 1_000_000))
+    (fun (seed, n, flip_raw) ->
+      let payload = make_bits seed n in
+      let framed = Crc.append_bits payload in
+      let flip = flip_raw mod Array.length framed in
+      framed.(flip) <- not framed.(flip);
+      not (Crc.check_bits framed))
+
+let prop_crc_accepts_intact =
+  QCheck.Test.make ~name:"crc accepts intact frames" ~count:200 arb_bits (fun (seed, n) ->
+      Crc.check_bits (Crc.append_bits (make_bits seed n)))
+
+let test_crc_too_short () =
+  Alcotest.(check bool) "short frame rejected" false (Crc.check_bits (Array.make 8 false))
+
+(* ---------------------- Window ---------------------- *)
+
+let test_window_endpoints () =
+  let h = Window.coefficients Window.Hann 64 in
+  Alcotest.(check (float 1e-9)) "hann starts at 0" 0.0 h.(0);
+  Alcotest.(check (float 1e-9)) "hann ends at 0" 0.0 h.(63);
+  let r = Window.coefficients Window.Rectangular 10 in
+  Array.iter (fun c -> Alcotest.(check (float 1e-12)) "rect" 1.0 c) r
+
+let test_window_apply () =
+  let x = random_cbuf 1 32 in
+  let y = Window.apply Window.Hamming x in
+  let w = Window.coefficients Window.Hamming 32 in
+  for i = 0 to 31 do
+    let xr, _ = Cbuf.get x i and yr, _ = Cbuf.get y i in
+    Alcotest.(check (float 1e-9)) "pointwise product" (xr *. w.(i)) yr
+  done
+
+let test_window_strings () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "roundtrip" true
+        (Window.kind_of_string (Window.kind_to_string k) = Ok k))
+    [ Window.Rectangular; Window.Hamming; Window.Hann; Window.Blackman ]
+
+(* ---------------------- Cbuf ---------------------- *)
+
+let test_cbuf_ops () =
+  let a = Cbuf.of_complex_list [ (1.0, 2.0); (3.0, -1.0) ] in
+  let b = Cbuf.of_complex_list [ (0.5, 0.0); (0.0, 1.0) ] in
+  let prod = Cbuf.mul_pointwise a b in
+  Alcotest.(check bool) "mul idx0" true (Cbuf.get prod 0 = (0.5, 1.0));
+  Alcotest.(check bool) "mul idx1" true (Cbuf.get prod 1 = (1.0, 3.0));
+  let c = Cbuf.conj a in
+  Alcotest.(check bool) "conj" true (Cbuf.get c 0 = (1.0, -2.0));
+  Alcotest.(check (float 1e-12)) "energy" 15.0 (Cbuf.energy a);
+  Alcotest.(check bool) "roundtrip" true
+    (Cbuf.to_complex_list a = [ (1.0, 2.0); (3.0, -1.0) ])
+
+let test_cbuf_length_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Cbuf.mul_pointwise: length mismatch")
+    (fun () -> ignore (Cbuf.mul_pointwise (Cbuf.create 2) (Cbuf.create 3)))
+
+let () =
+  Alcotest.run "dsp"
+    [
+      ( "fft",
+        [
+          qtest prop_fft_ifft_identity;
+          qtest prop_fft_matches_naive_dft;
+          qtest prop_ifft_matches_naive_idft;
+          qtest prop_parseval;
+          qtest prop_fft_linear;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "single tone" `Quick test_fft_single_tone;
+          Alcotest.test_case "plan reuse" `Quick test_plan_reuse;
+          Alcotest.test_case "plan non-pow2" `Quick test_plan_rejects_non_pow2;
+          Alcotest.test_case "empty rejected" `Quick test_fft_empty_rejected;
+        ] );
+      ( "radar",
+        [
+          Alcotest.test_case "chirp magnitude" `Quick test_chirp_unit_magnitude;
+          qtest prop_xcorr_recovers_delay;
+          Alcotest.test_case "echo bounds" `Quick test_delayed_echo_bounds;
+          Alcotest.test_case "doppler velocity signs" `Quick test_doppler_velocity_signs;
+          Alcotest.test_case "doppler bins" `Quick test_doppler_bins;
+        ] );
+      ( "coding",
+        [
+          qtest prop_scrambler_involution;
+          qtest prop_scrambler_whitens;
+          qtest prop_viterbi_inverts_encoder;
+          qtest prop_viterbi_corrects_errors;
+          Alcotest.test_case "encoder length" `Quick test_encoder_length;
+          Alcotest.test_case "viterbi short input" `Quick test_viterbi_short_input_rejected;
+          Alcotest.test_case "hamming" `Quick test_hamming;
+        ] );
+      ( "interleaver",
+        [
+          qtest prop_interleaver_bijection;
+          qtest prop_interleaver_permutation;
+          Alcotest.test_case "bad length" `Quick test_interleaver_bad_length;
+          Alcotest.test_case "spreads adjacent" `Quick test_interleaver_spreads_adjacent;
+        ] );
+      ( "modulation",
+        [
+          qtest prop_modulation_roundtrip;
+          qtest prop_modulation_unit_energy;
+          Alcotest.test_case "bad length" `Quick test_modulation_bad_length;
+          Alcotest.test_case "scheme strings" `Quick test_scheme_strings;
+        ] );
+      ( "crc",
+        [
+          Alcotest.test_case "known value" `Quick test_crc_known_value;
+          qtest prop_crc_detects_single_flip;
+          qtest prop_crc_accepts_intact;
+          Alcotest.test_case "too short" `Quick test_crc_too_short;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "endpoints" `Quick test_window_endpoints;
+          Alcotest.test_case "apply" `Quick test_window_apply;
+          Alcotest.test_case "strings" `Quick test_window_strings;
+        ] );
+      ( "cbuf",
+        [
+          Alcotest.test_case "ops" `Quick test_cbuf_ops;
+          Alcotest.test_case "length mismatch" `Quick test_cbuf_length_mismatch;
+        ] );
+    ]

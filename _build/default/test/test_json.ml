@@ -1,0 +1,163 @@
+module Json = Dssoc_json.Json
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected parse error: %s" (Json.error_to_string e)
+
+let parse_err s =
+  match Json.parse s with
+  | Ok _ -> Alcotest.failf "expected parse error on %S" s
+  | Error e -> e
+
+let test_literals () =
+  Alcotest.(check bool) "null" true (parse_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse_ok "false" = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse_ok "42" = Json.Int 42);
+  Alcotest.(check bool) "negative" true (parse_ok "-17" = Json.Int (-17));
+  Alcotest.(check bool) "float" true (parse_ok "2.5" = Json.Float 2.5);
+  Alcotest.(check bool) "exponent" true (parse_ok "1e3" = Json.Float 1000.0);
+  Alcotest.(check bool) "string" true (parse_ok {|"hi"|} = Json.String "hi")
+
+let test_containers () =
+  Alcotest.(check bool) "empty list" true (parse_ok "[]" = Json.List []);
+  Alcotest.(check bool) "empty obj" true (parse_ok "{}" = Json.Obj []);
+  Alcotest.(check bool) "nested" true
+    (parse_ok {|{"a": [1, 2], "b": {"c": null}}|}
+    = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]); ("b", Json.Obj [ ("c", Json.Null) ]) ])
+
+let test_order_preserved () =
+  let v = parse_ok {|{"z": 1, "a": 2, "m": 3}|} in
+  Alcotest.(check (list string)) "member order" [ "z"; "a"; "m" ] (Json.keys v)
+
+let test_escapes () =
+  Alcotest.(check bool) "basic escapes" true
+    (parse_ok {|"a\nb\t\"\\"|} = Json.String "a\nb\t\"\\");
+  Alcotest.(check bool) "unicode" true (parse_ok {|"A"|} = Json.String "A");
+  Alcotest.(check bool) "2-byte utf8" true (parse_ok {|"é"|} = Json.String "\xc3\xa9");
+  Alcotest.(check bool) "surrogate pair" true
+    (parse_ok {|"😀"|} = Json.String "\xf0\x9f\x98\x80")
+
+let test_errors () =
+  ignore (parse_err "");
+  ignore (parse_err "{");
+  ignore (parse_err "[1,]");
+  ignore (parse_err "[1 2]");
+  ignore (parse_err {|{"a":1,"a":2}|});
+  ignore (parse_err "tru");
+  ignore (parse_err "1.2.3");
+  ignore (parse_err {|"unterminated|});
+  ignore (parse_err "1 trailing");
+  let e = parse_err "[\n  1,\n  oops\n]" in
+  Alcotest.(check int) "error line" 3 e.Json.line
+
+let test_listing1_style () =
+  (* A fragment shaped like the paper's Listing 1. *)
+  let src =
+    {|{
+  "AppName": "range_detection",
+  "SharedObject": "range_detection.so",
+  "Variables": {
+    "n_samples": {"bytes": 4, "is_ptr": false, "ptr_alloc_bytes": 0, "val": [0, 1, 0, 0]},
+    "lfm_waveform": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 2048, "val": []}
+  },
+  "DAG": {
+    "LFM": {
+      "arguments": ["n_samples", "lfm_waveform"],
+      "predecessors": [],
+      "successors": ["FFT_1"],
+      "platforms": [{"name": "cpu", "runfunc": "range_detect_LFM"}]
+    }
+  }
+}|}
+  in
+  let v = parse_ok src in
+  let app_name = Result.bind (Json.member "AppName" v) Json.to_str in
+  Alcotest.(check bool) "AppName" true (app_name = Ok "range_detection");
+  let nsamp =
+    Result.bind (Json.member "Variables" v) (fun vars ->
+        Result.bind (Json.member "n_samples" vars) (fun ns ->
+            Result.bind (Json.member "val" ns) Json.to_list))
+  in
+  Alcotest.(check bool) "val bytes" true
+    (nsamp = Ok [ Json.Int 0; Json.Int 1; Json.Int 0; Json.Int 0 ])
+
+let test_accessors () =
+  let v = parse_ok {|{"i": 3, "f": 1.5, "s": "x", "b": true, "l": [1]}|} in
+  Alcotest.(check bool) "to_int" true (Result.bind (Json.member "i" v) Json.to_int = Ok 3);
+  Alcotest.(check bool) "int as float" true (Result.bind (Json.member "i" v) Json.to_float = Ok 3.0);
+  Alcotest.(check bool) "to_float" true (Result.bind (Json.member "f" v) Json.to_float = Ok 1.5);
+  Alcotest.(check bool) "to_str" true (Result.bind (Json.member "s" v) Json.to_str = Ok "x");
+  Alcotest.(check bool) "to_bool" true (Result.bind (Json.member "b" v) Json.to_bool = Ok true);
+  Alcotest.(check bool) "missing member" true (Result.is_error (Json.member "zz" v));
+  Alcotest.(check bool) "type error" true (Result.is_error (Result.bind (Json.member "s" v) Json.to_int));
+  Alcotest.(check bool) "member_opt" true (Json.member_opt "i" v = Some (Json.Int 3));
+  Alcotest.(check bool) "member_opt none" true (Json.member_opt "zz" v = None)
+
+(* Generator of arbitrary JSON values with printable strings. *)
+let gen_json =
+  let open QCheck.Gen in
+  let str = string_size ~gen:(char_range 'a' 'z') (int_range 0 8) in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          if size <= 0 then
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+                map (fun f -> Json.Float (Float.of_int f /. 16.0)) (int_range (-10000) 10000);
+                map (fun s -> Json.String s) str;
+              ]
+          else
+            oneof
+              [
+                map (fun l -> Json.List l) (list_size (int_range 0 4) (self (size / 2)));
+                map
+                  (fun kvs ->
+                    (* unique keys *)
+                    let seen = Hashtbl.create 4 in
+                    Json.Obj
+                      (List.filter
+                         (fun (k, _) ->
+                           if Hashtbl.mem seen k then false
+                           else begin
+                             Hashtbl.add seen k ();
+                             true
+                           end)
+                         kvs))
+                  (list_size (int_range 0 4) (pair str (self (size / 2))));
+              ])
+        size)
+
+let arb_json = QCheck.make ~print:(fun j -> Json.to_string j) gen_json
+
+let prop_roundtrip_pretty =
+  QCheck.Test.make ~name:"parse (to_string v) = v" ~count:300 arb_json (fun v ->
+      Json.parse (Json.to_string v) = Ok v)
+
+let prop_roundtrip_minified =
+  QCheck.Test.make ~name:"parse (to_string ~minify v) = v" ~count:300 arb_json (fun v ->
+      Json.parse (Json.to_string ~minify:true v) = Ok v)
+
+let () =
+  Alcotest.run "json"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "containers" `Quick test_containers;
+          Alcotest.test_case "member order" `Quick test_order_preserved;
+          Alcotest.test_case "escapes" `Quick test_escapes;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "listing-1 fragment" `Quick test_listing1_style;
+        ] );
+      ( "access",
+        [ Alcotest.test_case "accessors" `Quick test_accessors ] );
+      ( "roundtrip",
+        [ qtest prop_roundtrip_pretty; qtest prop_roundtrip_minified ] );
+    ]

@@ -1,0 +1,225 @@
+module Dma = Dssoc_soc.Dma
+module Pe = Dssoc_soc.Pe
+module Host = Dssoc_soc.Host
+module Config = Dssoc_soc.Config
+module Cost_model = Dssoc_soc.Cost_model
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------------- DMA ---------------------- *)
+
+let test_dma_pricing () =
+  let dma = Dma.make ~latency_ns:1000 ~bandwidth_mb_s:100.0 in
+  (* 100 MB/s = 100 bytes/us: 1000 bytes -> 10 us + 1 us latency. *)
+  Alcotest.(check int) "1000 bytes" 11_000 (Dma.transfer_ns dma ~bytes:1000);
+  Alcotest.(check int) "zero bytes pays latency" 1_000 (Dma.transfer_ns dma ~bytes:0);
+  Alcotest.(check int) "round trip" 22_000 (Dma.round_trip_ns dma ~bytes_in:1000 ~bytes_out:1000)
+
+let test_dma_validation () =
+  Alcotest.check_raises "neg latency" (Invalid_argument "Dma.make: negative latency") (fun () ->
+      ignore (Dma.make ~latency_ns:(-1) ~bandwidth_mb_s:1.0));
+  Alcotest.check_raises "bad bandwidth" (Invalid_argument "Dma.make: bandwidth must be positive")
+    (fun () -> ignore (Dma.make ~latency_ns:0 ~bandwidth_mb_s:0.0))
+
+let prop_dma_monotone =
+  QCheck.Test.make ~name:"transfer time monotone in size" ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (a, b) ->
+      let dma = Dma.make ~latency_ns:500 ~bandwidth_mb_s:400.0 in
+      let ta = Dma.transfer_ns dma ~bytes:(min a b) and tb = Dma.transfer_ns dma ~bytes:(max a b) in
+      ta <= tb)
+
+(* ---------------------- Cost model ---------------------- *)
+
+let test_cpu_cost_scaling () =
+  let cost cls = Cost_model.cpu_cost_ns ~kernel:"fft" ~n:512 cls in
+  let a53 = cost Pe.a53 in
+  let big = cost Pe.a15_big in
+  Alcotest.(check bool) "big core is faster" true (big < a53);
+  Alcotest.(check bool) "factor ~2.6" true
+    (Float.abs ((float_of_int a53 /. float_of_int big) -. Pe.a15_big.Pe.perf_factor) < 0.05)
+
+let test_unknown_kernel () =
+  Alcotest.(check bool) "unknown kernel raises" true
+    (try
+       ignore (Cost_model.cpu_cost_ns ~kernel:"no_such_kernel" ~n:1 Pe.a53);
+       false
+     with Invalid_argument _ -> true)
+
+let test_register_kernel () =
+  Cost_model.register "test_kernel_xyz" { Cost_model.base_ns = 100.0; lin_ns = 1.0; nlogn_ns = 0.0; quad_ns = 0.0 };
+  Alcotest.(check int) "custom profile" 1100 (Cost_model.cpu_cost_ns ~kernel:"test_kernel_xyz" ~n:1000 Pe.a53);
+  Alcotest.(check bool) "listed" true (List.mem "test_kernel_xyz" (Cost_model.known_kernels ()))
+
+let test_fft128_accel_slower_than_cpu () =
+  (* The central Fig. 9 / Case Study 1 calibration fact. *)
+  let cpu = Cost_model.cpu_cost_ns ~kernel:"fft" ~n:128 Pe.a53 in
+  let accel = Cost_model.accel_cost_ns ~bytes_in:1024 ~bytes_out:1024 ~n:128 Pe.zynq_fft in
+  Alcotest.(check bool) "128-pt FFT loses on the accelerator" true (accel > cpu)
+
+let test_fft512_accel_faster_than_cpu () =
+  let cpu = Cost_model.cpu_cost_ns ~kernel:"fft" ~n:512 Pe.a53 in
+  let accel = Cost_model.accel_cost_ns ~bytes_in:4096 ~bytes_out:4096 ~n:512 Pe.zynq_fft in
+  Alcotest.(check bool) "512-pt FFT wins on the accelerator" true (accel < cpu)
+
+let test_accel_phases_sum () =
+  let i, c, o = Cost_model.accel_phases_ns ~bytes_in:1024 ~bytes_out:2048 ~n:128 Pe.zynq_fft in
+  Alcotest.(check int) "phases sum to total"
+    (Cost_model.accel_cost_ns ~bytes_in:1024 ~bytes_out:2048 ~n:128 Pe.zynq_fft)
+    (i + c + o);
+  Alcotest.(check bool) "larger output transfer" true (o > i)
+
+let test_accel_chunking () =
+  (* Transfers beyond local memory are chunked, paying latency per chunk. *)
+  let small = Cost_model.accel_cost_ns ~bytes_in:32_768 ~bytes_out:0 ~n:1 Pe.zynq_fft in
+  let large = Cost_model.accel_cost_ns ~bytes_in:65_536 ~bytes_out:0 ~n:1 Pe.zynq_fft in
+  let single_latency = Pe.zynq_fft.Pe.dma.Dma.latency_ns in
+  Alcotest.(check bool) "two chunks pay two latencies" true
+    (large - (2 * (small - 0)) >= -single_latency)
+
+let test_substitution_factors () =
+  (* Case Study 4 calibration: naive DFT-512 vs FFTW-like vs accel. *)
+  let naive = Cost_model.cpu_cost_ns ~kernel:"dft_naive" ~n:512 Pe.a53 in
+  let fftw = Cost_model.cpu_cost_ns ~kernel:"fft_lib" ~n:512 Pe.a53 in
+  let accel = Cost_model.accel_cost_ns ~bytes_in:4096 ~bytes_out:4096 ~n:512 Pe.zynq_fft in
+  let r1 = float_of_int naive /. float_of_int fftw in
+  let r2 = float_of_int naive /. float_of_int accel in
+  Alcotest.(check bool) "FFTW speedup ~102x" true (r1 > 85.0 && r1 < 120.0);
+  Alcotest.(check bool) "accel speedup ~94x" true (r2 > 80.0 && r2 < 110.0);
+  Alcotest.(check bool) "FFTW slightly beats accel" true (r1 > r2)
+
+(* ---------------------- Hosts ---------------------- *)
+
+let test_host_shapes () =
+  Alcotest.(check int) "zcu102 pool" 3 (Host.pool_size Host.zcu102);
+  Alcotest.(check int) "zcu102 accel slots" 2 (List.length Host.zcu102.Host.accel_slots);
+  Alcotest.(check int) "odroid pool" 7 (Host.pool_size Host.odroid_xu3);
+  Alcotest.(check string) "odroid overlay is LITTLE" "little"
+    Host.odroid_xu3.Host.overlay.Host.core_class.Pe.cpu_name
+
+(* ---------------------- Config / placement ---------------------- *)
+
+let test_config_labels () =
+  Alcotest.(check string) "zcu102 label" "3Core+2FFT"
+    (Config.zcu102_cores_ffts ~cores:3 ~ffts:2).Config.label;
+  Alcotest.(check string) "cpu-only keeps 0FFT" "2Core+0FFT"
+    (Config.zcu102_cores_ffts ~cores:2 ~ffts:0).Config.label;
+  Alcotest.(check string) "odroid label" "3BIG+2LTL"
+    (Config.odroid_big_little ~big:3 ~little:2).Config.label
+
+let core_of cfg label =
+  let p =
+    List.find (fun p -> p.Config.pe.Pe.label = label) cfg.Config.placements
+  in
+  p.Config.host_core.Host.core_id
+
+let test_placement_2c2f_shares_core3 () =
+  (* The Fig. 9 anomaly setup: both FFT manager threads land on the one
+     leftover core and contend. *)
+  let cfg = Config.zcu102_cores_ffts ~cores:2 ~ffts:2 in
+  Alcotest.(check int) "fft2 on core 3" 3 (core_of cfg "fft2");
+  Alcotest.(check int) "fft3 on core 3" 3 (core_of cfg "fft3");
+  let sharing = Config.core_sharing cfg in
+  Alcotest.(check (list string)) "core 3 hosts both" [ "fft2"; "fft3" ] (List.assoc 3 sharing)
+
+let test_placement_3c2f_spreads_over_cpu_cores () =
+  (* With every pool core dedicated, accel managers share CPU cores. *)
+  let cfg = Config.zcu102_cores_ffts ~cores:3 ~ffts:2 in
+  let f1 = core_of cfg "fft3" and f2 = core_of cfg "fft4" in
+  Alcotest.(check bool) "different cores" true (f1 <> f2);
+  Alcotest.(check bool) "both on pool cores" true (List.mem f1 [ 1; 2; 3 ] && List.mem f2 [ 1; 2; 3 ])
+
+let test_placement_1c1f_dedicated () =
+  let cfg = Config.zcu102_cores_ffts ~cores:1 ~ffts:1 in
+  List.iter
+    (fun p -> Alcotest.(check bool) "dedicated" true p.Config.dedicated)
+    cfg.Config.placements
+
+let test_placement_cpu_overflow () =
+  Alcotest.(check bool) "too many cores fails" true
+    (Result.is_error
+       (Config.make ~host:Host.zcu102 ~requests:[ { Config.kind = Pe.Cpu Pe.a53; count = 4 } ]))
+
+let test_placement_accel_overflow () =
+  Alcotest.(check bool) "too many accels fails" true
+    (Result.is_error
+       (Config.make ~host:Host.zcu102
+          ~requests:
+            [
+              { Config.kind = Pe.Cpu Pe.a53; count = 1 };
+              { Config.kind = Pe.Accel Pe.zynq_fft; count = 3 };
+            ]))
+
+let test_placement_empty () =
+  Alcotest.(check bool) "empty config fails" true
+    (Result.is_error (Config.make ~host:Host.zcu102 ~requests:[]))
+
+let test_odroid_class_matching () =
+  (* big PEs must land on A15 cores, little PEs on A7 cores. *)
+  let cfg = Config.odroid_big_little ~big:2 ~little:2 in
+  List.iter
+    (fun p ->
+      match p.Config.pe.Pe.kind with
+      | Pe.Cpu cls ->
+        Alcotest.(check string) "class matches host core" cls.Pe.cpu_name
+          p.Config.host_core.Host.core_class.Pe.cpu_name
+      | Pe.Accel _ -> Alcotest.fail "unexpected accel")
+    cfg.Config.placements
+
+let test_odroid_overflow () =
+  Alcotest.(check bool) "5 big cores impossible" true
+    (try
+       ignore (Config.odroid_big_little ~big:5 ~little:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pe_ids_dense () =
+  let cfg = Config.zcu102_cores_ffts ~cores:3 ~ffts:2 in
+  let ids = List.map (fun (pe : Pe.t) -> pe.Pe.id) (Config.pes cfg) in
+  Alcotest.(check (list int)) "dense ids" [ 0; 1; 2; 3; 4 ] ids
+
+let prop_valid_configs_place_all =
+  QCheck.Test.make ~name:"every requested PE is placed" ~count:100
+    QCheck.(pair (int_range 0 3) (int_range 0 2))
+    (fun (cores, ffts) ->
+      QCheck.assume (cores + ffts > 0);
+      let cfg = Config.zcu102_cores_ffts ~cores ~ffts in
+      List.length cfg.Config.placements = cores + ffts)
+
+let () =
+  Alcotest.run "soc"
+    [
+      ( "dma",
+        [
+          Alcotest.test_case "pricing" `Quick test_dma_pricing;
+          Alcotest.test_case "validation" `Quick test_dma_validation;
+          qtest prop_dma_monotone;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "cpu scaling" `Quick test_cpu_cost_scaling;
+          Alcotest.test_case "unknown kernel" `Quick test_unknown_kernel;
+          Alcotest.test_case "register" `Quick test_register_kernel;
+          Alcotest.test_case "fft-128 accel slower" `Quick test_fft128_accel_slower_than_cpu;
+          Alcotest.test_case "fft-512 accel faster" `Quick test_fft512_accel_faster_than_cpu;
+          Alcotest.test_case "accel phases" `Quick test_accel_phases_sum;
+          Alcotest.test_case "accel chunking" `Quick test_accel_chunking;
+          Alcotest.test_case "cs4 substitution factors" `Quick test_substitution_factors;
+        ] );
+      ( "host",
+        [ Alcotest.test_case "shapes" `Quick test_host_shapes ] );
+      ( "config",
+        [
+          Alcotest.test_case "labels" `Quick test_config_labels;
+          Alcotest.test_case "2C+2F share core" `Quick test_placement_2c2f_shares_core3;
+          Alcotest.test_case "3C+2F spreads" `Quick test_placement_3c2f_spreads_over_cpu_cores;
+          Alcotest.test_case "1C+1F dedicated" `Quick test_placement_1c1f_dedicated;
+          Alcotest.test_case "cpu overflow" `Quick test_placement_cpu_overflow;
+          Alcotest.test_case "accel overflow" `Quick test_placement_accel_overflow;
+          Alcotest.test_case "empty" `Quick test_placement_empty;
+          Alcotest.test_case "odroid class matching" `Quick test_odroid_class_matching;
+          Alcotest.test_case "odroid overflow" `Quick test_odroid_overflow;
+          Alcotest.test_case "dense PE ids" `Quick test_pe_ids_dense;
+          qtest prop_valid_configs_place_all;
+        ] );
+    ]
