@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- table1       # one experiment
      dune exec bench/main.exe -- micro        # Bechamel micro benches
-   Experiments: table1 table2 fig9a fig9b fig10a fig10b fig11 cs4 ablation micro *)
+   Experiments: table1 table2 fig9a fig9b fig10a fig10b fig11 sweep cs4 ablation micro *)
 
 module Cbuf = Dssoc_dsp.Cbuf
 module Fft = Dssoc_dsp.Fft
@@ -21,14 +21,15 @@ module Driver = Dssoc_compiler.Driver
 module Quantile = Dssoc_stats.Quantile
 module Table = Dssoc_stats.Table
 module Prng = Dssoc_util.Prng
+module Grid = Dssoc_explore.Grid
+module Sweep = Dssoc_explore.Sweep
+module Presets = Dssoc_explore.Presets
+module Pool = Dssoc_explore.Pool
 
 let det_engine = Emulator.virtual_seeded ~jitter:0.0 1L
 
 let run_validation ?(policy = "FRFS") ?(engine = det_engine) config apps =
   Emulator.run_exn ~engine ~policy ~config ~workload:(Workload.validation apps) ()
-
-let run_rate ?(policy = "FRFS") config rate =
-  Emulator.run_exn ~engine:det_engine ~policy ~config ~workload:(Workload.table2_workload ~rate ()) ()
 
 let ms ns = float_of_int ns /. 1e6
 
@@ -98,27 +99,15 @@ let table2 () =
        ~rows)
 
 (* ------------------------------------------------------------------ *)
-(* Fig. 9: validation-mode design-space sweep                          *)
+(* Fig. 9: validation-mode design-space sweep (on the sweep engine)    *)
 (* ------------------------------------------------------------------ *)
 
-let fig9_configs = [ (1, 0); (1, 1); (1, 2); (2, 0); (2, 1); (2, 2); (3, 0); (3, 1); (3, 2) ]
-
-let fig9_mix () = List.map (fun a -> (a, 1)) (Reference_apps.all ())
-
 let fig9a () =
-  header "Fig. 9a: workload execution time per DSSoC configuration (50 iterations, FRFS)";
-  let mix = fig9_mix () in
+  header "Fig. 9a: workload execution time per DSSoC configuration (50 replicates, FRFS)";
+  let grid = Presets.fig9 ~replicates:50 ~base_seed:500L () in
+  let table = Sweep.run grid in
   let results =
-    List.map
-      (fun (cores, ffts) ->
-        let config = Config.zcu102_cores_ffts ~cores ~ffts in
-        let samples =
-          Array.init 50 (fun i ->
-              let engine = Emulator.virtual_seeded (Int64.of_int (500 + i)) in
-              ms (run_validation ~engine config mix).Stats.makespan_ns)
-        in
-        (config.Config.label, Quantile.boxplot samples))
-      fig9_configs
+    List.map (fun s -> (s.Sweep.s_config, s.Sweep.makespan_ms)) (Sweep.summarize table)
   in
   let scale_hi = List.fold_left (fun acc (_, b) -> Float.max acc b.Quantile.hi) 0.0 results in
   List.iter
@@ -141,27 +130,25 @@ let fig9a () =
 
 let fig9b () =
   header "Fig. 9b: average PE utilisation per configuration (FRFS)";
-  let mix = fig9_mix () in
+  let grid = Presets.fig9 ~replicates:1 ~jitter:0.0 () in
+  let table = Sweep.run grid in
+  let pct util k =
+    match List.assoc_opt k util with
+    | Some u -> Printf.sprintf "%.1f%%" (100.0 *. u)
+    | None -> "-"
+  in
   let rows =
     List.map
-      (fun (cores, ffts) ->
-        let config = Config.zcu102_cores_ffts ~cores ~ffts in
-        let r = run_validation config mix in
-        let util = Stats.mean_utilization_by_kind r in
-        let pct k =
-          match List.assoc_opt k util with
-          | Some u -> Printf.sprintf "%.1f%%" (100.0 *. u)
-          | None -> "-"
-        in
-        [ config.Config.label; pct "cpu"; pct "fft" ])
-      fig9_configs
+      (fun (r : Sweep.row) -> [ r.Sweep.config; pct r.Sweep.util_by_kind "cpu"; pct r.Sweep.util_by_kind "fft" ])
+      table.Sweep.rows
   in
   print_string (Table.render ~header:[ "configuration"; "cpu util"; "fft util" ] ~rows);
-  let r1c = run_validation (Config.zcu102_cores_ffts ~cores:1 ~ffts:0) mix in
-  let cpu_util = List.assoc "cpu" (Stats.mean_utilization_by_kind r1c) in
+  let util_of label =
+    (List.find (fun (r : Sweep.row) -> r.Sweep.config = label) table.Sweep.rows).Sweep.util_by_kind
+  in
+  let cpu_util = List.assoc "cpu" (util_of "1Core+0FFT") in
   Printf.printf "\npaper: max CPU utilisation ~80%% at 1Core+0FFT; measured %.1f%%\n" (100.0 *. cpu_util);
-  let r22 = run_validation (Config.zcu102_cores_ffts ~cores:2 ~ffts:2) mix in
-  let u22 = Stats.mean_utilization_by_kind r22 in
+  let u22 = util_of "2Core+2FFT" in
   Printf.printf "paper: CPU utilisation higher than FFT accelerators — %s\n"
     (if List.assoc "cpu" u22 > List.assoc "fft" u22 then "holds" else "violated")
 
@@ -171,19 +158,22 @@ let fig9b () =
 
 let fig10_policies = [ "FRFS"; "MET"; "EFT" ]
 
-let fig10_data =
-  lazy
-    (let config = Config.zcu102_cores_ffts ~cores:3 ~ffts:2 in
-     List.map
-       (fun rate -> (rate, List.map (fun p -> (p, run_rate ~policy:p config rate)) fig10_policies))
-       Workload.table2_rates)
+let fig10_table = lazy (Sweep.run (Presets.fig10 ()))
+
+let sweep_row (table : Sweep.table) ~policy ~config_pred ~rate =
+  let wl = Printf.sprintf "rate%.2f" rate in
+  List.find
+    (fun (r : Sweep.row) -> r.Sweep.policy = policy && r.Sweep.workload = wl && config_pred r.Sweep.config)
+    table.Sweep.rows
+
+let fig10_row policy rate =
+  sweep_row (Lazy.force fig10_table) ~policy ~config_pred:(fun _ -> true) ~rate
 
 let fig10a () =
   header "Fig. 10a: workload execution time vs injection rate (3Core+2FFT)";
-  let data = Lazy.force fig10_data in
   let curves =
     List.map
-      (fun p -> (p, List.map (fun (_, per) -> ms (List.assoc p per).Stats.makespan_ns) data))
+      (fun p -> (p, List.map (fun rate -> ms (fig10_row p rate).Sweep.makespan_ns) Workload.table2_rates))
       fig10_policies
   in
   print_string (Table.series ~x_label:"jobs/ms" ~xs:Workload.table2_rates ~curves ());
@@ -191,40 +181,44 @@ let fig10a () =
   Printf.printf "  [%s] FRFS < MET < EFT at every rate (simple policy wins, as in the paper)\n"
     (if
        List.for_all
-         (fun (_, per) ->
-           let m p = (List.assoc p per).Stats.makespan_ns in
+         (fun rate ->
+           let m p = (fig10_row p rate).Sweep.makespan_ns in
            m "FRFS" <= m "MET" && m "MET" <= m "EFT")
-         data
+         Workload.table2_rates
      then "ok"
      else "??");
-  let frfs_first = ms (List.assoc "FRFS" (snd (List.hd data))).Stats.makespan_ns in
-  let frfs_last = ms (List.assoc "FRFS" (snd (List.nth data 4))).Stats.makespan_ns in
+  let frfs_first = ms (fig10_row "FRFS" (List.hd Workload.table2_rates)).Sweep.makespan_ns in
+  let frfs_last = ms (fig10_row "FRFS" (List.nth Workload.table2_rates 4)).Sweep.makespan_ns in
   Printf.printf "  [%s] FRFS grows roughly linearly with rate (%.0f ms at 1.71 -> %.0f ms at 6.92)\n"
     (if frfs_last < 4.0 *. frfs_first then "ok" else "??")
     frfs_first frfs_last
 
 let fig10b () =
   header "Fig. 10b: average scheduling overhead vs injection rate (3Core+2FFT)";
-  let data = Lazy.force fig10_data in
   Printf.printf "total workload-manager overhead per scheduling invocation (us):\n";
+  let wm_cost (r : Sweep.row) =
+    if r.Sweep.sched_invocations = 0 then 0.0
+    else float_of_int r.Sweep.wm_overhead_ns /. float_of_int r.Sweep.sched_invocations /. 1e3
+  in
   let curves =
     List.map
-      (fun p ->
-        (p, List.map (fun (_, per) -> Stats.avg_sched_overhead_ns (List.assoc p per) /. 1e3) data))
+      (fun p -> (p, List.map (fun rate -> wm_cost (fig10_row p rate)) Workload.table2_rates))
       fig10_policies
   in
   print_string (Table.series ~x_label:"jobs/ms" ~xs:Workload.table2_rates ~curves ());
   Printf.printf "\npure policy cost per invocation (us) — the paper's 2.5 us FRFS constant:\n";
-  let policy_cost r =
-    float_of_int r.Stats.sched_ns /. float_of_int (max 1 r.Stats.sched_invocations) /. 1e3
+  let policy_cost (r : Sweep.row) =
+    float_of_int r.Sweep.sched_ns /. float_of_int (max 1 r.Sweep.sched_invocations) /. 1e3
   in
   let curves =
     List.map
-      (fun p -> (p, List.map (fun (_, per) -> policy_cost (List.assoc p per)) data))
+      (fun p -> (p, List.map (fun rate -> policy_cost (fig10_row p rate)) Workload.table2_rates))
       fig10_policies
   in
   print_string (Table.series ~x_label:"jobs/ms" ~xs:Workload.table2_rates ~curves ());
-  let frfs_costs = Array.of_list (List.map (fun (_, per) -> policy_cost (List.assoc "FRFS" per)) data) in
+  let frfs_costs =
+    Array.of_list (List.map (fun rate -> policy_cost (fig10_row "FRFS" rate)) Workload.table2_rates)
+  in
   let spread = Quantile.max frfs_costs -. Quantile.min frfs_costs in
   Printf.printf "\n  [%s] FRFS policy cost constant across rates (spread %.2f us; paper: 2.5 us constant)\n"
     (if spread < 0.3 then "ok" else "??")
@@ -234,17 +228,20 @@ let fig10b () =
 (* Fig. 11: Odroid XU3 big.LITTLE sweep                                *)
 (* ------------------------------------------------------------------ *)
 
-let fig11_mixes = [ (1, 1); (2, 1); (3, 1); (4, 1); (2, 3); (3, 2); (4, 2); (4, 3) ]
-
 let fig11 () =
   header "Fig. 11: execution time on Odroid XU3 BIG/LITTLE mixes (FRFS, performance mode)";
+  let table = Sweep.run (Presets.fig11 ()) in
   let results =
     List.map
       (fun (big, little) ->
-        let config = Config.odroid_big_little ~big ~little in
-        ( config.Config.label,
-          List.map (fun rate -> ms (run_rate config rate).Stats.makespan_ns) Workload.table2_rates ))
-      fig11_mixes
+        let label = (Config.odroid_big_little ~big ~little).Config.label in
+        ( label,
+          List.map
+            (fun rate ->
+              ms
+                (sweep_row table ~policy:"FRFS" ~config_pred:(( = ) label) ~rate).Sweep.makespan_ns)
+            Workload.table2_rates ))
+      Presets.fig11_mixes
   in
   print_string (Table.series ~x_label:"jobs/ms" ~xs:Workload.table2_rates ~curves:results ());
   let top label = List.nth (List.assoc label results) 4 in
@@ -266,6 +263,33 @@ let fig11 () =
          results
      then "ok"
      else "??")
+
+(* ------------------------------------------------------------------ *)
+(* Sweep engine: determinism and wall-clock scaling                    *)
+(* ------------------------------------------------------------------ *)
+
+let sweep () =
+  header "Sweep engine: deterministic sharding across worker domains";
+  let grid = Presets.fig9 ~replicates:10 ~base_seed:500L () in
+  let points = Grid.size grid in
+  let t1, s1 = Sweep.run_timed ~jobs:1 grid in
+  let jn = max 2 (Pool.default_jobs ()) in
+  let tn, sn = Sweep.run_timed ~jobs:jn grid in
+  Printf.printf "  fig9 grid, %d points\n" points;
+  Printf.printf "  jobs=1:  %8.3f s\n" s1;
+  Printf.printf "  jobs=%-2d: %8.3f s   speedup %.2fx\n" jn sn (s1 /. Float.max 1e-9 sn);
+  Printf.printf "  [%s] result tables byte-identical across worker counts (CSV and JSON)\n"
+    (if
+       Sweep.to_csv t1 = Sweep.to_csv tn
+       && Dssoc_json.Json.to_string (Sweep.to_json t1) = Dssoc_json.Json.to_string (Sweep.to_json tn)
+     then "ok"
+     else "??");
+  if Pool.default_jobs () <= 1 then
+    Printf.printf
+      "  note: this host recommends %d domain(s); speedup ~1x or below is expected here and\n\
+      \  the extra domains only add spawn overhead.  On a multi-core host the same sweep\n\
+      \  scales with the worker count.\n"
+      (Pool.default_jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Case Study 4: automatic application conversion                      *)
@@ -532,6 +556,7 @@ let experiments =
     ("fig10a", fig10a);
     ("fig10b", fig10b);
     ("fig11", fig11);
+    ("sweep", sweep);
     ("cs4", cs4);
     ("ablation", ablation);
     ("micro", micro);

@@ -13,6 +13,10 @@ module Scheduler = Dssoc_runtime.Scheduler
 module Stats = Dssoc_runtime.Stats
 module Driver = Dssoc_compiler.Driver
 module Table = Dssoc_stats.Table
+module Grid = Dssoc_explore.Grid
+module Sweep = Dssoc_explore.Sweep
+module Presets = Dssoc_explore.Presets
+module Pool = Dssoc_explore.Pool
 
 open Cmdliner
 
@@ -230,6 +234,100 @@ let run_cmd =
       $ jitter_arg $ native_arg $ reservation_arg $ mode $ apps $ rate $ csv $ trace $ gantt
       $ app_file)
 
+(* ---------------------- sweep ---------------------- *)
+
+let sweep_cmd =
+  let grid_name =
+    Arg.(
+      value
+      & pos 0 string "fig9"
+      & info [] ~docv:"GRID" ~doc:"Sweep grid preset: fig9, fig10 or fig11.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (0 = one per recommended core). The result table is bit-identical \
+                for any N.")
+  in
+  let replicates =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replicates" ] ~docv:"N" ~doc:"Override the preset's replicate count.")
+  in
+  let policies =
+    Arg.(
+      value & opt (some string) None
+      & info [ "policies" ] ~docv:"P1,P2" ~doc:"Comma-separated policy list overriding the preset.")
+  in
+  let sweep_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override the preset's base seed.")
+  in
+  let sweep_jitter =
+    Arg.(
+      value & opt (some float) None
+      & info [ "jitter" ] ~docv:"SIGMA" ~doc:"Override the preset's jitter stddev fraction.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the result table as CSV to FILE (- for stdout).")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the result table as JSON to FILE (- for stdout).")
+  in
+  let summary =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Collapse replicates into per-cell quartile summaries.")
+  in
+  let run grid_name jobs replicates policies seed jitter csv json summary =
+    let policies = Option.map (fun s -> List.map String.trim (String.split_on_char ',' s)) policies in
+    let base_seed = Option.map Int64.of_int seed in
+    let grid =
+      match Presets.by_name ?replicates ?base_seed ?jitter ?policies grid_name with
+      | Ok g -> Ok g
+      | Error msg -> Error msg
+      | exception Invalid_argument msg -> Error msg
+    in
+    match grid with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok grid ->
+      let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+      let table, seconds = Sweep.run_timed ~jobs grid in
+      let write_or_stdout path s =
+        if path = "-" then print_string s
+        else begin
+          Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+          Printf.printf "wrote %s\n" path
+        end
+      in
+      (match csv with
+      | Some path -> write_or_stdout path (Sweep.to_csv table)
+      | None -> ());
+      (match json with
+      | Some path -> write_or_stdout path (Dssoc_json.Json.to_string (Sweep.to_json table) ^ "\n")
+      | None -> ());
+      if csv = None && json = None then
+        if summary then Format.printf "%a" Sweep.pp_summary table
+        else Format.printf "%a" Sweep.pp table
+      else if summary then Format.printf "%a" Sweep.pp_summary table;
+      (* Timing goes to stderr so stdout stays byte-comparable across runs. *)
+      Printf.eprintf "%d points on %d domain%s in %.3f s\n" (Grid.size grid) jobs
+        (if jobs = 1 then "" else "s")
+        seconds;
+      0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a design-space exploration grid across a pool of worker domains.  Output is \
+          deterministic: the same grid and seed produce a byte-identical result table for any \
+          --jobs value.")
+    Term.(
+      const run $ grid_name $ jobs $ replicates $ policies $ sweep_seed $ sweep_jitter $ csv
+      $ json $ summary)
+
 (* ---------------------- convert ---------------------- *)
 
 let convert_cmd =
@@ -291,4 +389,6 @@ let () =
     Cmd.info "dssoc_emu" ~version:"1.0.0"
       ~doc:"User-space emulation framework for domain-specific SoC design."
   in
-  exit (Cmd.eval' (Cmd.group info [ apps_cmd; platforms_cmd; policies_cmd; run_cmd; convert_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ apps_cmd; platforms_cmd; policies_cmd; run_cmd; sweep_cmd; convert_cmd ]))

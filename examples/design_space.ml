@@ -2,48 +2,47 @@
    configurations for a mixed SDR workload and report execution time
    plus PE utilisation — the experiment behind Fig. 9 of the paper.
 
-   Run with:  dune exec examples/design_space.exe [iterations] *)
+   Built on the parallel sweep engine (Dssoc_explore): the grid is
+   sharded across worker domains, and the result table is identical
+   for any worker count.
 
-module Workload = Dssoc_apps.Workload
-module Reference_apps = Dssoc_apps.Reference_apps
-module Config = Dssoc_soc.Config
-module Emulator = Dssoc_runtime.Emulator
-module Stats = Dssoc_runtime.Stats
+   Run with:  dune exec examples/design_space.exe [iterations] [jobs] *)
+
 module Quantile = Dssoc_stats.Quantile
 module Table = Dssoc_stats.Table
-
-let configurations = [ (1, 0); (1, 1); (1, 2); (2, 0); (2, 1); (2, 2); (3, 0); (3, 1); (3, 2) ]
+module Grid = Dssoc_explore.Grid
+module Sweep = Dssoc_explore.Sweep
+module Presets = Dssoc_explore.Presets
+module Pool = Dssoc_explore.Pool
 
 let () =
   let iterations =
     if Array.length Sys.argv > 1 then max 2 (int_of_string Sys.argv.(1)) else 20
   in
-  let mix = Workload.validation (List.map (fun a -> (a, 1)) (Reference_apps.all ())) in
+  let jobs =
+    if Array.length Sys.argv > 2 then max 1 (int_of_string Sys.argv.(2)) else Pool.default_jobs ()
+  in
   Format.printf
     "Validation-mode design-space sweep (1x pulse_doppler + range_detection + wifi_tx + wifi_rx,@.\
-     FRFS, %d jittered iterations per configuration)@.@."
-    iterations;
+     FRFS, %d jittered replicates per configuration, %d worker domain(s))@.@."
+    iterations jobs;
+  (* Jittered replicates for the boxplots... *)
+  let grid = Presets.fig9 ~replicates:iterations ~base_seed:1000L () in
+  let table, seconds = Sweep.run_timed ~jobs grid in
+  (* ...and one deterministic run per configuration for utilisation. *)
+  let det = Sweep.run ~jobs (Presets.fig9 ~replicates:1 ~jitter:0.0 ()) in
   let results =
     List.map
-      (fun (cores, ffts) ->
-        let config = Config.zcu102_cores_ffts ~cores ~ffts in
-        let samples =
-          Array.init iterations (fun i ->
-              let engine = Emulator.virtual_seeded (Int64.of_int (1000 + i)) in
-              let r = Emulator.run_exn ~engine ~config ~workload:mix () in
-              float_of_int r.Stats.makespan_ns /. 1e6)
-        in
+      (fun s ->
         let util =
-          let r =
-            Emulator.run_exn ~engine:(Emulator.virtual_seeded ~jitter:0.0 1L) ~config ~workload:mix ()
-          in
-          Stats.mean_utilization_by_kind r
+          (List.find (fun (r : Sweep.row) -> r.Sweep.config = s.Sweep.s_config) det.Sweep.rows)
+            .Sweep.util_by_kind
         in
-        (config.Config.label, Quantile.boxplot samples, util))
-      configurations
+        (s.Sweep.s_config, s.Sweep.makespan_ms, util))
+      (Sweep.summarize table)
   in
   let scale_hi = List.fold_left (fun acc (_, b, _) -> Float.max acc b.Quantile.hi) 0.0 results in
-  Format.printf "Execution time (ms) — box over %d iterations, scale 0..%.1f ms:@." iterations scale_hi;
+  Format.printf "Execution time (ms) — box over %d replicates, scale 0..%.1f ms:@." iterations scale_hi;
   List.iter
     (fun (label, b, _) ->
       Format.printf "  %-12s %s  med %6.2f [%6.2f..%6.2f]@." label
@@ -58,6 +57,7 @@ let () =
       List.iter (fun (k, u) -> Format.printf "  %s %5.1f%%" k (100.0 *. u)) util;
       Format.printf "@.")
     results;
+  Format.printf "@.%d points evaluated in %.3f s on %d domain(s).@." (Grid.size grid) seconds jobs;
   Format.printf
     "@.Reading the sweep (cf. Fig. 9): CPU cores buy more than FFT accelerators at this FFT@.\
      size (DMA overhead), 2Core+2FFT barely improves on 2Core+1FFT because both accelerator@.\

@@ -1,4 +1,7 @@
-let table = lazy (
+(* Built eagerly at module init: CRC kernels run on spawned domains
+   (native engine, parallel sweeps), and concurrently forcing a shared
+   lazy from several domains is undefined. *)
+let table =
   Array.init 256 (fun n ->
       let c = ref (Int32.of_int n) in
       for _ = 0 to 7 do
@@ -6,12 +9,11 @@ let table = lazy (
           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
         else c := Int32.shift_right_logical !c 1
       done;
-      !c))
+      !c)
 
 let update crc byte =
-  let t = Lazy.force table in
   let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xFFl) in
-  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
+  Int32.logxor table.(idx) (Int32.shift_right_logical crc 8)
 
 let of_bytes b =
   let crc = ref 0xFFFFFFFFl in

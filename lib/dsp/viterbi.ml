@@ -7,13 +7,16 @@ let parity x =
 (* Branch outputs for (state, input): the encoder register is
    (input << 6) | state, with the most recent previous input at state
    bit 5 — must mirror Conv_code.encode exactly. *)
-let branch_out = lazy (
+(* Built eagerly at module init: the decode kernel runs on spawned
+   domains (native engine, parallel sweeps), and concurrently forcing
+   a shared lazy from several domains is undefined. *)
+let branch_out =
   Array.init (n_states * 2) (fun idx ->
       let state = idx lsr 1 and input = idx land 1 in
       let reg = (input lsl 6) lor state in
       let o0 = parity (reg land Conv_code.g0) in
       let o1 = parity (reg land Conv_code.g1) in
-      (o0 = 1, o1 = 1)))
+      (o0 = 1, o1 = 1))
 
 let next_state state input = (input lsl 5) lor (state lsr 1)
 
@@ -26,7 +29,7 @@ let hamming_distance a b =
 let decode ~message_length coded =
   let steps = message_length + Conv_code.constraint_length - 1 in
   if Array.length coded < 2 * steps then invalid_arg "Viterbi.decode: coded input too short";
-  let outs = Lazy.force branch_out in
+  let outs = branch_out in
   let infinity_metric = max_int / 2 in
   let metric = Array.make n_states infinity_metric in
   metric.(0) <- 0;

@@ -1,0 +1,84 @@
+module Config = Dssoc_soc.Config
+module Workload = Dssoc_apps.Workload
+module Scheduler = Dssoc_runtime.Scheduler
+module Prng = Dssoc_util.Prng
+
+type workload_spec = { wl_label : string; build : Prng.t -> Workload.t }
+
+let workload ~label build = { wl_label = label; build }
+
+let fixed_workload ~label wl = { wl_label = label; build = (fun _ -> wl) }
+
+type t = {
+  label : string;
+  configs : (string * Config.t) list;
+  policies : string list;
+  workloads : workload_spec list;
+  replicates : int;
+  base_seed : int64;
+  jitter : float;
+  reservation_depth : int;
+}
+
+let make ?(label = "sweep") ?(replicates = 1) ?(base_seed = 1L) ?(jitter = 0.0)
+    ?(reservation_depth = 0) ~configs ~policies ~workloads () =
+  if configs = [] then invalid_arg "Grid.make: no configurations";
+  if policies = [] then invalid_arg "Grid.make: no policies";
+  if workloads = [] then invalid_arg "Grid.make: no workloads";
+  if replicates <= 0 then invalid_arg "Grid.make: replicates must be positive";
+  if jitter < 0.0 then invalid_arg "Grid.make: negative jitter";
+  if reservation_depth < 0 then invalid_arg "Grid.make: negative reservation depth";
+  (* Fail on unknown policies at grid-construction time, not from an
+     arbitrary worker domain mid-sweep. *)
+  List.iter
+    (fun p -> match Scheduler.find p with Ok _ -> () | Error msg -> invalid_arg msg)
+    policies;
+  { label; configs; policies; workloads; replicates; base_seed; jitter; reservation_depth }
+
+let size t =
+  List.length t.configs * List.length t.policies * List.length t.workloads * t.replicates
+
+type point = {
+  index : int;
+  config_label : string;
+  config : Config.t;
+  policy : string;
+  wl_label : string;
+  workload : Workload.t;
+  replicate : int;
+  seed : int64;
+}
+
+let points t =
+  let out = ref [] and index = ref 0 in
+  List.iter
+    (fun (config_label, config) ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun ws ->
+              for replicate = 0 to t.replicates - 1 do
+                let seed = Prng.derive_seed ~seed:t.base_seed ~index:!index in
+                (* The workload generator gets a stream derived from
+                   the point seed (not the point seed itself) so
+                   workload randomness and engine jitter stay
+                   uncorrelated. *)
+                let workload = ws.build (Prng.derive ~seed ~index:1) in
+                out :=
+                  {
+                    index = !index;
+                    config_label;
+                    config;
+                    policy;
+                    wl_label = ws.wl_label;
+                    workload;
+                    replicate;
+                    seed;
+                  }
+                  :: !out;
+                incr index
+              done)
+            t.workloads)
+        t.policies)
+    t.configs;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,69 @@
+(** Declarative design-space experiment grids.
+
+    A grid is the cross product
+    configurations x policies x workloads x replicates — the sweep
+    campaigns of Section III (Figs. 9-11) expressed as one value.
+    Enumeration order is row-major in that field order, and every
+    point derives its own PRNG seed from the campaign seed and its
+    point index ({!Dssoc_util.Prng.derive_seed}), which is what lets
+    {!Sweep.run} shard points across domains without the results
+    depending on the worker count. *)
+
+type workload_spec = {
+  wl_label : string;
+  build : Dssoc_util.Prng.t -> Dssoc_apps.Workload.t;
+      (** called once per grid point, in the main domain, with a
+          stream derived from the point seed *)
+}
+
+val workload : label:string -> (Dssoc_util.Prng.t -> Dssoc_apps.Workload.t) -> workload_spec
+
+val fixed_workload : label:string -> Dssoc_apps.Workload.t -> workload_spec
+(** A workload that ignores the per-point stream (validation mixes,
+    probability-1 injection traces). *)
+
+type t = {
+  label : string;
+  configs : (string * Dssoc_soc.Config.t) list;  (** (label, configuration) *)
+  policies : string list;
+  workloads : workload_spec list;
+  replicates : int;  (** seeds 0..replicates-1 per cell *)
+  base_seed : int64;
+  jitter : float;  (** virtual-engine execution-time jitter sigma *)
+  reservation_depth : int;  (** per-PE reservation-queue depth *)
+}
+
+val make :
+  ?label:string ->
+  ?replicates:int ->
+  ?base_seed:int64 ->
+  ?jitter:float ->
+  ?reservation_depth:int ->
+  configs:(string * Dssoc_soc.Config.t) list ->
+  policies:string list ->
+  workloads:workload_spec list ->
+  unit ->
+  t
+(** Validates eagerly: non-empty axes, positive replicates, known
+    policy names.  Defaults: one replicate, seed 1, no jitter, no
+    reservation queues.
+    @raise Invalid_argument on an invalid grid. *)
+
+val size : t -> int
+(** Number of points. *)
+
+type point = {
+  index : int;  (** position in enumeration order, from 0 *)
+  config_label : string;
+  config : Dssoc_soc.Config.t;
+  policy : string;
+  wl_label : string;
+  workload : Dssoc_apps.Workload.t;
+  replicate : int;
+  seed : int64;  (** [Prng.derive_seed ~seed:base_seed ~index] *)
+}
+
+val points : t -> point array
+(** Enumerate (and build every workload) in the main domain, in
+    deterministic row-major order: configs, then policies, then
+    workloads, then replicates. *)

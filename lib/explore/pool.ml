@@ -1,0 +1,38 @@
+(* Fork-join worker pool over OCaml 5 domains.
+
+   Work items are claimed from a shared atomic counter, so the
+   *assignment* of items to workers is racy by design — but every
+   item writes its result into its own slot of a preallocated array,
+   so the *output* is always in input order and independent of the
+   worker count.  Determinism of the overall computation then reduces
+   to determinism of [f] itself. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ~jobs ~n f =
+  if n < 0 then invalid_arg "Pool.map: negative item count";
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let next = Atomic.make 0 in
+  let results = Array.make n None in
+  let failures = Array.make n None in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f i with
+        | r -> results.(i) <- Some r
+        | exception e -> failures.(i) <- Some e);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers;
+  (* Re-raise the lowest-index failure so error behaviour is also
+     independent of the worker count. *)
+  Array.iter (function Some e -> raise e | None -> ()) failures;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let iter ~jobs ~n f = ignore (map ~jobs ~n f : unit array)

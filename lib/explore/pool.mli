@@ -1,0 +1,23 @@
+(** Deterministic fork-join worker pool over OCaml 5 domains.
+
+    The sharding substrate of the sweep engine: [n] independent work
+    items are pulled from a shared queue by [jobs] domains (the
+    calling domain works too, so [jobs = 1] spawns nothing).  Results
+    land in an input-order array regardless of which worker evaluated
+    which item. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : jobs:int -> n:int -> (int -> 'a) -> 'a array
+(** [map ~jobs ~n f] evaluates [f 0 .. f (n-1)] on up to [jobs]
+    domains and returns the results in index order.  [jobs] is
+    clamped to \[1, n\].  If one or more applications of [f] raise,
+    the remaining items still run and the exception of the
+    lowest-index failure is re-raised — error behaviour, like result
+    order, is independent of the worker count.  [f] must be safe to
+    call from multiple domains concurrently.
+    @raise Invalid_argument when [n < 0]. *)
+
+val iter : jobs:int -> n:int -> (int -> unit) -> unit
+(** [map] for effects only. *)

@@ -1,0 +1,78 @@
+module Config = Dssoc_soc.Config
+module Workload = Dssoc_apps.Workload
+module Reference_apps = Dssoc_apps.Reference_apps
+
+let sdr_mix () =
+  Grid.fixed_workload ~label:"sdr_mix"
+    (Workload.validation (List.map (fun a -> (a, 1)) (Reference_apps.all ())))
+
+let rate_workloads () =
+  List.map
+    (fun rate ->
+      Grid.fixed_workload
+        ~label:(Printf.sprintf "rate%.2f" rate)
+        (Workload.table2_workload ~rate ()))
+    Workload.table2_rates
+
+let zcu102_grid_configs = [ (1, 0); (1, 1); (1, 2); (2, 0); (2, 1); (2, 2); (3, 0); (3, 1); (3, 2) ]
+
+let fig11_mixes = [ (1, 1); (2, 1); (3, 1); (4, 1); (2, 3); (3, 2); (4, 2); (4, 3) ]
+
+let fig9 ?(replicates = 10) ?(base_seed = 1L) ?(jitter = 0.03) ?(policies = [ "FRFS" ]) () =
+  Grid.make ~label:"fig9" ~replicates ~base_seed ~jitter
+    ~configs:
+      (List.map
+         (fun (cores, ffts) ->
+           let c = Config.zcu102_cores_ffts ~cores ~ffts in
+           (c.Config.label, c))
+         zcu102_grid_configs)
+    ~policies
+    ~workloads:[ sdr_mix () ]
+    ()
+
+let fig10 ?(policies = [ "FRFS"; "MET"; "EFT" ]) ?(base_seed = 1L) () =
+  let c = Config.zcu102_cores_ffts ~cores:3 ~ffts:2 in
+  Grid.make ~label:"fig10" ~replicates:1 ~base_seed ~jitter:0.0
+    ~configs:[ (c.Config.label, c) ]
+    ~policies
+    ~workloads:(rate_workloads ())
+    ()
+
+let fig11 ?(policies = [ "FRFS" ]) ?(base_seed = 1L) () =
+  Grid.make ~label:"fig11" ~replicates:1 ~base_seed ~jitter:0.0
+    ~configs:
+      (List.map
+         (fun (big, little) ->
+           let c = Config.odroid_big_little ~big ~little in
+           (c.Config.label, c))
+         fig11_mixes)
+    ~policies
+    ~workloads:(rate_workloads ())
+    ()
+
+let names = [ "fig9"; "fig10"; "fig11" ]
+
+let by_name ?replicates ?base_seed ?jitter ?policies name =
+  match String.lowercase_ascii name with
+  | "fig9" -> Ok (fig9 ?replicates ?base_seed ?jitter ?policies ())
+  | "fig10" ->
+    (* fig10/fig11 are deterministic single-replicate grids; replicate
+       and jitter overrides still apply when given. *)
+    let g = fig10 ?policies ?base_seed () in
+    Ok
+      {
+        g with
+        Grid.replicates = Option.value ~default:g.Grid.replicates replicates;
+        jitter = Option.value ~default:g.Grid.jitter jitter;
+      }
+  | "fig11" ->
+    let g = fig11 ?policies ?base_seed () in
+    Ok
+      {
+        g with
+        Grid.replicates = Option.value ~default:g.Grid.replicates replicates;
+        jitter = Option.value ~default:g.Grid.jitter jitter;
+      }
+  | other ->
+    Error
+      (Printf.sprintf "unknown sweep grid %S (available: %s)" other (String.concat ", " names))

@@ -1,0 +1,37 @@
+(** Ready-made sweep grids for the paper's evaluation campaigns,
+    shared by the [dssoc_emu sweep] CLI subcommand, the benchmark
+    harness and the examples. *)
+
+val zcu102_grid_configs : (int * int) list
+(** The Fig. 9 (cores, ffts) axis. *)
+
+val fig11_mixes : (int * int) list
+(** The Fig. 11 (big, LITTLE) axis. *)
+
+val sdr_mix : unit -> Grid.workload_spec
+(** One instance of each reference application (validation mode). *)
+
+val rate_workloads : unit -> Grid.workload_spec list
+(** The five Table II injection traces ("rate1.71" .. "rate6.92"). *)
+
+val fig9 :
+  ?replicates:int -> ?base_seed:int64 -> ?jitter:float -> ?policies:string list -> unit -> Grid.t
+(** 9 ZCU102 configurations x FRFS x SDR mix, jittered replicates
+    (defaults: 10 replicates, 3% jitter). *)
+
+val fig10 : ?policies:string list -> ?base_seed:int64 -> unit -> Grid.t
+(** 3Core+2FFT x FRFS/MET/EFT x 5 injection rates, deterministic. *)
+
+val fig11 : ?policies:string list -> ?base_seed:int64 -> unit -> Grid.t
+(** 8 big.LITTLE mixes x FRFS x 5 injection rates, deterministic. *)
+
+val names : string list
+
+val by_name :
+  ?replicates:int ->
+  ?base_seed:int64 ->
+  ?jitter:float ->
+  ?policies:string list ->
+  string ->
+  (Grid.t, string) result
+(** Case-insensitive preset lookup with optional overrides. *)

@@ -1,0 +1,236 @@
+module Emulator = Dssoc_runtime.Emulator
+module Stats = Dssoc_runtime.Stats
+module Json = Dssoc_json.Json
+module Table = Dssoc_stats.Table
+module Quantile = Dssoc_stats.Quantile
+
+type row = {
+  index : int;
+  config : string;
+  policy : string;
+  workload : string;
+  replicate : int;
+  seed : int64;
+  makespan_ns : int;
+  job_count : int;
+  task_count : int;
+  sched_invocations : int;
+  sched_ns : int;
+  wm_overhead_ns : int;
+  busy_energy_mj : float;
+  energy_mj : float;
+  util_by_kind : (string * float) list;
+}
+
+type table = { grid_label : string; rows : row list }
+
+let run_point (grid : Grid.t) (p : Grid.point) =
+  let engine =
+    Emulator.virtual_seeded ~jitter:grid.Grid.jitter
+      ~reservation_depth:grid.Grid.reservation_depth p.Grid.seed
+  in
+  let r =
+    Emulator.run_exn ~engine ~policy:p.Grid.policy ~config:p.Grid.config
+      ~workload:p.Grid.workload ()
+  in
+  {
+    index = p.Grid.index;
+    config = p.Grid.config_label;
+    policy = p.Grid.policy;
+    workload = p.Grid.wl_label;
+    replicate = p.Grid.replicate;
+    seed = p.Grid.seed;
+    makespan_ns = r.Stats.makespan_ns;
+    job_count = r.Stats.job_count;
+    task_count = r.Stats.task_count;
+    sched_invocations = r.Stats.sched_invocations;
+    sched_ns = r.Stats.sched_ns;
+    wm_overhead_ns = r.Stats.wm_overhead_ns;
+    busy_energy_mj = Stats.total_busy_energy_mj r;
+    energy_mj = Stats.total_energy_mj r;
+    util_by_kind = Stats.mean_utilization_by_kind r;
+  }
+
+let run ?jobs grid =
+  let points = Grid.points grid in
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let rows = Pool.map ~jobs ~n:(Array.length points) (fun i -> run_point grid points.(i)) in
+  { grid_label = grid.Grid.label; rows = Array.to_list rows }
+
+let run_timed ?jobs grid =
+  let t0 = Unix.gettimeofday () in
+  let t = run ?jobs grid in
+  (t, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization — all formats are pure functions of the rows, so a   *)
+(* sweep's export is byte-identical across worker counts.             *)
+(* ------------------------------------------------------------------ *)
+
+let util_string u = String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%.6f" k v) u)
+
+let csv_header =
+  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,util_by_kind"
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%s\n" r.config r.policy
+           r.workload r.replicate r.seed r.makespan_ns r.job_count r.task_count
+           r.sched_invocations r.sched_ns r.wm_overhead_ns r.busy_energy_mj r.energy_mj
+           (util_string r.util_by_kind)))
+    t.rows;
+  Buffer.contents buf
+
+let to_json t =
+  Json.obj
+    [
+      ("grid", Json.str t.grid_label);
+      ("points", Json.int (List.length t.rows));
+      ( "rows",
+        Json.list
+          (List.map
+             (fun r ->
+               Json.obj
+                 [
+                   ("config", Json.str r.config);
+                   ("policy", Json.str r.policy);
+                   ("workload", Json.str r.workload);
+                   ("replicate", Json.int r.replicate);
+                   ("seed", Json.str (Printf.sprintf "%Ld" r.seed));
+                   ("makespan_ns", Json.int r.makespan_ns);
+                   ("job_count", Json.int r.job_count);
+                   ("task_count", Json.int r.task_count);
+                   ("sched_invocations", Json.int r.sched_invocations);
+                   ("sched_ns", Json.int r.sched_ns);
+                   ("wm_overhead_ns", Json.int r.wm_overhead_ns);
+                   ("busy_energy_mj", Json.float r.busy_energy_mj);
+                   ("energy_mj", Json.float r.energy_mj);
+                   ( "util_by_kind",
+                     Json.obj (List.map (fun (k, v) -> (k, Json.float v)) r.util_by_kind) );
+                 ])
+             t.rows) );
+    ]
+
+let pp fmt t =
+  let ms ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e6) in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.config;
+          r.policy;
+          r.workload;
+          string_of_int r.replicate;
+          ms r.makespan_ns;
+          string_of_int r.job_count;
+          string_of_int r.sched_invocations;
+          ms r.wm_overhead_ns;
+          Printf.sprintf "%.2f" r.energy_mj;
+          util_string r.util_by_kind;
+        ])
+      t.rows
+  in
+  Format.fprintf fmt "%s"
+    (Table.render
+       ~header:
+         [
+           "config"; "policy"; "workload"; "rep"; "makespan ms"; "jobs"; "sched inv";
+           "WM ms"; "energy mJ"; "util";
+         ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation over replicates                                        *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  s_config : string;
+  s_policy : string;
+  s_workload : string;
+  n : int;
+  makespan_ms : Quantile.boxplot;
+  mean_energy_mj : float;
+  mean_util_by_kind : (string * float) list;
+}
+
+let summarize t =
+  (* Group rows by (config, policy, workload) in first-appearance
+     order; rows arrive in point order, so groups are exactly the
+     grid cells in grid order. *)
+  let order = ref [] in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      let key = (r.config, r.policy, r.workload) in
+      if not (Hashtbl.mem tbl key) then begin
+        Hashtbl.add tbl key (ref []);
+        order := key :: !order
+      end;
+      let cell = Hashtbl.find tbl key in
+      cell := r :: !cell)
+    t.rows;
+  List.rev_map
+    (fun ((config, policy, workload) as key) ->
+      let rows = List.rev !(Hashtbl.find tbl key) in
+      let n = List.length rows in
+      let makespans =
+        Array.of_list (List.map (fun r -> float_of_int r.makespan_ns /. 1e6) rows)
+      in
+      let mean_energy =
+        List.fold_left (fun acc r -> acc +. r.energy_mj) 0.0 rows /. float_of_int (max 1 n)
+      in
+      let kinds =
+        List.sort_uniq compare (List.concat_map (fun r -> List.map fst r.util_by_kind) rows)
+      in
+      let mean_util k =
+        let sum, cnt =
+          List.fold_left
+            (fun (sum, cnt) r ->
+              match List.assoc_opt k r.util_by_kind with
+              | Some u -> (sum +. u, cnt + 1)
+              | None -> (sum, cnt))
+            (0.0, 0) rows
+        in
+        sum /. float_of_int (max 1 cnt)
+      in
+      {
+        s_config = config;
+        s_policy = policy;
+        s_workload = workload;
+        n;
+        makespan_ms = Quantile.boxplot makespans;
+        mean_energy_mj = mean_energy;
+        mean_util_by_kind = List.map (fun k -> (k, mean_util k)) kinds;
+      })
+    !order
+
+let pp_summary fmt t =
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.s_config;
+          s.s_policy;
+          s.s_workload;
+          string_of_int s.n;
+          Printf.sprintf "%.3f" s.makespan_ms.Quantile.med;
+          Printf.sprintf "%.3f" s.makespan_ms.Quantile.lo;
+          Printf.sprintf "%.3f" s.makespan_ms.Quantile.hi;
+          Printf.sprintf "%.2f" s.mean_energy_mj;
+          util_string s.mean_util_by_kind;
+        ])
+      (summarize t)
+  in
+  Format.fprintf fmt "%s"
+    (Table.render
+       ~header:
+         [
+           "config"; "policy"; "workload"; "n"; "med ms"; "lo ms"; "hi ms"; "energy mJ";
+           "mean util";
+         ]
+       ~rows)

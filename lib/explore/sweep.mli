@@ -1,0 +1,69 @@
+(** Parallel design-space sweep engine.
+
+    Evaluates every point of a {!Grid.t} through the deterministic
+    virtual engine, sharding points across a {!Pool} of OCaml 5
+    domains, and aggregates the per-point reports into a result table
+    in point-enumeration order.
+
+    Determinism contract: the same grid produces bit-identical rows —
+    and therefore byte-identical {!to_csv}/{!to_json} output — for
+    any worker count, because every point's randomness comes from its
+    own index-derived seed and result slots are written by index. *)
+
+type row = {
+  index : int;
+  config : string;
+  policy : string;
+  workload : string;
+  replicate : int;
+  seed : int64;
+  makespan_ns : int;
+  job_count : int;
+  task_count : int;
+  sched_invocations : int;
+  sched_ns : int;
+  wm_overhead_ns : int;
+  busy_energy_mj : float;
+  energy_mj : float;
+  util_by_kind : (string * float) list;  (** mean utilisation per PE kind, sorted by kind *)
+}
+
+type table = { grid_label : string; rows : row list  (** in point order *) }
+
+val run : ?jobs:int -> Grid.t -> table
+(** Evaluate the grid on [jobs] domains (default
+    {!Pool.default_jobs}; clamped to at least 1).
+    @raise Invalid_argument when a point's workload cannot run on its
+    configuration (reported for the lowest failing point index,
+    independent of worker count). *)
+
+val run_timed : ?jobs:int -> Grid.t -> table * float
+(** [run] plus wall-clock seconds — kept out of {!table} so result
+    tables stay byte-comparable across runs and worker counts. *)
+
+val run_point : Grid.t -> Grid.point -> row
+(** Evaluate a single point (the unit of work {!run} shards). *)
+
+val to_csv : table -> string
+(** One line per point; floats rendered with fixed precision. *)
+
+val to_json : table -> Dssoc_json.Json.t
+
+val pp : Format.formatter -> table -> unit
+(** Human-readable per-point table. *)
+
+type summary = {
+  s_config : string;
+  s_policy : string;
+  s_workload : string;
+  n : int;  (** replicates aggregated *)
+  makespan_ms : Dssoc_stats.Quantile.boxplot;
+  mean_energy_mj : float;
+  mean_util_by_kind : (string * float) list;
+}
+
+val summarize : table -> summary list
+(** Collapse replicates: one summary per (config, policy, workload)
+    cell, in grid order. *)
+
+val pp_summary : Format.formatter -> table -> unit

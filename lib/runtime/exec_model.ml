@@ -24,12 +24,17 @@ let accel_phases_ns (task : Task.t) (acl : Pe.accel_class) =
 
 (* The schedulers (EFT in particular) call estimate_ns for every
    (ready task, PE) pair on every invocation; the result only depends
-   on the node's cost metadata and the PE class, so memoize. *)
-let memo : (string * int * int * int * float option * Pe.kind, int) Hashtbl.t = Hashtbl.create 256
+   on the node's cost metadata and the PE class, so memoize.  The
+   table is domain-local: parallel sweeps run whole emulations on
+   several domains at once, and Hashtbl must not be mutated
+   concurrently. *)
+let memo_key : (string * int * int * int * float option * Pe.kind, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
-let clear_cache () = Hashtbl.reset memo
+let clear_cache () = Hashtbl.reset (Domain.DLS.get memo_key)
 
 let estimate_ns (task : Task.t) pe =
+  let memo = Domain.DLS.get memo_key in
   let entry = entry_for task pe in
   match entry.App_spec.cost_us with
   | Some us -> int_of_float (Float.round (us *. 1e3))

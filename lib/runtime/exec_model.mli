@@ -8,12 +8,13 @@
 
 val estimate_ns : Task.t -> Dssoc_soc.Pe.t -> int
 (** Full turnaround estimate on the given PE.  Memoized per (cost
-    metadata, PE class) — call {!clear_cache} after re-registering a
-    kernel profile in {!Dssoc_soc.Cost_model}.
+    metadata, PE class) in a domain-local table (safe under parallel
+    sweeps) — call {!clear_cache} after re-registering a kernel
+    profile in {!Dssoc_soc.Cost_model}.
     @raise Invalid_argument when the task does not support the PE. *)
 
 val clear_cache : unit -> unit
-(** Drop the estimate memo table. *)
+(** Drop the calling domain's estimate memo table. *)
 
 val accel_phases_ns : Task.t -> Dssoc_soc.Pe.accel_class -> int * int * int
 (** [(dma_in, device_compute, dma_out)]; DMA sizes come from the node's

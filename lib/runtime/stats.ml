@@ -135,13 +135,18 @@ let chrome_trace r =
           ] );
     ]
 
+(* a-z, then A-Z, then 0-9; beyond 62 applications the alphabet wraps
+   (letters are a reading aid, not an identifier). *)
+let gantt_alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
 let gantt ?(width = 100) r =
+  let width = max 1 width in
   let span = float_of_int (max 1 r.makespan_ns) in
   let apps = List.sort_uniq compare (List.map (fun t -> t.app) r.records) in
   let letter app =
     match List.find_index (fun a -> a = app) apps with
-    | Some i when i < 26 -> Char.chr (Char.code 'a' + i)
-    | _ -> '?'
+    | Some i -> gantt_alphabet.[i mod String.length gantt_alphabet]
+    | None -> '?'
   in
   let buf = Buffer.create 1024 in
   List.iter
@@ -153,8 +158,17 @@ let gantt ?(width = 100) r =
       List.iter
         (fun t ->
           if t.pe = u.pe_label then begin
-            let pos ns = min (width - 1) (int_of_float (float_of_int ns /. span *. float_of_int width)) in
-            for i = pos t.dispatched_ns to pos t.completed_ns do
+            let pos ns =
+              min (width - 1)
+                (max 0 (int_of_float (float_of_int ns /. span *. float_of_int width)))
+            in
+            (* Clamp into the row and give zero-width (or malformed
+               negative-duration) spans one cell, so an instantaneous
+               task is still visible and the fill loop bounds are
+               always ordered. *)
+            let first = pos t.dispatched_ns in
+            let last = max first (pos t.completed_ns) in
+            for i = first to last do
               Bytes.set row i (letter t.app)
             done
           end)

@@ -81,6 +81,8 @@ val chrome_trace : report -> Dssoc_json.Json.t
 val gantt : ?width:int -> report -> string
 (** ASCII Gantt chart: one row per PE, time on the x axis scaled to
     the makespan; occupied spans are drawn with per-application
-    letters ('a' = first application name alphabetically, etc.), idle
-    time with dots.  Intended for eyeballing schedules of small
-    workloads. *)
+    letters ('a' = first application name alphabetically, continuing
+    through 'A'-'Z' and '0'-'9' before wrapping), idle time with
+    dots.  Zero-duration spans render as a single cell; [width] is
+    clamped to at least 1.  Intended for eyeballing schedules of
+    small workloads. *)

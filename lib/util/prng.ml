@@ -37,6 +37,19 @@ let bits64 t =
 
 let split t = create ~seed:(bits64 t)
 
+(* Pure (seed, index) -> seed mixing for embarrassingly parallel
+   sweeps: each grid point derives its own stream from the campaign
+   seed and its point index, so results cannot depend on which worker
+   evaluates the point or in what order. *)
+let derive_seed ~seed ~index =
+  if index < 0 then invalid_arg "Prng.derive_seed: negative index";
+  let sm = ref (Int64.logxor seed (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L)) in
+  let a = splitmix64 sm in
+  let b = splitmix64 sm in
+  Int64.logxor a (rotl b 17)
+
+let derive ~seed ~index = create ~seed:(derive_seed ~seed ~index)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling over the top bits to avoid modulo bias. *)

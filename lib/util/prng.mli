@@ -21,6 +21,17 @@ val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t].  Streams
     of the parent and child are statistically independent. *)
 
+val derive_seed : seed:int64 -> index:int -> int64
+(** [derive_seed ~seed ~index] is a pure function of its arguments: a
+    well-mixed child seed for the [index]-th member of a family rooted
+    at [seed].  Unlike {!split} it involves no mutable state, so a
+    parallel sweep can seed every grid point independently of worker
+    count and evaluation order.
+    @raise Invalid_argument on a negative index. *)
+
+val derive : seed:int64 -> index:int -> t
+(** [create ~seed:(derive_seed ~seed ~index)]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,140 @@
+(* Differential tests between the two emulation engines.
+
+   The virtual engine is a discrete-event simulation; the native
+   engine runs tasks on real OCaml domains under wall-clock time.
+   Their timings legitimately differ, but on small configurations
+   where the scheduler has no real freedom the *decisions* must agree:
+   same task set, same per-task DAG ordering, same PE assignments and
+   same functional outputs.  Makespans only have to land in a very
+   coarse tolerance band — the virtual clock models the target SoC,
+   the native clock measures this host. *)
+
+module Task = Dssoc_runtime.Task
+module Emulator = Dssoc_runtime.Emulator
+module Stats = Dssoc_runtime.Stats
+module Config = Dssoc_soc.Config
+module App_spec = Dssoc_apps.App_spec
+module Store = Dssoc_apps.Store
+module Reference_apps = Dssoc_apps.Reference_apps
+module Workload = Dssoc_apps.Workload
+
+let det_engine = Emulator.virtual_seeded ~jitter:0.0 1L
+
+let run_both config spec instances =
+  let wl () = Workload.validation [ (spec, instances) ] in
+  let vr, vi =
+    Result.get_ok (Emulator.run_detailed ~engine:det_engine ~config ~workload:(wl ()) ())
+  in
+  let nr, ni =
+    Result.get_ok (Emulator.run_detailed ~engine:Emulator.Native ~config ~workload:(wl ()) ())
+  in
+  ((vr, vi), (nr, ni))
+
+(* Completion order can differ between engines when several tasks run
+   concurrently; compare records keyed by (instance, node) instead. *)
+let by_task (r : Stats.report) =
+  List.sort compare (List.map (fun (t : Stats.task_record) -> ((t.Stats.instance, t.Stats.node), t.Stats.pe)) r.Stats.records)
+
+let check_counts (vr : Stats.report) (nr : Stats.report) =
+  Alcotest.(check int) "job count agrees" vr.Stats.job_count nr.Stats.job_count;
+  Alcotest.(check int) "task count agrees" vr.Stats.task_count nr.Stats.task_count;
+  Alcotest.(check int) "record count agrees" (List.length vr.Stats.records)
+    (List.length nr.Stats.records)
+
+let check_makespan_band (vr : Stats.report) (nr : Stats.report) =
+  (* Deliberately coarse: the two clocks measure different machines.
+     The band still catches a hung engine (hours) or a no-op engine
+     (zero / negative makespan). *)
+  let ratio = float_of_int nr.Stats.makespan_ns /. float_of_int (max 1 vr.Stats.makespan_ns) in
+  Alcotest.(check bool) "native makespan positive" true (nr.Stats.makespan_ns > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan ratio %.3f within [1e-3, 1e3]" ratio)
+    true
+    (ratio > 1e-3 && ratio < 1e3)
+
+let test_chain_parity () =
+  (* wifi_tx is a linear chain: only one task is ever ready, so FRFS
+     must make identical decisions in both engines — every task on the
+     first CPU, in chain order. *)
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:0 in
+  let (vr, vi), (nr, ni) = run_both config (Reference_apps.wifi_tx ()) 1 in
+  check_counts vr nr;
+  let order (r : Stats.report) = List.map (fun (t : Stats.task_record) -> t.Stats.node) r.Stats.records in
+  Alcotest.(check (list string)) "same completion order" (order vr) (order nr);
+  Alcotest.(check bool) "same per-task PE assignments" true (by_task vr = by_task nr);
+  List.iter
+    (fun (t : Stats.task_record) ->
+      Alcotest.(check string) (t.Stats.node ^ " on first cpu") "cpu0" t.Stats.pe)
+    nr.Stats.records;
+  check_makespan_band vr nr;
+  (* functional outputs agree bit-for-bit *)
+  Alcotest.(check bool) "same transmitted time-domain signal" true
+    (Store.get_cbuf vi.(0).Task.store "tx_time" = Store.get_cbuf ni.(0).Task.store "tx_time")
+
+let test_dag_parity_single_pe () =
+  (* range_detection is a diamond DAG; on a single CPU both engines
+     serialise it, and every linear extension they pick must respect
+     the DAG.  With one PE and FRFS the ready-list evolution is fully
+     determined, so the orders must also be identical. *)
+  let config = Config.zcu102_cores_ffts ~cores:1 ~ffts:0 in
+  let spec = Reference_apps.range_detection () in
+  let (vr, vi), (nr, ni) = run_both config spec 1 in
+  check_counts vr nr;
+  let order (r : Stats.report) = List.map (fun (t : Stats.task_record) -> t.Stats.node) r.Stats.records in
+  Alcotest.(check (list string)) "same serialisation" (order vr) (order nr);
+  Alcotest.(check bool) "all on the single PE" true
+    (List.for_all (fun (t : Stats.task_record) -> t.Stats.pe = "cpu0") nr.Stats.records);
+  (* both serialisations are topological orders of the app DAG *)
+  let check_topological (r : Stats.report) name =
+    let position = List.mapi (fun i (t : Stats.task_record) -> (t.Stats.node, i)) r.Stats.records in
+    List.iter
+      (fun (n : App_spec.node) ->
+        List.iter
+          (fun pred ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s before %s" name pred n.App_spec.node_name)
+              true
+              (List.assoc pred position < List.assoc n.App_spec.node_name position))
+          n.App_spec.predecessors)
+      spec.App_spec.nodes
+  in
+  check_topological vr "virtual";
+  check_topological nr "native";
+  check_makespan_band vr nr;
+  Alcotest.(check int) "same recovered lag" (Store.get_i32 vi.(0).Task.store "lag")
+    (Store.get_i32 ni.(0).Task.store "lag")
+
+let test_multi_instance_parity () =
+  (* Two chain instances on one CPU: arrival order forces instance 0's
+     chain to interleave deterministically ahead of instance 1 under
+     FRFS in both engines. *)
+  let config = Config.zcu102_cores_ffts ~cores:1 ~ffts:0 in
+  let (vr, _), (nr, _) = run_both config (Reference_apps.wifi_tx ()) 2 in
+  check_counts vr nr;
+  Alcotest.(check bool) "same per-task PE assignments" true (by_task vr = by_task nr);
+  let per_instance_order (r : Stats.report) inst =
+    List.filter_map
+      (fun (t : Stats.task_record) -> if t.Stats.instance = inst then Some t.Stats.node else None)
+      r.Stats.records
+  in
+  let chain = [ "CRC"; "SCRAMBLE"; "ENCODE"; "INTERLEAVE"; "MODULATE"; "PILOT"; "IFFT" ] in
+  List.iter
+    (fun inst ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "virtual instance %d follows the chain" inst)
+        chain (per_instance_order vr inst);
+      Alcotest.(check (list string))
+        (Printf.sprintf "native instance %d follows the chain" inst)
+        chain (per_instance_order nr inst))
+    [ 0; 1 ]
+
+let () =
+  Alcotest.run "diff_engines"
+    [
+      ( "virtual vs native",
+        [
+          Alcotest.test_case "linear chain parity" `Slow test_chain_parity;
+          Alcotest.test_case "DAG parity on one PE" `Slow test_dag_parity_single_pe;
+          Alcotest.test_case "multi-instance chain parity" `Slow test_multi_instance_parity;
+        ] );
+    ]

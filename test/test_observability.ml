@@ -1,0 +1,148 @@
+(* Observability regression tests: hardened Gantt rendering edge cases
+   plus golden outputs pinning [Stats.records_csv] and
+   [Stats.chrome_trace] for a fixed seeded run, so any change to the
+   exporter formats (column order, units, field names) is caught
+   deliberately rather than discovered by downstream tooling. *)
+
+module Emulator = Dssoc_runtime.Emulator
+module Stats = Dssoc_runtime.Stats
+module Config = Dssoc_soc.Config
+module Workload = Dssoc_apps.Workload
+module Reference_apps = Dssoc_apps.Reference_apps
+module Json = Dssoc_json.Json
+
+(* ---------------------- hand-built reports for Gantt edges ---------------------- *)
+
+let mk_record ~app ~node ~pe ~d ~c =
+  {
+    Stats.app;
+    instance = 0;
+    node;
+    pe;
+    ready_ns = 0;
+    dispatched_ns = d;
+    completed_ns = c;
+  }
+
+let mk_usage label =
+  {
+    Stats.pe_label = label;
+    pe_kind = "cpu";
+    busy_ns = 0;
+    tasks_run = 0;
+    busy_energy_mj = 0.0;
+    energy_mj = 0.0;
+  }
+
+let mk_report ?(makespan = 1_000_000) records pe_labels =
+  {
+    Stats.host_name = "ZCU102";
+    config_label = "test";
+    policy_name = "FRFS";
+    makespan_ns = makespan;
+    job_count = List.length records;
+    task_count = List.length records;
+    pe_usage = List.map mk_usage pe_labels;
+    sched_invocations = 0;
+    sched_ns = 0;
+    wm_overhead_ns = 0;
+    records;
+    app_stats = [];
+  }
+
+let contains ~needle haystack =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length haystack && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_gantt_zero_width_span () =
+  (* An instantaneous task at the very end of the makespan used to
+     produce an empty (or reversed) fill range; it must render exactly
+     one visible cell and never raise. *)
+  let r = mk_report [ mk_record ~app:"blip" ~node:"N" ~pe:"cpu0" ~d:1_000_000 ~c:1_000_000 ] [ "cpu0" ] in
+  let g = Stats.gantt ~width:40 r in
+  Alcotest.(check bool) "letter rendered" true (contains ~needle:"a" g);
+  let row = List.find (fun l -> contains ~needle:"cpu0" l) (String.split_on_char '\n' g) in
+  Alcotest.(check bool) "span visible in the cpu0 row" true (contains ~needle:"a|" row)
+
+let test_gantt_degenerate_width () =
+  (* width 0 (or negative) is clamped to a single column instead of
+     crashing on Bytes.set row (-1). *)
+  List.iter
+    (fun width ->
+      let r = mk_report [ mk_record ~app:"x" ~node:"N" ~pe:"cpu0" ~d:0 ~c:500 ] [ "cpu0" ] in
+      let g = Stats.gantt ~width r in
+      Alcotest.(check bool) "renders non-empty" true (String.length g > 0))
+    [ 0; -5; 1 ]
+
+let test_gantt_zero_makespan () =
+  let r = mk_report ~makespan:0 [ mk_record ~app:"x" ~node:"N" ~pe:"cpu0" ~d:0 ~c:0 ] [ "cpu0" ] in
+  let g = Stats.gantt ~width:20 r in
+  Alcotest.(check bool) "renders" true (String.length g > 0)
+
+let test_gantt_many_apps () =
+  (* 30 distinct applications exhaust a-z; the 27th app must continue
+     into upper case rather than rendering '?' for every extra app. *)
+  let apps = List.init 30 (fun i -> Printf.sprintf "app%02d" i) in
+  let records =
+    List.mapi (fun i app -> mk_record ~app ~node:"N" ~pe:"cpu0" ~d:(i * 1000) ~c:((i * 1000) + 900)) apps
+  in
+  let r = mk_report ~makespan:30_000 records [ "cpu0" ] in
+  let g = Stats.gantt ~width:120 r in
+  Alcotest.(check bool) "no unknown-letter fallback" false (contains ~needle:"?" g);
+  Alcotest.(check bool) "27th app maps to upper case" true (contains ~needle:"A = app26" g);
+  Alcotest.(check bool) "30th app present in legend" true (contains ~needle:"D = app29" g)
+
+(* ---------------------- golden exporter outputs ---------------------- *)
+
+(* Fixed scenario: 1x wifi_tx on 2Core+1FFT, deterministic virtual
+   engine (jitter 0, seed 1).  Regenerate the golden strings with
+   [dune exec goldengen/gen.exe] equivalents if the execution model
+   deliberately changes, and mention the change in CHANGES.md. *)
+let golden_run () =
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  let workload = Workload.validation [ (Reference_apps.wifi_tx (), 1) ] in
+  Emulator.run_exn ~engine:(Emulator.virtual_seeded ~jitter:0.0 1L) ~config ~workload ()
+
+let golden_csv =
+  "app,instance,node,pe,ready_ns,dispatched_ns,completed_ns\n\
+     wifi_tx,0,CRC,cpu0,1050,5250,9042\n\
+     wifi_tx,0,SCRAMBLE,cpu0,10092,14292,19172\n\
+     wifi_tx,0,ENCODE,cpu0,20222,24422,34622\n\
+     wifi_tx,0,INTERLEAVE,cpu0,35672,39872,47584\n\
+     wifi_tx,0,MODULATE,cpu0,48634,52834,62474\n\
+     wifi_tx,0,PILOT,cpu0,63524,67724,71254\n\
+     wifi_tx,0,IFFT,cpu0,72304,76504,91944\n\
+     "
+
+let golden_trace =
+  "{\n  \"traceEvents\": [\n    {\n      \"name\": \"thread_name\",\n      \"ph\": \"M\",\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"name\": \"cpu0\"\n      }\n    },\n    {\n      \"name\": \"thread_name\",\n      \"ph\": \"M\",\n      \"pid\": 1,\n      \"tid\": 1,\n      \"args\": {\n        \"name\": \"cpu1\"\n      }\n    },\n    {\n      \"name\": \"thread_name\",\n      \"ph\": \"M\",\n      \"pid\": 1,\n      \"tid\": 2,\n      \"args\": {\n        \"name\": \"fft2\"\n      }\n    },\n    {\n      \"name\": \"wifi_tx/0:CRC\",\n      \"cat\": \"wifi_tx\",\n      \"ph\": \"X\",\n      \"ts\": 5.25,\n      \"dur\": 3.7919999999999998,\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"ready_us\": 1.05\n      }\n    },\n    {\n      \"name\": \"wifi_tx/0:SCRAMBLE\",\n      \"cat\": \"wifi_tx\",\n      \"ph\": \"X\",\n      \"ts\": 14.292,\n      \"dur\": 4.8799999999999999,\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"ready_us\": 10.092000000000001\n      }\n    },\n    {\n      \"name\": \"wifi_tx/0:ENCODE\",\n      \"cat\": \"wifi_tx\",\n      \"ph\": \"X\",\n      \"ts\": 24.422000000000001,\n      \"dur\": 10.199999999999999,\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"ready_us\": 20.222000000000001\n      }\n    },\n    {\n      \"name\": \"wifi_tx/0:INTERLEAVE\",\n      \"cat\": \"wifi_tx\",\n      \"ph\": \"X\",\n      \"ts\": 39.872,\n      \"dur\": 7.7119999999999997,\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"ready_us\": 35.671999999999997\n      }\n    },\n    {\n      \"name\": \"wifi_tx/0:MODULATE\",\n      \"cat\": \"wifi_tx\",\n      \"ph\": \"X\",\n      \"ts\": 52.834000000000003,\n      \"dur\": 9.6400000000000006,\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"ready_us\": 48.634\n      }\n    },\n    {\n      \"name\": \"wifi_tx/0:PILOT\",\n      \"cat\": \"wifi_tx\",\n      \"ph\": \"X\",\n      \"ts\": 67.724000000000004,\n      \"dur\": 3.5299999999999998,\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"ready_us\": 63.524000000000001\n      }\n    },\n    {\n      \"name\": \"wifi_tx/0:IFFT\",\n      \"cat\": \"wifi_tx\",\n      \"ph\": \"X\",\n      \"ts\": 76.504000000000005,\n      \"dur\": 15.44,\n      \"pid\": 1,\n      \"tid\": 0,\n      \"args\": {\n        \"ready_us\": 72.304000000000002\n      }\n    }\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\n    \"config\": \"2Core+1FFT\",\n    \"policy\": \"FRFS\",\n    \"host\": \"ZCU102\"\n  }\n}"
+
+let test_records_csv_golden () =
+  Alcotest.(check string) "records_csv pinned" golden_csv (Stats.records_csv (golden_run ()))
+
+let test_chrome_trace_golden () =
+  Alcotest.(check string) "chrome_trace pinned" golden_trace
+    (Json.to_string (Stats.chrome_trace (golden_run ())))
+
+let test_chrome_trace_roundtrip () =
+  let json = Stats.chrome_trace (golden_run ()) in
+  Alcotest.(check bool) "parses back" true (Json.parse (Json.to_string json) = Ok json)
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "gantt",
+        [
+          Alcotest.test_case "zero-width span" `Quick test_gantt_zero_width_span;
+          Alcotest.test_case "degenerate width" `Quick test_gantt_degenerate_width;
+          Alcotest.test_case "zero makespan" `Quick test_gantt_zero_makespan;
+          Alcotest.test_case "alphabet exhaustion" `Quick test_gantt_many_apps;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "records_csv" `Quick test_records_csv_golden;
+          Alcotest.test_case "chrome_trace" `Quick test_chrome_trace_golden;
+          Alcotest.test_case "chrome_trace roundtrip" `Quick test_chrome_trace_roundtrip;
+        ] );
+    ]

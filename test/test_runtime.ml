@@ -421,6 +421,143 @@ let test_native_matches_virtual_functionally () =
   Alcotest.(check int) "same lag" (Store.get_i32 vi.(0).Task.store "lag")
     (Store.get_i32 ni.(0).Task.store "lag")
 
+(* ---------------------- Scheduler property tests ---------------------- *)
+
+(* A pool of heterogeneous tasks drawn from three reference apps, with
+   disjoint id ranges so "same task assigned twice" is detectable. *)
+let sched_task_pool () =
+  let inst base inst_id spec = (Task.instantiate ~task_id_base:base ~inst_id ~arrival_ns:0 spec).Task.tasks in
+  Array.concat
+    [
+      inst 0 0 (Reference_apps.range_detection ());
+      inst 100 1 (Reference_apps.wifi_tx ());
+      inst 200 2 (Reference_apps.wifi_rx ());
+    ]
+
+let sched_pe_kinds = [| Pe.Cpu Pe.a53; Pe.Cpu Pe.a15_big; Pe.Cpu Pe.a7_little; Pe.Accel Pe.zynq_fft |]
+
+let sched_policy_names = [ "FRFS"; "MET"; "EFT"; "RANDOM"; "POWER" ]
+
+type sched_scenario = {
+  sc_kinds : int list;  (** indices into sched_pe_kinds *)
+  sc_busy : bool list;  (** per-PE: initially busy? *)
+  sc_tasks : int list;  (** indices into the task pool *)
+  sc_seed : int;
+}
+
+let sched_scenario_gen =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun n_pes ->
+    list_size (return n_pes) (int_range 0 (Array.length sched_pe_kinds - 1)) >>= fun sc_kinds ->
+    list_size (return n_pes) bool >>= fun sc_busy ->
+    int_range 1 8 >>= fun n_ready ->
+    list_size (return n_ready) (int_range 0 1000) >>= fun sc_tasks ->
+    int_range 1 100_000 >>= fun sc_seed -> return { sc_kinds; sc_busy; sc_tasks; sc_seed })
+
+let sched_scenario_print sc =
+  Printf.sprintf "pes=[%s] busy=[%s] tasks=[%s] seed=%d"
+    (String.concat ";" (List.map string_of_int sc.sc_kinds))
+    (String.concat ";" (List.map string_of_bool sc.sc_busy))
+    (String.concat ";" (List.map string_of_int sc.sc_tasks))
+    sc.sc_seed
+
+let sched_scenario_setup sc =
+  let pool = sched_task_pool () in
+  let ready =
+    (* dedupe: a real ready list never contains the same task twice *)
+    List.sort_uniq compare (List.map (fun i -> i mod Array.length pool) sc.sc_tasks)
+    |> List.map (fun i -> pool.(i))
+  in
+  let pes =
+    Array.of_list
+      (List.mapi
+         (fun i (k, busy) ->
+           {
+             Scheduler.pe = Pe.make ~id:i ~kind:sched_pe_kinds.(k);
+             idle = not busy;
+             busy_until = (if busy then 50_000 else 0);
+           })
+         (List.combine sc.sc_kinds sc.sc_busy))
+  in
+  (ready, pes)
+
+(* The core safety invariants every policy must uphold in a single
+   scheduling invocation: only originally-idle PEs that support the
+   task are targeted, no PE receives two tasks, no task is assigned
+   twice. *)
+let prop_policies_respect_assignment_invariants =
+  QCheck.Test.make ~name:"all policies: assignments target idle supporting PEs, no duplicates"
+    ~count:200
+    (QCheck.make ~print:sched_scenario_print sched_scenario_gen)
+    (fun sc ->
+      List.for_all
+        (fun policy_name ->
+          let ready, pes = sched_scenario_setup sc in
+          let originally_idle = Array.map (fun p -> p.Scheduler.idle) pes in
+          let ctx =
+            {
+              Scheduler.now = 0;
+              ready;
+              pes;
+              estimate = Exec_model.estimate_ns;
+              prng = Prng.create ~seed:(Int64.of_int sc.sc_seed);
+              ops = 0;
+            }
+          in
+          let policy = Result.get_ok (Scheduler.find policy_name) in
+          let assignments = policy.Scheduler.schedule ctx in
+          let seen_pes = Hashtbl.create 8 in
+          let seen_tasks = Hashtbl.create 8 in
+          List.for_all
+            (fun a ->
+              let i = a.Scheduler.pe_index in
+              let t = a.Scheduler.task in
+              let in_range = i >= 0 && i < Array.length pes in
+              in_range
+              && originally_idle.(i)
+              && Task.supports t pes.(i).Scheduler.pe
+              && List.memq t ready
+              && (not (Hashtbl.mem seen_pes i))
+              && not (Hashtbl.mem seen_tasks t.Task.id)
+              |> fun ok ->
+              Hashtbl.replace seen_pes i ();
+              Hashtbl.replace seen_tasks t.Task.id ();
+              ok)
+            assignments)
+        sched_policy_names)
+
+(* On an all-idle system EFT's look-ahead must never pick a PE that
+   finishes later than MET's pure minimum-execution-time choice. *)
+let prop_eft_no_worse_than_met_when_all_idle =
+  QCheck.Test.make ~name:"EFT finish <= MET finish on an all-idle system" ~count:200
+    (QCheck.make ~print:sched_scenario_print sched_scenario_gen)
+    (fun sc ->
+      let sc = { sc with sc_busy = List.map (fun _ -> false) sc.sc_busy } in
+      let pool = sched_task_pool () in
+      let task = pool.(List.hd sc.sc_tasks mod Array.length pool) in
+      let run policy_name =
+        let _, pes = sched_scenario_setup sc in
+        let ctx =
+          {
+            Scheduler.now = 0;
+            ready = [ task ];
+            pes;
+            estimate = Exec_model.estimate_ns;
+            prng = Prng.create ~seed:(Int64.of_int sc.sc_seed);
+            ops = 0;
+          }
+        in
+        ((Result.get_ok (Scheduler.find policy_name)).Scheduler.schedule ctx, pes)
+      in
+      match (run "EFT", run "MET") with
+      | ([ e ], e_pes), ([ m ], m_pes) ->
+        let finish pes (a : Scheduler.assignment) =
+          Exec_model.estimate_ns task pes.(a.Scheduler.pe_index).Scheduler.pe
+        in
+        finish e_pes e <= finish m_pes m
+      | ([], _), ([], _) -> true (* no supporting PE in the drawn kinds *)
+      | _ -> false (* one policy found a placement the other missed *))
+
 let prop_virtual_deterministic_across_policies =
   QCheck.Test.make ~name:"virtual engine deterministic per (seed, policy)" ~count:8
     (QCheck.make
@@ -450,6 +587,8 @@ let () =
           Alcotest.test_case "random deterministic" `Quick test_random_deterministic_with_seed;
           Alcotest.test_case "registry" `Quick test_registry;
           Alcotest.test_case "overhead model" `Quick test_overhead_model;
+          qtest prop_policies_respect_assignment_invariants;
+          qtest prop_eft_no_worse_than_met_when_all_idle;
         ] );
       ( "exec_model",
         [
