@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- table1       # one experiment
      dune exec bench/main.exe -- micro        # Bechamel micro benches
-   Experiments: table1 table2 fig9a fig9b fig10a fig10b fig11 sweep cs4 ablation micro *)
+     dune exec bench/main.exe -- engine --json  # machine-readable engine bench
+   Experiments: table1 table2 fig9a fig9b fig10a fig10b fig11 sweep cs4 ablation engine micro *)
 
 module Cbuf = Dssoc_dsp.Cbuf
 module Fft = Dssoc_dsp.Fft
@@ -486,6 +487,105 @@ let ablation () =
      FFT substitution on top, the full pipeline stacks both future-work optimisations.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Engine throughput: whole-emulation repetition rate                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by the --json flag: the engine experiment then emits one JSON
+   document on stdout instead of the human-readable table, so CI and
+   regression scripts can track emulations/sec without scraping. *)
+let json_mode = ref false
+
+let engine () =
+  let module Json = Dssoc_json.Json in
+  let mix () = Workload.validation (List.map (fun a -> (a, 1)) (Reference_apps.all ())) in
+  (* Fig. 9-class: the four reference apps once each, across DSSoC
+     configurations.  Fig. 10-class: performance mode at a fixed
+     injection rate under the cheap and the expensive policy. *)
+  let scenarios =
+    [
+      ("fig9/mix/1C+0F/FRFS", Config.zcu102_cores_ffts ~cores:1 ~ffts:0, mix, "FRFS");
+      ("fig9/mix/3C+2F/FRFS", Config.zcu102_cores_ffts ~cores:3 ~ffts:2, mix, "FRFS");
+      ( "fig10/rate3.42/3C+2F/FRFS",
+        Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
+        (fun () -> Workload.table2_workload ~rate:3.42 ()),
+        "FRFS" );
+      ( "fig10/rate3.42/3C+2F/EFT",
+        Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
+        (fun () -> Workload.table2_workload ~rate:3.42 ()),
+        "EFT" );
+    ]
+  in
+  let measure (name, config, wl, policy) =
+    let once () =
+      Emulator.run_exn ~engine:det_engine ~policy ~config ~workload:(wl ()) ()
+    in
+    let sample = once () (* warm-up; also yields the per-run task count *) in
+    let target_s = 1.0 and min_runs = 3 in
+    let t0 = Unix.gettimeofday () in
+    let runs = ref 0 in
+    while !runs < min_runs || Unix.gettimeofday () -. t0 < target_s do
+      ignore (once ());
+      incr runs
+    done;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let emu_per_s = float_of_int !runs /. wall_s in
+    ( name,
+      sample,
+      !runs,
+      wall_s,
+      emu_per_s,
+      emu_per_s *. float_of_int sample.Stats.task_count )
+  in
+  let results = List.map measure scenarios in
+  if !json_mode then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("experiment", Json.String "engine");
+              ( "scenarios",
+                Json.List
+                  (List.map
+                     (fun (name, (sample : Stats.report), runs, wall_s, emu_s, task_s) ->
+                       Json.Obj
+                         [
+                           ("name", Json.String name);
+                           ("policy", Json.String sample.Stats.policy_name);
+                           ("config", Json.String sample.Stats.config_label);
+                           ("tasks_per_emulation", Json.Int sample.Stats.task_count);
+                           ("simulated_makespan_ns", Json.Int sample.Stats.makespan_ns);
+                           ("runs", Json.Int runs);
+                           ("wall_s", Json.Float wall_s);
+                           ("emulations_per_s", Json.Float emu_s);
+                           ("tasks_per_s", Json.Float task_s);
+                         ])
+                     results) );
+            ]))
+  else begin
+    header "Engine throughput: full emulations per second (virtual engine, jitter 0)";
+    print_string
+      (Table.render
+         ~header:
+           [ "scenario"; "tasks/emu"; "runs"; "wall s"; "emulations/s"; "tasks/s" ]
+         ~rows:
+           (List.map
+              (fun (name, (sample : Stats.report), runs, wall_s, emu_s, task_s) ->
+                [
+                  name;
+                  string_of_int sample.Stats.task_count;
+                  string_of_int runs;
+                  Printf.sprintf "%.2f" wall_s;
+                  Printf.sprintf "%.1f" emu_s;
+                  Printf.sprintf "%.0f" task_s;
+                ])
+              results));
+    Printf.printf
+      "\nEach run is a complete emulation (instantiation, event loop, statistics);\n\
+       emulations/s is the design-space-exploration currency — points evaluated per\n\
+       second per domain.  Pass --json for machine-readable output.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -559,11 +659,14 @@ let experiments =
     ("sweep", sweep);
     ("cs4", cs4);
     ("ablation", ablation);
+    ("engine", engine);
     ("micro", micro);
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let requested = List.filter (fun a -> a <> "--json") args in
+  json_mode := List.length requested < List.length args;
   let to_run =
     if requested = [] then experiments
     else

@@ -37,6 +37,24 @@ module Plan = struct
 
   let size t = t.size
 
+  (* FFTW-style plan cache, keyed by transform size.  Plans are pure
+     precomputed tables, but the cache Hashtbl itself must not be
+     shared across domains (parallel sweeps run whole emulations on
+     several domains at once), so it is domain-local.  [Plan.make] is
+     deterministic, hence a cached plan is indistinguishable from a
+     fresh one — cached and fresh transforms are bit-identical. *)
+  let cache : (int, t) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+  let cached n =
+    let tbl = Domain.DLS.get cache in
+    match Hashtbl.find_opt tbl n with
+    | Some p -> p
+    | None ->
+      let p = make n in
+      Hashtbl.replace tbl n p;
+      p
+
   let exec t ~inverse (x : Cbuf.t) =
     if Cbuf.length x <> t.size then invalid_arg "Fft.Plan.exec: buffer length mismatch";
     let n = t.size in
@@ -86,7 +104,7 @@ let bluestein ~inverse (x : Cbuf.t) =
     let rec go m = if m >= (2 * n) - 1 then m else go (m * 2) in
     go 1
   in
-  let plan = Plan.make m in
+  let plan = Plan.cached m in
   (* chirp.(k) = exp(sign * i * pi * k^2 / n) *)
   let chirp_re = Array.make n 0.0 and chirp_im = Array.make n 0.0 in
   for k = 0 to n - 1 do
@@ -133,7 +151,7 @@ let transform ~inverse x =
   let n = Cbuf.length x in
   if n = 0 then invalid_arg "Fft: empty buffer"
   else if n = 1 then Cbuf.copy x
-  else if is_power_of_two n then Plan.exec (Plan.make n) ~inverse x
+  else if is_power_of_two n then Plan.exec (Plan.cached n) ~inverse x
   else bluestein ~inverse x
 
 let fft x = transform ~inverse:false x

@@ -16,12 +16,22 @@ val ifft : Cbuf.t -> Cbuf.t
 
 (** Plans precompute twiddles and the bit-reversal permutation for a
     fixed power-of-two size; repeated transforms of the same size (the
-    pulse-Doppler matched filter runs 256 of them) reuse the plan. *)
+    pulse-Doppler matched filter runs 256 of them) reuse the plan.
+    [fft]/[ifft] (and the Bluestein path) go through a domain-local,
+    size-keyed plan cache, so repeated same-size transforms pay the
+    twiddle/bit-reversal setup once per domain. *)
 module Plan : sig
   type t
 
   val make : int -> t
-  (** @raise Invalid_argument if the size is not a power of two. *)
+  (** Always builds a fresh plan.
+      @raise Invalid_argument if the size is not a power of two. *)
+
+  val cached : int -> t
+  (** The calling domain's cached plan for this size, built on first
+      use.  Plans are immutable; a cached plan computes bit-identical
+      results to a fresh one.
+      @raise Invalid_argument if the size is not a power of two. *)
 
   val size : t -> int
 

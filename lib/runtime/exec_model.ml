@@ -22,45 +22,88 @@ let accel_phases_ns (task : Task.t) (acl : Pe.accel_class) =
   let bytes_in, bytes_out = dma_bytes node in
   Cost_model.accel_phases_ns ~bytes_in ~bytes_out ~n:node.App_spec.size acl
 
-(* The schedulers (EFT in particular) call estimate_ns for every
-   (ready task, PE) pair on every invocation; the result only depends
-   on the node's cost metadata and the PE class, so memoize.  The
-   table is domain-local: parallel sweeps run whole emulations on
-   several domains at once, and Hashtbl must not be mutated
-   concurrently. *)
-let memo_key : (string * int * int * int * float option * Pe.kind, int) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
-
-let clear_cache () = Hashtbl.reset (Domain.DLS.get memo_key)
-
 let estimate_ns (task : Task.t) pe =
-  let memo = Domain.DLS.get memo_key in
   let entry = entry_for task pe in
   match entry.App_spec.cost_us with
   | Some us -> int_of_float (Float.round (us *. 1e3))
   | None -> (
     let node = task.Task.node in
-    let key =
-      ( node.App_spec.kernel_class,
-        node.App_spec.size,
-        node.App_spec.bytes_in,
-        node.App_spec.bytes_out,
-        None,
-        pe.Pe.kind )
-    in
-    match Hashtbl.find_opt memo key with
-    | Some v -> v
-    | None ->
-      let v =
-        match pe.Pe.kind with
-        | Pe.Cpu cls ->
-          Cost_model.cpu_cost_ns ~kernel:node.App_spec.kernel_class ~n:node.App_spec.size cls
-        | Pe.Accel acl ->
-          let i, c, o = accel_phases_ns task acl in
-          i + c + o
-      in
-      Hashtbl.replace memo key v;
-      v)
+    match pe.Pe.kind with
+    | Pe.Cpu cls ->
+      Cost_model.cpu_cost_ns ~kernel:node.App_spec.kernel_class ~n:node.App_spec.size cls
+    | Pe.Accel acl ->
+      let i, c, o = accel_phases_ns task acl in
+      i + c + o)
+
+(* ------------------------------------------------------------------ *)
+(* Dense per-run estimate table                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The schedulers (EFT in particular) ask for an estimate for every
+   (ready task, PE) pair on every invocation — once per task
+   completion.  The estimate only depends on the node's cost metadata
+   and the PE class, so the engines precompute the whole
+   (task, pe_index) matrix at instantiation time; the inner scheduling
+   loops then do a single int-array load instead of hashing a
+   polymorphic key.  Unsupported pairs hold a sentinel that [lookup]
+   never returns because policies check [Task.supports] first. *)
+
+type table = { base_id : int; stride : int; data : int array }
+
+let unsupported_sentinel = min_int
+
+let build_table ~(instances : Task.instance array) ~(pes : Pe.t array) =
+  let base_id, max_id =
+    Array.fold_left
+      (fun (lo, hi) (inst : Task.instance) ->
+        Array.fold_left
+          (fun (lo, hi) (t : Task.t) -> (min lo t.Task.id, max hi t.Task.id))
+          (lo, hi) inst.Task.tasks)
+      (max_int, min_int) instances
+  in
+  let stride = Array.length pes in
+  if max_id < base_id || stride = 0 then { base_id = 0; stride; data = [||] }
+  else begin
+    let data = Array.make ((max_id - base_id + 1) * stride) unsupported_sentinel in
+    (* Many tasks share cost metadata (all 256 pulse-Doppler FFT nodes
+       price identically), so memoize the build itself on the metadata
+       key; the memo is local to this call, not shared state. *)
+    let memo = Hashtbl.create 256 in
+    Array.iter
+      (fun (inst : Task.instance) ->
+        Array.iter
+          (fun (t : Task.t) ->
+            let row = (t.Task.id - base_id) * stride in
+            Array.iteri
+              (fun p pe ->
+                if Task.supports t pe then begin
+                  let node = t.Task.node in
+                  let key =
+                    ( node.App_spec.kernel_class,
+                      node.App_spec.size,
+                      node.App_spec.bytes_in,
+                      node.App_spec.bytes_out,
+                      (entry_for t pe).App_spec.cost_us,
+                      pe.Pe.kind )
+                  in
+                  let v =
+                    match Hashtbl.find_opt memo key with
+                    | Some v -> v
+                    | None ->
+                      let v = estimate_ns t pe in
+                      Hashtbl.replace memo key v;
+                      v
+                  in
+                  data.(row + p) <- v
+                end)
+              pes)
+          inst.Task.tasks)
+      instances;
+    { base_id; stride; data }
+  end
+
+let lookup tbl (task : Task.t) pe_index =
+  tbl.data.(((task.Task.id - tbl.base_id) * tbl.stride) + pe_index)
 
 let resolve_kernel (task : Task.t) pe =
   let entry = entry_for task pe in

@@ -4,17 +4,33 @@
     honours an explicit [cost_us] override from the JSON, and otherwise
     prices CPU execution from the kernel profile and accelerator
     execution from the device model.  Both the virtual engine (to
-    charge time) and the MET/EFT schedulers (to estimate) use it. *)
+    charge time) and the MET/EFT schedulers (to estimate) use it.
+
+    The scheduling inner loops ask for an estimate once per
+    (ready task, PE) pair per invocation; the engines precompute a
+    dense {!table} over the whole run at instantiation time so those
+    loops cost one int-array load. *)
 
 val estimate_ns : Task.t -> Dssoc_soc.Pe.t -> int
-(** Full turnaround estimate on the given PE.  Memoized per (cost
-    metadata, PE class) in a domain-local table (safe under parallel
-    sweeps) — call {!clear_cache} after re-registering a kernel
-    profile in {!Dssoc_soc.Cost_model}.
+(** Full turnaround estimate on the given PE, computed from the cost
+    model.  Pure in the task's cost metadata and the PE class.
     @raise Invalid_argument when the task does not support the PE. *)
 
-val clear_cache : unit -> unit
-(** Drop the calling domain's estimate memo table. *)
+(** {1 Per-run dense estimate table} *)
+
+type table
+(** Precomputed [estimate_ns] for every (task, PE) pair of one run,
+    indexed by task id and PE index. *)
+
+val build_table : instances:Task.instance array -> pes:Dssoc_soc.Pe.t array -> table
+(** Price every (task, pe) pair once, up front.  Task ids may start at
+    any base but must be dense (as [Task.instantiate] produces them).
+    Unsupported pairs are representable but must never be looked up. *)
+
+val lookup : table -> Task.t -> int -> int
+(** [lookup tbl task pe_index] = [estimate_ns task pes.(pe_index)],
+    as a single array load.  Only meaningful when the task supports
+    the PE (callers check {!Task.supports} first). *)
 
 val accel_phases_ns : Task.t -> Dssoc_soc.Pe.accel_class -> int * int * int
 (** [(dma_in, device_compute, dma_out)]; DMA sizes come from the node's

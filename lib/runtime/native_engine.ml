@@ -101,6 +101,16 @@ let run_detailed ~(config : Config.t) ~(workload : Workload.t) ~(policy : Schedu
   let domains =
     Array.map (fun h -> Domain.spawn (resource_manager ref_start h)) handlers
   in
+  let est_table =
+    Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.pe) handlers)
+  in
+  (* Scratch reused across scheduling invocations (same discipline as
+     the virtual engine): refresh in place rather than reallocate. *)
+  let pes_scratch =
+    Array.map (fun h -> { Scheduler.pe = h.pe; idle = false; busy_until = 0 }) handlers
+  in
+  let snapshot_cap = 64 in
+  let ready_scratch = ref [||] in
   let prng = Prng.create ~seed:7L in
   let ready : Task.t Queue.t = Queue.create () in
   let pending = ref (Array.to_list instances) in
@@ -178,32 +188,36 @@ let run_detailed ~(config : Config.t) ~(workload : Workload.t) ~(policy : Schedu
       ignore (Queue.pop ready)
     done;
     if (not (Queue.is_empty ready)) && have_idle then begin
-      let snapshot =
-        let out = ref [] and taken = ref 0 in
+      let nready =
+        let taken = ref 0 in
         (try
            Seq.iter
              (fun t ->
                if t.Task.status = Task.Ready then begin
-                 out := t :: !out;
+                 if Array.length !ready_scratch = 0 then
+                   ready_scratch := Array.make snapshot_cap t;
+                 !ready_scratch.(!taken) <- t;
                  incr taken;
-                 if !taken >= 64 then raise Exit
+                 if !taken >= snapshot_cap then raise Exit
                end)
              (Queue.to_seq ready)
          with Exit -> ());
-        List.rev !out
+        !taken
       in
-      let pe_states =
-        Array.map
-          (fun h -> { Scheduler.pe = h.pe; idle = h.status = `Idle; busy_until = h.busy_until })
-          handlers
-      in
+      Array.iteri
+        (fun i h ->
+          let st = pes_scratch.(i) in
+          st.Scheduler.idle <- h.status = `Idle;
+          st.Scheduler.busy_until <- h.busy_until)
+        handlers;
       let t0 = Unix.gettimeofday () in
       let ctx =
         {
           Scheduler.now;
-          ready = snapshot;
-          pes = pe_states;
-          estimate = Exec_model.estimate_ns;
+          ready = !ready_scratch;
+          nready;
+          pes = pes_scratch;
+          estimate = (fun task i -> Exec_model.lookup est_table task i);
           prng;
           ops = 0;
         }
@@ -222,7 +236,8 @@ let run_detailed ~(config : Config.t) ~(workload : Workload.t) ~(policy : Schedu
           task.Task.pe_label <- h.pe.Pe.label;
           h.task <- Some task;
           h.status <- `Run;
-          h.busy_until <- task.Task.dispatched_at + Exec_model.estimate_ns task h.pe;
+          h.busy_until <-
+            task.Task.dispatched_at + Exec_model.lookup est_table task a.Scheduler.pe_index;
           Condition.signal h.cond;
           Mutex.unlock h.mutex)
         assignments

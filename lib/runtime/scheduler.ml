@@ -6,9 +6,10 @@ type pe_state = { pe : Pe.t; mutable idle : bool; mutable busy_until : int }
 
 type context = {
   now : int;
-  ready : Task.t list;
+  ready : Task.t array;
+  nready : int;
   pes : pe_state array;
-  estimate : Task.t -> Pe.t -> int;
+  estimate : Task.t -> int -> int;
   prng : Prng.t;
   mutable ops : int;
 }
@@ -17,6 +18,13 @@ type assignment = { task : Task.t; pe_index : int }
 
 type policy = { name : string; schedule : context -> assignment list }
 
+(* The ready window lives in a scratch array the engine reuses across
+   invocations; only entries [0, nready) are meaningful. *)
+let iter_ready f ctx =
+  for j = 0 to ctx.nready - 1 do
+    f ctx.ready.(j)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Built-ins                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -24,7 +32,7 @@ type policy = { name : string; schedule : context -> assignment list }
 let frfs =
   let schedule ctx =
     let out = ref [] in
-    List.iter
+    iter_ready
       (fun task ->
         let chosen = ref None in
         Array.iteri
@@ -37,7 +45,7 @@ let frfs =
           ctx.pes.(i).idle <- false;
           out := { task; pe_index = i } :: !out
         | None -> ())
-      ctx.ready;
+      ctx;
     List.rev !out
   in
   { name = "FRFS"; schedule }
@@ -45,14 +53,14 @@ let frfs =
 let met =
   let schedule ctx =
     let out = ref [] in
-    List.iter
+    iter_ready
       (fun task ->
         let best = ref None in
         Array.iteri
           (fun i st ->
             ctx.ops <- ctx.ops + 1;
             if st.idle && Task.supports task st.pe then begin
-              let est = ctx.estimate task st.pe in
+              let est = ctx.estimate task i in
               match !best with
               | Some (_, best_est) when best_est <= est -> ()
               | _ -> best := Some (i, est)
@@ -63,7 +71,7 @@ let met =
           ctx.pes.(i).idle <- false;
           out := { task; pe_index = i } :: !out
         | None -> ())
-      ctx.ready;
+      ctx;
     List.rev !out
   in
   { name = "MET"; schedule }
@@ -78,14 +86,14 @@ let eft =
        distinguishes EFT from MET. *)
     let avail = Array.map (fun st -> if st.idle then ctx.now else st.busy_until) ctx.pes in
     let out = ref [] in
-    List.iter
+    iter_ready
       (fun task ->
         let best = ref None in
         Array.iteri
           (fun i st ->
             ctx.ops <- ctx.ops + 1;
             if Task.supports task st.pe then begin
-              let finish = max ctx.now avail.(i) + ctx.estimate task st.pe in
+              let finish = max ctx.now avail.(i) + ctx.estimate task i in
               match !best with
               | Some (_, best_finish) when best_finish <= finish -> ()
               | _ -> best := Some (i, finish)
@@ -99,7 +107,7 @@ let eft =
             ctx.pes.(i).idle <- false;
             out := { task; pe_index = i } :: !out
           end)
-      ctx.ready;
+      ctx;
     List.rev !out
   in
   { name = "EFT"; schedule }
@@ -107,14 +115,14 @@ let eft =
 let power =
   let schedule ctx =
     let out = ref [] in
-    List.iter
+    iter_ready
       (fun task ->
         let best = ref None in
         Array.iteri
           (fun i st ->
             ctx.ops <- ctx.ops + 1;
             if st.idle && Task.supports task st.pe then begin
-              let est = ctx.estimate task st.pe in
+              let est = ctx.estimate task i in
               (* Energy-to-completion for this task on this PE; ties
                  broken by execution time. *)
               let energy = float_of_int est *. Pe.busy_w st.pe.Pe.kind in
@@ -130,7 +138,7 @@ let power =
           ctx.pes.(i).idle <- false;
           out := { task; pe_index = i } :: !out
         | None -> ())
-      ctx.ready;
+      ctx;
     List.rev !out
   in
   { name = "POWER"; schedule }
@@ -138,7 +146,7 @@ let power =
 let random =
   let schedule ctx =
     let out = ref [] in
-    List.iter
+    iter_ready
       (fun task ->
         let candidates = ref [] in
         Array.iteri
@@ -153,7 +161,7 @@ let random =
           let i = Prng.choose ctx.prng arr in
           ctx.pes.(i).idle <- false;
           out := { task; pe_index = i } :: !out)
-      ctx.ready;
+      ctx;
     List.rev !out
   in
   { name = "RANDOM"; schedule }

@@ -17,9 +17,19 @@ type pe_state = {
 
 type context = {
   now : int;
-  ready : Task.t list;  (** in ready (FIFO) order *)
+  ready : Task.t array;
+      (** ready-window snapshot in ready (FIFO) order; only entries
+          [0, nready) are valid — the array is engine-owned scratch
+          reused across invocations and may be longer (or hold stale
+          tasks) past that point *)
+  nready : int;  (** number of valid entries at the front of [ready] *)
   pes : pe_state array;
-  estimate : Task.t -> Dssoc_soc.Pe.t -> int;  (** modelled execution time *)
+  estimate : Task.t -> int -> int;
+      (** [estimate task pe_index]: modelled execution time on
+          [pes.(pe_index)].  The engines back this with a dense
+          precomputed table ({!Exec_model.build_table}), so calling it
+          in an inner loop is one array load.  Only defined when the
+          task supports that PE — check {!Task.supports} first. *)
   prng : Dssoc_util.Prng.t;
   mutable ops : int;
       (** policies increment this per elementary examination; the

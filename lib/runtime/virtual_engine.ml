@@ -1,5 +1,6 @@
 module Heap = Dssoc_util.Heap
 module Prng = Dssoc_util.Prng
+module Vec = Dssoc_util.Vec
 module Pe = Dssoc_soc.Pe
 module Host = Dssoc_soc.Host
 module Config = Dssoc_soc.Config
@@ -25,7 +26,7 @@ type job = { mutable remaining : float (* ns of full-rate work left *); jw : wai
 
 type core_state = {
   core : Host.core;
-  mutable jobs : job list;
+  jobs : job Vec.t;
   mutable last : int;  (** time of the last progress update *)
   mutable version : int;  (** invalidates stale completion events *)
 }
@@ -62,10 +63,10 @@ let job_rate core k =
 let update_core eng cs =
   let elapsed = eng.now - cs.last in
   if elapsed > 0 then begin
-    let k = List.length cs.jobs in
+    let k = Vec.length cs.jobs in
     if k > 0 then begin
       let progress = float_of_int elapsed *. job_rate cs k in
-      List.iter (fun j -> j.remaining <- j.remaining -. progress) cs.jobs
+      Vec.iter (fun j -> j.remaining <- j.remaining -. progress) cs.jobs
     end;
     cs.last <- eng.now
   end
@@ -77,27 +78,36 @@ let resume eng w = if not w.resumed then begin
 
 let rec reschedule_core eng cs =
   cs.version <- cs.version + 1;
-  match cs.jobs with
-  | [] -> ()
-  | jobs ->
-    let rate = job_rate cs (List.length jobs) in
-    let min_remaining = List.fold_left (fun acc j -> Float.min acc j.remaining) Float.infinity jobs in
+  let k = Vec.length cs.jobs in
+  if k > 0 then begin
+    let rate = job_rate cs k in
+    let min_remaining = Vec.fold (fun acc j -> Float.min acc j.remaining) Float.infinity cs.jobs in
     let dt = int_of_float (Float.ceil (Float.max 0.0 min_remaining /. rate)) in
     let v = cs.version in
     push_event eng (eng.now + dt) (fun () -> core_event eng cs v)
+  end
 
 and core_event eng cs v =
   if v = cs.version then begin
     update_core eng cs;
-    let finished, rest = List.partition (fun j -> j.remaining <= 1e-6) cs.jobs in
-    cs.jobs <- rest;
+    (* Collect finished jobs in arrival order, compact the rest in
+       place (Vec keeps order, matching the old List.partition). *)
+    let finished = ref [] in
+    Vec.filter_in_place
+      (fun j ->
+        if j.remaining <= 1e-6 then begin
+          finished := j :: !finished;
+          false
+        end
+        else true)
+      cs.jobs;
     reschedule_core eng cs;
-    List.iter (fun j -> resume eng j.jw) finished
+    List.iter (fun j -> resume eng j.jw) (List.rev !finished)
   end
 
 let add_job eng cs w ns =
   update_core eng cs;
-  cs.jobs <- cs.jobs @ [ { remaining = float_of_int ns; jw = w } ];
+  Vec.push cs.jobs { remaining = float_of_int ns; jw = w };
   reschedule_core eng cs
 
 let signal eng cond =
@@ -175,6 +185,7 @@ let jittered eng ns =
 
 type vhandler = {
   h_pe : Pe.t;
+  h_index : int;  (** this handler's PE index (row in the estimate table) *)
   h_core : core_state;
   h_capacity : int;  (** 1 + reservation-queue depth (1 = the paper's baseline) *)
   h_pending : Task.t Queue.t;  (** dispatched by the WM, not yet executed *)
@@ -187,7 +198,7 @@ type vhandler = {
   mutable h_busy_until : int;  (** EFT availability horizon *)
 }
 
-let resource_manager eng (h : vhandler) wm_wake () =
+let resource_manager eng (h : vhandler) ~est_table wm_wake () =
   let execute (task : Task.t) =
     let kernel = Exec_model.resolve_kernel task h.h_pe in
     let args = task.Task.node.App_spec.arguments in
@@ -195,7 +206,7 @@ let resource_manager eng (h : vhandler) wm_wake () =
     (match h.h_pe.Pe.kind with
     | Pe.Cpu _ ->
       kernel task.Task.store args;
-      work h.h_core (jittered eng (Exec_model.estimate_ns task h.h_pe))
+      work h.h_core (jittered eng (Exec_model.lookup est_table task h.h_index))
     | Pe.Accel acl ->
       let entry = Task.platform_entry_for task h.h_pe in
       let explicit = Option.bind entry (fun e -> e.App_spec.cost_us) in
@@ -241,7 +252,7 @@ let resource_manager eng (h : vhandler) wm_wake () =
    pointless. *)
 let sched_window = Dssoc_soc.Cost_model.sched_examined_cap
 
-let workload_manager eng ~handlers ~instances ~(policy : Scheduler.policy)
+let workload_manager eng ~handlers ~instances ~est_table ~(policy : Scheduler.policy)
     ~wm_wake ~overlay_core ~overlay_perf ~(stats_sched_ns : int ref)
     ~(stats_sched_inv : int ref) ~(stats_wm_ns : int ref) ~(records : Stats.task_record list ref)
     () =
@@ -253,13 +264,28 @@ let workload_manager eng ~handlers ~instances ~(policy : Scheduler.policy)
     work overlay_core ns
   in
   let ready : Task.t Queue.t = Queue.create () in
+  (* Tasks leave the ready queue lazily (dispatch flips them to
+     Running but only the front is ever popped), so [Queue.length]
+     overstates the live ready-list length.  The scheduler's charged
+     O(n)/O(n^2) cost must follow the *live* count, kept here. *)
+  let ready_live = ref 0 in
   let pending = ref (Array.to_list instances) in
   let unfinished = ref (Array.length instances) in
   let make_ready (task : Task.t) =
     task.Task.status <- Task.Ready;
     task.Task.ready_at <- eng.now;
-    Queue.add task ready
+    Queue.add task ready;
+    incr ready_live
   in
+  (* Scratch structures reused by every scheduling invocation: the
+     policy-facing PE states are refreshed in place, and the ready
+     window is snapshotted into a reusable array (sized once to the
+     examination cap).  Reallocating these per invocation — once per
+     task completion — dominated the scheduler hot path. *)
+  let pes_scratch =
+    Array.map (fun h -> { Scheduler.pe = h.h_pe; idle = false; busy_until = 0 }) handlers
+  in
+  let ready_scratch = ref [||] in
   (* One scheduling invocation: snapshot the ready window, run the
      policy, charge its modelled cost, dispatch the selected tasks.
      Invoked after every task completion and after every injection
@@ -272,37 +298,36 @@ let workload_manager eng ~handlers ~instances ~(policy : Scheduler.policy)
     done;
     let have_idle = Array.exists (fun h -> h.h_inflight < h.h_capacity) handlers in
     if (not (Queue.is_empty ready)) && have_idle then begin
-      let ready_len = Queue.length ready in
-      let snapshot =
-        let out = ref [] and taken = ref 0 in
+      let ready_len = !ready_live in
+      let nready =
+        let taken = ref 0 in
         (try
            Seq.iter
              (fun t ->
                if t.Task.status = Task.Ready then begin
-                 out := t :: !out;
+                 if Array.length !ready_scratch = 0 then
+                   ready_scratch := Array.make sched_window t;
+                 !ready_scratch.(!taken) <- t;
                  incr taken;
                  if !taken >= sched_window then raise Exit
                end)
              (Queue.to_seq ready)
          with Exit -> ());
-        List.rev !out
+        !taken
       in
-      let pes =
-        Array.map
-          (fun h ->
-            {
-              Scheduler.pe = h.h_pe;
-              idle = h.h_inflight < h.h_capacity;
-              busy_until = h.h_busy_until;
-            })
-          handlers
-      in
+      Array.iteri
+        (fun i h ->
+          let st = pes_scratch.(i) in
+          st.Scheduler.idle <- h.h_inflight < h.h_capacity;
+          st.Scheduler.busy_until <- h.h_busy_until)
+        handlers;
       let ctx =
         {
           Scheduler.now = eng.now;
-          ready = snapshot;
-          pes;
-          estimate = Exec_model.estimate_ns;
+          ready = !ready_scratch;
+          nready;
+          pes = pes_scratch;
+          estimate = (fun task i -> Exec_model.lookup est_table task i);
           prng = eng.prng;
           ops = 0;
         }
@@ -326,11 +351,13 @@ let workload_manager eng ~handlers ~instances ~(policy : Scheduler.policy)
           let task = a.Scheduler.task and h = handlers.(a.Scheduler.pe_index) in
           charge Cost_model.dispatch_per_task_ns;
           task.Task.status <- Task.Running;
+          decr ready_live;
           task.Task.dispatched_at <- eng.now;
           task.Task.pe_label <- h.h_pe.Pe.label;
           Queue.add task h.h_pending;
           h.h_inflight <- h.h_inflight + 1;
-          h.h_busy_until <- max eng.now h.h_busy_until + Exec_model.estimate_ns task h.h_pe;
+          h.h_busy_until <-
+            max eng.now h.h_busy_until + Exec_model.lookup est_table task h.h_index;
           signal eng h.h_cond)
         assignments
     end
@@ -468,7 +495,7 @@ let run_detailed ?(params = default_params) ~(config : Config.t) ~(workload : Wo
     match Hashtbl.find_opt core_states core.Host.core_id with
     | Some cs -> cs
     | None ->
-      let cs = { core; jobs = []; last = 0; version = 0 } in
+      let cs = { core; jobs = Vec.create (); last = 0; version = 0 } in
       Hashtbl.replace core_states core.Host.core_id cs;
       cs
   in
@@ -476,10 +503,11 @@ let run_detailed ?(params = default_params) ~(config : Config.t) ~(workload : Wo
   let overlay_perf = config.Config.host.Host.overlay.Host.core_class.Pe.perf_factor in
   let handlers =
     Array.of_list
-      (List.map
-         (fun (p : Config.placement) ->
+      (List.mapi
+         (fun i (p : Config.placement) ->
            {
              h_pe = p.Config.pe;
+             h_index = i;
              h_core = core_state_of p.Config.host_core;
              h_capacity = 1 + max 0 params.reservation_depth;
              h_pending = Queue.create ();
@@ -494,13 +522,18 @@ let run_detailed ?(params = default_params) ~(config : Config.t) ~(workload : Wo
          config.Config.placements)
   in
   let wm_wake = new_cond () in
+  (* Price every (task, PE) pair once, up front; the scheduler and the
+     dispatch paths then estimate with a single array load. *)
+  let est_table =
+    Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.h_pe) handlers)
+  in
   let stats_sched_ns = ref 0
   and stats_sched_inv = ref 0
   and stats_wm_ns = ref 0
   and records = ref [] in
-  Array.iter (fun h -> spawn eng (resource_manager eng h wm_wake)) handlers;
+  Array.iter (fun h -> spawn eng (resource_manager eng h ~est_table wm_wake)) handlers;
   spawn eng
-    (workload_manager eng ~handlers ~instances ~policy ~wm_wake ~overlay_core
+    (workload_manager eng ~handlers ~instances ~est_table ~policy ~wm_wake ~overlay_core
        ~overlay_perf ~stats_sched_ns ~stats_sched_inv ~stats_wm_ns ~records);
   run_loop eng;
   let makespan =

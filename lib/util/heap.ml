@@ -17,11 +17,17 @@ let entry_cmp t a b =
   let c = t.cmp a.value b.value in
   if c <> 0 then c else compare a.seq b.seq
 
+(* Placeholder occupying every slot beyond [size] so popped values
+   cannot stay reachable through the backing array.  [entry] is a
+   boxed record, so the array is a pointer array and the cast never
+   observes the payload — placeholder slots are never read. *)
+let dummy_entry : Obj.t = Obj.repr { value = (); seq = -1 }
+
 let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap t.data.(0) in
+    let nd = Array.make ncap (Obj.magic dummy_entry) in
     Array.blit t.data 0 nd 0 t.size;
     t.data <- nd
   end
@@ -52,7 +58,7 @@ let rec sift_down t i =
 let push t v =
   let e = { value = v; seq = t.next_seq } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e else grow t;
+  grow t;
   t.data.(t.size) <- e;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -66,8 +72,10 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- Obj.magic dummy_entry;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- Obj.magic dummy_entry;
     Some top
   end
 

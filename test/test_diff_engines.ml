@@ -128,6 +128,93 @@ let test_multi_instance_parity () =
         chain (per_instance_order nr inst))
     [ 0; 1 ]
 
+(* ---------------- reservation queues (depth > 0) ---------------- *)
+
+(* With reservation_depth > 0 the virtual engine's workload manager
+   takes the batched-completion branch (handler capacity > 1 defers
+   do_schedule until the monitoring sweep finishes).  The native
+   engine has no reservation queues, so parity against it pins down
+   that batching changes *when* the scheduler runs, never *what* it
+   decides on constrained configurations. *)
+
+let run_virtual_depth config spec instances depth =
+  let wl = Workload.validation [ (spec, instances) ] in
+  Result.get_ok
+    (Emulator.run_detailed
+       ~engine:(Emulator.virtual_seeded ~jitter:0.0 ~reservation_depth:depth 1L)
+       ~config ~workload:wl ())
+
+let test_reservation_chain_parity () =
+  (* Linear chain on two CPUs: one task ready at a time, so depth 1
+     and 3 must produce the same assignments as the native engine. *)
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:0 in
+  let spec = Reference_apps.wifi_tx () in
+  let (_, _), (nr, ni) = run_both config spec 1 in
+  List.iter
+    (fun depth ->
+      let vr, vi = run_virtual_depth config spec 1 depth in
+      check_counts vr nr;
+      Alcotest.(check bool)
+        (Printf.sprintf "depth %d: same per-task PE assignments" depth)
+        true
+        (by_task vr = by_task nr);
+      Alcotest.(check bool)
+        (Printf.sprintf "depth %d: batching exercised" depth)
+        true
+        (vr.Stats.sched_invocations > 0);
+      check_makespan_band vr nr;
+      Alcotest.(check bool)
+        (Printf.sprintf "depth %d: same transmitted signal" depth)
+        true
+        (Store.get_cbuf vi.(0).Task.store "tx_time"
+        = Store.get_cbuf ni.(0).Task.store "tx_time"))
+    [ 1; 3 ]
+
+let test_reservation_multi_instance_parity () =
+  (* Two chain instances on one CPU: the reservation queue lets the WM
+     pre-assign the next ready task behind the running one, but with a
+     single PE the assignment target is forced, so per-task PEs and
+     per-instance chain order must still agree with the native run. *)
+  let config = Config.zcu102_cores_ffts ~cores:1 ~ffts:0 in
+  let spec = Reference_apps.wifi_tx () in
+  let (_, _), (nr, _) = run_both config spec 2 in
+  let chain = [ "CRC"; "SCRAMBLE"; "ENCODE"; "INTERLEAVE"; "MODULATE"; "PILOT"; "IFFT" ] in
+  List.iter
+    (fun depth ->
+      let vr, _ = run_virtual_depth config spec 2 depth in
+      check_counts vr nr;
+      Alcotest.(check bool)
+        (Printf.sprintf "depth %d: same per-task PE assignments" depth)
+        true
+        (by_task vr = by_task nr);
+      let per_instance_order inst =
+        List.filter_map
+          (fun (t : Stats.task_record) ->
+            if t.Stats.instance = inst then Some t.Stats.node else None)
+          vr.Stats.records
+      in
+      List.iter
+        (fun inst ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "depth %d: instance %d follows the chain" depth inst)
+            chain (per_instance_order inst))
+        [ 0; 1 ])
+    [ 1; 3 ]
+
+let test_reservation_fewer_invocations_same_decisions () =
+  (* Depth 0 vs depth 2 on the same DAG and single PE: batched
+     completions must reduce scheduler invocations without changing a
+     single assignment. *)
+  let config = Config.zcu102_cores_ffts ~cores:1 ~ffts:0 in
+  let spec = Reference_apps.range_detection () in
+  let vr0, vi0 = run_virtual_depth config spec 1 0 in
+  let vr2, vi2 = run_virtual_depth config spec 1 2 in
+  Alcotest.(check bool) "same per-task PE assignments" true (by_task vr0 = by_task vr2);
+  Alcotest.(check bool) "depth 2 schedules no more often" true
+    (vr2.Stats.sched_invocations <= vr0.Stats.sched_invocations);
+  Alcotest.(check int) "same recovered lag" (Store.get_i32 vi0.(0).Task.store "lag")
+    (Store.get_i32 vi2.(0).Task.store "lag")
+
 let () =
   Alcotest.run "diff_engines"
     [
@@ -136,5 +223,13 @@ let () =
           Alcotest.test_case "linear chain parity" `Slow test_chain_parity;
           Alcotest.test_case "DAG parity on one PE" `Slow test_dag_parity_single_pe;
           Alcotest.test_case "multi-instance chain parity" `Slow test_multi_instance_parity;
+        ] );
+      ( "reservation queues",
+        [
+          Alcotest.test_case "chain parity at depth 1 and 3" `Slow test_reservation_chain_parity;
+          Alcotest.test_case "multi-instance parity at depth 1 and 3" `Slow
+            test_reservation_multi_instance_parity;
+          Alcotest.test_case "batching preserves decisions" `Slow
+            test_reservation_fewer_invocations_same_decisions;
         ] );
     ]

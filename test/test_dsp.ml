@@ -94,6 +94,54 @@ let test_plan_reuse () =
   let planned = Fft.Plan.exec plan ~inverse:false x in
   Alcotest.(check bool) "plan matches" true (Cbuf.max_abs_diff direct planned < 1e-12)
 
+(* Equality on the raw float arrays: the plan cache must be
+   bit-transparent, not merely accurate to a tolerance. *)
+let cbuf_bits_equal a b =
+  Cbuf.length a = Cbuf.length b
+  && a.Cbuf.re = b.Cbuf.re
+  && a.Cbuf.im = b.Cbuf.im
+
+let test_plan_cache_bit_identical () =
+  (* A cached plan is the same precomputed tables as a fresh one, so
+     transforms through either are bit-identical — including repeat
+     calls that hit the cache. *)
+  List.iter
+    (fun n ->
+      let x = random_cbuf (1000 + n) n in
+      let fresh = Fft.Plan.exec (Fft.Plan.make n) ~inverse:false x in
+      let c1 = Fft.Plan.exec (Fft.Plan.cached n) ~inverse:false x in
+      let c2 = Fft.Plan.exec (Fft.Plan.cached n) ~inverse:false x in
+      Alcotest.(check bool) (Printf.sprintf "fresh = cached (n=%d)" n) true
+        (cbuf_bits_equal fresh c1);
+      Alcotest.(check bool) (Printf.sprintf "cache hit stable (n=%d)" n) true
+        (cbuf_bits_equal c1 c2);
+      let inv_fresh = Fft.Plan.exec (Fft.Plan.make n) ~inverse:true x in
+      let inv_cached = Fft.Plan.exec (Fft.Plan.cached n) ~inverse:true x in
+      Alcotest.(check bool) (Printf.sprintf "inverse fresh = cached (n=%d)" n) true
+        (cbuf_bits_equal inv_fresh inv_cached))
+    [ 1; 2; 8; 128; 512 ]
+
+let test_plan_cache_same_instance () =
+  Alcotest.(check bool) "cached plan reused across calls" true
+    (Fft.Plan.cached 256 == Fft.Plan.cached 256)
+
+let prop_fft_cached_equals_fresh_path =
+  (* Whole-transform equivalence, covering the Bluestein path for
+     non-power-of-two sizes: fft via the (warm) cache must equal a
+     transform through freshly built plans bit for bit.  The fresh
+     reference is fft on a pristine copy — the only plan state fft
+     consults is the per-size cache, which [make]'s determinism
+     renders invisible. *)
+  QCheck.Test.make ~name:"fft cache-warm = fft cache-cold (bit-identical incl. Bluestein)"
+    ~count:100 arb_signal
+    (fun (seed, n) ->
+      let x = random_cbuf seed n in
+      let first = Fft.fft x (* may populate the cache *) in
+      let second = Fft.fft x (* guaranteed cache hit *) in
+      let third = Fft.fft (Cbuf.copy x) in
+      cbuf_bits_equal first second && cbuf_bits_equal first third
+      && cbuf_bits_equal (Fft.ifft first) (Fft.ifft second))
+
 let test_plan_rejects_non_pow2 () =
   Alcotest.check_raises "non-pow2 plan"
     (Invalid_argument "Fft.Plan.make: size must be a power of two") (fun () ->
@@ -352,6 +400,9 @@ let () =
           Alcotest.test_case "impulse" `Quick test_fft_impulse;
           Alcotest.test_case "single tone" `Quick test_fft_single_tone;
           Alcotest.test_case "plan reuse" `Quick test_plan_reuse;
+          Alcotest.test_case "plan cache bit-identical" `Quick test_plan_cache_bit_identical;
+          Alcotest.test_case "plan cache reuses instance" `Quick test_plan_cache_same_instance;
+          qtest prop_fft_cached_equals_fresh_path;
           Alcotest.test_case "plan non-pow2" `Quick test_plan_rejects_non_pow2;
           Alcotest.test_case "empty rejected" `Quick test_fft_empty_rejected;
         ] );

@@ -53,9 +53,10 @@ let test_supports_generic_cpu () =
 let mk_ctx ?(now = 0) ready pes =
   {
     Scheduler.now;
-    ready;
+    ready = Array.of_list ready;
+    nready = List.length ready;
     pes;
-    estimate = Exec_model.estimate_ns;
+    estimate = (fun t i -> Exec_model.estimate_ns t pes.(i).Scheduler.pe);
     prng = Prng.create ~seed:1L;
     ops = 0;
   }
@@ -166,6 +167,49 @@ let test_estimate_unsupported () =
        ignore (Exec_model.estimate_ns lfm (Pe.make ~id:0 ~kind:(Pe.Accel Pe.zynq_fft)));
        false
      with Invalid_argument _ -> true)
+
+(* The dense per-run table the engines precompute must agree with a
+   fresh cost-model recomputation for every supported (task, PE) pair
+   of every reference app — the schedulers' decisions ride on it. *)
+let test_estimate_table_matches_recomputation () =
+  let pes =
+    [|
+      Pe.make ~id:0 ~kind:(Pe.Cpu Pe.a53);
+      Pe.make ~id:1 ~kind:(Pe.Cpu Pe.a15_big);
+      Pe.make ~id:2 ~kind:(Pe.Cpu Pe.a7_little);
+      Pe.make ~id:3 ~kind:(Pe.Accel Pe.zynq_fft);
+    |]
+  in
+  let base = ref 17 (* non-zero base: table indexing must handle it *) in
+  let instances =
+    Array.of_list
+      (List.mapi
+         (fun i spec ->
+           let inst = Task.instantiate ~task_id_base:!base ~inst_id:i ~arrival_ns:0 spec in
+           base := !base + Array.length inst.Task.tasks;
+           inst)
+         (Reference_apps.all ()))
+  in
+  let tbl = Exec_model.build_table ~instances ~pes in
+  let checked = ref 0 in
+  Array.iter
+    (fun inst ->
+      Array.iter
+        (fun (t : Task.t) ->
+          Array.iteri
+            (fun i pe ->
+              if Task.supports t pe then begin
+                incr checked;
+                Alcotest.(check int)
+                  (Printf.sprintf "%s/%s on %s" t.Task.app_name
+                     t.Task.node.App_spec.node_name pe.Pe.label)
+                  (Exec_model.estimate_ns t pe)
+                  (Exec_model.lookup tbl t i)
+              end)
+            pes)
+        inst.Task.tasks)
+    instances;
+  Alcotest.(check bool) "covered many pairs" true (!checked > 1000)
 
 (* ---------------------- Virtual engine integration ---------------------- *)
 
@@ -497,9 +541,10 @@ let prop_policies_respect_assignment_invariants =
           let ctx =
             {
               Scheduler.now = 0;
-              ready;
+              ready = Array.of_list ready;
+              nready = List.length ready;
               pes;
-              estimate = Exec_model.estimate_ns;
+              estimate = (fun t i -> Exec_model.estimate_ns t pes.(i).Scheduler.pe);
               prng = Prng.create ~seed:(Int64.of_int sc.sc_seed);
               ops = 0;
             }
@@ -540,9 +585,10 @@ let prop_eft_no_worse_than_met_when_all_idle =
         let ctx =
           {
             Scheduler.now = 0;
-            ready = [ task ];
+            ready = [| task |];
+            nready = 1;
             pes;
-            estimate = Exec_model.estimate_ns;
+            estimate = (fun t i -> Exec_model.estimate_ns t pes.(i).Scheduler.pe);
             prng = Prng.create ~seed:(Int64.of_int sc.sc_seed);
             ops = 0;
           }
@@ -594,6 +640,8 @@ let () =
         [
           Alcotest.test_case "core scaling" `Quick test_estimate_scales_with_core;
           Alcotest.test_case "unsupported" `Quick test_estimate_unsupported;
+          Alcotest.test_case "table matches recomputation" `Quick
+            test_estimate_table_matches_recomputation;
         ] );
       ( "virtual_engine",
         [

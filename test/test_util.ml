@@ -129,6 +129,35 @@ let prop_heap_sorts =
       List.iter (Heap.push h) l;
       Heap.drain h = List.sort compare l)
 
+let test_heap_pop_releases_values () =
+  (* Popping must not keep values reachable through the backing array
+     (the event loop pops continuously; retained closures would pin
+     every completed event's captured state).  Two historical leaks:
+     popping the last element left it in slot 0, and the swap in [pop]
+     left a stale duplicate of the moved entry in the vacated tail
+     slot. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  let probe = Weak.create 2 in
+  Heap.push h (1, ref 42);
+  Heap.push h (2, ref 43);
+  (match Heap.pop h with
+  | Some (_, r) -> Weak.set probe 0 (Some r)
+  | None -> Alcotest.fail "pop returned None");
+  (* Second pop empties the heap: the entry that was swapped into the
+     root (and its stale tail copy) must both be cleared. *)
+  (match Heap.pop h with
+  | Some (k, r) ->
+    Alcotest.(check int) "fifo order intact" 2 k;
+    Weak.set probe 1 (Some r)
+  | None -> Alcotest.fail "pop returned None");
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "first value collected" false (Weak.check probe 0);
+  Alcotest.(check bool) "last value collected" false (Weak.check probe 1);
+  Alcotest.(check bool) "heap still usable" true (Heap.is_empty h);
+  Heap.push h (9, ref 0);
+  Alcotest.(check int) "push after clearing works" 9 (fst (Heap.pop_exn h))
+
 let prop_heap_invariant_after_ops =
   QCheck.Test.make ~name:"heap invariant under interleaved ops" ~count:200
     QCheck.(list (pair bool small_int))
@@ -203,6 +232,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_heap_basic;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
+          Alcotest.test_case "pop releases values" `Quick test_heap_pop_releases_values;
           qtest prop_heap_sorts;
           qtest prop_heap_invariant_after_ops;
         ] );
