@@ -500,24 +500,34 @@ let engine () =
   let mix () = Workload.validation (List.map (fun a -> (a, 1)) (Reference_apps.all ())) in
   (* Fig. 9-class: the four reference apps once each, across DSSoC
      configurations.  Fig. 10-class: performance mode at a fixed
-     injection rate under the cheap and the expensive policy. *)
+     injection rate under the cheap and the expensive policy.  One
+     native scenario tracks the real-domain backend of the same
+     Engine_core protocol (its makespan is wall time, not simulated
+     time, so only throughput is comparable across machines). *)
   let scenarios =
     [
-      ("fig9/mix/1C+0F/FRFS", Config.zcu102_cores_ffts ~cores:1 ~ffts:0, mix, "FRFS");
-      ("fig9/mix/3C+2F/FRFS", Config.zcu102_cores_ffts ~cores:3 ~ffts:2, mix, "FRFS");
+      ("fig9/mix/1C+0F/FRFS", Config.zcu102_cores_ffts ~cores:1 ~ffts:0, mix, "FRFS", det_engine);
+      ("fig9/mix/3C+2F/FRFS", Config.zcu102_cores_ffts ~cores:3 ~ffts:2, mix, "FRFS", det_engine);
       ( "fig10/rate3.42/3C+2F/FRFS",
         Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
         (fun () -> Workload.table2_workload ~rate:3.42 ()),
-        "FRFS" );
+        "FRFS",
+        det_engine );
       ( "fig10/rate3.42/3C+2F/EFT",
         Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
         (fun () -> Workload.table2_workload ~rate:3.42 ()),
-        "EFT" );
+        "EFT",
+        det_engine );
+      ( "fig9/mix/2C+1F/FRFS/native",
+        Config.zcu102_cores_ffts ~cores:2 ~ffts:1,
+        mix,
+        "FRFS",
+        Emulator.native_seeded 1L );
     ]
   in
-  let measure (name, config, wl, policy) =
+  let measure (name, config, wl, policy, engine) =
     let once () =
-      Emulator.run_exn ~engine:det_engine ~policy ~config ~workload:(wl ()) ()
+      Emulator.run_exn ~engine ~policy ~config ~workload:(wl ()) ()
     in
     let sample = once () (* warm-up; also yields the per-run task count *) in
     let target_s = 1.0 and min_runs = 3 in
@@ -562,7 +572,7 @@ let engine () =
                      results) );
             ]))
   else begin
-    header "Engine throughput: full emulations per second (virtual engine, jitter 0)";
+    header "Engine throughput: full emulations per second (virtual jitter-0 + one native scenario)";
     print_string
       (Table.render
          ~header:

@@ -48,10 +48,18 @@ let policy_arg =
   Arg.(value & opt string "FRFS" & info [ "policy" ] ~docv:"POLICY" ~doc:"Scheduling policy.")
 
 let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Random seed (virtual: all randomness; native: RANDOM policy and sleep jitter).")
 
 let jitter_arg =
-  Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"SIGMA" ~doc:"Execution-time jitter stddev fraction.")
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~docv:"SIGMA"
+        ~doc:
+          "Execution-time jitter stddev fraction (native runs apply it to the modelled \
+           device-compute sleeps only).")
 
 let native_arg =
   Arg.(value & flag & info [ "native" ] ~doc:"Run on real OCaml domains instead of the virtual engine.")
@@ -60,7 +68,7 @@ let reservation_arg =
   Arg.(
     value & opt int 0
     & info [ "reservation" ] ~docv:"DEPTH"
-        ~doc:"Per-PE reservation-queue depth (0 = the paper's released framework).")
+        ~doc:"Per-PE reservation-queue depth on either engine (0 = the paper's released framework).")
 
 (* ---------------------- apps ---------------------- *)
 
@@ -203,7 +211,8 @@ let run_cmd =
         | None, other -> Error (Printf.sprintf "unknown mode %S" other)
       in
       let engine =
-        if native then Emulator.Native
+        if native then
+          Emulator.native_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
         else Emulator.virtual_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
       in
       Emulator.run ~engine ~policy ~config ~workload ()

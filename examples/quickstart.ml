@@ -125,7 +125,7 @@ let () =
         tone_bin)
     instances;
   (* 5. The same workload runs natively on OCaml domains. *)
-  let native = Emulator.run_exn ~engine:Emulator.Native ~config ~workload () in
+  let native = Emulator.run_exn ~engine:Emulator.native_default ~config ~workload () in
   Format.printf "@.native run on this machine: %d tasks in %.3f ms wall time@."
     (List.length native.Stats.records)
     (float_of_int native.Stats.makespan_ns /. 1e6)

@@ -1,9 +1,14 @@
-type engine = Virtual of Virtual_engine.params | Native
+type engine = Virtual of Engine_core.params | Native of Engine_core.params
 
 let virtual_seeded ?(jitter = 0.03) ?(reservation_depth = 0) seed =
-  Virtual { Virtual_engine.seed; jitter; reservation_depth }
+  Virtual { Engine_core.seed; jitter; reservation_depth }
 
-let run ?(engine = Virtual Virtual_engine.default_params) ?(policy = "FRFS") ~config ~workload () =
+let native_seeded ?(jitter = 0.0) ?(reservation_depth = 0) seed =
+  Native { Engine_core.seed; jitter; reservation_depth }
+
+let native_default = Native Native_engine.default_params
+
+let run ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ~config ~workload () =
   match Scheduler.find policy with
   | Error _ as e -> e
   | Ok policy -> (
@@ -11,7 +16,7 @@ let run ?(engine = Virtual Virtual_engine.default_params) ?(policy = "FRFS") ~co
       Ok
         (match engine with
         | Virtual params -> Virtual_engine.run ~params ~config ~workload ~policy ()
-        | Native -> Native_engine.run ~config ~workload ~policy ())
+        | Native params -> Native_engine.run ~params ~config ~workload ~policy ())
     with Invalid_argument msg -> Error msg)
 
 let run_exn ?engine ?policy ~config ~workload () =
@@ -19,7 +24,7 @@ let run_exn ?engine ?policy ~config ~workload () =
   | Ok r -> r
   | Error msg -> invalid_arg (Printf.sprintf "Emulator.run_exn: %s" msg)
 
-let run_detailed ?(engine = Virtual Virtual_engine.default_params) ?(policy = "FRFS") ~config
+let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ~config
     ~workload () =
   match Scheduler.find policy with
   | Error _ as e -> e
@@ -28,5 +33,5 @@ let run_detailed ?(engine = Virtual Virtual_engine.default_params) ?(policy = "F
       Ok
         (match engine with
         | Virtual params -> Virtual_engine.run_detailed ~params ~config ~workload ~policy ()
-        | Native -> Native_engine.run_detailed ~config ~workload ~policy ())
+        | Native params -> Native_engine.run_detailed ~params ~config ~workload ~policy ())
     with Invalid_argument msg -> Error msg)

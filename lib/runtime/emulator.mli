@@ -2,20 +2,29 @@
 
     Wraps engine selection, policy lookup and workload construction so
     examples, the CLI and the benchmark harness share one entry
-    point. *)
+    point.  Both engines run the same {!Engine_core} protocol and take
+    the same {!Engine_core.params}; they differ only in backend
+    (discrete-event simulation vs. real OCaml 5 domains). *)
 
 type engine =
-  | Virtual of Virtual_engine.params
+  | Virtual of Engine_core.params
       (** deterministic virtual-time simulation (used by all figure
           benches) *)
-  | Native
+  | Native of Engine_core.params
       (** OCaml 5 domains executing the same handler protocol in real
           time on the machine running the emulator *)
 
 val virtual_seeded : ?jitter:float -> ?reservation_depth:int -> int64 -> engine
 (** Convenience: virtual engine with the given seed (jitter defaults
-    to 0.03, reservation queues off — see
-    {!Virtual_engine.params}). *)
+    to 0.03, reservation queues off — see {!Engine_core.params}). *)
+
+val native_seeded : ?jitter:float -> ?reservation_depth:int -> int64 -> engine
+(** Convenience: native engine with the given seed (jitter defaults to
+    0. — native kernels run for real; the jitter only shapes the
+    modelled device-compute sleeps — reservation queues off). *)
+
+val native_default : engine
+(** Native engine with {!Native_engine.default_params}. *)
 
 val run :
   ?engine:engine ->

@@ -1,0 +1,439 @@
+module Pe = Dssoc_soc.Pe
+module Config = Dssoc_soc.Config
+module Cost_model = Dssoc_soc.Cost_model
+module App_spec = Dssoc_apps.App_spec
+module Workload = Dssoc_apps.Workload
+module Prng = Dssoc_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Parameters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type params = { seed : int64; jitter : float; reservation_depth : int }
+
+let default_params = { seed = 1L; jitter = 0.03; reservation_depth = 0 }
+
+let jittered prng ~jitter ns =
+  if jitter <= 0.0 || ns <= 0 then ns
+  else begin
+    let f = Prng.gaussian prng ~mu:1.0 ~sigma:jitter in
+    max 1 (int_of_float (Float.round (float_of_int ns *. Float.max 0.1 f)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Resource handlers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type 'h handler = {
+  h_pe : Pe.t;
+  h_index : int;  (** this handler's PE index (row in the estimate table) *)
+  h_capacity : int;  (** 1 + reservation-queue depth (1 = the paper's baseline) *)
+  h_pending : Task.t Queue.t;  (** dispatched by the WM, not yet executed *)
+  h_completed : Task.t Queue.t;  (** executed, awaiting WM bookkeeping *)
+  mutable h_inflight : int;  (** pending + currently executing; WM-owned *)
+  mutable h_stop : bool;
+  mutable h_busy_ns : int;  (** occupancy (execution time), not queue residence *)
+  mutable h_tasks_run : int;
+  mutable h_busy_until : int;  (** EFT availability horizon; WM-owned *)
+  h_backend : 'h;  (** backend-private per-handler state *)
+}
+
+let make_handler ~pe ~index ~reservation_depth backend =
+  {
+    h_pe = pe;
+    h_index = index;
+    h_capacity = 1 + max 0 reservation_depth;
+    h_pending = Queue.create ();
+    h_completed = Queue.create ();
+    h_inflight = 0;
+    h_stop = false;
+    h_busy_ns = 0;
+    h_tasks_run = 0;
+    h_busy_until = 0;
+    h_backend = backend;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Statistics accumulator                                              *)
+(* ------------------------------------------------------------------ *)
+
+type wm_stats = {
+  mutable sched_invocations : int;
+  mutable sched_ns : int;
+  mutable wm_ns : int;
+  mutable records : Stats.task_record list;
+}
+
+let make_stats () = { sched_invocations = 0; sched_ns = 0; wm_ns = 0; records = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Backends                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'h backend = {
+  b_now : unit -> int;
+  b_lock : 'h handler -> unit;
+  b_unlock : 'h handler -> unit;
+  b_handler_await : 'h handler -> unit;
+  b_notify_handler : 'h handler -> unit;
+  b_wm_await : deadline:int option -> unit;
+  b_notify_wm : unit -> unit;
+  b_charge : float -> unit;
+  b_execute : 'h handler -> Task.t -> unit;
+  b_sched_start : unit -> int;
+  b_sched_done : int -> ready:int -> ops:int -> int;
+  b_wm_tick_start : unit -> int;
+  b_wm_tick_end : int -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared protocol pieces                                              *)
+(* ------------------------------------------------------------------ *)
+
+let instantiate ~engine_name ~(config : Config.t) ~(workload : Workload.t) =
+  (* Initialization phase (outside emulation time, as in Section II-A):
+     allocate every instance and its memory up front. *)
+  let items = Array.of_list workload.Workload.items in
+  let task_id_base = ref 0 in
+  let instances =
+    Array.mapi
+      (fun i (item : Workload.item) ->
+        let inst =
+          Task.instantiate ~task_id_base:!task_id_base ~inst_id:i
+            ~arrival_ns:item.Workload.arrival_ns item.Workload.spec
+        in
+        task_id_base := !task_id_base + Array.length inst.Task.tasks;
+        inst)
+      items
+  in
+  let pes = Config.pes config in
+  Array.iter
+    (fun inst ->
+      Array.iter
+        (fun (t : Task.t) ->
+          if not (List.exists (Task.supports t) pes) then
+            invalid_arg
+              (Printf.sprintf "%s: task %s/%s supports no PE of configuration %s"
+                 engine_name t.Task.app_name t.Task.node.App_spec.node_name
+                 config.Config.label))
+        inst.Task.tasks)
+    instances;
+  instances
+
+let accel_phases (task : Task.t) pe acl =
+  let entry = Task.platform_entry_for task pe in
+  match Option.bind entry (fun e -> e.App_spec.cost_us) with
+  | Some us -> (0, int_of_float (us *. 1e3), 0)
+  | None -> Exec_model.accel_phases_ns task acl
+
+(* ------------------------------------------------------------------ *)
+(* Resource manager (Fig. 4)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let resource_manager (b : 'h backend) (h : 'h handler) =
+  let rec loop () =
+    b.b_lock h;
+    b.b_handler_await h;
+    if h.h_stop then b.b_unlock h
+    else begin
+      (* With a reservation queue the next task starts with no
+         workload-manager round trip — the future-work optimisation
+         Section III-C sketches. *)
+      let rec drain () =
+        match Queue.take_opt h.h_pending with
+        | None -> ()
+        | Some task ->
+          b.b_unlock h;
+          let started = b.b_now () in
+          b.b_execute h task;
+          let finished = b.b_now () in
+          task.Task.completed_at <- finished;
+          b.b_lock h;
+          (* Occupancy, not queue residence: utilisation stays
+             meaningful when a reservation queue is configured. *)
+          h.h_busy_ns <- h.h_busy_ns + (finished - started);
+          h.h_tasks_run <- h.h_tasks_run + 1;
+          Queue.add task h.h_completed;
+          b.b_notify_wm ();
+          drain ()
+      in
+      drain ();
+      b.b_unlock h;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload manager (Fig. 3)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Cap on how many ready tasks a single policy invocation examines.
+   The *charged* (or measured) overhead still grows with the full
+   ready-list length (that is the paper's O(n)/O(n^2) effect); the cap
+   only bounds the engine's own compute, and idle-PE counts make
+   deeper windows pointless. *)
+let sched_window = Cost_model.sched_examined_cap
+
+let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
+    ~(instances : Task.instance array) ~est_table ~(policy : Scheduler.policy)
+    ~prng ~(stats : wm_stats) =
+  let n_pes = Array.length handlers in
+  let ready : Task.t Queue.t = Queue.create () in
+  (* Tasks leave the ready queue lazily (dispatch flips them to
+     Running but only the front is ever popped), so [Queue.length]
+     overstates the live ready-list length.  The scheduler's charged
+     O(n)/O(n^2) cost must follow the *live* count, kept here. *)
+  let ready_live = ref 0 in
+  let pending = ref (Array.to_list instances) in
+  let unfinished = ref (Array.length instances) in
+  let make_ready (task : Task.t) =
+    task.Task.status <- Task.Ready;
+    task.Task.ready_at <- b.b_now ();
+    Queue.add task ready;
+    incr ready_live
+  in
+  (* Scratch structures reused by every scheduling invocation: the
+     policy-facing PE states are refreshed in place, and the ready
+     window is snapshotted into a reusable array (sized once to the
+     examination cap).  Reallocating these per invocation — once per
+     task completion — dominated the scheduler hot path. *)
+  let pes_scratch =
+    Array.map (fun h -> { Scheduler.pe = h.h_pe; idle = false; busy_until = 0 }) handlers
+  in
+  let ready_scratch = ref [||] in
+  (* One scheduling invocation: snapshot the ready window, run the
+     policy, account its cost, dispatch the selected tasks.  Invoked
+     after every task completion and after every injection burst, as
+     the paper's workload manager does (it has no PE reservation
+     queues, so "a scheduling algorithm incurs this overhead every
+     time a task completes"). *)
+  let do_schedule () =
+    while (not (Queue.is_empty ready)) && (Queue.peek ready).Task.status <> Task.Ready do
+      ignore (Queue.pop ready)
+    done;
+    let have_idle = Array.exists (fun h -> h.h_inflight < h.h_capacity) handlers in
+    if (not (Queue.is_empty ready)) && have_idle then begin
+      let ready_len = !ready_live in
+      let nready =
+        let taken = ref 0 in
+        (try
+           Seq.iter
+             (fun t ->
+               if t.Task.status = Task.Ready then begin
+                 if Array.length !ready_scratch = 0 then
+                   ready_scratch := Array.make sched_window t;
+                 !ready_scratch.(!taken) <- t;
+                 incr taken;
+                 if !taken >= sched_window then raise Exit
+               end)
+             (Queue.to_seq ready)
+         with Exit -> ());
+        !taken
+      in
+      Array.iteri
+        (fun i h ->
+          let st = pes_scratch.(i) in
+          st.Scheduler.idle <- h.h_inflight < h.h_capacity;
+          st.Scheduler.busy_until <- h.h_busy_until)
+        handlers;
+      let t0 = b.b_sched_start () in
+      let ctx =
+        {
+          Scheduler.now = b.b_now ();
+          ready = !ready_scratch;
+          nready;
+          pes = pes_scratch;
+          estimate = (fun task i -> Exec_model.lookup est_table task i);
+          prng;
+          ops = 0;
+        }
+      in
+      let assignments = policy.Scheduler.schedule ctx in
+      let sched_cost = b.b_sched_done t0 ~ready:ready_len ~ops:ctx.Scheduler.ops in
+      stats.sched_ns <- stats.sched_ns + sched_cost;
+      stats.sched_invocations <- stats.sched_invocations + 1;
+      (* Communicate selected tasks to their resource managers (setting
+         the status to Running also lazily removes each task from the
+         ready queue). *)
+      List.iter
+        (fun (a : Scheduler.assignment) ->
+          let task = a.Scheduler.task and h = handlers.(a.Scheduler.pe_index) in
+          b.b_charge Cost_model.dispatch_per_task_ns;
+          b.b_lock h;
+          task.Task.status <- Task.Running;
+          decr ready_live;
+          task.Task.dispatched_at <- b.b_now ();
+          task.Task.pe_label <- h.h_pe.Pe.label;
+          Queue.add task h.h_pending;
+          h.h_inflight <- h.h_inflight + 1;
+          h.h_busy_until <-
+            max (b.b_now ()) h.h_busy_until + Exec_model.lookup est_table task h.h_index;
+          b.b_notify_handler h;
+          b.b_unlock h)
+        assignments
+    end
+  in
+  (* Bookkeeping for one completed task: statistics, instance
+     accounting, and releasing newly ready successors. *)
+  let process_completion (task : Task.t) =
+    task.Task.status <- Task.Done;
+    stats.records <-
+      {
+        Stats.app = task.Task.app_name;
+        instance = task.Task.instance_id;
+        node = task.Task.node.App_spec.node_name;
+        pe = task.Task.pe_label;
+        ready_ns = task.Task.ready_at;
+        dispatched_ns = task.Task.dispatched_at;
+        completed_ns = task.Task.completed_at;
+      }
+      :: stats.records;
+    let inst = instances.(task.Task.instance_id) in
+    inst.Task.remaining <- inst.Task.remaining - 1;
+    if inst.Task.remaining = 0 then begin
+      inst.Task.completed_at <- b.b_now ();
+      decr unfinished
+    end;
+    let newly_ready = ref 0 in
+    List.iter
+      (fun (succ : Task.t) ->
+        succ.Task.unmet <- succ.Task.unmet - 1;
+        if succ.Task.unmet = 0 then begin
+          make_ready succ;
+          incr newly_ready
+        end)
+      task.Task.successors;
+    if !newly_ready > 0 then
+      b.b_charge (Cost_model.ready_update_per_task_ns *. float_of_int !newly_ready)
+  in
+  let rec loop () =
+    let tick = b.b_wm_tick_start () in
+    (* -- one completion-monitoring sweep over the resource handlers -- *)
+    b.b_charge (Cost_model.monitor_per_pe_ns *. float_of_int n_pes);
+    let batch_completions = ref false in
+    Array.iter
+      (fun h ->
+        (* Pop one completion at a time, re-taking the lock between
+           pops, so a capacity-1 handler's scheduling round never runs
+           while this handler is locked. *)
+        let continue_ = ref true in
+        while !continue_ do
+          b.b_lock h;
+          match Queue.take_opt h.h_completed with
+          | None ->
+            b.b_unlock h;
+            continue_ := false
+          | Some task ->
+            b.b_unlock h;
+            h.h_inflight <- h.h_inflight - 1;
+            process_completion task;
+            if h.h_capacity <= 1 then
+              (* No reservation queue: the scheduler runs once per
+                 completed task, as in the paper. *)
+              do_schedule ()
+            else batch_completions := true
+        done)
+      handlers;
+    if !batch_completions then do_schedule ();
+    (* -- inject newly arrived application instances -- *)
+    let injected = ref 0 in
+    let now = b.b_now () in
+    let rec drain () =
+      match !pending with
+      | inst :: rest when inst.Task.arrival_ns <= now ->
+        pending := rest;
+        List.iter
+          (fun t ->
+            make_ready t;
+            incr injected)
+          inst.Task.entry;
+        drain ()
+      | _ -> ()
+    in
+    drain ();
+    if !injected > 0 then begin
+      b.b_charge (Cost_model.ready_update_per_task_ns *. float_of_int !injected);
+      do_schedule ()
+    end;
+    b.b_wm_tick_end tick;
+    (* -- terminate or wait for the next event -- *)
+    if !unfinished = 0 && !pending = [] then
+      Array.iter
+        (fun h ->
+          b.b_lock h;
+          h.h_stop <- true;
+          b.b_notify_handler h;
+          b.b_unlock h)
+        handlers
+    else begin
+      let deadline = match !pending with [] -> None | inst :: _ -> Some inst.Task.arrival_ns in
+      b.b_wm_await ~deadline;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Report assembly                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let report ~host_name ~(config : Config.t) ~(policy : Scheduler.policy)
+    ~(handlers : 'h handler array) ~(instances : Task.instance array)
+    ~(stats : wm_stats) =
+  let makespan =
+    Array.fold_left (fun acc inst -> max acc inst.Task.completed_at) 0 instances
+  in
+  let app_tbl = Hashtbl.create 4 in
+  Array.iter
+    (fun inst ->
+      let name = inst.Task.app.App_spec.app_name in
+      let lat = inst.Task.completed_at - inst.Task.arrival_ns in
+      let lats = Option.value ~default:[] (Hashtbl.find_opt app_tbl name) in
+      Hashtbl.replace app_tbl name (lat :: lats))
+    instances;
+  let app_stats =
+    Hashtbl.fold
+      (fun name lats acc ->
+        let n = List.length lats in
+        let sum = List.fold_left ( + ) 0 lats in
+        ( name,
+          {
+            Stats.instances = n;
+            mean_latency_ns = float_of_int sum /. float_of_int (max 1 n);
+            max_latency_ns = List.fold_left max 0 lats;
+          } )
+        :: acc)
+      app_tbl []
+    |> List.sort compare
+  in
+  {
+    Stats.host_name;
+    config_label = config.Config.label;
+    policy_name = policy.Scheduler.name;
+    makespan_ns = makespan;
+    job_count = Array.length instances;
+    task_count = Array.fold_left (fun acc i -> acc + Array.length i.Task.tasks) 0 instances;
+    pe_usage =
+      Array.to_list
+        (Array.map
+           (fun h ->
+             {
+               Stats.pe_label = h.h_pe.Pe.label;
+               pe_kind = Pe.kind_name h.h_pe.Pe.kind;
+               busy_ns = h.h_busy_ns;
+               tasks_run = h.h_tasks_run;
+               busy_energy_mj = float_of_int h.h_busy_ns *. Pe.busy_w h.h_pe.Pe.kind *. 1e-6;
+               energy_mj =
+                 (float_of_int h.h_busy_ns *. Pe.busy_w h.h_pe.Pe.kind
+                 +. float_of_int (max 0 (makespan - h.h_busy_ns))
+                    *. Pe.idle_w h.h_pe.Pe.kind)
+                 *. 1e-6;
+             })
+           handlers);
+    sched_invocations = stats.sched_invocations;
+    sched_ns = stats.sched_ns;
+    wm_overhead_ns = stats.wm_ns;
+    records = List.rev stats.records;
+    app_stats;
+  }

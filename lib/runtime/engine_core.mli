@@ -1,0 +1,198 @@
+(** The shared engine core: one workload-manager / resource-handler
+    protocol, two execution backends.
+
+    The paper's runtime contract (Sections II-B/II-C, Figs. 3-4) is a
+    single protocol: a workload manager injects arriving application
+    instances, maintains the ready-task list, invokes a scheduling
+    policy over a snapshot of ready tasks and PE states, dispatches
+    assignments through per-PE resource handlers, and monitors their
+    completions; each resource handler runs an [idle]/[run]/[complete]/
+    [stop] state machine that executes dispatched tasks on its PE.
+
+    This module implements that protocol {e once}, parameterized over a
+    small {!type:backend} record — how to read the clock, block and
+    wake the two kinds of actors, charge modelled workload-manager
+    overhead, and actually execute a task on a PE.  The virtual engine
+    instantiates it over a discrete-event simulation (effects + event
+    heap, deterministic virtual nanoseconds); the native engine
+    instantiates it over OCaml 5 domains (mutex/condvar, monotonic
+    wall clock).  Every protocol-level feature — reservation queues,
+    live ready-list accounting, occupancy-based utilisation, the
+    dense estimate table — therefore lands in both engines at once. *)
+
+(** {1 Parameters} *)
+
+type params = {
+  seed : int64;
+      (** root of all engine randomness: execution-time jitter and the
+          RANDOM policy's draws (both engines), equal seeds giving
+          equal virtual-engine runs bit-for-bit *)
+  jitter : float;
+      (** stddev of the multiplicative Gaussian noise on modelled task
+          times; [0.] gives perfectly repeatable virtual runs, the
+          default [0.03] gives the spread the paper's Fig. 9 box plots
+          show across 50 iterations on real hardware.  The native
+          engine applies it to the modelled device-compute sleep of
+          accelerator PEs (its CPU kernels run for real and cannot be
+          jittered). *)
+  reservation_depth : int;
+      (** per-PE reservation-queue depth.  [0] reproduces the paper's
+          released framework (no queues: the scheduler runs on every
+          task completion and PEs stall until the next dispatch);
+          [> 0] implements the future-work optimisation of Section
+          III-C — the workload manager queues up to this many extra
+          tasks on each PE and batches scheduling invocations, and the
+          resource manager starts queued work without a round trip *)
+}
+
+val default_params : params
+(** seed 1, jitter 0.03, no reservation queues. *)
+
+val jittered : Dssoc_util.Prng.t -> jitter:float -> int -> int
+(** Multiplicative Gaussian noise on a modelled duration: one
+    [gaussian ~mu:1.0 ~sigma:jitter] draw, factor clamped below at
+    0.1, result at 1 ns.  [jitter <= 0.] (or a non-positive duration)
+    draws nothing and returns the input unchanged. *)
+
+(** {1 Resource handlers} *)
+
+type 'h handler = {
+  h_pe : Dssoc_soc.Pe.t;
+  h_index : int;  (** this handler's PE index (row in the estimate table) *)
+  h_capacity : int;  (** 1 + reservation-queue depth (1 = the paper's baseline) *)
+  h_pending : Task.t Queue.t;  (** dispatched by the WM, not yet executed *)
+  h_completed : Task.t Queue.t;  (** executed, awaiting WM bookkeeping *)
+  mutable h_inflight : int;  (** pending + currently executing; WM-owned *)
+  mutable h_stop : bool;
+  mutable h_busy_ns : int;  (** occupancy (execution time), not queue residence *)
+  mutable h_tasks_run : int;
+  mutable h_busy_until : int;  (** EFT availability horizon; WM-owned *)
+  h_backend : 'h;  (** backend-private per-handler state *)
+}
+(** One per PE.  The queues and [h_stop] are shared between the
+    workload manager and the handler's resource manager and must only
+    be touched under the backend's {!field:b_lock} (a no-op for the
+    single-threaded virtual engine); [h_inflight] and [h_busy_until]
+    are written by the workload manager only, [h_busy_ns] and
+    [h_tasks_run] by the resource manager only (read after join). *)
+
+val make_handler :
+  pe:Dssoc_soc.Pe.t -> index:int -> reservation_depth:int -> 'h -> 'h handler
+(** Fresh idle handler with [h_capacity = 1 + max 0 reservation_depth]. *)
+
+(** {1 Statistics accumulator} *)
+
+type wm_stats = {
+  mutable sched_invocations : int;
+  mutable sched_ns : int;  (** modelled (virtual) or measured (native) *)
+  mutable wm_ns : int;
+  mutable records : Stats.task_record list;  (** newest first *)
+}
+
+val make_stats : unit -> wm_stats
+
+(** {1 Backends} *)
+
+type 'h backend = {
+  b_now : unit -> int;
+      (** current time, ns: virtual clock or monotonic wall clock *)
+  b_lock : 'h handler -> unit;  (** no-op when the backend is single-threaded *)
+  b_unlock : 'h handler -> unit;
+  b_handler_await : 'h handler -> unit;
+      (** resource-manager side, called with the handler locked:
+          return (lock re-held) once [h_stop] is set or work may be
+          pending *)
+  b_notify_handler : 'h handler -> unit;
+      (** workload-manager side, called with the handler locked, after
+          enqueueing work or setting [h_stop] *)
+  b_wm_await : deadline:int option -> unit;
+      (** workload-manager side: block until a completion notification
+          or the absolute deadline (next instance arrival); a polling
+          backend may return immediately *)
+  b_notify_wm : unit -> unit;
+      (** resource-manager side: a completion awaits monitoring (no-op
+          for a polling backend) *)
+  b_charge : float -> unit;
+      (** account modelled workload-manager bookkeeping cost
+          (monitoring, ready-list updates, dispatch), ns on the
+          reference overlay core; the virtual backend scales it and
+          occupies the overlay core, the native backend ignores it
+          (its loop costs real time instead) *)
+  b_execute : 'h handler -> Task.t -> unit;
+      (** run one task on this handler's PE, returning when it is
+          complete; called without the handler lock *)
+  b_sched_start : unit -> int;
+      (** opaque token taken immediately before a policy invocation *)
+  b_sched_done : int -> ready:int -> ops:int -> int;
+      (** close a policy invocation: given the token, the {e live}
+          ready-list length and the policy's recorded elementary
+          operations, return the scheduling cost (ns) to record —
+          modelled ({!Scheduler.overhead_ns}, charged on the overlay
+          core) for the virtual backend, measured wall time for the
+          native one *)
+  b_wm_tick_start : unit -> int;
+  b_wm_tick_end : int -> unit;
+      (** bracket one workload-manager loop iteration, for backends
+          that measure (rather than charge) manager overhead *)
+}
+
+(** {1 The protocol} *)
+
+val instantiate :
+  engine_name:string ->
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  Task.instance array
+(** Initialization phase (outside emulation time, Section II-A):
+    allocate every instance and its memory up front, with dense task
+    ids, and validate that every task supports some PE of the
+    configuration.
+    @raise Invalid_argument (prefixed with [engine_name]) otherwise. *)
+
+val accel_phases :
+  Task.t -> Dssoc_soc.Pe.t -> Dssoc_soc.Pe.accel_class -> int * int * int
+(** [(dma_in, compute, dma_out)] ns for an accelerator execution: an
+    explicit [cost_us] on the matching platform entry prices the whole
+    task as device compute (the JSON override), otherwise the device
+    model prices the three phases. *)
+
+val resource_manager : 'h backend -> 'h handler -> unit
+(** The per-PE resource-manager body (Fig. 4): await dispatch, drain
+    the pending queue — executing each task via {!field:b_execute},
+    timestamping completion, accounting occupancy, parking the task on
+    the completed queue and notifying the workload manager — then wait
+    again; exit when [h_stop] is set.  Each engine runs one instance
+    per handler on its own thread abstraction (spawned effect thread /
+    domain). *)
+
+val workload_manager :
+  'h backend ->
+  handlers:'h handler array ->
+  instances:Task.instance array ->
+  est_table:Exec_model.table ->
+  policy:Scheduler.policy ->
+  prng:Dssoc_util.Prng.t ->
+  stats:wm_stats ->
+  unit
+(** The workload-manager loop (Fig. 3): monitor completions (releasing
+    successors and charging per-PE monitoring cost), inject arrived
+    instances, and invoke the policy over a snapshot of the ready
+    window and PE states ({!Scheduler.context}, estimate queries
+    backed by the dense table) — once per completion at capacity 1, as
+    the paper prescribes, or batched per sweep when reservation queues
+    are configured.  The ready queue deletes dispatched entries
+    lazily; the charged O(n)/O(n²) policy cost follows a live-count
+    accounting, not [Queue.length].  Returns once every instance has
+    completed and all handlers have been told to stop. *)
+
+val report :
+  host_name:string ->
+  config:Dssoc_soc.Config.t ->
+  policy:Scheduler.policy ->
+  handlers:'h handler array ->
+  instances:Task.instance array ->
+  stats:wm_stats ->
+  Stats.report
+(** Assemble the run report: makespan, per-PE usage and energy,
+    scheduling statistics, task records (oldest first) and per-app
+    latency summaries. *)

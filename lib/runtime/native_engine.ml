@@ -2,307 +2,110 @@ module Pe = Dssoc_soc.Pe
 module Host = Dssoc_soc.Host
 module Config = Dssoc_soc.Config
 module App_spec = Dssoc_apps.App_spec
+module Store = Dssoc_apps.Store
 module Workload = Dssoc_apps.Workload
 module Prng = Dssoc_util.Prng
+module Mclock = Dssoc_util.Mclock
+module Core = Engine_core
 
-type nhandler = {
-  pe : Pe.t;
-  mutex : Mutex.t;
-  cond : Condition.t;
-  mutable status : [ `Idle | `Run | `Complete | `Stop ];
-  mutable task : Task.t option;
-  mutable busy_ns : int;
-  mutable tasks_run : int;
-  mutable busy_until : int;
-}
+(* Historical default: policy randomness seeded at 7, no jitter on the
+   modelled device-compute sleeps, no reservation queues. *)
+let default_params = { Core.seed = 7L; jitter = 0.0; reservation_depth = 0 }
 
-let now_ns ref_start = int_of_float ((Unix.gettimeofday () -. ref_start) *. 1e9)
+(* Backend-private handler state: the mutex/condvar pair guarding this
+   handler's queues, and a per-handler PRNG stream for jittering the
+   modelled accelerator compute (per-handler so concurrent domains
+   never contend on — or nondeterministically interleave draws from —
+   a shared stream). *)
+type nh = { nh_mutex : Mutex.t; nh_cond : Condition.t; nh_prng : Prng.t }
 
-(* Resource-manager body (Fig. 4): wait for an assignment, execute it
-   according to the PE type, flag completion, repeat. *)
-let resource_manager ref_start h () =
-  let rec loop () =
-    Mutex.lock h.mutex;
-    while h.status <> `Run && h.status <> `Stop do
-      Condition.wait h.cond h.mutex
-    done;
-    if h.status = `Stop then Mutex.unlock h.mutex
-    else begin
-      let task = Option.get h.task in
-      Mutex.unlock h.mutex;
-      let kernel = Exec_model.resolve_kernel task h.pe in
-      let args = task.Task.node.App_spec.arguments in
-      (match h.pe.Pe.kind with
-      | Pe.Cpu _ -> kernel task.Task.store args
-      | Pe.Accel acl ->
-        (* Real copies stand in for the DMA transfers; a timed sleep
-           stands in for the device compute. *)
-        let scratch = Buffer.create 256 in
-        List.iter
-          (fun a -> Buffer.add_bytes scratch (Dssoc_apps.Store.get_raw task.Task.store a))
-          (List.filter
-             (fun a -> (Dssoc_apps.Store.spec task.Task.store a).Dssoc_apps.Store.is_ptr)
-             args);
-        kernel task.Task.store args;
-        let _, compute, _ = Exec_model.accel_phases_ns task acl in
-        Unix.sleepf (float_of_int compute /. 1e9);
-        ignore (Buffer.contents scratch));
-      Mutex.lock h.mutex;
-      task.Task.completed_at <- now_ns ref_start;
-      h.status <- `Complete;
-      Mutex.unlock h.mutex;
-      loop ()
-    end
+let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) =
+  let now () = Mclock.now_ns () - start in
+  let execute (h : nh Core.handler) (task : Task.t) =
+    let kernel = Exec_model.resolve_kernel task h.Core.h_pe in
+    let args = task.Task.node.App_spec.arguments in
+    match h.Core.h_pe.Pe.kind with
+    | Pe.Cpu _ -> kernel task.Task.store args
+    | Pe.Accel acl ->
+      (* Real copies stand in for the DMA transfers; a timed sleep
+         stands in for the device compute.  A task with no pointer
+         arguments moves no data, so no scratch buffer is allocated. *)
+      let ptr_args =
+        List.filter (fun a -> (Store.spec task.Task.store a).Store.is_ptr) args
+      in
+      let scratch =
+        match ptr_args with
+        | [] -> None
+        | _ ->
+          let buf = Buffer.create 256 in
+          List.iter (fun a -> Buffer.add_bytes buf (Store.get_raw task.Task.store a)) ptr_args;
+          Some buf
+      in
+      kernel task.Task.store args;
+      let _, compute, _ = Core.accel_phases task h.Core.h_pe acl in
+      let compute = Core.jittered h.Core.h_backend.nh_prng ~jitter:params.Core.jitter compute in
+      Unix.sleepf (float_of_int compute /. 1e9);
+      Option.iter (fun buf -> ignore (Buffer.contents buf)) scratch
   in
-  loop ()
+  {
+    Core.b_now = now;
+    b_lock = (fun h -> Mutex.lock h.Core.h_backend.nh_mutex);
+    b_unlock = (fun h -> Mutex.unlock h.Core.h_backend.nh_mutex);
+    b_handler_await =
+      (fun h ->
+        let nb = h.Core.h_backend in
+        while (not h.Core.h_stop) && Queue.is_empty h.Core.h_pending do
+          Condition.wait nb.nh_cond nb.nh_mutex
+        done);
+    b_notify_handler = (fun h -> Condition.signal h.Core.h_backend.nh_cond);
+    (* The workload manager polls: completions are observed by the
+       monitoring sweep, so a completion notification is unnecessary. *)
+    b_wm_await = (fun ~deadline:_ -> Domain.cpu_relax ());
+    b_notify_wm = (fun () -> ());
+    (* Manager bookkeeping costs real time here — nothing to model. *)
+    b_charge = (fun _ -> ());
+    b_execute = execute;
+    (* Scheduling cost is measured wall time, not a model. *)
+    b_sched_start = now;
+    b_sched_done = (fun t0 ~ready:_ ~ops:_ -> now () - t0);
+    b_wm_tick_start = now;
+    b_wm_tick_end = (fun t0 -> stats.Core.wm_ns <- stats.Core.wm_ns + (now () - t0));
+  }
 
-let run_detailed ~(config : Config.t) ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
-  let items = Array.of_list workload.Workload.items in
-  let task_id_base = ref 0 in
-  let instances =
-    Array.mapi
-      (fun i (item : Workload.item) ->
-        let inst =
-          Task.instantiate ~task_id_base:!task_id_base ~inst_id:i
-            ~arrival_ns:item.Workload.arrival_ns item.Workload.spec
-        in
-        task_id_base := !task_id_base + Array.length inst.Task.tasks;
-        inst)
-      items
-  in
-  let pes = Config.pes config in
-  Array.iter
-    (fun inst ->
-      Array.iter
-        (fun (t : Task.t) ->
-          if not (List.exists (Task.supports t) pes) then
-            invalid_arg
-              (Printf.sprintf "Native_engine.run: task %s/%s supports no PE of %s"
-                 t.Task.app_name t.Task.node.App_spec.node_name config.Config.label))
-        inst.Task.tasks)
-    instances;
+let run_detailed ?(params = default_params) ~(config : Config.t)
+    ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
+  let instances = Core.instantiate ~engine_name:"Native_engine.run" ~config ~workload in
   let handlers =
     Array.of_list
-      (List.map
-         (fun (p : Config.placement) ->
-           {
-             pe = p.Config.pe;
-             mutex = Mutex.create ();
-             cond = Condition.create ();
-             status = `Idle;
-             task = None;
-             busy_ns = 0;
-             tasks_run = 0;
-             busy_until = 0;
-           })
+      (List.mapi
+         (fun i (p : Config.placement) ->
+           Core.make_handler ~pe:p.Config.pe ~index:i
+             ~reservation_depth:params.Core.reservation_depth
+             {
+               nh_mutex = Mutex.create ();
+               nh_cond = Condition.create ();
+               nh_prng = Prng.derive ~seed:params.Core.seed ~index:(i + 1);
+             })
          config.Config.placements)
   in
-  let ref_start = Unix.gettimeofday () in
-  let domains =
-    Array.map (fun h -> Domain.spawn (resource_manager ref_start h)) handlers
-  in
   let est_table =
-    Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.pe) handlers)
+    Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.Core.h_pe) handlers)
   in
-  (* Scratch reused across scheduling invocations (same discipline as
-     the virtual engine): refresh in place rather than reallocate. *)
-  let pes_scratch =
-    Array.map (fun h -> { Scheduler.pe = h.pe; idle = false; busy_until = 0 }) handlers
+  let stats = Core.make_stats () in
+  let start = Mclock.now_ns () in
+  let b = backend ~start ~params ~stats in
+  (* One domain per PE plays its resource manager (Fig. 4)... *)
+  let domains =
+    Array.map (fun h -> Domain.spawn (fun () -> Core.resource_manager b h)) handlers
   in
-  let snapshot_cap = 64 in
-  let ready_scratch = ref [||] in
-  let prng = Prng.create ~seed:7L in
-  let ready : Task.t Queue.t = Queue.create () in
-  let pending = ref (Array.to_list instances) in
-  let unfinished = ref (Array.length instances) in
-  let records = ref [] in
-  let sched_ns = ref 0 and sched_inv = ref 0 and wm_ns = ref 0 in
-  let make_ready t =
-    t.Task.status <- Task.Ready;
-    t.Task.ready_at <- now_ns ref_start;
-    Queue.add t ready
-  in
-  (* Workload-manager loop (Fig. 3) on the calling domain. *)
-  while !unfinished > 0 do
-    let loop_start = Unix.gettimeofday () in
-    (* monitor *)
-    Array.iter
-      (fun h ->
-        Mutex.lock h.mutex;
-        if h.status = `Complete then begin
-          (match h.task with
-          | None -> ()
-          | Some task ->
-            task.Task.status <- Task.Done;
-            h.busy_ns <- h.busy_ns + (task.Task.completed_at - task.Task.dispatched_at);
-            h.tasks_run <- h.tasks_run + 1;
-            records :=
-              {
-                Stats.app = task.Task.app_name;
-                instance = task.Task.instance_id;
-                node = task.Task.node.App_spec.node_name;
-                pe = task.Task.pe_label;
-                ready_ns = task.Task.ready_at;
-                dispatched_ns = task.Task.dispatched_at;
-                completed_ns = task.Task.completed_at;
-              }
-              :: !records;
-            let inst = instances.(task.Task.instance_id) in
-            inst.Task.remaining <- inst.Task.remaining - 1;
-            if inst.Task.remaining = 0 then begin
-              inst.Task.completed_at <- now_ns ref_start;
-              decr unfinished
-            end;
-            List.iter
-              (fun (succ : Task.t) ->
-                succ.Task.unmet <- succ.Task.unmet - 1;
-                if succ.Task.unmet = 0 then make_ready succ)
-              task.Task.successors);
-          h.task <- None;
-          h.status <- `Idle
-        end;
-        Mutex.unlock h.mutex)
-      handlers;
-    (* inject *)
-    let now = now_ns ref_start in
-    let rec drain () =
-      match !pending with
-      | inst :: rest when inst.Task.arrival_ns <= now ->
-        pending := rest;
-        List.iter make_ready inst.Task.entry;
-        drain ()
-      | _ -> ()
-    in
-    drain ();
-    (* schedule + dispatch *)
-    let have_idle =
-      Array.exists
-        (fun h ->
-          Mutex.lock h.mutex;
-          let idle = h.status = `Idle in
-          Mutex.unlock h.mutex;
-          idle)
-        handlers
-    in
-    while (not (Queue.is_empty ready)) && (Queue.peek ready).Task.status <> Task.Ready do
-      ignore (Queue.pop ready)
-    done;
-    if (not (Queue.is_empty ready)) && have_idle then begin
-      let nready =
-        let taken = ref 0 in
-        (try
-           Seq.iter
-             (fun t ->
-               if t.Task.status = Task.Ready then begin
-                 if Array.length !ready_scratch = 0 then
-                   ready_scratch := Array.make snapshot_cap t;
-                 !ready_scratch.(!taken) <- t;
-                 incr taken;
-                 if !taken >= snapshot_cap then raise Exit
-               end)
-             (Queue.to_seq ready)
-         with Exit -> ());
-        !taken
-      in
-      Array.iteri
-        (fun i h ->
-          let st = pes_scratch.(i) in
-          st.Scheduler.idle <- h.status = `Idle;
-          st.Scheduler.busy_until <- h.busy_until)
-        handlers;
-      let t0 = Unix.gettimeofday () in
-      let ctx =
-        {
-          Scheduler.now;
-          ready = !ready_scratch;
-          nready;
-          pes = pes_scratch;
-          estimate = (fun task i -> Exec_model.lookup est_table task i);
-          prng;
-          ops = 0;
-        }
-      in
-      let assignments = policy.Scheduler.schedule ctx in
-      sched_ns := !sched_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
-      incr sched_inv;
-      (* Dispatch flips status to Running, which lazily removes the
-         task from the ready queue. *)
-      List.iter
-        (fun (a : Scheduler.assignment) ->
-          let h = handlers.(a.Scheduler.pe_index) and task = a.Scheduler.task in
-          Mutex.lock h.mutex;
-          task.Task.status <- Task.Running;
-          task.Task.dispatched_at <- now_ns ref_start;
-          task.Task.pe_label <- h.pe.Pe.label;
-          h.task <- Some task;
-          h.status <- `Run;
-          h.busy_until <-
-            task.Task.dispatched_at + Exec_model.lookup est_table task a.Scheduler.pe_index;
-          Condition.signal h.cond;
-          Mutex.unlock h.mutex)
-        assignments
-    end;
-    wm_ns := !wm_ns + int_of_float ((Unix.gettimeofday () -. loop_start) *. 1e9);
-    if !unfinished > 0 then Domain.cpu_relax ()
-  done;
-  Array.iter
-    (fun h ->
-      Mutex.lock h.mutex;
-      h.status <- `Stop;
-      Condition.signal h.cond;
-      Mutex.unlock h.mutex)
-    handlers;
+  (* ...while the calling domain plays the workload manager (Fig. 3). *)
+  let prng = Prng.create ~seed:params.Core.seed in
+  Core.workload_manager b ~handlers ~instances ~est_table ~policy ~prng ~stats;
   Array.iter Domain.join domains;
-  let makespan = Array.fold_left (fun acc i -> max acc i.Task.completed_at) 0 instances in
-  let app_tbl = Hashtbl.create 4 in
-  Array.iter
-    (fun inst ->
-      let name = inst.Task.app.App_spec.app_name in
-      let lat = inst.Task.completed_at - inst.Task.arrival_ns in
-      Hashtbl.replace app_tbl name (lat :: Option.value ~default:[] (Hashtbl.find_opt app_tbl name)))
-    instances;
-  ( {
-    Stats.host_name = config.Config.host.Host.name ^ " (native)";
-    config_label = config.Config.label;
-    policy_name = policy.Scheduler.name;
-    makespan_ns = makespan;
-    job_count = Array.length instances;
-    task_count = Array.fold_left (fun acc i -> acc + Array.length i.Task.tasks) 0 instances;
-    pe_usage =
-      Array.to_list
-        (Array.map
-           (fun h ->
-             {
-               Stats.pe_label = h.pe.Pe.label;
-               pe_kind = Pe.kind_name h.pe.Pe.kind;
-               busy_ns = h.busy_ns;
-               tasks_run = h.tasks_run;
-               busy_energy_mj = float_of_int h.busy_ns *. Pe.busy_w h.pe.Pe.kind *. 1e-6;
-               energy_mj =
-                 (float_of_int h.busy_ns *. Pe.busy_w h.pe.Pe.kind
-                 +. float_of_int (max 0 (makespan - h.busy_ns)) *. Pe.idle_w h.pe.Pe.kind)
-                 *. 1e-6;
-             })
-           handlers);
-    sched_invocations = !sched_inv;
-    sched_ns = !sched_ns;
-    wm_overhead_ns = !wm_ns;
-    records = List.rev !records;
-    app_stats =
-      Hashtbl.fold
-        (fun name lats acc ->
-          let n = List.length lats in
-          ( name,
-            {
-              Stats.instances = n;
-              mean_latency_ns =
-                float_of_int (List.fold_left ( + ) 0 lats) /. float_of_int (max 1 n);
-              max_latency_ns = List.fold_left max 0 lats;
-            } )
-          :: acc)
-        app_tbl []
-      |> List.sort compare;
-  },
+  ( Core.report
+      ~host_name:(config.Config.host.Host.name ^ " (native)")
+      ~config ~policy ~handlers ~instances ~stats,
     instances )
 
-let run ~config ~workload ~policy () = fst (run_detailed ~config ~workload ~policy ())
+let run ?params ~config ~workload ~policy () =
+  fst (run_detailed ?params ~config ~workload ~policy ())

@@ -1,11 +1,11 @@
 (** Native emulation engine: the framework running for real.
 
     One OCaml 5 domain per PE plays the resource-manager thread; the
-    calling domain plays the workload manager on the "overlay" core.
-    The handler protocol is the paper's: status [idle]/[run]/[complete]
-    guarded by a per-handler mutex, the workload manager polling
-    completion and dispatching through the handler, the resource
-    manager blocking on its condition variable until work arrives.
+    calling domain plays the workload manager.  Both run the shared
+    {!Engine_core} protocol — the very same workload-manager loop and
+    resource-handler state machine as the virtual engine — over a
+    backend of mutex/condvar handler queues, a polling manager loop
+    and the monotonic wall clock ({!Dssoc_util.Mclock}).
 
     Kernels execute for real and times are wall-clock measurements, so
     results vary with the machine — this engine demonstrates the
@@ -13,9 +13,20 @@
     virtual engine's functional outputs.  Hardware accelerators do not
     exist on the host, so an accelerator PE performs its DMA phases as
     real buffer copies and emulates device compute with a timed sleep
-    of the modelled duration (substitution documented in DESIGN.md). *)
+    of the modelled duration (substitution documented in DESIGN.md).
+
+    Because kernels and manager overheads are real, {!params} shapes
+    rather than determines a native run: the seed drives the RANDOM
+    policy and the jitter on modelled device-compute sleeps, and
+    [reservation_depth] configures the same per-PE reservation queues
+    as the virtual engine. *)
+
+val default_params : Engine_core.params
+(** seed 7, no jitter, no reservation queues (the engine's historical
+    behavior). *)
 
 val run :
+  ?params:Engine_core.params ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->
@@ -26,6 +37,7 @@ val run :
     configuration. *)
 
 val run_detailed :
+  ?params:Engine_core.params ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->

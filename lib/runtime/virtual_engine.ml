@@ -4,13 +4,17 @@ module Vec = Dssoc_util.Vec
 module Pe = Dssoc_soc.Pe
 module Host = Dssoc_soc.Host
 module Config = Dssoc_soc.Config
-module Cost_model = Dssoc_soc.Cost_model
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
+module Core = Engine_core
 
-type params = { seed : int64; jitter : float; reservation_depth : int }
+type params = Engine_core.params = {
+  seed : int64;
+  jitter : float;
+  reservation_depth : int;
+}
 
-let default_params = { seed = 1L; jitter = 0.03; reservation_depth = 0 }
+let default_params = Engine_core.default_params
 
 (* ------------------------------------------------------------------ *)
 (* Simulation substrate: event loop, conditions, processor sharing     *)
@@ -172,281 +176,72 @@ let await cond deadline = Effect.perform (Await (cond, deadline))
 
 let sleep_ns eng ns = if ns > 0 then await (new_cond ()) (Some (eng.now + ns))
 
-let jittered eng ns =
-  if eng.jitter <= 0.0 || ns <= 0 then ns
-  else begin
-    let f = Prng.gaussian eng.prng ~mu:1.0 ~sigma:eng.jitter in
-    max 1 (int_of_float (Float.round (float_of_int ns *. Float.max 0.1 f)))
-  end
-
 (* ------------------------------------------------------------------ *)
-(* Framework actors                                                    *)
+(* The DES backend for the shared engine core                          *)
 (* ------------------------------------------------------------------ *)
 
-type vhandler = {
-  h_pe : Pe.t;
-  h_index : int;  (** this handler's PE index (row in the estimate table) *)
-  h_core : core_state;
-  h_capacity : int;  (** 1 + reservation-queue depth (1 = the paper's baseline) *)
-  h_pending : Task.t Queue.t;  (** dispatched by the WM, not yet executed *)
-  h_completed : Task.t Queue.t;  (** executed, awaiting WM bookkeeping *)
-  mutable h_inflight : int;  (** pending + currently executing *)
-  h_cond : cond;  (** resource manager waits here for dispatch / stop *)
-  mutable h_stop : bool;
-  mutable h_busy_ns : int;
-  mutable h_tasks_run : int;
-  mutable h_busy_until : int;  (** EFT availability horizon *)
-}
+(* Backend-private handler state: the modelled host core this
+   resource-manager thread occupies, and the condition it awaits
+   dispatch / stop on. *)
+type vh = { vh_core : core_state; vh_cond : cond }
 
-let resource_manager eng (h : vhandler) ~est_table wm_wake () =
-  let execute (task : Task.t) =
-    let kernel = Exec_model.resolve_kernel task h.h_pe in
-    let args = task.Task.node.App_spec.arguments in
-    let started = eng.now in
-    (match h.h_pe.Pe.kind with
-    | Pe.Cpu _ ->
-      kernel task.Task.store args;
-      work h.h_core (jittered eng (Exec_model.lookup est_table task h.h_index))
-    | Pe.Accel acl ->
-      let entry = Task.platform_entry_for task h.h_pe in
-      let explicit = Option.bind entry (fun e -> e.App_spec.cost_us) in
-      let dma_in, compute, dma_out =
-        match explicit with
-        | Some us -> (0, int_of_float (us *. 1e3), 0)
-        | None -> Exec_model.accel_phases_ns task acl
-      in
-      (* DMA to device occupies the manager's core... *)
-      work h.h_core (jittered eng dma_in);
-      kernel task.Task.store args;
-      (* ...then the thread sleeps while the device computes... *)
-      sleep_ns eng (jittered eng compute);
-      (* ...and wakes to move the results back. *)
-      work h.h_core (jittered eng dma_out));
-    task.Task.completed_at <- eng.now;
-    (* Occupancy, not queue residence: utilisation stays meaningful
-       when a reservation queue is configured. *)
-    h.h_busy_ns <- h.h_busy_ns + (eng.now - started);
-    h.h_tasks_run <- h.h_tasks_run + 1;
-    Queue.add task h.h_completed;
-    signal eng wm_wake
-  in
-  let rec loop () =
-    await h.h_cond None;
-    if h.h_stop then ()
-    else begin
-      (* With a reservation queue the next task starts with no
-         workload-manager round trip — the future-work optimisation
-         Section III-C sketches. *)
-      while not (Queue.is_empty h.h_pending) do
-        execute (Queue.pop h.h_pending)
-      done;
-      loop ()
-    end
-  in
-  loop ()
-
-(* Cap on how many ready tasks a single policy invocation examines.
-   The *charged* overhead still grows with the full ready-list length
-   (that is the paper's O(n)/O(n^2) effect); the cap only bounds the
-   simulator's own compute, and idle-PE counts make deeper windows
-   pointless. *)
-let sched_window = Dssoc_soc.Cost_model.sched_examined_cap
-
-let workload_manager eng ~handlers ~instances ~est_table ~(policy : Scheduler.policy)
-    ~wm_wake ~overlay_core ~overlay_perf ~(stats_sched_ns : int ref)
-    ~(stats_sched_inv : int ref) ~(stats_wm_ns : int ref) ~(records : Stats.task_record list ref)
-    () =
-  let n_pes = Array.length handlers in
+let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
+    ~(policy : Scheduler.policy) ~n_pes ~(stats : Core.wm_stats) =
   let scale ns = int_of_float (Float.round (ns /. overlay_perf)) in
+  (* Modelled workload-manager bookkeeping occupies the overlay core. *)
   let charge ns =
     let ns = scale ns in
-    stats_wm_ns := !stats_wm_ns + ns;
+    stats.Core.wm_ns <- stats.Core.wm_ns + ns;
     work overlay_core ns
   in
-  let ready : Task.t Queue.t = Queue.create () in
-  (* Tasks leave the ready queue lazily (dispatch flips them to
-     Running but only the front is ever popped), so [Queue.length]
-     overstates the live ready-list length.  The scheduler's charged
-     O(n)/O(n^2) cost must follow the *live* count, kept here. *)
-  let ready_live = ref 0 in
-  let pending = ref (Array.to_list instances) in
-  let unfinished = ref (Array.length instances) in
-  let make_ready (task : Task.t) =
-    task.Task.status <- Task.Ready;
-    task.Task.ready_at <- eng.now;
-    Queue.add task ready;
-    incr ready_live
+  let jit ns = Core.jittered eng.prng ~jitter:eng.jitter ns in
+  let execute (h : vh Core.handler) (task : Task.t) =
+    let kernel = Exec_model.resolve_kernel task h.Core.h_pe in
+    let args = task.Task.node.App_spec.arguments in
+    let vb = h.Core.h_backend in
+    match h.Core.h_pe.Pe.kind with
+    | Pe.Cpu _ ->
+      kernel task.Task.store args;
+      work vb.vh_core (jit (Exec_model.lookup est_table task h.Core.h_index))
+    | Pe.Accel acl ->
+      let dma_in, compute, dma_out = Core.accel_phases task h.Core.h_pe acl in
+      (* DMA to device occupies the manager's core... *)
+      work vb.vh_core (jit dma_in);
+      kernel task.Task.store args;
+      (* ...then the thread sleeps while the device computes... *)
+      sleep_ns eng (jit compute);
+      (* ...and wakes to move the results back. *)
+      work vb.vh_core (jit dma_out)
   in
-  (* Scratch structures reused by every scheduling invocation: the
-     policy-facing PE states are refreshed in place, and the ready
-     window is snapshotted into a reusable array (sized once to the
-     examination cap).  Reallocating these per invocation — once per
-     task completion — dominated the scheduler hot path. *)
-  let pes_scratch =
-    Array.map (fun h -> { Scheduler.pe = h.h_pe; idle = false; busy_until = 0 }) handlers
-  in
-  let ready_scratch = ref [||] in
-  (* One scheduling invocation: snapshot the ready window, run the
-     policy, charge its modelled cost, dispatch the selected tasks.
-     Invoked after every task completion and after every injection
-     burst, as the paper's workload manager does (it has no PE
-     reservation queues, so "a scheduling algorithm incurs this
-     overhead every time a task completes"). *)
-  let do_schedule () =
-    while (not (Queue.is_empty ready)) && (Queue.peek ready).Task.status <> Task.Ready do
-      ignore (Queue.pop ready)
-    done;
-    let have_idle = Array.exists (fun h -> h.h_inflight < h.h_capacity) handlers in
-    if (not (Queue.is_empty ready)) && have_idle then begin
-      let ready_len = !ready_live in
-      let nready =
-        let taken = ref 0 in
-        (try
-           Seq.iter
-             (fun t ->
-               if t.Task.status = Task.Ready then begin
-                 if Array.length !ready_scratch = 0 then
-                   ready_scratch := Array.make sched_window t;
-                 !ready_scratch.(!taken) <- t;
-                 incr taken;
-                 if !taken >= sched_window then raise Exit
-               end)
-             (Queue.to_seq ready)
-         with Exit -> ());
-        !taken
-      in
-      Array.iteri
-        (fun i h ->
-          let st = pes_scratch.(i) in
-          st.Scheduler.idle <- h.h_inflight < h.h_capacity;
-          st.Scheduler.busy_until <- h.h_busy_until)
-        handlers;
-      let ctx =
-        {
-          Scheduler.now = eng.now;
-          ready = !ready_scratch;
-          nready;
-          pes = pes_scratch;
-          estimate = (fun task i -> Exec_model.lookup est_table task i);
-          prng = eng.prng;
-          ops = 0;
-        }
-      in
-      let assignments = policy.Scheduler.schedule ctx in
-      let sched_cost =
-        scale
-          (float_of_int
-             (Scheduler.overhead_ns ~policy_name:policy.Scheduler.name ~ready:ready_len
-                ~pes:n_pes ~ops:ctx.Scheduler.ops))
-      in
-      stats_sched_ns := !stats_sched_ns + sched_cost;
-      incr stats_sched_inv;
-      stats_wm_ns := !stats_wm_ns + sched_cost;
-      work overlay_core sched_cost;
-      (* Communicate selected tasks to their resource managers (setting
-         the status to Running also lazily removes each task from the
-         ready queue). *)
-      List.iter
-        (fun (a : Scheduler.assignment) ->
-          let task = a.Scheduler.task and h = handlers.(a.Scheduler.pe_index) in
-          charge Cost_model.dispatch_per_task_ns;
-          task.Task.status <- Task.Running;
-          decr ready_live;
-          task.Task.dispatched_at <- eng.now;
-          task.Task.pe_label <- h.h_pe.Pe.label;
-          Queue.add task h.h_pending;
-          h.h_inflight <- h.h_inflight + 1;
-          h.h_busy_until <-
-            max eng.now h.h_busy_until + Exec_model.lookup est_table task h.h_index;
-          signal eng h.h_cond)
-        assignments
-    end
-  in
-  (* Bookkeeping for one completed task: statistics, instance
-     accounting, and releasing newly ready successors. *)
-  let process_completion (task : Task.t) =
-    task.Task.status <- Task.Done;
-    records :=
-      {
-        Stats.app = task.Task.app_name;
-        instance = task.Task.instance_id;
-        node = task.Task.node.App_spec.node_name;
-        pe = task.Task.pe_label;
-        ready_ns = task.Task.ready_at;
-        dispatched_ns = task.Task.dispatched_at;
-        completed_ns = task.Task.completed_at;
-      }
-      :: !records;
-    let inst = instances.(task.Task.instance_id) in
-    inst.Task.remaining <- inst.Task.remaining - 1;
-    if inst.Task.remaining = 0 then begin
-      inst.Task.completed_at <- eng.now;
-      decr unfinished
-    end;
-    let newly_ready = ref 0 in
-    List.iter
-      (fun (succ : Task.t) ->
-        succ.Task.unmet <- succ.Task.unmet - 1;
-        if succ.Task.unmet = 0 then begin
-          make_ready succ;
-          incr newly_ready
-        end)
-      task.Task.successors;
-    if !newly_ready > 0 then
-      charge (Cost_model.ready_update_per_task_ns *. float_of_int !newly_ready)
-  in
-  let rec loop () =
-    (* -- one completion-monitoring sweep over the resource handlers -- *)
-    charge (Cost_model.monitor_per_pe_ns *. float_of_int n_pes);
-    let batch_completions = ref false in
-    Array.iter
-      (fun h ->
-        while not (Queue.is_empty h.h_completed) do
-          let task = Queue.pop h.h_completed in
-          h.h_inflight <- h.h_inflight - 1;
-          process_completion task;
-          if h.h_capacity <= 1 then
-            (* No reservation queue: the scheduler runs once per
-               completed task, as in the paper. *)
-            do_schedule ()
-          else batch_completions := true
-        done)
-      handlers;
-    if !batch_completions then do_schedule ();
-    (* -- inject newly arrived application instances -- *)
-    let injected = ref 0 in
-    let rec drain () =
-      match !pending with
-      | inst :: rest when inst.Task.arrival_ns <= eng.now ->
-        pending := rest;
-        List.iter
-          (fun t ->
-            make_ready t;
-            incr injected)
-          inst.Task.entry;
-        drain ()
-      | _ -> ()
-    in
-    drain ();
-    if !injected > 0 then begin
-      charge (Cost_model.ready_update_per_task_ns *. float_of_int !injected);
-      do_schedule ()
-    end;
-    (* -- terminate or wait for the next event -- *)
-    if !unfinished = 0 && !pending = [] then
-      Array.iter
-        (fun h ->
-          h.h_stop <- true;
-          signal eng h.h_cond)
-        handlers
-    else begin
-      let deadline = match !pending with [] -> None | inst :: _ -> Some inst.Task.arrival_ns in
-      await wm_wake deadline;
-      loop ()
-    end
-  in
-  loop ()
-
+  {
+    Core.b_now = (fun () -> eng.now);
+    (* Single-threaded event loop: no mutual exclusion needed. *)
+    b_lock = ignore;
+    b_unlock = ignore;
+    b_handler_await = (fun h -> await h.Core.h_backend.vh_cond None);
+    b_notify_handler = (fun h -> signal eng h.Core.h_backend.vh_cond);
+    b_wm_await = (fun ~deadline -> await wm_wake deadline);
+    b_notify_wm = (fun () -> signal eng wm_wake);
+    b_charge = charge;
+    b_execute = execute;
+    b_sched_start = (fun () -> 0);
+    b_sched_done =
+      (fun _t0 ~ready ~ops ->
+        (* The policy's cost is modelled, not measured: the calibrated
+           overhead for the *live* ready-list length, scaled by the
+           overlay core and charged on it. *)
+        let cost =
+          scale
+            (float_of_int
+               (Scheduler.overhead_ns ~policy_name:policy.Scheduler.name ~ready
+                  ~pes:n_pes ~ops))
+        in
+        stats.Core.wm_ns <- stats.Core.wm_ns + cost;
+        work overlay_core cost;
+        cost);
+    b_wm_tick_start = (fun () -> 0);
+    b_wm_tick_end = ignore;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Top-level run                                                       *)
@@ -454,33 +249,7 @@ let workload_manager eng ~handlers ~instances ~est_table ~(policy : Scheduler.po
 
 let run_detailed ?(params = default_params) ~(config : Config.t) ~(workload : Workload.t)
     ~(policy : Scheduler.policy) () =
-  (* Initialization phase (outside emulation time, as in Section II-A):
-     allocate every instance and its memory up front. *)
-  let items = Array.of_list workload.Workload.items in
-  let task_id_base = ref 0 in
-  let instances =
-    Array.mapi
-      (fun i (item : Workload.item) ->
-        let inst =
-          Task.instantiate ~task_id_base:!task_id_base ~inst_id:i ~arrival_ns:item.Workload.arrival_ns
-            item.Workload.spec
-        in
-        task_id_base := !task_id_base + Array.length inst.Task.tasks;
-        inst)
-      items
-  in
-  let pes = Config.pes config in
-  Array.iter
-    (fun inst ->
-      Array.iter
-        (fun (t : Task.t) ->
-          if not (List.exists (Task.supports t) pes) then
-            invalid_arg
-              (Printf.sprintf
-                 "Virtual_engine.run: task %s/%s supports no PE of configuration %s"
-                 t.Task.app_name t.Task.node.App_spec.node_name config.Config.label))
-        inst.Task.tasks)
-    instances;
+  let instances = Core.instantiate ~engine_name:"Virtual_engine.run" ~config ~workload in
   let eng =
     {
       now = 0;
@@ -505,92 +274,29 @@ let run_detailed ?(params = default_params) ~(config : Config.t) ~(workload : Wo
     Array.of_list
       (List.mapi
          (fun i (p : Config.placement) ->
-           {
-             h_pe = p.Config.pe;
-             h_index = i;
-             h_core = core_state_of p.Config.host_core;
-             h_capacity = 1 + max 0 params.reservation_depth;
-             h_pending = Queue.create ();
-             h_completed = Queue.create ();
-             h_inflight = 0;
-             h_cond = new_cond ();
-             h_stop = false;
-             h_busy_ns = 0;
-             h_tasks_run = 0;
-             h_busy_until = 0;
-           })
+           Core.make_handler ~pe:p.Config.pe ~index:i
+             ~reservation_depth:params.reservation_depth
+             { vh_core = core_state_of p.Config.host_core; vh_cond = new_cond () })
          config.Config.placements)
   in
   let wm_wake = new_cond () in
   (* Price every (task, PE) pair once, up front; the scheduler and the
      dispatch paths then estimate with a single array load. *)
   let est_table =
-    Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.h_pe) handlers)
+    Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.Core.h_pe) handlers)
   in
-  let stats_sched_ns = ref 0
-  and stats_sched_inv = ref 0
-  and stats_wm_ns = ref 0
-  and records = ref [] in
-  Array.iter (fun h -> spawn eng (resource_manager eng h ~est_table wm_wake)) handlers;
-  spawn eng
-    (workload_manager eng ~handlers ~instances ~est_table ~policy ~wm_wake ~overlay_core
-       ~overlay_perf ~stats_sched_ns ~stats_sched_inv ~stats_wm_ns ~records);
+  let stats = Core.make_stats () in
+  let b =
+    backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table ~policy
+      ~n_pes:(Array.length handlers) ~stats
+  in
+  Array.iter (fun h -> spawn eng (fun () -> Core.resource_manager b h)) handlers;
+  spawn eng (fun () ->
+      Core.workload_manager b ~handlers ~instances ~est_table ~policy ~prng:eng.prng
+        ~stats);
   run_loop eng;
-  let makespan =
-    Array.fold_left (fun acc inst -> max acc inst.Task.completed_at) 0 instances
-  in
-  let app_tbl = Hashtbl.create 4 in
-  Array.iter
-    (fun inst ->
-      let name = inst.Task.app.App_spec.app_name in
-      let lat = inst.Task.completed_at - inst.Task.arrival_ns in
-      let lats = Option.value ~default:[] (Hashtbl.find_opt app_tbl name) in
-      Hashtbl.replace app_tbl name (lat :: lats))
-    instances;
-  let app_stats =
-    Hashtbl.fold
-      (fun name lats acc ->
-        let n = List.length lats in
-        let sum = List.fold_left ( + ) 0 lats in
-        ( name,
-          {
-            Stats.instances = n;
-            mean_latency_ns = float_of_int sum /. float_of_int (max 1 n);
-            max_latency_ns = List.fold_left max 0 lats;
-          } )
-        :: acc)
-      app_tbl []
-    |> List.sort compare
-  in
-  ( {
-    Stats.host_name = config.Config.host.Host.name;
-    config_label = config.Config.label;
-    policy_name = policy.Scheduler.name;
-    makespan_ns = makespan;
-    job_count = Array.length instances;
-    task_count = Array.fold_left (fun acc i -> acc + Array.length i.Task.tasks) 0 instances;
-    pe_usage =
-      Array.to_list
-        (Array.map
-           (fun h ->
-             {
-               Stats.pe_label = h.h_pe.Pe.label;
-               pe_kind = Pe.kind_name h.h_pe.Pe.kind;
-               busy_ns = h.h_busy_ns;
-               tasks_run = h.h_tasks_run;
-               busy_energy_mj = float_of_int h.h_busy_ns *. Pe.busy_w h.h_pe.Pe.kind *. 1e-6;
-               energy_mj =
-                 (float_of_int h.h_busy_ns *. Pe.busy_w h.h_pe.Pe.kind
-                 +. float_of_int (max 0 (makespan - h.h_busy_ns)) *. Pe.idle_w h.h_pe.Pe.kind)
-                 *. 1e-6;
-             })
-           handlers);
-    sched_invocations = !stats_sched_inv;
-    sched_ns = !stats_sched_ns;
-    wm_overhead_ns = !stats_wm_ns;
-    records = List.rev !records;
-    app_stats;
-  },
+  ( Core.report ~host_name:config.Config.host.Host.name ~config ~policy ~handlers
+      ~instances ~stats,
     instances )
 
 let run ?params ~config ~workload ~policy () =

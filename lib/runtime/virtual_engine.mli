@@ -22,9 +22,14 @@
 
     Determinism: all randomness (execution-time jitter modelling
     run-to-run platform variance, and the RANDOM policy) flows from
-    the seed. *)
+    the seed.
 
-type params = {
+    The workload-manager and resource-handler protocol itself lives in
+    {!Engine_core}; this module only supplies the discrete-event
+    backend (clock, effect threads, processor-shared host cores,
+    modelled overhead charging). *)
+
+type params = Engine_core.params = {
   seed : int64;
   jitter : float;
       (** stddev of the multiplicative Gaussian noise on modelled task

@@ -1,0 +1,1 @@
+external now_ns : unit -> int = "dssoc_mclock_now_ns" [@@noalloc]

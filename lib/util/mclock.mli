@@ -1,0 +1,13 @@
+(** Monotonic wall clock in integer nanoseconds.
+
+    The native engine timestamps task records against this clock.
+    [CLOCK_MONOTONIC] is immune to NTP adjustments and wall-clock
+    jumps, and returning integer nanoseconds directly (no float
+    seconds round-trip, unlike [Unix.gettimeofday]) keeps nanosecond
+    precision at any uptime.  The OCaml 5.1 [Unix] library exposes no
+    [clock_gettime], so this is a one-line C stub. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the system monotonic clock.  The origin is
+    unspecified (typically boot time); only differences are
+    meaningful. *)

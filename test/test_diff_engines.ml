@@ -26,7 +26,7 @@ let run_both config spec instances =
     Result.get_ok (Emulator.run_detailed ~engine:det_engine ~config ~workload:(wl ()) ())
   in
   let nr, ni =
-    Result.get_ok (Emulator.run_detailed ~engine:Emulator.Native ~config ~workload:(wl ()) ())
+    Result.get_ok (Emulator.run_detailed ~engine:Emulator.native_default ~config ~workload:(wl ()) ())
   in
   ((vr, vi), (nr, ni))
 
@@ -128,14 +128,101 @@ let test_multi_instance_parity () =
         chain (per_instance_order nr inst))
     [ 0; 1 ]
 
+(* ------------- functional-agreement matrix ------------- *)
+
+(* Both engines run the same Engine_core protocol; what differs is
+   timing (modelled vs measured).  Timing legitimately changes *which*
+   PE a policy picks, so across the full matrix of reference apps x
+   policies x reservation depths we do not compare assignments between
+   engines — we assert what must hold regardless of timing: the same
+   task population ran, every task completed on a PE that exists in
+   the configuration and supports it, and the kernels computed
+   identical output data (kernels are the same host closures on every
+   PE, so outputs are assignment-independent). *)
+
+let matrix_apps =
+  [
+    ("range_detection", Reference_apps.range_detection);
+    ("wifi_tx", Reference_apps.wifi_tx);
+    ("wifi_rx", Reference_apps.wifi_rx);
+    ("pulse_doppler", Reference_apps.pulse_doppler);
+  ]
+
+let matrix_policies = [ "FRFS"; "MET"; "EFT"; "RANDOM"; "POWER" ]
+let matrix_depths = [ 0; 2 ]
+
+let check_stores_agree label (vi : Task.instance array) (ni : Task.instance array) =
+  Alcotest.(check int) (label ^ ": same instance count") (Array.length vi) (Array.length ni);
+  Array.iteri
+    (fun i (v : Task.instance) ->
+      let n = ni.(i) in
+      List.iter
+        (fun var ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: instance %d var %s agrees" label i var)
+            true
+            (Store.get_raw v.Task.store var = Store.get_raw n.Task.store var))
+        (Store.names v.Task.store))
+    vi
+
+let check_assignments_valid label config (instances : Task.instance array) =
+  let pes = Config.pes config in
+  Array.iter
+    (fun (inst : Task.instance) ->
+      Array.iter
+        (fun (t : Task.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s/%s done" label t.Task.app_name t.Task.node.App_spec.node_name)
+            true (t.Task.status = Task.Done);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s/%s ran on a supporting PE (%s)" label t.Task.app_name
+               t.Task.node.App_spec.node_name t.Task.pe_label)
+            true
+            (List.exists
+               (fun (pe : Dssoc_soc.Pe.t) ->
+                 pe.Dssoc_soc.Pe.label = t.Task.pe_label && Task.supports t pe)
+               pes))
+        inst.Task.tasks)
+    instances
+
+let test_functional_agreement_matrix () =
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  List.iter
+    (fun (app_name, spec_fn) ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun depth ->
+              let label = Printf.sprintf "%s/%s/depth%d" app_name policy depth in
+              let wl () = Workload.validation [ (spec_fn (), 1) ] in
+              let vr, vi =
+                Result.get_ok
+                  (Emulator.run_detailed
+                     ~engine:(Emulator.virtual_seeded ~jitter:0.0 ~reservation_depth:depth 1L)
+                     ~policy ~config ~workload:(wl ()) ())
+              in
+              let nr, ni =
+                Result.get_ok
+                  (Emulator.run_detailed
+                     ~engine:(Emulator.native_seeded ~reservation_depth:depth 1L)
+                     ~policy ~config ~workload:(wl ()) ())
+              in
+              check_counts vr nr;
+              check_makespan_band vr nr;
+              check_assignments_valid (label ^ "/virtual") config vi;
+              check_assignments_valid (label ^ "/native") config ni;
+              check_stores_agree label vi ni)
+            matrix_depths)
+        matrix_policies)
+    matrix_apps
+
 (* ---------------- reservation queues (depth > 0) ---------------- *)
 
-(* With reservation_depth > 0 the virtual engine's workload manager
-   takes the batched-completion branch (handler capacity > 1 defers
-   do_schedule until the monitoring sweep finishes).  The native
-   engine has no reservation queues, so parity against it pins down
-   that batching changes *when* the scheduler runs, never *what* it
-   decides on constrained configurations. *)
+(* With reservation_depth > 0 the shared workload manager takes the
+   batched-completion branch (handler capacity > 1 defers do_schedule
+   until the monitoring sweep finishes).  Parity pins down that
+   batching changes *when* the scheduler runs, never *what* it decides
+   on constrained configurations. *)
 
 let run_virtual_depth config spec instances depth =
   let wl = Workload.validation [ (spec, instances) ] in
@@ -215,6 +302,51 @@ let test_reservation_fewer_invocations_same_decisions () =
   Alcotest.(check int) "same recovered lag" (Store.get_i32 vi0.(0).Task.store "lag")
     (Store.get_i32 vi2.(0).Task.store "lag")
 
+let test_native_reservation_depth_differential () =
+  (* The native engine now runs the same reservation queues as the
+     virtual one.  Two chain instances on one CPU leave the scheduler
+     no freedom, so depth 0 and depth 2 native runs must make the same
+     decisions and compute the same signal — only dispatch batching
+     may differ. *)
+  let config = Config.zcu102_cores_ffts ~cores:1 ~ffts:0 in
+  let spec = Reference_apps.wifi_tx () in
+  let run depth =
+    let wl = Workload.validation [ (spec, 2) ] in
+    Result.get_ok
+      (Emulator.run_detailed
+         ~engine:(Emulator.native_seeded ~reservation_depth:depth 1L)
+         ~config ~workload:wl ())
+  in
+  let nr0, ni0 = run 0 in
+  let nr2, ni2 = run 2 in
+  check_counts nr0 nr2;
+  Alcotest.(check bool) "same per-task PE assignments" true (by_task nr0 = by_task nr2);
+  let chain = [ "CRC"; "SCRAMBLE"; "ENCODE"; "INTERLEAVE"; "MODULATE"; "PILOT"; "IFFT" ] in
+  let per_instance_order (r : Stats.report) inst =
+    List.filter_map
+      (fun (t : Stats.task_record) ->
+        if t.Stats.instance = inst then Some t.Stats.node else None)
+      r.Stats.records
+  in
+  List.iter
+    (fun inst ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "depth 0: instance %d follows the chain" inst)
+        chain (per_instance_order nr0 inst);
+      Alcotest.(check (list string))
+        (Printf.sprintf "depth 2: instance %d follows the chain" inst)
+        chain (per_instance_order nr2 inst))
+    [ 0; 1 ];
+  Alcotest.(check bool) "depth 2 schedules" true (nr2.Stats.sched_invocations > 0);
+  List.iter
+    (fun inst ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d: same transmitted signal" inst)
+        true
+        (Store.get_cbuf ni0.(inst).Task.store "tx_time"
+        = Store.get_cbuf ni2.(inst).Task.store "tx_time"))
+    [ 0; 1 ]
+
 let () =
   Alcotest.run "diff_engines"
     [
@@ -223,6 +355,7 @@ let () =
           Alcotest.test_case "linear chain parity" `Slow test_chain_parity;
           Alcotest.test_case "DAG parity on one PE" `Slow test_dag_parity_single_pe;
           Alcotest.test_case "multi-instance chain parity" `Slow test_multi_instance_parity;
+          Alcotest.test_case "functional agreement matrix" `Slow test_functional_agreement_matrix;
         ] );
       ( "reservation queues",
         [
@@ -231,5 +364,7 @@ let () =
             test_reservation_multi_instance_parity;
           Alcotest.test_case "batching preserves decisions" `Slow
             test_reservation_fewer_invocations_same_decisions;
+          Alcotest.test_case "native reservation-depth differential" `Slow
+            test_native_reservation_depth_differential;
         ] );
     ]

@@ -449,7 +449,7 @@ let test_native_engine_functional () =
   let spec = Reference_apps.wifi_rx () in
   let wl = Workload.validation [ (spec, 1) ] in
   let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
-  match Emulator.run_detailed ~engine:Emulator.Native ~config ~workload:wl () with
+  match Emulator.run_detailed ~engine:Emulator.native_default ~config ~workload:wl () with
   | Error msg -> Alcotest.fail msg
   | Ok (report, instances) ->
     Alcotest.(check int) "all tasks ran" 9 (List.length report.Stats.records);
@@ -461,7 +461,7 @@ let test_native_matches_virtual_functionally () =
   let wl = Workload.validation [ (spec, 1) ] in
   let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:0 in
   let _, vi = Result.get_ok (Emulator.run_detailed ~engine:det_engine ~config ~workload:wl ()) in
-  let _, ni = Result.get_ok (Emulator.run_detailed ~engine:Emulator.Native ~config ~workload:wl ()) in
+  let _, ni = Result.get_ok (Emulator.run_detailed ~engine:Emulator.native_default ~config ~workload:wl ()) in
   Alcotest.(check int) "same lag" (Store.get_i32 vi.(0).Task.store "lag")
     (Store.get_i32 ni.(0).Task.store "lag")
 

@@ -208,6 +208,21 @@ let test_time_pp () =
   Alcotest.(check string) "us" "12.30us" (Time_ns.to_string 12_300);
   Alcotest.(check string) "ms" "1.500ms" (Time_ns.to_string 1_500_000)
 
+let test_mclock_monotonic () =
+  let t0 = Dssoc_util.Mclock.now_ns () in
+  Alcotest.(check bool) "positive" true (t0 > 0);
+  let prev = ref t0 in
+  for _ = 1 to 1000 do
+    let t = Dssoc_util.Mclock.now_ns () in
+    Alcotest.(check bool) "never goes backwards" true (t >= !prev);
+    prev := t
+  done;
+  (* A real sleep must be visible at nanosecond resolution. *)
+  let a = Dssoc_util.Mclock.now_ns () in
+  Unix.sleepf 0.001;
+  let b = Dssoc_util.Mclock.now_ns () in
+  Alcotest.(check bool) "1ms sleep measured >= 0.5ms" true (b - a >= 500_000)
+
 let () =
   Alcotest.run "util"
     [
@@ -247,5 +262,6 @@ let () =
         [
           Alcotest.test_case "conversions" `Quick test_time_conversions;
           Alcotest.test_case "pretty printing" `Quick test_time_pp;
+          Alcotest.test_case "monotonic clock" `Quick test_mclock_monotonic;
         ] );
     ]
