@@ -17,6 +17,7 @@ module Grid = Dssoc_explore.Grid
 module Sweep = Dssoc_explore.Sweep
 module Presets = Dssoc_explore.Presets
 module Pool = Dssoc_explore.Pool
+module Obs = Dssoc_obs.Obs
 
 open Cmdliner
 
@@ -181,6 +182,22 @@ let run_cmd =
           ~doc:"Write a Chrome trace-event file (open in chrome://tracing or Perfetto).")
   in
   let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of the schedule.") in
+  let trace_level =
+    Arg.(
+      value & opt string "off"
+      & info [ "trace-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Observability level: off (default, zero-cost null sink), summary (metrics only, \
+             printed after the run summary), or full (metrics plus the event recorder feeding \
+             --events and the trace counter tracks).")
+  in
+  let events =
+    Arg.(
+      value & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Write the recorded engine events as JSON Lines to FILE (implies --trace-level full).")
+  in
   let app_file =
     Arg.(
       value
@@ -190,8 +207,30 @@ let run_cmd =
             "Load an application from a Listing-1-style JSON file instead of --apps (validation \
              mode, one instance).  Its runfuncs must resolve against the built-in shared objects.")
   in
+  (* Validate what we just wrote by reading it back — a trace file that
+     does not parse should fail the run, not surface in Perfetto. *)
+  let validate_jsonl path =
+    In_channel.with_open_bin path (fun ic ->
+        let rec go n =
+          match In_channel.input_line ic with
+          | None -> Ok n
+          | Some line -> (
+            match Dssoc_json.Json.parse line with
+            | Ok _ -> go (n + 1)
+            | Error e ->
+              Error
+                (Printf.sprintf "%s: line %d: %s" path (n + 1)
+                   (Dssoc_json.Json.error_to_string e)))
+        in
+        go 0)
+  in
+  let validate_json path =
+    match Dssoc_json.Json.of_file path with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Printf.sprintf "%s: %s" path (Dssoc_json.Json.error_to_string e))
+  in
   let run host cores ffts big little policy seed jitter native reservation mode apps_spec rate csv
-      trace gantt app_file =
+      trace gantt trace_level events app_file =
     let ( let* ) = Result.bind in
     let result =
       let* config = config_of host cores ffts big little in
@@ -210,38 +249,76 @@ let run_cmd =
           | exception Invalid_argument msg -> Error msg)
         | None, other -> Error (Printf.sprintf "unknown mode %S" other)
       in
+      let* level =
+        match String.lowercase_ascii trace_level with
+        | "off" -> Ok `Off
+        | "summary" -> Ok `Summary
+        | "full" -> Ok `Full
+        | other -> Error (Printf.sprintf "unknown trace level %S (try off, summary or full)" other)
+      in
+      (* Recording events to a file needs the full level. *)
+      let level = if events <> None && level <> `Full then `Full else level in
+      let obs =
+        match level with
+        | `Off -> Obs.disabled
+        | `Summary -> Obs.make ~metrics:(Obs.Metrics.create ()) ()
+        | `Full -> Obs.make ~sink:(Obs.Sink.ring ()) ~metrics:(Obs.Metrics.create ()) ()
+      in
       let engine =
         if native then
           Emulator.native_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
         else Emulator.virtual_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
       in
-      Emulator.run ~engine ~policy ~config ~workload ()
+      let* report = Emulator.run ~engine ~policy ~obs ~config ~workload () in
+      Ok (report, obs)
     in
     match result with
     | Error msg ->
       prerr_endline msg;
       1
-    | Ok report ->
+    | Ok (report, obs) ->
       Format.printf "%a" Stats.pp_summary report;
+      (match Obs.metrics obs with
+      | None -> ()
+      | Some m -> Format.printf "%a" Obs.Metrics.pp m);
       (match csv with
       | None -> ()
       | Some path ->
         Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (Stats.records_csv report));
         Printf.printf "wrote %d task records to %s\n" (List.length report.Stats.records) path);
+      let failures = ref [] in
+      (match events with
+      | None -> ()
+      | Some path ->
+        let recorded = Obs.recorded_events obs in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Obs.to_jsonl recorded));
+        (match validate_jsonl path with
+        | Ok n ->
+          let dropped = Obs.Sink.dropped (Obs.sink obs) in
+          Printf.printf "wrote %d events to %s (%d dropped, JSONL validated)\n" n path dropped
+        | Error msg -> failures := msg :: !failures));
       (match trace with
       | None -> ()
       | Some path ->
-        Dssoc_json.Json.to_file path (Stats.chrome_trace report);
-        Printf.printf "wrote Chrome trace to %s\n" path);
+        let trace_obs = if Obs.enabled obs then Some obs else None in
+        Dssoc_json.Json.to_file path (Stats.chrome_trace ?obs:trace_obs report);
+        (match validate_json path with
+        | Ok () -> Printf.printf "wrote Chrome trace to %s (validated)\n" path
+        | Error msg -> failures := msg :: !failures));
       if gantt then print_string (Stats.gantt report);
-      0
+      (match !failures with
+      | [] -> 0
+      | msgs ->
+        List.iter prerr_endline (List.rev msgs);
+        1)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an emulation and print the collected statistics.")
     Term.(
       const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg $ policy_arg $ seed_arg
       $ jitter_arg $ native_arg $ reservation_arg $ mode $ apps $ rate $ csv $ trace $ gantt
-      $ app_file)
+      $ trace_level $ events $ app_file)
 
 (* ---------------------- sweep ---------------------- *)
 

@@ -3,6 +3,7 @@ module Stats = Dssoc_runtime.Stats
 module Json = Dssoc_json.Json
 module Table = Dssoc_stats.Table
 module Quantile = Dssoc_stats.Quantile
+module Obs = Dssoc_obs.Obs
 
 type row = {
   index : int;
@@ -19,6 +20,10 @@ type row = {
   wm_overhead_ns : int;
   busy_energy_mj : float;
   energy_mj : float;
+  max_ready_depth : int;
+  max_inflight : int;
+  mean_wait_us : float;
+  p95_service_us : float;
   util_by_kind : (string * float) list;
 }
 
@@ -29,9 +34,24 @@ let run_point (grid : Grid.t) (p : Grid.point) =
     Emulator.virtual_seeded ~jitter:grid.Grid.jitter
       ~reservation_depth:grid.Grid.reservation_depth p.Grid.seed
   in
+  (* Metrics-only observation (no event sink): a few counters/series
+     per point, and the virtual engine is deterministic, so result
+     tables stay byte-identical across worker counts. *)
+  let metrics = Obs.Metrics.create () in
+  let obs = Obs.make ~metrics () in
   let r =
-    Emulator.run_exn ~engine ~policy:p.Grid.policy ~config:p.Grid.config
+    Emulator.run_exn ~engine ~policy:p.Grid.policy ~obs ~config:p.Grid.config
       ~workload:p.Grid.workload ()
+  in
+  let gauge_max name =
+    match Obs.Metrics.find_gauge metrics name with
+    | Some g -> Obs.Metrics.gauge_max g
+    | None -> 0
+  in
+  let hist f name =
+    match Obs.Metrics.find_histogram metrics name with
+    | Some h -> Option.value ~default:0.0 (f h)
+    | None -> 0.0
   in
   {
     index = p.Grid.index;
@@ -48,6 +68,10 @@ let run_point (grid : Grid.t) (p : Grid.point) =
     wm_overhead_ns = r.Stats.wm_overhead_ns;
     busy_energy_mj = Stats.total_busy_energy_mj r;
     energy_mj = Stats.total_energy_mj r;
+    max_ready_depth = gauge_max "ready_queue_depth";
+    max_inflight = gauge_max "in_flight_tasks";
+    mean_wait_us = hist Obs.Metrics.histogram_mean "task_wait_us";
+    p95_service_us = hist (fun h -> Obs.Metrics.histogram_quantile h 0.95) "task_service_us";
     util_by_kind = Stats.mean_utilization_by_kind r;
   }
 
@@ -70,19 +94,22 @@ let run_timed ?jobs grid =
 let util_string u = String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%.6f" k v) u)
 
 let csv_header =
-  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,util_by_kind"
+  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,max_ready_depth,max_inflight,mean_wait_us,p95_service_us,util_by_kind"
 
 let to_csv t =
+  let field = Table.csv_field in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf csv_header;
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%s\n" r.config r.policy
-           r.workload r.replicate r.seed r.makespan_ns r.job_count r.task_count
-           r.sched_invocations r.sched_ns r.wm_overhead_ns r.busy_energy_mj r.energy_mj
-           (util_string r.util_by_kind)))
+        (Printf.sprintf "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,%s\n"
+           (field r.config) (field r.policy) (field r.workload) r.replicate r.seed
+           r.makespan_ns r.job_count r.task_count r.sched_invocations r.sched_ns
+           r.wm_overhead_ns r.busy_energy_mj r.energy_mj r.max_ready_depth r.max_inflight
+           r.mean_wait_us r.p95_service_us
+           (field (util_string r.util_by_kind))))
     t.rows;
   Buffer.contents buf
 
@@ -110,6 +137,10 @@ let to_json t =
                    ("wm_overhead_ns", Json.int r.wm_overhead_ns);
                    ("busy_energy_mj", Json.float r.busy_energy_mj);
                    ("energy_mj", Json.float r.energy_mj);
+                   ("max_ready_depth", Json.int r.max_ready_depth);
+                   ("max_inflight", Json.int r.max_inflight);
+                   ("mean_wait_us", Json.float r.mean_wait_us);
+                   ("p95_service_us", Json.float r.p95_service_us);
                    ( "util_by_kind",
                      Json.obj (List.map (fun (k, v) -> (k, Json.float v)) r.util_by_kind) );
                  ])
@@ -131,6 +162,8 @@ let pp fmt t =
           string_of_int r.sched_invocations;
           ms r.wm_overhead_ns;
           Printf.sprintf "%.2f" r.energy_mj;
+          string_of_int r.max_ready_depth;
+          Printf.sprintf "%.1f" r.mean_wait_us;
           util_string r.util_by_kind;
         ])
       t.rows
@@ -140,7 +173,7 @@ let pp fmt t =
        ~header:
          [
            "config"; "policy"; "workload"; "rep"; "makespan ms"; "jobs"; "sched inv";
-           "WM ms"; "energy mJ"; "util";
+           "WM ms"; "energy mJ"; "max rdy"; "wait us"; "util";
          ]
        ~rows)
 

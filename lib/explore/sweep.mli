@@ -25,6 +25,10 @@ type row = {
   wm_overhead_ns : int;
   busy_energy_mj : float;
   energy_mj : float;
+  max_ready_depth : int;  (** peak live ready-queue depth (obs gauge) *)
+  max_inflight : int;  (** peak dispatched-but-unmonitored task count *)
+  mean_wait_us : float;  (** mean ready-to-dispatch latency *)
+  p95_service_us : float;  (** p95 dispatch-to-completion latency *)
   util_by_kind : (string * float) list;  (** mean utilisation per PE kind, sorted by kind *)
 }
 
@@ -42,10 +46,16 @@ val run_timed : ?jobs:int -> Grid.t -> table * float
     tables stay byte-comparable across runs and worker counts. *)
 
 val run_point : Grid.t -> Grid.point -> row
-(** Evaluate a single point (the unit of work {!run} shards). *)
+(** Evaluate a single point (the unit of work {!run} shards).  Each
+    point runs under a metrics-only observation bundle
+    ({!Dssoc_obs.Obs}), which feeds the queueing/latency columns
+    ([max_ready_depth], [max_inflight], [mean_wait_us],
+    [p95_service_us]) without perturbing the deterministic virtual
+    run. *)
 
 val to_csv : table -> string
-(** One line per point; floats rendered with fixed precision. *)
+(** One line per point; floats rendered with fixed precision; string
+    fields RFC 4180-escaped via {!Dssoc_stats.Table.csv_field}. *)
 
 val to_json : table -> Dssoc_json.Json.t
 

@@ -1,0 +1,420 @@
+module Vec = Dssoc_util.Vec
+module Quantile = Dssoc_stats.Quantile
+module Json = Dssoc_json.Json
+
+type phase = Dma_in | Device_compute | Dma_out
+
+let phase_name = function
+  | Dma_in -> "dma_in"
+  | Device_compute -> "compute"
+  | Dma_out -> "dma_out"
+
+type body =
+  | Instance_injected of { instance : int; app : string }
+  | Task_ready of { task : int; instance : int; app : string; node : string }
+  | Task_dispatched of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      pe : string;
+      pe_index : int;
+      wait_ns : int;
+    }
+  | Task_completed of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      pe : string;
+      pe_index : int;
+      service_ns : int;
+    }
+  | Sched_invoked of {
+      ready : int;
+      examined : int;
+      ops : int;
+      cost_ns : int;
+      assigned : int;
+    }
+  | Reservation_enqueued of { pe_index : int; depth : int }
+  | Reservation_popped of { pe_index : int; depth : int }
+  | Phase of {
+      task : int;
+      pe_index : int;
+      phase : phase;
+      start_ns : int;
+      dur_ns : int;
+    }
+  | Wm_tick of { completions : int; injected : int }
+
+type event = { t_ns : int; body : body }
+
+module Sink = struct
+  type recorder = {
+    buf : event array;
+    lock : Mutex.t;
+    mutable head : int;  (* next write slot *)
+    mutable stored : int;  (* live entries, <= capacity *)
+    mutable total : int;  (* lifetime emits *)
+  }
+
+  type t = Null | Ring of recorder
+
+  let null = Null
+
+  let dummy_event = { t_ns = 0; body = Wm_tick { completions = 0; injected = 0 } }
+
+  let ring ?(capacity = 65536) () =
+    if capacity <= 0 then invalid_arg "Obs.Sink.ring: capacity must be positive";
+    Ring
+      {
+        buf = Array.make capacity dummy_event;
+        lock = Mutex.create ();
+        head = 0;
+        stored = 0;
+        total = 0;
+      }
+
+  let is_null = function Null -> true | Ring _ -> false
+
+  let emit t t_ns body =
+    match t with
+    | Null -> ()
+    | Ring r ->
+        (* Handler domains emit phase/reservation events concurrently with
+           the WM in the native engine, so the ring is mutex-protected. *)
+        Mutex.lock r.lock;
+        let cap = Array.length r.buf in
+        r.buf.(r.head) <- { t_ns; body };
+        r.head <- (r.head + 1) mod cap;
+        if r.stored < cap then r.stored <- r.stored + 1;
+        r.total <- r.total + 1;
+        Mutex.unlock r.lock
+
+  let length = function Null -> 0 | Ring r -> r.stored
+  let total = function Null -> 0 | Ring r -> r.total
+  let dropped = function Null -> 0 | Ring r -> r.total - r.stored
+  let capacity = function Null -> 0 | Ring r -> Array.length r.buf
+
+  let events = function
+    | Null -> []
+    | Ring r ->
+        let cap = Array.length r.buf in
+        let start = (r.head - r.stored + cap) mod cap in
+        List.init r.stored (fun i -> r.buf.((start + i) mod cap))
+end
+
+module Metrics = struct
+  type counter = { c_name : string; mutable c_count : int }
+
+  type gauge = {
+    g_name : string;
+    mutable g_value : int;
+    mutable g_max : int;
+    g_series : (int * int) Vec.t;
+  }
+
+  type histogram = { h_name : string; h_samples : float Vec.t }
+  type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+  (* Registration order is preserved so [pp] and exporters are
+     deterministic. *)
+  type t = { items : item Vec.t }
+
+  let create () = { items = Vec.create () }
+
+  let item_name = function
+    | Counter c -> c.c_name
+    | Gauge g -> g.g_name
+    | Histogram h -> h.h_name
+
+  let find t name =
+    Vec.fold (fun acc it -> if item_name it = name then Some it else acc) None t.items
+
+  let counter t name =
+    match find t name with
+    | Some (Counter c) -> c
+    | Some _ -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " registered with another kind")
+    | None ->
+        let c = { c_name = name; c_count = 0 } in
+        Vec.push t.items (Counter c);
+        c
+
+  let gauge t name =
+    match find t name with
+    | Some (Gauge g) -> g
+    | Some _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " registered with another kind")
+    | None ->
+        let g = { g_name = name; g_value = 0; g_max = 0; g_series = Vec.create () } in
+        Vec.push t.items (Gauge g);
+        g
+
+  let histogram t name =
+    match find t name with
+    | Some (Histogram h) -> h
+    | Some _ ->
+        invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " registered with another kind")
+    | None ->
+        let h = { h_name = name; h_samples = Vec.create () } in
+        Vec.push t.items (Histogram h);
+        h
+
+  let find_gauge t name =
+    match find t name with Some (Gauge g) -> Some g | _ -> None
+
+  let find_counter t name =
+    match find t name with Some (Counter c) -> Some c | _ -> None
+
+  let find_histogram t name =
+    match find t name with Some (Histogram h) -> Some h | _ -> None
+
+  let incr ?(by = 1) c = c.c_count <- c.c_count + by
+  let counter_value c = c.c_count
+
+  let set g ~t_ns v =
+    if v > g.g_max then g.g_max <- v;
+    g.g_value <- v;
+    let n = Vec.length g.g_series in
+    (* Several updates at one backend timestamp collapse to the last, so
+       the series is a step function keyed by strictly increasing time. *)
+    if n > 0 && fst (Vec.get g.g_series (n - 1)) = t_ns then
+      Vec.set g.g_series (n - 1) (t_ns, v)
+    else Vec.push g.g_series (t_ns, v)
+
+  let gauge_value g = g.g_value
+  let gauge_max g = g.g_max
+  let gauge_series g = Vec.to_list g.g_series
+  let gauge_name g = g.g_name
+
+  let observe h v = Vec.push h.h_samples v
+  let histogram_count h = Vec.length h.h_samples
+  let histogram_samples h = Vec.to_array h.h_samples
+
+  let histogram_mean h =
+    if Vec.is_empty h.h_samples then None
+    else Some (Quantile.mean (Vec.to_array h.h_samples))
+
+  let histogram_quantile h q =
+    if Vec.is_empty h.h_samples then None
+    else Some (Quantile.quantile (Vec.to_array h.h_samples) q)
+
+  let gauges t =
+    List.filter_map (function Gauge g -> Some g | _ -> None) (Vec.to_list t.items)
+
+  let pp fmt t =
+    Format.fprintf fmt "== metrics ==@.";
+    Vec.iter
+      (fun item ->
+        match item with
+        | Counter c -> Format.fprintf fmt "  counter  %-26s %d@." c.c_name c.c_count
+        | Gauge g ->
+            Format.fprintf fmt "  gauge    %-26s last %d  max %d  (%d samples)@."
+              g.g_name g.g_value g.g_max (Vec.length g.g_series)
+        | Histogram h ->
+            if Vec.is_empty h.h_samples then
+              Format.fprintf fmt "  hist     %-26s (empty)@." h.h_name
+            else
+              let xs = Vec.to_array h.h_samples in
+              Format.fprintf fmt
+                "  hist     %-26s n %d  mean %.3f  p50 %.3f  p95 %.3f  max %.3f@."
+                h.h_name (Array.length xs) (Quantile.mean xs) (Quantile.median xs)
+                (Quantile.quantile xs 0.95) (Quantile.max xs))
+      t.items
+end
+
+(* Handles the engine hot path uses so emitting a metric is a field
+   access, never a registry lookup. *)
+type engine_metrics = {
+  m_ready : Metrics.gauge;
+  m_inflight : Metrics.gauge;
+  m_pe_depth : Metrics.gauge array;
+  m_wait : Metrics.histogram;
+  m_service : Metrics.histogram;
+  m_sched_cost : Metrics.histogram;
+  c_injected : Metrics.counter;
+  c_dispatched : Metrics.counter;
+  c_completed : Metrics.counter;
+  c_sched : Metrics.counter;
+}
+
+type t = {
+  sink : Sink.t;
+  metrics : Metrics.t option;
+  active : bool;
+  mutable eng : engine_metrics option;
+}
+
+let disabled = { sink = Sink.Null; metrics = None; active = false; eng = None }
+
+let make ?(sink = Sink.null) ?metrics () =
+  { sink; metrics; active = (not (Sink.is_null sink)) || Option.is_some metrics; eng = None }
+
+let enabled t = t.active
+let sink t = t.sink
+let metrics t = t.metrics
+
+let attach_pes t ~pe_labels =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      (* Explicit lets pin registration (and therefore display/export)
+         order, which record-field evaluation order would not. *)
+      let c_injected = Metrics.counter m "instances_injected" in
+      let c_dispatched = Metrics.counter m "tasks_dispatched" in
+      let c_completed = Metrics.counter m "tasks_completed" in
+      let c_sched = Metrics.counter m "sched_invocations" in
+      let m_ready = Metrics.gauge m "ready_queue_depth" in
+      let m_inflight = Metrics.gauge m "in_flight_tasks" in
+      let m_pe_depth =
+        Array.map (fun l -> Metrics.gauge m ("pe_queue_depth/" ^ l)) pe_labels
+      in
+      let m_wait = Metrics.histogram m "task_wait_us" in
+      let m_service = Metrics.histogram m "task_service_us" in
+      let m_sched_cost = Metrics.histogram m "sched_cost_us" in
+      t.eng <-
+        Some
+          {
+            m_ready;
+            m_inflight;
+            m_pe_depth;
+            m_wait;
+            m_service;
+            m_sched_cost;
+            c_injected;
+            c_dispatched;
+            c_completed;
+            c_sched;
+          }
+
+let on_instance_injected t ~now ~instance ~app =
+  (match t.eng with Some e -> Metrics.incr e.c_injected | None -> ());
+  Sink.emit t.sink now (Instance_injected { instance; app })
+
+let on_task_ready t ~now ~task ~instance ~app ~node ~ready_depth =
+  (match t.eng with
+  | Some e -> Metrics.set e.m_ready ~t_ns:now ready_depth
+  | None -> ());
+  Sink.emit t.sink now (Task_ready { task; instance; app; node })
+
+let on_task_dispatched t ~now ~task ~instance ~app ~node ~pe ~pe_index ~wait_ns
+    ~ready_depth ~pe_depth ~inflight =
+  (match t.eng with
+  | Some e ->
+      Metrics.incr e.c_dispatched;
+      Metrics.set e.m_ready ~t_ns:now ready_depth;
+      Metrics.set e.m_inflight ~t_ns:now inflight;
+      if pe_index >= 0 && pe_index < Array.length e.m_pe_depth then
+        Metrics.set e.m_pe_depth.(pe_index) ~t_ns:now pe_depth;
+      Metrics.observe e.m_wait (float_of_int wait_ns /. 1e3)
+  | None -> ());
+  Sink.emit t.sink now (Task_dispatched { task; instance; app; node; pe; pe_index; wait_ns })
+
+let on_task_completed t ~now ~task ~instance ~app ~node ~pe ~pe_index ~service_ns
+    ~pe_depth ~inflight =
+  (match t.eng with
+  | Some e ->
+      Metrics.incr e.c_completed;
+      Metrics.set e.m_inflight ~t_ns:now inflight;
+      if pe_index >= 0 && pe_index < Array.length e.m_pe_depth then
+        Metrics.set e.m_pe_depth.(pe_index) ~t_ns:now pe_depth;
+      Metrics.observe e.m_service (float_of_int service_ns /. 1e3)
+  | None -> ());
+  Sink.emit t.sink now (Task_completed { task; instance; app; node; pe; pe_index; service_ns })
+
+let on_sched t ~now ~ready ~examined ~ops ~cost_ns ~assigned =
+  (match t.eng with
+  | Some e ->
+      Metrics.incr e.c_sched;
+      Metrics.observe e.m_sched_cost (float_of_int cost_ns /. 1e3)
+  | None -> ());
+  Sink.emit t.sink now (Sched_invoked { ready; examined; ops; cost_ns; assigned })
+
+let on_reservation_enqueued t ~now ~pe_index ~depth =
+  Sink.emit t.sink now (Reservation_enqueued { pe_index; depth })
+
+let on_reservation_popped t ~now ~pe_index ~depth =
+  Sink.emit t.sink now (Reservation_popped { pe_index; depth })
+
+let on_phase t ~now ~task ~pe_index ~phase ~start_ns ~dur_ns =
+  Sink.emit t.sink now (Phase { task; pe_index; phase; start_ns; dur_ns })
+
+let on_wm_tick t ~now ~completions ~injected =
+  if completions > 0 || injected > 0 then
+    Sink.emit t.sink now (Wm_tick { completions; injected })
+
+let recorded_events t = Sink.events t.sink
+
+let counter_tracks t =
+  match t.metrics with
+  | None -> []
+  | Some m -> List.map (fun g -> (Metrics.gauge_name g, Metrics.gauge_series g)) (Metrics.gauges m)
+
+let event_to_json { t_ns; body } =
+  let mk name fields = Json.obj (("t", Json.int t_ns) :: ("ev", Json.str name) :: fields) in
+  match body with
+  | Instance_injected { instance; app } ->
+      mk "instance_injected" [ ("instance", Json.int instance); ("app", Json.str app) ]
+  | Task_ready { task; instance; app; node } ->
+      mk "task_ready"
+        [
+          ("task", Json.int task);
+          ("instance", Json.int instance);
+          ("app", Json.str app);
+          ("node", Json.str node);
+        ]
+  | Task_dispatched { task; instance; app; node; pe; pe_index; wait_ns } ->
+      mk "task_dispatched"
+        [
+          ("task", Json.int task);
+          ("instance", Json.int instance);
+          ("app", Json.str app);
+          ("node", Json.str node);
+          ("pe", Json.str pe);
+          ("pe_index", Json.int pe_index);
+          ("wait_ns", Json.int wait_ns);
+        ]
+  | Task_completed { task; instance; app; node; pe; pe_index; service_ns } ->
+      mk "task_completed"
+        [
+          ("task", Json.int task);
+          ("instance", Json.int instance);
+          ("app", Json.str app);
+          ("node", Json.str node);
+          ("pe", Json.str pe);
+          ("pe_index", Json.int pe_index);
+          ("service_ns", Json.int service_ns);
+        ]
+  | Sched_invoked { ready; examined; ops; cost_ns; assigned } ->
+      mk "sched"
+        [
+          ("ready", Json.int ready);
+          ("examined", Json.int examined);
+          ("ops", Json.int ops);
+          ("cost_ns", Json.int cost_ns);
+          ("assigned", Json.int assigned);
+        ]
+  | Reservation_enqueued { pe_index; depth } ->
+      mk "resv_enq" [ ("pe_index", Json.int pe_index); ("depth", Json.int depth) ]
+  | Reservation_popped { pe_index; depth } ->
+      mk "resv_pop" [ ("pe_index", Json.int pe_index); ("depth", Json.int depth) ]
+  | Phase { task; pe_index; phase; start_ns; dur_ns } ->
+      mk "phase"
+        [
+          ("phase", Json.str (phase_name phase));
+          ("task", Json.int task);
+          ("pe_index", Json.int pe_index);
+          ("start_ns", Json.int start_ns);
+          ("dur_ns", Json.int dur_ns);
+        ]
+  | Wm_tick { completions; injected } ->
+      mk "wm_tick" [ ("completions", Json.int completions); ("injected", Json.int injected) ]
+
+let to_jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string ~minify:true (event_to_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf

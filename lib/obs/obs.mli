@@ -1,0 +1,211 @@
+(** Structured event tracing and metrics for the shared engine core.
+
+    One observation bundle ([Obs.t]) is threaded through
+    [Engine_core]'s workload-manager loop and both engine backends.
+    Every hook is timestamped with the backend clock — the virtual
+    engine's discrete-event clock or the native engine's monotonic
+    clock — so virtual-engine event logs are bit-identical for a
+    given seed.
+
+    Determinism / threading contract:
+    - the null sink and absent metrics make every hook a no-op
+      (engines guard hook sites with {!enabled}, keeping the default
+      path free of observation cost);
+    - metrics are updated only from the workload-manager thread;
+    - the ring sink is mutex-protected because native resource-handler
+      domains emit phase and reservation-pop events concurrently. *)
+
+type phase = Dma_in | Device_compute | Dma_out
+
+val phase_name : phase -> string
+(** ["dma_in"], ["compute"], ["dma_out"] — the Chrome-trace span names. *)
+
+type body =
+  | Instance_injected of { instance : int; app : string }
+  | Task_ready of { task : int; instance : int; app : string; node : string }
+  | Task_dispatched of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      pe : string;
+      pe_index : int;
+      wait_ns : int;
+    }
+  | Task_completed of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      pe : string;
+      pe_index : int;
+      service_ns : int;
+    }
+  | Sched_invoked of {
+      ready : int;  (** live ready count when the policy ran *)
+      examined : int;  (** tasks in the bounded scheduling window *)
+      ops : int;  (** policy cost-model operations *)
+      cost_ns : int;  (** charged WM overhead *)
+      assigned : int;
+    }
+  | Reservation_enqueued of { pe_index : int; depth : int }
+  | Reservation_popped of { pe_index : int; depth : int }
+  | Phase of {
+      task : int;
+      pe_index : int;
+      phase : phase;
+      start_ns : int;
+      dur_ns : int;
+    }  (** accelerator DMA-in / device-compute / DMA-out sub-span *)
+  | Wm_tick of { completions : int; injected : int }
+
+type event = { t_ns : int; body : body }
+
+(** Event sinks: where emitted events go. *)
+module Sink : sig
+  type t
+
+  val null : t
+  (** Discards everything; [emit] on it is a pattern match and return. *)
+
+  val ring : ?capacity:int -> unit -> t
+  (** Preallocated ring-buffer recorder (default capacity 65536).
+      When full, the oldest events are overwritten; {!dropped} counts
+      the overwritten ones.
+      @raise Invalid_argument if [capacity <= 0]. *)
+
+  val is_null : t -> bool
+  val emit : t -> int -> body -> unit
+  val length : t -> int
+  val total : t -> int
+  val dropped : t -> int
+  val capacity : t -> int
+
+  val events : t -> event list
+  (** Retained events, oldest first. *)
+end
+
+(** Registry of named counters, gauges and histogram series.
+    Registration order is preserved, so {!pp} output and exported
+    counter tracks are deterministic. *)
+module Metrics : sig
+  type t
+  type counter
+  type gauge
+  type histogram
+
+  val create : unit -> t
+
+  val counter : t -> string -> counter
+  (** Find-or-create by name (as do [gauge] and [histogram]).
+      @raise Invalid_argument if the name is registered with another
+      kind. *)
+
+  val gauge : t -> string -> gauge
+  val histogram : t -> string -> histogram
+  val find_counter : t -> string -> counter option
+  val find_gauge : t -> string -> gauge option
+  val find_histogram : t -> string -> histogram option
+
+  val incr : ?by:int -> counter -> unit
+  val counter_value : counter -> int
+
+  val set : gauge -> t_ns:int -> int -> unit
+  (** Record a sample; repeated samples at one timestamp collapse to
+      the last, so the series is a step function over strictly
+      increasing time. *)
+
+  val gauge_value : gauge -> int
+  val gauge_max : gauge -> int
+  val gauge_series : gauge -> (int * int) list
+  val gauge_name : gauge -> string
+
+  val observe : histogram -> float -> unit
+  val histogram_count : histogram -> int
+  val histogram_samples : histogram -> float array
+  val histogram_mean : histogram -> float option
+  val histogram_quantile : histogram -> float -> float option
+
+  val gauges : t -> gauge list
+  (** All gauges in registration order. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** The [pp_metrics] text summary: counters, gauge last/max, and
+      histogram n/mean/p50/p95/max (histograms via
+      [Dssoc_stats.Quantile]). *)
+end
+
+(** {1 Per-run observation bundle} *)
+
+type t
+
+val disabled : t
+(** The zero-cost default: null sink, no metrics, [enabled = false]. *)
+
+val make : ?sink:Sink.t -> ?metrics:Metrics.t -> unit -> t
+
+val enabled : t -> bool
+(** [false] only for a null sink with no metrics; engines check this
+    before computing hook arguments. *)
+
+val sink : t -> Sink.t
+val metrics : t -> Metrics.t option
+
+val attach_pes : t -> pe_labels:string array -> unit
+(** Called once per run by the engine before the WM starts: registers
+    the engine gauge/histogram/counter handles (ready-queue depth,
+    in-flight tasks, per-PE queue depth, wait/service/sched-cost
+    latencies) against the bundle's metrics registry.  A no-op without
+    metrics. *)
+
+(** {2 Engine hooks}
+
+    All take [~now] in backend-clock ns.  Callers guard with
+    {!enabled}; the hooks themselves are safe no-ops when the bundle
+    carries neither sink nor metrics. *)
+
+val on_instance_injected : t -> now:int -> instance:int -> app:string -> unit
+
+val on_task_ready :
+  t -> now:int -> task:int -> instance:int -> app:string -> node:string ->
+  ready_depth:int -> unit
+
+val on_task_dispatched :
+  t -> now:int -> task:int -> instance:int -> app:string -> node:string ->
+  pe:string -> pe_index:int -> wait_ns:int -> ready_depth:int -> pe_depth:int ->
+  inflight:int -> unit
+
+val on_task_completed :
+  t -> now:int -> task:int -> instance:int -> app:string -> node:string ->
+  pe:string -> pe_index:int -> service_ns:int -> pe_depth:int -> inflight:int ->
+  unit
+
+val on_sched :
+  t -> now:int -> ready:int -> examined:int -> ops:int -> cost_ns:int ->
+  assigned:int -> unit
+
+val on_reservation_enqueued : t -> now:int -> pe_index:int -> depth:int -> unit
+val on_reservation_popped : t -> now:int -> pe_index:int -> depth:int -> unit
+
+val on_phase :
+  t -> now:int -> task:int -> pe_index:int -> phase:phase -> start_ns:int ->
+  dur_ns:int -> unit
+
+val on_wm_tick : t -> now:int -> completions:int -> injected:int -> unit
+(** Emitted at the end of a WM sweep; quiet sweeps (no completions, no
+    injections) are suppressed so polling backends don't flood the
+    ring. *)
+
+(** {2 Export} *)
+
+val recorded_events : t -> event list
+(** The sink's retained events, oldest first ([[]] for the null sink). *)
+
+val counter_tracks : t -> (string * (int * int) list) list
+(** Every gauge's (name, step series) in registration order — the
+    Chrome-trace counter tracks. *)
+
+val event_to_json : event -> Dssoc_json.Json.t
+
+val to_jsonl : event list -> string
+(** One minified JSON object per line. *)

@@ -8,23 +8,7 @@ let native_seeded ?(jitter = 0.0) ?(reservation_depth = 0) seed =
 
 let native_default = Native Native_engine.default_params
 
-let run ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ~config ~workload () =
-  match Scheduler.find policy with
-  | Error _ as e -> e
-  | Ok policy -> (
-    try
-      Ok
-        (match engine with
-        | Virtual params -> Virtual_engine.run ~params ~config ~workload ~policy ()
-        | Native params -> Native_engine.run ~params ~config ~workload ~policy ())
-    with Invalid_argument msg -> Error msg)
-
-let run_exn ?engine ?policy ~config ~workload () =
-  match run ?engine ?policy ~config ~workload () with
-  | Ok r -> r
-  | Error msg -> invalid_arg (Printf.sprintf "Emulator.run_exn: %s" msg)
-
-let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ~config
+let run ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs ~config
     ~workload () =
   match Scheduler.find policy with
   | Error _ as e -> e
@@ -32,6 +16,25 @@ let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS
     try
       Ok
         (match engine with
-        | Virtual params -> Virtual_engine.run_detailed ~params ~config ~workload ~policy ()
-        | Native params -> Native_engine.run_detailed ~params ~config ~workload ~policy ())
+        | Virtual params -> Virtual_engine.run ~params ?obs ~config ~workload ~policy ()
+        | Native params -> Native_engine.run ~params ?obs ~config ~workload ~policy ())
+    with Invalid_argument msg -> Error msg)
+
+let run_exn ?engine ?policy ?obs ~config ~workload () =
+  match run ?engine ?policy ?obs ~config ~workload () with
+  | Ok r -> r
+  | Error msg -> invalid_arg (Printf.sprintf "Emulator.run_exn: %s" msg)
+
+let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs
+    ~config ~workload () =
+  match Scheduler.find policy with
+  | Error _ as e -> e
+  | Ok policy -> (
+    try
+      Ok
+        (match engine with
+        | Virtual params ->
+          Virtual_engine.run_detailed ~params ?obs ~config ~workload ~policy ()
+        | Native params ->
+          Native_engine.run_detailed ~params ?obs ~config ~workload ~policy ())
     with Invalid_argument msg -> Error msg)

@@ -29,16 +29,21 @@ val native_default : engine
 val run :
   ?engine:engine ->
   ?policy:string ->
+  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   unit ->
   (Stats.report, string) result
-(** Defaults: deterministic virtual engine (seed 1, 3% jitter), FRFS.
-    Errors on unknown policy names or unsupported tasks. *)
+(** Defaults: deterministic virtual engine (seed 1, 3% jitter), FRFS,
+    observation disabled.  [obs] threads an observation bundle
+    (event sink and/or metrics registry) through the selected
+    engine's run — see {!Dssoc_obs.Obs}.  Errors on unknown policy
+    names or unsupported tasks. *)
 
 val run_exn :
   ?engine:engine ->
   ?policy:string ->
+  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   unit ->
@@ -47,6 +52,7 @@ val run_exn :
 val run_detailed :
   ?engine:engine ->
   ?policy:string ->
+  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   unit ->

@@ -4,6 +4,7 @@ module Cost_model = Dssoc_soc.Cost_model
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
 module Prng = Dssoc_util.Prng
+module Obs = Dssoc_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Parameters                                                          *)
@@ -130,7 +131,7 @@ let accel_phases (task : Task.t) pe acl =
 (* Resource manager (Fig. 4)                                           *)
 (* ------------------------------------------------------------------ *)
 
-let resource_manager (b : 'h backend) (h : 'h handler) =
+let resource_manager ?(obs = Obs.disabled) (b : 'h backend) (h : 'h handler) =
   let rec loop () =
     b.b_lock h;
     b.b_handler_await h;
@@ -143,6 +144,9 @@ let resource_manager (b : 'h backend) (h : 'h handler) =
         match Queue.take_opt h.h_pending with
         | None -> ()
         | Some task ->
+          if h.h_capacity > 1 && Obs.enabled obs then
+            Obs.on_reservation_popped obs ~now:(b.b_now ()) ~pe_index:h.h_index
+              ~depth:(Queue.length h.h_pending);
           b.b_unlock h;
           let started = b.b_now () in
           b.b_execute h task;
@@ -175,9 +179,9 @@ let resource_manager (b : 'h backend) (h : 'h handler) =
    deeper windows pointless. *)
 let sched_window = Cost_model.sched_examined_cap
 
-let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
-    ~(instances : Task.instance array) ~est_table ~(policy : Scheduler.policy)
-    ~prng ~(stats : wm_stats) =
+let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
+    ~(handlers : 'h handler array) ~(instances : Task.instance array) ~est_table
+    ~(policy : Scheduler.policy) ~prng ~(stats : wm_stats) =
   let n_pes = Array.length handlers in
   let ready : Task.t Queue.t = Queue.create () in
   (* Tasks leave the ready queue lazily (dispatch flips them to
@@ -185,13 +189,20 @@ let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
      overstates the live ready-list length.  The scheduler's charged
      O(n)/O(n^2) cost must follow the *live* count, kept here. *)
   let ready_live = ref 0 in
+  (* WM-owned dispatched-but-not-yet-monitored count, feeding the
+     in-flight gauge; metrics are only ever touched on this thread. *)
+  let inflight = ref 0 in
   let pending = ref (Array.to_list instances) in
   let unfinished = ref (Array.length instances) in
   let make_ready (task : Task.t) =
     task.Task.status <- Task.Ready;
     task.Task.ready_at <- b.b_now ();
     Queue.add task ready;
-    incr ready_live
+    incr ready_live;
+    if Obs.enabled obs then
+      Obs.on_task_ready obs ~now:task.Task.ready_at ~task:task.Task.id
+        ~instance:task.Task.instance_id ~app:task.Task.app_name
+        ~node:task.Task.node.App_spec.node_name ~ready_depth:!ready_live
   in
   (* Scratch structures reused by every scheduling invocation: the
      policy-facing PE states are refreshed in place, and the ready
@@ -253,6 +264,10 @@ let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
       let sched_cost = b.b_sched_done t0 ~ready:ready_len ~ops:ctx.Scheduler.ops in
       stats.sched_ns <- stats.sched_ns + sched_cost;
       stats.sched_invocations <- stats.sched_invocations + 1;
+      if Obs.enabled obs then
+        Obs.on_sched obs ~now:(b.b_now ()) ~ready:ready_len ~examined:nready
+          ~ops:ctx.Scheduler.ops ~cost_ns:sched_cost
+          ~assigned:(List.length assignments);
       (* Communicate selected tasks to their resource managers (setting
          the status to Running also lazily removes each task from the
          ready queue). *)
@@ -267,8 +282,20 @@ let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
           task.Task.pe_label <- h.h_pe.Pe.label;
           Queue.add task h.h_pending;
           h.h_inflight <- h.h_inflight + 1;
+          incr inflight;
           h.h_busy_until <-
             max (b.b_now ()) h.h_busy_until + Exec_model.lookup est_table task h.h_index;
+          if Obs.enabled obs then begin
+            let now = task.Task.dispatched_at in
+            Obs.on_task_dispatched obs ~now ~task:task.Task.id
+              ~instance:task.Task.instance_id ~app:task.Task.app_name
+              ~node:task.Task.node.App_spec.node_name ~pe:h.h_pe.Pe.label
+              ~pe_index:h.h_index ~wait_ns:(now - task.Task.ready_at)
+              ~ready_depth:!ready_live ~pe_depth:h.h_inflight ~inflight:!inflight;
+            if h.h_capacity > 1 then
+              Obs.on_reservation_enqueued obs ~now ~pe_index:h.h_index
+                ~depth:(Queue.length h.h_pending)
+          end;
           b.b_notify_handler h;
           b.b_unlock h)
         assignments
@@ -312,6 +339,7 @@ let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
     (* -- one completion-monitoring sweep over the resource handlers -- *)
     b.b_charge (Cost_model.monitor_per_pe_ns *. float_of_int n_pes);
     let batch_completions = ref false in
+    let completions = ref 0 in
     Array.iter
       (fun h ->
         (* Pop one completion at a time, re-taking the lock between
@@ -327,6 +355,15 @@ let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
           | Some task ->
             b.b_unlock h;
             h.h_inflight <- h.h_inflight - 1;
+            decr inflight;
+            incr completions;
+            if Obs.enabled obs then
+              Obs.on_task_completed obs ~now:task.Task.completed_at
+                ~task:task.Task.id ~instance:task.Task.instance_id
+                ~app:task.Task.app_name ~node:task.Task.node.App_spec.node_name
+                ~pe:task.Task.pe_label ~pe_index:h.h_index
+                ~service_ns:(task.Task.completed_at - task.Task.dispatched_at)
+                ~pe_depth:h.h_inflight ~inflight:!inflight;
             process_completion task;
             if h.h_capacity <= 1 then
               (* No reservation queue: the scheduler runs once per
@@ -343,6 +380,9 @@ let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
       match !pending with
       | inst :: rest when inst.Task.arrival_ns <= now ->
         pending := rest;
+        if Obs.enabled obs then
+          Obs.on_instance_injected obs ~now ~instance:inst.Task.inst_id
+            ~app:inst.Task.app.App_spec.app_name;
         List.iter
           (fun t ->
             make_ready t;
@@ -357,6 +397,9 @@ let workload_manager (b : 'h backend) ~(handlers : 'h handler array)
       do_schedule ()
     end;
     b.b_wm_tick_end tick;
+    if Obs.enabled obs then
+      Obs.on_wm_tick obs ~now:(b.b_now ()) ~completions:!completions
+        ~injected:!injected;
     (* -- terminate or wait for the next event -- *)
     if !unfinished = 0 && !pending = [] then
       Array.iter

@@ -156,16 +156,19 @@ val accel_phases :
     task as device compute (the JSON override), otherwise the device
     model prices the three phases. *)
 
-val resource_manager : 'h backend -> 'h handler -> unit
+val resource_manager : ?obs:Dssoc_obs.Obs.t -> 'h backend -> 'h handler -> unit
 (** The per-PE resource-manager body (Fig. 4): await dispatch, drain
     the pending queue — executing each task via {!field:b_execute},
     timestamping completion, accounting occupancy, parking the task on
     the completed queue and notifying the workload manager — then wait
     again; exit when [h_stop] is set.  Each engine runs one instance
     per handler on its own thread abstraction (spawned effect thread /
-    domain). *)
+    domain).  With [obs] and a reservation queue, each pop from the
+    pending queue emits a [Reservation_popped] event (sink only — this
+    may run off the WM thread). *)
 
 val workload_manager :
+  ?obs:Dssoc_obs.Obs.t ->
   'h backend ->
   handlers:'h handler array ->
   instances:Task.instance array ->
@@ -183,7 +186,14 @@ val workload_manager :
     are configured.  The ready queue deletes dispatched entries
     lazily; the charged O(n)/O(n²) policy cost follows a live-count
     accounting, not [Queue.length].  Returns once every instance has
-    completed and all handlers have been told to stop. *)
+    completed and all handlers have been told to stop.
+
+    With [obs] (default {!Dssoc_obs.Obs.disabled}, a guaranteed no-op)
+    the loop emits injection / ready / scheduler-invocation / dispatch
+    / completion / reservation / WM-tick events and updates the engine
+    metrics (ready-queue depth, in-flight count, per-PE queue depth,
+    wait and service latency, scheduling cost) — all from this thread,
+    timestamped with [b_now]. *)
 
 val report :
   host_name:string ->

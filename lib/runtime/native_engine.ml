@@ -7,6 +7,7 @@ module Workload = Dssoc_apps.Workload
 module Prng = Dssoc_util.Prng
 module Mclock = Dssoc_util.Mclock
 module Core = Engine_core
+module Obs = Dssoc_obs.Obs
 
 (* Historical default: policy randomness seeded at 7, no jitter on the
    modelled device-compute sleeps, no reservation queues. *)
@@ -19,7 +20,7 @@ let default_params = { Core.seed = 7L; jitter = 0.0; reservation_depth = 0 }
    a shared stream). *)
 type nh = { nh_mutex : Mutex.t; nh_cond : Condition.t; nh_prng : Prng.t }
 
-let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) =
+let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
   let now () = Mclock.now_ns () - start in
   let execute (h : nh Core.handler) (task : Task.t) =
     let kernel = Exec_model.resolve_kernel task h.Core.h_pe in
@@ -27,12 +28,19 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) =
     match h.Core.h_pe.Pe.kind with
     | Pe.Cpu _ -> kernel task.Task.store args
     | Pe.Accel acl ->
+      let traced = Obs.enabled obs in
+      let phase_end ph t0 =
+        if traced then
+          Obs.on_phase obs ~now:(now ()) ~task:task.Task.id
+            ~pe_index:h.Core.h_index ~phase:ph ~start_ns:t0 ~dur_ns:(now () - t0)
+      in
       (* Real copies stand in for the DMA transfers; a timed sleep
          stands in for the device compute.  A task with no pointer
          arguments moves no data, so no scratch buffer is allocated. *)
       let ptr_args =
         List.filter (fun a -> (Store.spec task.Task.store a).Store.is_ptr) args
       in
+      let t0 = now () in
       let scratch =
         match ptr_args with
         | [] -> None
@@ -41,11 +49,16 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) =
           List.iter (fun a -> Buffer.add_bytes buf (Store.get_raw task.Task.store a)) ptr_args;
           Some buf
       in
+      phase_end Obs.Dma_in t0;
       kernel task.Task.store args;
       let _, compute, _ = Core.accel_phases task h.Core.h_pe acl in
       let compute = Core.jittered h.Core.h_backend.nh_prng ~jitter:params.Core.jitter compute in
+      let t1 = now () in
       Unix.sleepf (float_of_int compute /. 1e9);
-      Option.iter (fun buf -> ignore (Buffer.contents buf)) scratch
+      phase_end Obs.Device_compute t1;
+      let t2 = now () in
+      Option.iter (fun buf -> ignore (Buffer.contents buf)) scratch;
+      phase_end Obs.Dma_out t2
   in
   {
     Core.b_now = now;
@@ -72,7 +85,7 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) =
     b_wm_tick_end = (fun t0 -> stats.Core.wm_ns <- stats.Core.wm_ns + (now () - t0));
   }
 
-let run_detailed ?(params = default_params) ~(config : Config.t)
+let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ~(config : Config.t)
     ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
   let instances = Core.instantiate ~engine_name:"Native_engine.run" ~config ~workload in
   let handlers =
@@ -92,20 +105,21 @@ let run_detailed ?(params = default_params) ~(config : Config.t)
     Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.Core.h_pe) handlers)
   in
   let stats = Core.make_stats () in
+  Obs.attach_pes obs ~pe_labels:(Array.map (fun h -> h.Core.h_pe.Pe.label) handlers);
   let start = Mclock.now_ns () in
-  let b = backend ~start ~params ~stats in
+  let b = backend ~start ~params ~stats ~obs in
   (* One domain per PE plays its resource manager (Fig. 4)... *)
   let domains =
-    Array.map (fun h -> Domain.spawn (fun () -> Core.resource_manager b h)) handlers
+    Array.map (fun h -> Domain.spawn (fun () -> Core.resource_manager ~obs b h)) handlers
   in
   (* ...while the calling domain plays the workload manager (Fig. 3). *)
   let prng = Prng.create ~seed:params.Core.seed in
-  Core.workload_manager b ~handlers ~instances ~est_table ~policy ~prng ~stats;
+  Core.workload_manager ~obs b ~handlers ~instances ~est_table ~policy ~prng ~stats;
   Array.iter Domain.join domains;
   ( Core.report
       ~host_name:(config.Config.host.Host.name ^ " (native)")
       ~config ~policy ~handlers ~instances ~stats,
     instances )
 
-let run ?params ~config ~workload ~policy () =
-  fst (run_detailed ?params ~config ~workload ~policy ())
+let run ?params ?obs ~config ~workload ~policy () =
+  fst (run_detailed ?params ?obs ~config ~workload ~policy ())

@@ -27,17 +27,25 @@ val default_params : Engine_core.params
 
 val run :
   ?params:Engine_core.params ->
+  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->
   unit ->
   Stats.report
 (** Run to completion using real domains.
+
+    [obs] (default {!Dssoc_obs.Obs.disabled}) receives the engine-core
+    event stream and metrics, timestamped with the monotonic clock
+    (ns since run start).  DMA and device-compute phase events are
+    emitted from the handler domains (the sink is mutex-protected);
+    metrics are only updated by the workload-manager domain.
     @raise Invalid_argument if some task supports no PE of the
     configuration. *)
 
 val run_detailed :
   ?params:Engine_core.params ->
+  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->

@@ -64,7 +64,8 @@ let pp_summary fmt r =
     (ms r.makespan_ns);
   Format.fprintf fmt "  scheduler: %d invocations, %.3f ms total, %.2f us avg WM overhead@."
     r.sched_invocations (ms r.sched_ns) (avg_sched_overhead_ns r /. 1e3);
-  Format.fprintf fmt "  energy: %.3f mJ across all PEs@." (total_energy_mj r);
+  Format.fprintf fmt "  energy: %.3f mJ across all PEs (%.3f mJ busy)@." (total_energy_mj r)
+    (total_busy_energy_mj r);
   List.iter
     (fun u ->
       Format.fprintf fmt "  %-8s busy %.3f ms (%d tasks, %.1f%% util)@." u.pe_label (ms u.busy_ns)
@@ -78,18 +79,21 @@ let pp_summary fmt r =
     r.app_stats
 
 let records_csv r =
+  let field = Dssoc_stats.Table.csv_field in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "app,instance,node,pe,ready_ns,dispatched_ns,completed_ns\n";
   List.iter
     (fun rec_ ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%s,%s,%d,%d,%d\n" rec_.app rec_.instance rec_.node rec_.pe
-           rec_.ready_ns rec_.dispatched_ns rec_.completed_ns))
+        (Printf.sprintf "%s,%d,%s,%s,%d,%d,%d\n" (field rec_.app) rec_.instance
+           (field rec_.node) (field rec_.pe) rec_.ready_ns rec_.dispatched_ns
+           rec_.completed_ns))
     r.records;
   Buffer.contents buf
 
-let chrome_trace r =
+let chrome_trace ?obs r =
   let module Json = Dssoc_json.Json in
+  let module Obs = Dssoc_obs.Obs in
   let pe_index =
     List.mapi (fun i u -> (u.pe_label, i)) r.pe_usage
   in
@@ -122,9 +126,55 @@ let chrome_trace r =
           ])
       pe_index
   in
+  (* Observation extras: accelerator DMA/compute sub-spans nested on
+     the PE rows, and one Perfetto counter track per metrics gauge.
+     Handler order equals [pe_usage] order, so the recorded [pe_index]
+     is directly a [tid] here. *)
+  let obs_extras =
+    match obs with
+    | None -> []
+    | Some o ->
+      let phases =
+        List.filter_map
+          (fun (e : Obs.event) ->
+            match e.Obs.body with
+            | Obs.Phase p ->
+              Some
+                (Json.obj
+                   [
+                     ("name", Json.str (Obs.phase_name p.phase));
+                     ("cat", Json.str "accel");
+                     ("ph", Json.str "X");
+                     ("ts", Json.float (float_of_int p.start_ns /. 1e3));
+                     ("dur", Json.float (float_of_int p.dur_ns /. 1e3));
+                     ("pid", Json.int 1);
+                     ("tid", Json.int p.pe_index);
+                     ("args", Json.obj [ ("task", Json.int p.task) ]);
+                   ])
+            | _ -> None)
+          (Obs.recorded_events o)
+      in
+      let counters =
+        List.concat_map
+          (fun (name, series) ->
+            List.map
+              (fun (t_ns, v) ->
+                Json.obj
+                  [
+                    ("name", Json.str name);
+                    ("ph", Json.str "C");
+                    ("ts", Json.float (float_of_int t_ns /. 1e3));
+                    ("pid", Json.int 1);
+                    ("args", Json.obj [ ("value", Json.int v) ]);
+                  ])
+              series)
+          (Obs.counter_tracks o)
+      in
+      phases @ counters
+  in
   Json.obj
     [
-      ("traceEvents", Json.list (threads @ events));
+      ("traceEvents", Json.list (threads @ events @ obs_extras));
       ("displayTimeUnit", Json.str "ms");
       ( "otherData",
         Json.obj

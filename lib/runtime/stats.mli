@@ -67,16 +67,28 @@ val total_busy_energy_mj : report -> float
     race-to-idle comparison needs alongside {!total_energy_mj}. *)
 
 val pp_summary : Format.formatter -> report -> unit
-(** Multi-line human-readable summary. *)
+(** Multi-line human-readable summary: makespan, scheduler invocation
+    count with total policy time and mean WM overhead per invocation,
+    total and busy energy, per-PE occupancy and per-app latencies. *)
 
 val records_csv : report -> string
-(** Per-task records as CSV (header + one line per task). *)
+(** Per-task records as CSV (header + one line per task).  String
+    fields are RFC 4180-escaped ({!Dssoc_stats.Table.csv_field}), so
+    app/node/PE labels containing commas, quotes or newlines cannot
+    corrupt rows; plain labels are emitted unchanged. *)
 
-val chrome_trace : report -> Dssoc_json.Json.t
+val chrome_trace : ?obs:Dssoc_obs.Obs.t -> report -> Dssoc_json.Json.t
 (** Task records as a Chrome trace-event document (one complete "X"
     event per task, one row per PE) — load the written file in
     chrome://tracing or Perfetto.  Timestamps are emulation-time
-    microseconds. *)
+    microseconds.
+
+    Without [obs] the document is exactly the pre-observability
+    output.  With [obs], recorded accelerator phase events become
+    "X" sub-spans (dma_in / compute / dma_out, category "accel") on
+    their PE row, and every metrics gauge becomes a "C" counter track
+    (e.g. [ready_queue_depth], [in_flight_tasks]) Perfetto renders as
+    a time series. *)
 
 val gantt : ?width:int -> report -> string
 (** ASCII Gantt chart: one row per PE, time on the x axis scaled to

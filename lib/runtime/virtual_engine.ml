@@ -7,6 +7,7 @@ module Config = Dssoc_soc.Config
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
 module Core = Engine_core
+module Obs = Dssoc_obs.Obs
 
 type params = Engine_core.params = {
   seed : int64;
@@ -186,7 +187,7 @@ let sleep_ns eng ns = if ns > 0 then await (new_cond ()) (Some (eng.now + ns))
 type vh = { vh_core : core_state; vh_cond : cond }
 
 let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
-    ~(policy : Scheduler.policy) ~n_pes ~(stats : Core.wm_stats) =
+    ~(policy : Scheduler.policy) ~n_pes ~(stats : Core.wm_stats) ~obs =
   let scale ns = int_of_float (Float.round (ns /. overlay_perf)) in
   (* Modelled workload-manager bookkeeping occupies the overlay core. *)
   let charge ns =
@@ -205,13 +206,25 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
       work vb.vh_core (jit (Exec_model.lookup est_table task h.Core.h_index))
     | Pe.Accel acl ->
       let dma_in, compute, dma_out = Core.accel_phases task h.Core.h_pe acl in
+      let traced = Obs.enabled obs in
+      let phase_end ph t0 =
+        if traced then
+          Obs.on_phase obs ~now:eng.now ~task:task.Task.id ~pe_index:h.Core.h_index
+            ~phase:ph ~start_ns:t0 ~dur_ns:(eng.now - t0)
+      in
       (* DMA to device occupies the manager's core... *)
+      let t0 = eng.now in
       work vb.vh_core (jit dma_in);
+      phase_end Obs.Dma_in t0;
       kernel task.Task.store args;
       (* ...then the thread sleeps while the device computes... *)
+      let t1 = eng.now in
       sleep_ns eng (jit compute);
+      phase_end Obs.Device_compute t1;
       (* ...and wakes to move the results back. *)
-      work vb.vh_core (jit dma_out)
+      let t2 = eng.now in
+      work vb.vh_core (jit dma_out);
+      phase_end Obs.Dma_out t2
   in
   {
     Core.b_now = (fun () -> eng.now);
@@ -240,15 +253,24 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
         work overlay_core cost;
         cost);
     b_wm_tick_start = (fun () -> 0);
-    b_wm_tick_end = ignore;
+    b_wm_tick_end =
+      (* The event heap *is* the simulation's pending future; its depth
+         is the DES-specific health gauge (sampled via [Heap.length]). *)
+      (let heap_gauge =
+         Option.map (fun m -> Obs.Metrics.gauge m "event_heap_depth") (Obs.metrics obs)
+       in
+       fun _ ->
+         match heap_gauge with
+         | None -> ()
+         | Some g -> Obs.Metrics.set g ~t_ns:eng.now (Heap.length eng.events));
   }
 
 (* ------------------------------------------------------------------ *)
 (* Top-level run                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_detailed ?(params = default_params) ~(config : Config.t) ~(workload : Workload.t)
-    ~(policy : Scheduler.policy) () =
+let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ~(config : Config.t)
+    ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
   let instances = Core.instantiate ~engine_name:"Virtual_engine.run" ~config ~workload in
   let eng =
     {
@@ -286,18 +308,19 @@ let run_detailed ?(params = default_params) ~(config : Config.t) ~(workload : Wo
     Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.Core.h_pe) handlers)
   in
   let stats = Core.make_stats () in
+  Obs.attach_pes obs ~pe_labels:(Array.map (fun h -> h.Core.h_pe.Pe.label) handlers);
   let b =
     backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table ~policy
-      ~n_pes:(Array.length handlers) ~stats
+      ~n_pes:(Array.length handlers) ~stats ~obs
   in
-  Array.iter (fun h -> spawn eng (fun () -> Core.resource_manager b h)) handlers;
+  Array.iter (fun h -> spawn eng (fun () -> Core.resource_manager ~obs b h)) handlers;
   spawn eng (fun () ->
-      Core.workload_manager b ~handlers ~instances ~est_table ~policy ~prng:eng.prng
-        ~stats);
+      Core.workload_manager ~obs b ~handlers ~instances ~est_table ~policy
+        ~prng:eng.prng ~stats);
   run_loop eng;
   ( Core.report ~host_name:config.Config.host.Host.name ~config ~policy ~handlers
       ~instances ~stats,
     instances )
 
-let run ?params ~config ~workload ~policy () =
-  fst (run_detailed ?params ~config ~workload ~policy ())
+let run ?params ?obs ~config ~workload ~policy () =
+  fst (run_detailed ?params ?obs ~config ~workload ~policy ())

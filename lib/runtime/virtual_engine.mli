@@ -51,6 +51,7 @@ val default_params : params
 
 val run :
   ?params:params ->
+  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->
@@ -58,11 +59,19 @@ val run :
   Stats.report
 (** Run the workload to completion and return the collected
     statistics.
+
+    [obs] (default {!Dssoc_obs.Obs.disabled}) receives the engine-core
+    event stream and metrics, timestamped with the virtual clock —
+    event logs are therefore bit-identical for a given seed.  The
+    backend additionally emits accelerator DMA-in / device-compute /
+    DMA-out phase events and samples the event-heap depth gauge
+    ([event_heap_depth]) once per WM tick.
     @raise Invalid_argument if some task supports no PE of the
     configuration. *)
 
 val run_detailed :
   ?params:params ->
+  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->

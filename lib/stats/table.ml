@@ -30,8 +30,26 @@ let render ~header ~rows =
   List.iter emit_row rows;
   Buffer.contents buf
 
+(* RFC 4180 escaping, applied only when needed so the common all-plain
+   case (and every pinned golden) is byte-identical to the raw field. *)
+let csv_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quote then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let render_csv ~header ~rows =
-  let line cells = String.concat "," cells ^ "\n" in
+  let line cells = String.concat "," (List.map csv_field cells) ^ "\n" in
   line header ^ String.concat "" (List.map line rows)
 
 let bar_chart ?(width = 40) entries =

@@ -8,7 +8,13 @@ val render : header:string list -> rows:string list list -> string
 (** Column-aligned table with a rule under the header.  Rows shorter
     than the header are padded with empty cells. *)
 
+val csv_field : string -> string
+(** RFC 4180 field escaping: fields containing commas, double quotes,
+    or line breaks are wrapped in double quotes (embedded quotes
+    doubled); any other field is returned unchanged, byte for byte. *)
+
 val render_csv : header:string list -> rows:string list list -> string
+(** Comma-separated rendering; every cell goes through {!csv_field}. *)
 
 val bar_chart : ?width:int -> (string * float) list -> string
 (** Horizontal bars scaled to the maximum value, one line per entry:

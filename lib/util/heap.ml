@@ -84,6 +84,27 @@ let pop_exn t =
   | Some v -> v
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
+let invariants_ok t =
+  let cap = Array.length t.data in
+  let ok = ref (t.size >= 0 && t.size <= cap) in
+  (* Heap order with the FIFO tie-break: every child >= its parent. *)
+  for i = 1 to t.size - 1 do
+    if entry_cmp t t.data.((i - 1) / 2) t.data.(i) > 0 then ok := false
+  done;
+  (* Sequence numbers are unique and below the next to be issued. *)
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    if e.seq < 0 || e.seq >= t.next_seq then ok := false;
+    for j = i + 1 to t.size - 1 do
+      if t.data.(j).seq = e.seq then ok := false
+    done
+  done;
+  (* Vacated slots hold the placeholder, never a popped value. *)
+  for i = t.size to cap - 1 do
+    if not (Obj.repr t.data.(i) == dummy_entry) then ok := false
+  done;
+  !ok
+
 let clear t =
   t.size <- 0;
   t.data <- [||]

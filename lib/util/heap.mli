@@ -11,7 +11,16 @@ val create : cmp:('a -> 'a -> int) -> 'a t
     elements that compare equal, the earliest-pushed pops first. *)
 
 val length : 'a t -> int
+(** Live element count; samples the event-heap-depth gauge in the
+    virtual engine's observability backend. *)
+
 val is_empty : 'a t -> bool
+
+val invariants_ok : 'a t -> bool
+(** O(n²) structural check, for tests: heap order holds under the
+    FIFO tie-break, live sequence numbers are unique and below the
+    issue counter, and every vacated backing-array slot holds the
+    placeholder (no popped value kept reachable). *)
 
 val push : 'a t -> 'a -> unit
 

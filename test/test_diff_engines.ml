@@ -17,6 +17,7 @@ module App_spec = Dssoc_apps.App_spec
 module Store = Dssoc_apps.Store
 module Reference_apps = Dssoc_apps.Reference_apps
 module Workload = Dssoc_apps.Workload
+module Obs = Dssoc_obs.Obs
 
 let det_engine = Emulator.virtual_seeded ~jitter:0.0 1L
 
@@ -347,6 +348,57 @@ let test_native_reservation_depth_differential () =
         = Store.get_cbuf ni2.(inst).Task.store "tx_time"))
     [ 0; 1 ]
 
+(* ---------------- event-stream parity ---------------- *)
+
+(* Timings, PE choices and event interleavings legitimately differ
+   between the engines, but both run the same workload-manager
+   protocol, so the task-lifecycle *multiset* — which (app, node,
+   instance) triples were injected, became ready, were dispatched and
+   completed — must be identical. *)
+
+let lifecycle_multiset obs =
+  List.filter_map
+    (fun (e : Obs.event) ->
+      match e.Obs.body with
+      | Obs.Instance_injected { instance; app } -> Some ("injected", app, "", instance)
+      | Obs.Task_ready { instance; app; node; _ } -> Some ("ready", app, node, instance)
+      | Obs.Task_dispatched { instance; app; node; _ } -> Some ("dispatched", app, node, instance)
+      | Obs.Task_completed { instance; app; node; _ } -> Some ("completed", app, node, instance)
+      | _ -> None)
+    (Obs.recorded_events obs)
+  |> List.sort compare
+
+let test_event_multiset_parity () =
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  let wl () =
+    Workload.validation
+      [ (Reference_apps.wifi_tx (), 1); (Reference_apps.range_detection (), 2) ]
+  in
+  let observe engine =
+    let obs = Obs.make ~sink:(Obs.Sink.ring ()) () in
+    ignore
+      (Result.get_ok (Emulator.run_detailed ~engine ~config ~workload:(wl ()) ~obs ()));
+    Alcotest.(check int) "nothing dropped" 0 (Obs.Sink.dropped (Obs.sink obs));
+    lifecycle_multiset obs
+  in
+  let vm = observe det_engine in
+  let nm = observe (Emulator.native_seeded 1L) in
+  Alcotest.(check bool) "non-trivial stream" true (List.length vm > 10);
+  Alcotest.(check int) "same lifecycle event count" (List.length vm) (List.length nm);
+  Alcotest.(check bool) "same task-event multiset" true (vm = nm);
+  (* internal consistency: within each engine, every task that became
+     ready was dispatched and completed exactly once *)
+  let project kind m =
+    List.filter_map (fun (k, app, node, inst) -> if k = kind then Some (app, node, inst) else None) m
+  in
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check bool) (name ^ ": ready = dispatched") true
+        (project "ready" m = project "dispatched" m);
+      Alcotest.(check bool) (name ^ ": ready = completed") true
+        (project "ready" m = project "completed" m))
+    [ ("virtual", vm); ("native", nm) ]
+
 let () =
   Alcotest.run "diff_engines"
     [
@@ -367,4 +419,6 @@ let () =
           Alcotest.test_case "native reservation-depth differential" `Slow
             test_native_reservation_depth_differential;
         ] );
+      ( "event streams",
+        [ Alcotest.test_case "task-lifecycle multiset parity" `Slow test_event_multiset_parity ] );
     ]

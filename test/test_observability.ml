@@ -10,6 +10,8 @@ module Config = Dssoc_soc.Config
 module Workload = Dssoc_apps.Workload
 module Reference_apps = Dssoc_apps.Reference_apps
 module Json = Dssoc_json.Json
+module Obs = Dssoc_obs.Obs
+module Quantile = Dssoc_stats.Quantile
 
 (* ---------------------- hand-built reports for Gantt edges ---------------------- *)
 
@@ -129,6 +131,199 @@ let test_chrome_trace_roundtrip () =
   let json = Stats.chrome_trace (golden_run ()) in
   Alcotest.(check bool) "parses back" true (Json.parse (Json.to_string json) = Ok json)
 
+(* ---------------------- ring sink ---------------------- *)
+
+let tick i = Obs.Wm_tick { completions = i; injected = 0 }
+
+let test_ring_retention () =
+  let s = Obs.Sink.ring ~capacity:4 () in
+  Alcotest.(check bool) "not null" false (Obs.Sink.is_null s);
+  Alcotest.(check int) "empty" 0 (Obs.Sink.length s);
+  for i = 0 to 2 do
+    Obs.Sink.emit s i (tick i)
+  done;
+  Alcotest.(check int) "three stored" 3 (Obs.Sink.length s);
+  Alcotest.(check int) "none dropped" 0 (Obs.Sink.dropped s);
+  Alcotest.(check (list int)) "oldest first" [ 0; 1; 2 ]
+    (List.map (fun e -> e.Obs.t_ns) (Obs.Sink.events s))
+
+let test_ring_wrap () =
+  let s = Obs.Sink.ring ~capacity:4 () in
+  for i = 0 to 9 do
+    Obs.Sink.emit s i (tick i)
+  done;
+  Alcotest.(check int) "capacity retained" 4 (Obs.Sink.length s);
+  Alcotest.(check int) "total counts everything" 10 (Obs.Sink.total s);
+  Alcotest.(check int) "overwritten counted as dropped" 6 (Obs.Sink.dropped s);
+  Alcotest.(check (list int)) "last four, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Obs.t_ns) (Obs.Sink.events s));
+  (* bodies survive the wrap with their payloads intact *)
+  List.iter2
+    (fun e i ->
+      match e.Obs.body with
+      | Obs.Wm_tick { completions; _ } -> Alcotest.(check int) "payload" i completions
+      | _ -> Alcotest.fail "unexpected body")
+    (Obs.Sink.events s) [ 6; 7; 8; 9 ]
+
+let test_ring_bad_capacity () =
+  Alcotest.check_raises "capacity 0 rejected" (Invalid_argument "Obs.Sink.ring: capacity must be positive")
+    (fun () -> ignore (Obs.Sink.ring ~capacity:0 ()))
+
+(* ---------------------- metrics registry ---------------------- *)
+
+let test_histogram_matches_quantile () =
+  (* The histogram summary must agree with Dssoc_stats.Quantile applied
+     to the raw samples — the registry stores, Quantile computes. *)
+  let samples = [| 3.2; 1.0; 4.4; 1.5; 9.6; 2.7; 5.3; 5.8 |] in
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  Array.iter (Obs.Metrics.observe h) samples;
+  Alcotest.(check int) "count" (Array.length samples) (Obs.Metrics.histogram_count h);
+  let got name f expect =
+    match f with
+    | None -> Alcotest.failf "%s: no samples" name
+    | Some v -> Alcotest.(check (float 1e-9)) name expect v
+  in
+  got "mean" (Obs.Metrics.histogram_mean h) (Quantile.mean samples);
+  got "p50" (Obs.Metrics.histogram_quantile h 0.5) (Quantile.quantile samples 0.5);
+  got "p95" (Obs.Metrics.histogram_quantile h 0.95) (Quantile.quantile samples 0.95)
+
+let test_gauge_series_collapses_same_timestamp () =
+  let m = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge m "depth" in
+  Obs.Metrics.set g ~t_ns:10 1;
+  Obs.Metrics.set g ~t_ns:10 3;
+  Obs.Metrics.set g ~t_ns:20 2;
+  Alcotest.(check (list (pair int int))) "step series" [ (10, 3); (20, 2) ]
+    (Obs.Metrics.gauge_series g);
+  Alcotest.(check int) "max sees collapsed peak" 3 (Obs.Metrics.gauge_max g);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Obs.Metrics.counter: depth registered with another kind")
+    (fun () -> ignore (Obs.Metrics.counter m "depth"))
+
+(* ---------------------- golden JSONL event log ---------------------- *)
+
+let observed_run workload_apps =
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  let workload = Workload.validation workload_apps in
+  let obs = Obs.make ~sink:(Obs.Sink.ring ()) ~metrics:(Obs.Metrics.create ()) () in
+  let r =
+    Emulator.run_exn ~engine:(Emulator.virtual_seeded ~jitter:0.0 1L) ~config ~workload ~obs ()
+  in
+  (r, obs)
+
+(* Golden for the same fixed scenario as [golden_csv]/[golden_trace];
+   regenerate with [dune exec goldengen/gen.exe]. *)
+let golden_jsonl =
+  String.concat "\n"
+    [
+      {|{"t":1050,"ev":"instance_injected","instance":0,"app":"wifi_tx"}|};
+      {|{"t":1050,"ev":"task_ready","task":0,"instance":0,"app":"wifi_tx","node":"CRC"}|};
+      {|{"t":3450,"ev":"sched","ready":1,"examined":1,"ops":3,"cost_ns":2000,"assigned":1}|};
+      {|{"t":5250,"ev":"task_dispatched","task":0,"instance":0,"app":"wifi_tx","node":"CRC","pe":"cpu0","pe_index":0,"wait_ns":4200}|};
+      {|{"t":5250,"ev":"wm_tick","completions":0,"injected":1}|};
+      {|{"t":9042,"ev":"task_completed","task":0,"instance":0,"app":"wifi_tx","node":"CRC","pe":"cpu0","pe_index":0,"service_ns":3792}|};
+      {|{"t":10092,"ev":"task_ready","task":1,"instance":0,"app":"wifi_tx","node":"SCRAMBLE"}|};
+      {|{"t":12492,"ev":"sched","ready":1,"examined":1,"ops":3,"cost_ns":2000,"assigned":1}|};
+      {|{"t":14292,"ev":"task_dispatched","task":1,"instance":0,"app":"wifi_tx","node":"SCRAMBLE","pe":"cpu0","pe_index":0,"wait_ns":4200}|};
+      {|{"t":14292,"ev":"wm_tick","completions":1,"injected":0}|};
+      {|{"t":19172,"ev":"task_completed","task":1,"instance":0,"app":"wifi_tx","node":"SCRAMBLE","pe":"cpu0","pe_index":0,"service_ns":4880}|};
+      {|{"t":20222,"ev":"task_ready","task":2,"instance":0,"app":"wifi_tx","node":"ENCODE"}|};
+      {|{"t":22622,"ev":"sched","ready":1,"examined":1,"ops":3,"cost_ns":2000,"assigned":1}|};
+      {|{"t":24422,"ev":"task_dispatched","task":2,"instance":0,"app":"wifi_tx","node":"ENCODE","pe":"cpu0","pe_index":0,"wait_ns":4200}|};
+      {|{"t":24422,"ev":"wm_tick","completions":1,"injected":0}|};
+      {|{"t":34622,"ev":"task_completed","task":2,"instance":0,"app":"wifi_tx","node":"ENCODE","pe":"cpu0","pe_index":0,"service_ns":10200}|};
+      {|{"t":35672,"ev":"task_ready","task":3,"instance":0,"app":"wifi_tx","node":"INTERLEAVE"}|};
+      {|{"t":38072,"ev":"sched","ready":1,"examined":1,"ops":3,"cost_ns":2000,"assigned":1}|};
+      {|{"t":39872,"ev":"task_dispatched","task":3,"instance":0,"app":"wifi_tx","node":"INTERLEAVE","pe":"cpu0","pe_index":0,"wait_ns":4200}|};
+      {|{"t":39872,"ev":"wm_tick","completions":1,"injected":0}|};
+      {|{"t":47584,"ev":"task_completed","task":3,"instance":0,"app":"wifi_tx","node":"INTERLEAVE","pe":"cpu0","pe_index":0,"service_ns":7712}|};
+      {|{"t":48634,"ev":"task_ready","task":4,"instance":0,"app":"wifi_tx","node":"MODULATE"}|};
+      {|{"t":51034,"ev":"sched","ready":1,"examined":1,"ops":3,"cost_ns":2000,"assigned":1}|};
+      {|{"t":52834,"ev":"task_dispatched","task":4,"instance":0,"app":"wifi_tx","node":"MODULATE","pe":"cpu0","pe_index":0,"wait_ns":4200}|};
+      {|{"t":52834,"ev":"wm_tick","completions":1,"injected":0}|};
+      {|{"t":62474,"ev":"task_completed","task":4,"instance":0,"app":"wifi_tx","node":"MODULATE","pe":"cpu0","pe_index":0,"service_ns":9640}|};
+      {|{"t":63524,"ev":"task_ready","task":5,"instance":0,"app":"wifi_tx","node":"PILOT"}|};
+      {|{"t":65924,"ev":"sched","ready":1,"examined":1,"ops":3,"cost_ns":2000,"assigned":1}|};
+      {|{"t":67724,"ev":"task_dispatched","task":5,"instance":0,"app":"wifi_tx","node":"PILOT","pe":"cpu0","pe_index":0,"wait_ns":4200}|};
+      {|{"t":67724,"ev":"wm_tick","completions":1,"injected":0}|};
+      {|{"t":71254,"ev":"task_completed","task":5,"instance":0,"app":"wifi_tx","node":"PILOT","pe":"cpu0","pe_index":0,"service_ns":3530}|};
+      {|{"t":72304,"ev":"task_ready","task":6,"instance":0,"app":"wifi_tx","node":"IFFT"}|};
+      {|{"t":74704,"ev":"sched","ready":1,"examined":1,"ops":3,"cost_ns":2000,"assigned":1}|};
+      {|{"t":76504,"ev":"task_dispatched","task":6,"instance":0,"app":"wifi_tx","node":"IFFT","pe":"cpu0","pe_index":0,"wait_ns":4200}|};
+      {|{"t":76504,"ev":"wm_tick","completions":1,"injected":0}|};
+      {|{"t":91944,"ev":"task_completed","task":6,"instance":0,"app":"wifi_tx","node":"IFFT","pe":"cpu0","pe_index":0,"service_ns":15440}|};
+      {|{"t":92994,"ev":"wm_tick","completions":1,"injected":0}|};
+      "";
+    ]
+
+let test_jsonl_golden () =
+  let _, obs = observed_run [ (Reference_apps.wifi_tx (), 1) ] in
+  Alcotest.(check string) "event log pinned" golden_jsonl
+    (Obs.to_jsonl (Obs.recorded_events obs));
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Sink.dropped (Obs.sink obs))
+
+let test_jsonl_parses_and_deterministic () =
+  (* A workload that also exercises the FFT accelerator (phase events). *)
+  let apps = [ (Reference_apps.wifi_tx (), 1); (Reference_apps.range_detection (), 1) ] in
+  let _, obs1 = observed_run apps in
+  let _, obs2 = observed_run apps in
+  let jsonl = Obs.to_jsonl (Obs.recorded_events obs1) in
+  Alcotest.(check string) "bit-identical across identical runs" jsonl
+    (Obs.to_jsonl (Obs.recorded_events obs2));
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl) in
+  Alcotest.(check bool) "non-trivial log" true (List.length lines > 20);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok (Json.Obj members) ->
+          Alcotest.(check bool) "has t" true (List.mem_assoc "t" members);
+          Alcotest.(check bool) "has ev" true (List.mem_assoc "ev" members)
+      | Ok _ -> Alcotest.failf "line is not an object: %s" line
+      | Error e -> Alcotest.failf "unparseable line %s: %s" line (Json.error_to_string e))
+    lines;
+  let has_ev name =
+    List.exists (fun l -> contains ~needle:(Printf.sprintf "\"ev\":%S" name) l) lines
+  in
+  List.iter
+    (fun name -> Alcotest.(check bool) name true (has_ev name))
+    [ "instance_injected"; "task_ready"; "task_dispatched"; "task_completed"; "sched"; "phase"; "wm_tick" ]
+
+(* ---------------------- chrome trace with observation data ---------------------- *)
+
+let trace_events json =
+  match Json.member "traceEvents" json with
+  | Ok (Json.List evs) -> evs
+  | _ -> Alcotest.fail "traceEvents missing"
+
+let str_member name ev = match Json.member name ev with Ok (Json.String s) -> Some s | _ -> None
+
+let test_chrome_trace_with_obs () =
+  let apps = [ (Reference_apps.wifi_tx (), 1); (Reference_apps.range_detection (), 1) ] in
+  let r, obs = observed_run apps in
+  let json = Stats.chrome_trace ~obs r in
+  (* round-trips through the parser *)
+  Alcotest.(check bool) "parses back" true (Json.parse (Json.to_string json) = Ok json);
+  let evs = trace_events json in
+  let phases ph =
+    List.exists (fun e -> str_member "ph" e = Some "X" && str_member "name" e = Some ph) evs
+  in
+  List.iter
+    (fun ph -> Alcotest.(check bool) ("DMA sub-span " ^ ph) true (phases ph))
+    [ "dma_in"; "compute"; "dma_out" ];
+  let counter_names =
+    List.filter_map (fun e -> if str_member "ph" e = Some "C" then str_member "name" e else None) evs
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "ready-queue counter track" true (List.mem "ready_queue_depth" counter_names);
+  Alcotest.(check bool) "in-flight counter track" true (List.mem "in_flight_tasks" counter_names);
+  Alcotest.(check bool) ">= 2 counter tracks" true (List.length counter_names >= 2);
+  (* without ~obs the output must be exactly the pre-observability trace *)
+  Alcotest.(check bool) "no counter events without obs" true
+    (List.for_all
+       (fun e -> str_member "ph" e <> Some "C")
+       (trace_events (Stats.chrome_trace r)))
+
 let () =
   Alcotest.run "observability"
     [
@@ -145,4 +340,22 @@ let () =
           Alcotest.test_case "chrome_trace" `Quick test_chrome_trace_golden;
           Alcotest.test_case "chrome_trace roundtrip" `Quick test_chrome_trace_roundtrip;
         ] );
+      ( "ring sink",
+        [
+          Alcotest.test_case "retention below capacity" `Quick test_ring_retention;
+          Alcotest.test_case "wrap and overflow accounting" `Quick test_ring_wrap;
+          Alcotest.test_case "bad capacity" `Quick test_ring_bad_capacity;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram agrees with Quantile" `Quick test_histogram_matches_quantile;
+          Alcotest.test_case "gauge series semantics" `Quick test_gauge_series_collapses_same_timestamp;
+        ] );
+      ( "event log",
+        [
+          Alcotest.test_case "golden JSONL" `Quick test_jsonl_golden;
+          Alcotest.test_case "parseable and deterministic" `Quick test_jsonl_parses_and_deterministic;
+        ] );
+      ( "chrome trace + obs",
+        [ Alcotest.test_case "counter tracks and DMA sub-spans" `Quick test_chrome_trace_with_obs ] );
     ]

@@ -60,6 +60,25 @@ let test_table_render () =
 let test_table_csv () =
   Alcotest.(check string) "csv" "a,b\n1,2\n" (Table.render_csv ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ] ])
 
+let test_csv_field () =
+  (* RFC 4180: quote only when necessary, double embedded quotes. *)
+  List.iter
+    (fun (raw, escaped) -> Alcotest.(check string) raw escaped (Table.csv_field raw))
+    [
+      ("plain", "plain");
+      ("", "");
+      ("has space", "has space");
+      ("a,b", "\"a,b\"");
+      ("say \"hi\"", "\"say \"\"hi\"\"\"");
+      ("line\nbreak", "\"line\nbreak\"");
+      ("cr\rhere", "\"cr\rhere\"");
+    ]
+
+let test_csv_field_in_render_csv () =
+  Alcotest.(check string) "cells escaped"
+    "a,b\n\"1,5\",\"x\"\"y\"\n"
+    (Table.render_csv ~header:[ "a"; "b" ] ~rows:[ [ "1,5"; "x\"y" ] ])
+
 let test_bar_chart () =
   let s = Table.bar_chart ~width:10 [ ("x", 10.0); ("y", 5.0) ] in
   Alcotest.(check bool) "contains full bar" true
@@ -98,6 +117,8 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "csv field escaping" `Quick test_csv_field;
+          Alcotest.test_case "csv render escapes cells" `Quick test_csv_field_in_render_csv;
           Alcotest.test_case "bar chart" `Quick test_bar_chart;
           Alcotest.test_case "box row" `Quick test_box_row;
           Alcotest.test_case "series" `Quick test_series;

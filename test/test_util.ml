@@ -158,6 +158,29 @@ let test_heap_pop_releases_values () =
   Heap.push h (9, ref 0);
   Alcotest.(check int) "push after clearing works" 9 (fst (Heap.pop_exn h))
 
+let prop_heap_structural_invariants =
+  (* [Heap.invariants_ok] is the checkable form of the structural
+     contract behind [length]/[is_empty] (which the observability
+     gauge sampler reads mid-run): after every push/pop the backing
+     array is heap-ordered, tie-break sequence numbers are unique,
+     vacated slots are cleared, and [length] tracks the live count. *)
+  QCheck.Test.make ~name:"structural invariants under interleaved ops" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let live = ref 0 in
+      List.for_all
+        (fun (is_pop, v) ->
+          if is_pop then (match Heap.pop h with Some _ -> decr live | None -> ())
+          else begin
+            Heap.push h v;
+            incr live
+          end;
+          Heap.invariants_ok h
+          && Heap.length h = !live
+          && Heap.is_empty h = (!live = 0))
+        ops)
+
 let prop_heap_invariant_after_ops =
   QCheck.Test.make ~name:"heap invariant under interleaved ops" ~count:200
     QCheck.(list (pair bool small_int))
@@ -250,6 +273,7 @@ let () =
           Alcotest.test_case "pop releases values" `Quick test_heap_pop_releases_values;
           qtest prop_heap_sorts;
           qtest prop_heap_invariant_after_ops;
+          qtest prop_heap_structural_invariants;
         ] );
       ( "vec",
         [
