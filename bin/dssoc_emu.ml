@@ -18,6 +18,7 @@ module Sweep = Dssoc_explore.Sweep
 module Presets = Dssoc_explore.Presets
 module Pool = Dssoc_explore.Pool
 module Obs = Dssoc_obs.Obs
+module Fault = Dssoc_fault.Fault
 
 open Cmdliner
 
@@ -70,6 +71,32 @@ let reservation_arg =
     value & opt int 0
     & info [ "reservation" ] ~docv:"DEPTH"
         ~doc:"Per-PE reservation-queue depth on either engine (0 = the paper's released framework).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          (Printf.sprintf
+             "Deterministic fault-injection plan enabling resilient dispatch (retries, \
+              quarantine, degradation).  %s  Example: \
+              'fft0:die\\@1ms,*:transient:p=0.1:recover=0.5ms'."
+             Fault.spec_grammar))
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the fault plan's own PRNG stream (independent of --seed, so the same fault \
+           schedule replays across engines and policies).")
+
+let parse_faults faults fault_seed =
+  match faults with
+  | None -> Ok None
+  | Some spec ->
+    Result.map Option.some (Fault.of_spec ~seed:(Int64.of_int fault_seed) spec)
 
 (* ---------------------- apps ---------------------- *)
 
@@ -230,10 +257,11 @@ let run_cmd =
     | Error e -> Error (Printf.sprintf "%s: %s" path (Dssoc_json.Json.error_to_string e))
   in
   let run host cores ffts big little policy seed jitter native reservation mode apps_spec rate csv
-      trace gantt trace_level events app_file =
+      trace gantt trace_level events app_file faults fault_seed =
     let ( let* ) = Result.bind in
     let result =
       let* config = config_of host cores ffts big little in
+      let* fault = parse_faults faults fault_seed in
       let* workload =
         match (app_file, String.lowercase_ascii mode) with
         | Some path, _ ->
@@ -269,7 +297,7 @@ let run_cmd =
           Emulator.native_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
         else Emulator.virtual_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
       in
-      let* report = Emulator.run ~engine ~policy ~obs ~config ~workload () in
+      let* report = Emulator.run ~engine ~policy ~obs ?fault ~config ~workload () in
       Ok (report, obs)
     in
     match result with
@@ -280,7 +308,17 @@ let run_cmd =
       Format.printf "%a" Stats.pp_summary report;
       (match Obs.metrics obs with
       | None -> ()
-      | Some m -> Format.printf "%a" Obs.Metrics.pp m);
+      | Some m ->
+        (* Fold the ring's overwrite count into the metrics first so
+           the summary surfaces silent event loss. *)
+        Obs.record_drops obs;
+        Format.printf "%a" Obs.Metrics.pp m);
+      let ring_dropped = Obs.Sink.dropped (Obs.sink obs) in
+      if ring_dropped > 0 then
+        Printf.eprintf
+          "warning: event ring overflowed; the oldest %d events were dropped (raise the ring \
+           capacity or lower the trace level)\n"
+          ring_dropped;
       (match csv with
       | None -> ()
       | Some path ->
@@ -318,7 +356,7 @@ let run_cmd =
     Term.(
       const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg $ policy_arg $ seed_arg
       $ jitter_arg $ native_arg $ reservation_arg $ mode $ apps $ rate $ csv $ trace $ gantt
-      $ trace_level $ events $ app_file)
+      $ trace_level $ events $ app_file $ faults_arg $ fault_seed_arg)
 
 (* ---------------------- sweep ---------------------- *)
 
@@ -365,12 +403,15 @@ let sweep_cmd =
   let summary =
     Arg.(value & flag & info [ "summary" ] ~doc:"Collapse replicates into per-cell quartile summaries.")
   in
-  let run grid_name jobs replicates policies seed jitter csv json summary =
+  let run grid_name jobs replicates policies seed jitter csv json summary faults fault_seed =
     let policies = Option.map (fun s -> List.map String.trim (String.split_on_char ',' s)) policies in
     let base_seed = Option.map Int64.of_int seed in
     let grid =
       match Presets.by_name ?replicates ?base_seed ?jitter ?policies grid_name with
-      | Ok g -> Ok g
+      | Ok g -> (
+        match parse_faults faults fault_seed with
+        | Ok fault -> Ok { g with Grid.fault }
+        | Error _ as e -> e)
       | Error msg -> Error msg
       | exception Invalid_argument msg -> Error msg
     in
@@ -412,7 +453,7 @@ let sweep_cmd =
           --jobs value.")
     Term.(
       const run $ grid_name $ jobs $ replicates $ policies $ sweep_seed $ sweep_jitter $ csv
-      $ json $ summary)
+      $ json $ summary $ faults_arg $ fault_seed_arg)
 
 (* ---------------------- convert ---------------------- *)
 

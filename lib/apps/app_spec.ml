@@ -70,6 +70,13 @@ let validate t =
         let* () =
           List.fold_left (fun acc m -> let* () = acc in check_ref "successor" m) (Ok ()) n.successors
         in
+        (* A self-loop would also trip the cycle check below, but the
+           generic "dependency cycle" message doesn't name the culprit. *)
+        let* () =
+          if List.mem n.node_name n.predecessors || List.mem n.node_name n.successors then
+            err "node %S depends on itself" n.node_name
+          else Ok ()
+        in
         if n.platforms = [] then err "node %S has no platform entries" n.node_name else Ok ())
       (Ok ()) t.nodes
   in

@@ -18,10 +18,11 @@ type t = {
   base_seed : int64;
   jitter : float;
   reservation_depth : int;
+  fault : Dssoc_fault.Fault.plan option;
 }
 
 let make ?(label = "sweep") ?(replicates = 1) ?(base_seed = 1L) ?(jitter = 0.0)
-    ?(reservation_depth = 0) ~configs ~policies ~workloads () =
+    ?(reservation_depth = 0) ?fault ~configs ~policies ~workloads () =
   if configs = [] then invalid_arg "Grid.make: no configurations";
   if policies = [] then invalid_arg "Grid.make: no policies";
   if workloads = [] then invalid_arg "Grid.make: no workloads";
@@ -33,7 +34,17 @@ let make ?(label = "sweep") ?(replicates = 1) ?(base_seed = 1L) ?(jitter = 0.0)
   List.iter
     (fun p -> match Scheduler.find p with Ok _ -> () | Error msg -> invalid_arg msg)
     policies;
-  { label; configs; policies; workloads; replicates; base_seed; jitter; reservation_depth }
+  {
+    label;
+    configs;
+    policies;
+    workloads;
+    replicates;
+    base_seed;
+    jitter;
+    reservation_depth;
+    fault;
+  }
 
 let size t =
   List.length t.configs * List.length t.policies * List.length t.workloads * t.replicates

@@ -31,6 +31,9 @@ type t = {
   base_seed : int64;
   jitter : float;  (** virtual-engine execution-time jitter sigma *)
   reservation_depth : int;  (** per-PE reservation-queue depth *)
+  fault : Dssoc_fault.Fault.plan option;
+      (** fault plan applied to every point (resilience campaigns);
+          [None] sweeps fault-free *)
 }
 
 val make :
@@ -39,6 +42,7 @@ val make :
   ?base_seed:int64 ->
   ?jitter:float ->
   ?reservation_depth:int ->
+  ?fault:Dssoc_fault.Fault.plan ->
   configs:(string * Dssoc_soc.Config.t) list ->
   policies:string list ->
   workloads:workload_spec list ->
@@ -46,7 +50,7 @@ val make :
   t
 (** Validates eagerly: non-empty axes, positive replicates, known
     policy names.  Defaults: one replicate, seed 1, no jitter, no
-    reservation queues.
+    reservation queues, no fault plan.
     @raise Invalid_argument on an invalid grid. *)
 
 val size : t -> int

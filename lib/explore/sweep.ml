@@ -25,6 +25,9 @@ type row = {
   mean_wait_us : float;
   p95_service_us : float;
   util_by_kind : (string * float) list;
+  verdict : Stats.verdict;
+  completed_fraction : float;
+  task_retries : int;
 }
 
 type table = { grid_label : string; rows : row list }
@@ -39,10 +42,40 @@ let run_point (grid : Grid.t) (p : Grid.point) =
      tables stay byte-identical across worker counts. *)
   let metrics = Obs.Metrics.create () in
   let obs = Obs.make ~metrics () in
-  let r =
-    Emulator.run_exn ~engine ~policy:p.Grid.policy ~obs ~config:p.Grid.config
-      ~workload:p.Grid.workload ()
-  in
+  match
+    Emulator.run ~engine ~policy:p.Grid.policy ~obs ?fault:grid.Grid.fault
+      ~config:p.Grid.config ~workload:p.Grid.workload ()
+  with
+  | Error msg when grid.Grid.fault <> None ->
+    (* A grid can span configurations the fault plan cannot target
+       (e.g. an [accel:...] rule over a 0-FFT point).  Record the
+       rejection in the verdict column instead of killing the sweep. *)
+    {
+      index = p.Grid.index;
+      config = p.Grid.config_label;
+      policy = p.Grid.policy;
+      workload = p.Grid.wl_label;
+      replicate = p.Grid.replicate;
+      seed = p.Grid.seed;
+      makespan_ns = 0;
+      job_count = 0;
+      task_count = 0;
+      sched_invocations = 0;
+      sched_ns = 0;
+      wm_overhead_ns = 0;
+      busy_energy_mj = 0.0;
+      energy_mj = 0.0;
+      max_ready_depth = 0;
+      max_inflight = 0;
+      mean_wait_us = 0.0;
+      p95_service_us = 0.0;
+      util_by_kind = [];
+      verdict = Stats.Aborted msg;
+      completed_fraction = 0.0;
+      task_retries = 0;
+    }
+  | Error msg -> invalid_arg msg
+  | Ok r ->
   let gauge_max name =
     match Obs.Metrics.find_gauge metrics name with
     | Some g -> Obs.Metrics.gauge_max g
@@ -73,6 +106,9 @@ let run_point (grid : Grid.t) (p : Grid.point) =
     mean_wait_us = hist Obs.Metrics.histogram_mean "task_wait_us";
     p95_service_us = hist (fun h -> Obs.Metrics.histogram_quantile h 0.95) "task_service_us";
     util_by_kind = Stats.mean_utilization_by_kind r;
+    verdict = r.Stats.verdict;
+    completed_fraction = Stats.completed_fraction r;
+    task_retries = r.Stats.resilience.Stats.task_retries;
   }
 
 let run ?jobs grid =
@@ -94,7 +130,7 @@ let run_timed ?jobs grid =
 let util_string u = String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%.6f" k v) u)
 
 let csv_header =
-  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,max_ready_depth,max_inflight,mean_wait_us,p95_service_us,util_by_kind"
+  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,max_ready_depth,max_inflight,mean_wait_us,p95_service_us,util_by_kind,verdict,completed_fraction,task_retries"
 
 let to_csv t =
   let field = Table.csv_field in
@@ -104,12 +140,14 @@ let to_csv t =
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,%s\n"
+        (Printf.sprintf
+           "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,%s,%s,%.6f,%d\n"
            (field r.config) (field r.policy) (field r.workload) r.replicate r.seed
            r.makespan_ns r.job_count r.task_count r.sched_invocations r.sched_ns
            r.wm_overhead_ns r.busy_energy_mj r.energy_mj r.max_ready_depth r.max_inflight
            r.mean_wait_us r.p95_service_us
-           (field (util_string r.util_by_kind))))
+           (field (util_string r.util_by_kind))
+           (Stats.verdict_name r.verdict) r.completed_fraction r.task_retries))
     t.rows;
   Buffer.contents buf
 
@@ -143,6 +181,9 @@ let to_json t =
                    ("p95_service_us", Json.float r.p95_service_us);
                    ( "util_by_kind",
                      Json.obj (List.map (fun (k, v) -> (k, Json.float v)) r.util_by_kind) );
+                   ("verdict", Json.str (Stats.verdict_name r.verdict));
+                   ("completed_fraction", Json.float r.completed_fraction);
+                   ("task_retries", Json.int r.task_retries);
                  ])
              t.rows) );
     ]

@@ -30,6 +30,11 @@ type row = {
   mean_wait_us : float;  (** mean ready-to-dispatch latency *)
   p95_service_us : float;  (** p95 dispatch-to-completion latency *)
   util_by_kind : (string * float) list;  (** mean utilisation per PE kind, sorted by kind *)
+  verdict : Dssoc_runtime.Stats.verdict;
+      (** [Completed] on fault-free grids; under a grid fault plan,
+          whether the point completed, degraded or aborted *)
+  completed_fraction : float;  (** tasks completed / tasks injected, 1.0 when fault-free *)
+  task_retries : int;  (** resilient-dispatch retries (0 when fault-free) *)
 }
 
 type table = { grid_label : string; rows : row list  (** in point order *) }

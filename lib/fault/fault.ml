@@ -1,0 +1,326 @@
+module Prng = Dssoc_util.Prng
+
+type failure = Pe_dead | Transient | Dma_error | Watchdog_timeout
+
+let failure_name = function
+  | Pe_dead -> "pe_dead"
+  | Transient -> "transient"
+  | Dma_error -> "dma_error"
+  | Watchdog_timeout -> "watchdog_timeout"
+
+type target = All | Pe_named of string
+
+type fkind =
+  | Die_at of int
+  | Transient_faults of { p : float; recover_ns : int }
+  | Dma_errors of { p : float; recover_ns : int }
+  | Hangs of { p : float; recover_ns : int }
+  | Slowdowns of { p : float; factor : float }
+
+type rule = { target : target; fault : fkind }
+
+type plan = {
+  fault_seed : int64;
+  rules : rule list;
+  max_attempts : int;
+  backoff_base_ns : int;
+  backoff_cap_ns : int;
+  watchdog_factor : float;
+  watchdog_floor_ns : int;
+}
+
+let default_plan =
+  {
+    fault_seed = 1L;
+    rules = [];
+    max_attempts = 4;
+    backoff_base_ns = 100_000;
+    backoff_cap_ns = 10_000_000;
+    watchdog_factor = 8.0;
+    watchdog_floor_ns = 1_000_000;
+  }
+
+let with_seed plan seed = { plan with fault_seed = seed }
+
+(* ---------------- compiled plans ---------------- *)
+
+type pe_info = { pe_label : string; pe_kind : string; pe_is_cpu : bool }
+
+type compiled = {
+  plan : plan;
+  rules : rule array;  (** plan order — the draw order *)
+  applies : bool array array;  (** [rules x pes] *)
+  death : int array;  (** per PE; [max_int] = never *)
+}
+
+type t = Disabled | Enabled of compiled
+
+let disabled = Disabled
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let target_matches target (pe : pe_info) =
+  match target with
+  | All -> true
+  | Pe_named name ->
+    String.equal name pe.pe_label || String.equal name pe.pe_kind
+    || (String.equal name "cpu" && pe.pe_is_cpu)
+    || (String.equal name "accel" && not pe.pe_is_cpu)
+
+let target_name = function All -> "*" | Pe_named name -> name
+
+(* DMA errors only make sense where there is a DMA engine. *)
+let rule_applies rule pe =
+  target_matches rule.target pe
+  && match rule.fault with Dma_errors _ -> not pe.pe_is_cpu | _ -> true
+
+let compile (plan : plan) ~(pes : pe_info array) =
+  if plan.rules = [] then Disabled
+  else begin
+    let rules = Array.of_list plan.rules in
+    let applies =
+      Array.map (fun rule -> Array.map (fun pe -> rule_applies rule pe) pes) rules
+    in
+    Array.iteri
+      (fun i row ->
+        if not (Array.exists Fun.id row) then
+          invalid_arg
+            (Printf.sprintf "fault plan: target %S matches no PE of this configuration"
+               (target_name rules.(i).target)))
+      applies;
+    let death = Array.make (Array.length pes) max_int in
+    Array.iteri
+      (fun i rule ->
+        match rule.fault with
+        | Die_at t ->
+          Array.iteri (fun p ok -> if ok then death.(p) <- min death.(p) t) applies.(i)
+        | _ -> ())
+      rules;
+    Enabled { plan; rules; applies; death }
+  end
+
+(* ---------------- decisions ---------------- *)
+
+type decision =
+  | Proceed
+  | Proceed_slow of int
+  | Fail of { after_ns : int; reason : failure; quarantine_ns : int }
+
+(* Modelled latency before a permanent failure is noticed. *)
+let dead_pe_detect_ns = 10_000
+
+let watchdog_of plan ~est_ns =
+  max plan.watchdog_floor_ns
+    (int_of_float (plan.watchdog_factor *. float_of_int (max 0 est_ns)))
+
+let decide t ~pe ~now ~task_id ~attempt ~est_ns =
+  match t with
+  | Disabled -> Proceed
+  | Enabled c ->
+    if now >= c.death.(pe) then
+      Fail { after_ns = dead_pe_detect_ns; reason = Pe_dead; quarantine_ns = max_int }
+    else begin
+      (* One fresh stream per (task, attempt); one draw per
+         probabilistic rule, in plan order, whether or not the rule
+         applies to this PE — so every engine and every candidate PE
+         sees identical draws. *)
+      let prng =
+        Prng.derive
+          ~seed:(Prng.derive_seed ~seed:c.plan.fault_seed ~index:task_id)
+          ~index:attempt
+      in
+      let est = max 1 est_ns in
+      let chosen = ref Proceed in
+      Array.iteri
+        (fun i rule ->
+          let draw p = Prng.bernoulli prng p in
+          let hit =
+            match rule.fault with
+            | Die_at _ -> false
+            | Transient_faults { p; _ } | Dma_errors { p; _ } | Hangs { p; _ }
+            | Slowdowns { p; _ } ->
+              draw p
+          in
+          if hit && c.applies.(i).(pe) && !chosen = Proceed then
+            chosen :=
+              (match rule.fault with
+              | Die_at _ -> Proceed
+              | Transient_faults { recover_ns; _ } ->
+                Fail
+                  { after_ns = max 1 (est / 2); reason = Transient; quarantine_ns = recover_ns }
+              | Dma_errors { recover_ns; _ } ->
+                Fail
+                  { after_ns = max 1 (est / 4); reason = Dma_error; quarantine_ns = recover_ns }
+              | Hangs { recover_ns; _ } ->
+                Fail
+                  {
+                    after_ns = watchdog_of c.plan ~est_ns:est;
+                    reason = Watchdog_timeout;
+                    quarantine_ns = recover_ns;
+                  }
+              | Slowdowns { factor; _ } ->
+                Proceed_slow
+                  (max 0 (int_of_float ((factor -. 1.0) *. float_of_int est)))))
+        c.rules;
+      !chosen
+    end
+
+let death_ns t ~pe =
+  match t with
+  | Disabled -> None
+  | Enabled c -> if c.death.(pe) = max_int then None else Some c.death.(pe)
+
+let max_attempts = function Disabled -> max_int | Enabled c -> c.plan.max_attempts
+
+let backoff_ns t ~attempt =
+  match t with
+  | Disabled -> 0
+  | Enabled c ->
+    let shift = min 20 (max 0 (attempt - 1)) in
+    min c.plan.backoff_cap_ns (c.plan.backoff_base_ns lsl shift)
+
+let watchdog_ns t ~est_ns =
+  match t with Disabled -> max_int | Enabled c -> watchdog_of c.plan ~est_ns
+
+(* ---------------- spec strings ---------------- *)
+
+let spec_grammar =
+  "comma-separated clauses; each TARGET:FAULT with optional \
+   key=value fields, where TARGET is *, a PE label (fft0), a PE kind \
+   (accel_fft), or the groups cpu/accel, and FAULT is die@TIME, \
+   transient:p=P[:recover=TIME], dma:p=P[:recover=TIME], \
+   hang:p=P[:recover=TIME] or slow:p=P:factor=F; plus the knob \
+   clauses retries=N, backoff=TIME and backoff-cap=TIME.  TIME \
+   accepts ns/us/ms/s suffixes (bare numbers are ns).  Example: \
+   'fft0:die@2ms,*:transient:p=0.1:recover=0.5ms,retries=5'"
+
+let parse_duration_ns s =
+  let num_part suffix = String.sub s 0 (String.length s - String.length suffix) in
+  let scaled suffix mult =
+    match float_of_string_opt (num_part suffix) with
+    | Some f when f >= 0.0 -> Some (int_of_float (f *. mult))
+    | _ -> None
+  in
+  let ends suffix =
+    let n = String.length s and m = String.length suffix in
+    n > m && String.equal (String.sub s (n - m) m) suffix
+  in
+  if ends "ns" then scaled "ns" 1.0
+  else if ends "us" then scaled "us" 1e3
+  else if ends "ms" then scaled "ms" 1e6
+  else if ends "s" then scaled "s" 1e9
+  else scaled "" 1.0
+
+let parse_prob s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> Some p
+  | _ -> None
+
+let split_on c s = String.split_on_char c s |> List.map String.trim
+
+(* [fields] is the list of "key=value" strings after the fault name. *)
+let field_value fields key =
+  List.find_map
+    (fun f ->
+      match String.index_opt f '=' with
+      | Some i when String.equal (String.sub f 0 i) key ->
+        Some (String.sub f (i + 1) (String.length f - i - 1))
+      | _ -> None)
+    fields
+
+let ( let* ) = Result.bind
+
+let parse_clause clause =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match split_on ':' clause with
+  | [] | [ "" ] -> err "empty clause"
+  | [ knob ] when String.contains knob '=' -> begin
+    (* global knob: retries=N, backoff=TIME, backoff-cap=TIME *)
+    match split_on '=' knob with
+    | [ "retries"; v ] -> begin
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Ok (`Knob (fun p -> { p with max_attempts = n }))
+      | _ -> err "retries wants a positive integer, got %S" v
+    end
+    | [ "backoff"; v ] -> begin
+      match parse_duration_ns v with
+      | Some ns -> Ok (`Knob (fun p -> { p with backoff_base_ns = ns }))
+      | None -> err "backoff wants a duration, got %S" v
+    end
+    | [ "backoff-cap"; v ] -> begin
+      match parse_duration_ns v with
+      | Some ns -> Ok (`Knob (fun p -> { p with backoff_cap_ns = ns }))
+      | None -> err "backoff-cap wants a duration, got %S" v
+    end
+    | _ -> err "unknown knob %S" knob
+  end
+  | target_s :: rest -> begin
+    let target = if String.equal target_s "*" then All else Pe_named target_s in
+    let fault_s, fields =
+      match rest with [] -> ("", []) | f :: fields -> (f, fields)
+    in
+    let prob () =
+      match field_value fields "p" with
+      | Some v -> (
+        match parse_prob v with
+        | Some p -> Ok p
+        | None -> err "%s: p wants a probability in [0,1], got %S" clause v)
+      | None -> err "%s: missing p=PROB" clause
+    in
+    let recover ~default =
+      match field_value fields "recover" with
+      | None -> Ok default
+      | Some v -> (
+        match parse_duration_ns v with
+        | Some ns -> Ok ns
+        | None -> err "%s: recover wants a duration, got %S" clause v)
+    in
+    match String.index_opt fault_s '@' with
+    | Some i when String.equal (String.sub fault_s 0 i) "die" -> begin
+      let v = String.sub fault_s (i + 1) (String.length fault_s - i - 1) in
+      match parse_duration_ns v with
+      | Some ns -> Ok (`Rule { target; fault = Die_at ns })
+      | None -> err "%s: die@ wants a duration, got %S" clause v
+    end
+    | _ -> begin
+      match fault_s with
+      | "transient" ->
+        let* p = prob () in
+        let* recover_ns = recover ~default:1_000_000 in
+        Ok (`Rule { target; fault = Transient_faults { p; recover_ns } })
+      | "dma" ->
+        let* p = prob () in
+        let* recover_ns = recover ~default:1_000_000 in
+        Ok (`Rule { target; fault = Dma_errors { p; recover_ns } })
+      | "hang" ->
+        let* p = prob () in
+        let* recover_ns = recover ~default:1_000_000 in
+        Ok (`Rule { target; fault = Hangs { p; recover_ns } })
+      | "slow" ->
+        let* p = prob () in
+        let* factor =
+          match field_value fields "factor" with
+          | None -> err "%s: slow wants factor=F" clause
+          | Some v -> (
+            match float_of_string_opt v with
+            | Some f when f >= 1.0 -> Ok f
+            | _ -> err "%s: factor wants a float >= 1, got %S" clause v)
+        in
+        Ok (`Rule { target; fault = Slowdowns { p; factor } })
+      | "" -> err "%s: missing fault kind" clause
+      | other -> err "%s: unknown fault kind %S" clause other
+    end
+  end
+
+let of_spec ?(seed = default_plan.fault_seed) spec =
+  let clauses = split_on ',' spec |> List.filter (fun c -> not (String.equal c "")) in
+  if clauses = [] then Error "empty fault spec"
+  else
+    let rec go (plan : plan) rules = function
+      | [] -> Ok { plan with rules = List.rev rules }
+      | clause :: rest -> (
+        match parse_clause clause with
+        | Ok (`Rule r) -> go plan (r :: rules) rest
+        | Ok (`Knob f) -> go (f plan) rules rest
+        | Error _ as e -> e)
+    in
+    go { default_plan with fault_seed = seed } [] clauses

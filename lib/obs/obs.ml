@@ -47,6 +47,33 @@ type body =
       dur_ns : int;
     }
   | Wm_tick of { completions : int; injected : int }
+  | Fault_injected of {
+      task : int;
+      pe : string;
+      pe_index : int;
+      fault : string;
+      attempt : int;
+    }
+  | Task_failed of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      pe : string;
+      pe_index : int;
+      fault : string;
+      attempt : int;
+    }
+  | Task_retried of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      attempt : int;
+      backoff_ns : int;
+    }
+  | Pe_quarantined of { pe : string; pe_index : int; until_ns : int; permanent : bool }
+  | Pe_recovered of { pe : string; pe_index : int }
 
 type event = { t_ns : int; body : body }
 
@@ -236,6 +263,10 @@ type engine_metrics = {
   c_dispatched : Metrics.counter;
   c_completed : Metrics.counter;
   c_sched : Metrics.counter;
+  c_faults : Metrics.counter;
+  c_retries : Metrics.counter;
+  c_quarantines : Metrics.counter;
+  c_dropped : Metrics.counter;
 }
 
 type t = {
@@ -272,6 +303,12 @@ let attach_pes t ~pe_labels =
       let m_wait = Metrics.histogram m "task_wait_us" in
       let m_service = Metrics.histogram m "task_service_us" in
       let m_sched_cost = Metrics.histogram m "sched_cost_us" in
+      (* Resilience counters and the ring-drop count register after the
+         pre-existing handles so their display/export order is stable. *)
+      let c_faults = Metrics.counter m "faults_injected" in
+      let c_retries = Metrics.counter m "task_retries" in
+      let c_quarantines = Metrics.counter m "pe_quarantines" in
+      let c_dropped = Metrics.counter m "events_dropped" in
       t.eng <-
         Some
           {
@@ -285,6 +322,10 @@ let attach_pes t ~pe_labels =
             c_dispatched;
             c_completed;
             c_sched;
+            c_faults;
+            c_retries;
+            c_quarantines;
+            c_dropped;
           }
 
 let on_instance_injected t ~now ~instance ~app =
@@ -342,6 +383,33 @@ let on_phase t ~now ~task ~pe_index ~phase ~start_ns ~dur_ns =
 let on_wm_tick t ~now ~completions ~injected =
   if completions > 0 || injected > 0 then
     Sink.emit t.sink now (Wm_tick { completions; injected })
+
+(* Emitted by resource handlers (possibly native domains): sink only —
+   metrics are WM-thread-only by contract. *)
+let on_fault_injected t ~now ~task ~pe ~pe_index ~fault ~attempt =
+  Sink.emit t.sink now (Fault_injected { task; pe; pe_index; fault; attempt })
+
+let on_task_failed t ~now ~task ~instance ~app ~node ~pe ~pe_index ~fault ~attempt =
+  (match t.eng with Some e -> Metrics.incr e.c_faults | None -> ());
+  Sink.emit t.sink now (Task_failed { task; instance; app; node; pe; pe_index; fault; attempt })
+
+let on_task_retried t ~now ~task ~instance ~app ~node ~attempt ~backoff_ns =
+  (match t.eng with Some e -> Metrics.incr e.c_retries | None -> ());
+  Sink.emit t.sink now (Task_retried { task; instance; app; node; attempt; backoff_ns })
+
+let on_pe_quarantined t ~now ~pe ~pe_index ~until_ns ~permanent =
+  (match t.eng with Some e -> Metrics.incr e.c_quarantines | None -> ());
+  Sink.emit t.sink now (Pe_quarantined { pe; pe_index; until_ns; permanent })
+
+let on_pe_recovered t ~now ~pe ~pe_index =
+  Sink.emit t.sink now (Pe_recovered { pe; pe_index })
+
+let record_drops t =
+  match t.eng with
+  | Some e ->
+      let d = Sink.dropped t.sink in
+      Metrics.incr e.c_dropped ~by:(d - Metrics.counter_value e.c_dropped)
+  | None -> ()
 
 let recorded_events t = Sink.events t.sink
 
@@ -409,6 +477,47 @@ let event_to_json { t_ns; body } =
         ]
   | Wm_tick { completions; injected } ->
       mk "wm_tick" [ ("completions", Json.int completions); ("injected", Json.int injected) ]
+  | Fault_injected { task; pe; pe_index; fault; attempt } ->
+      mk "fault_injected"
+        [
+          ("task", Json.int task);
+          ("pe", Json.str pe);
+          ("pe_index", Json.int pe_index);
+          ("fault", Json.str fault);
+          ("attempt", Json.int attempt);
+        ]
+  | Task_failed { task; instance; app; node; pe; pe_index; fault; attempt } ->
+      mk "task_failed"
+        [
+          ("task", Json.int task);
+          ("instance", Json.int instance);
+          ("app", Json.str app);
+          ("node", Json.str node);
+          ("pe", Json.str pe);
+          ("pe_index", Json.int pe_index);
+          ("fault", Json.str fault);
+          ("attempt", Json.int attempt);
+        ]
+  | Task_retried { task; instance; app; node; attempt; backoff_ns } ->
+      mk "task_retried"
+        [
+          ("task", Json.int task);
+          ("instance", Json.int instance);
+          ("app", Json.str app);
+          ("node", Json.str node);
+          ("attempt", Json.int attempt);
+          ("backoff_ns", Json.int backoff_ns);
+        ]
+  | Pe_quarantined { pe; pe_index; until_ns; permanent } ->
+      mk "pe_quarantined"
+        [
+          ("pe", Json.str pe);
+          ("pe_index", Json.int pe_index);
+          ("until_ns", Json.int until_ns);
+          ("permanent", Json.bool permanent);
+        ]
+  | Pe_recovered { pe; pe_index } ->
+      mk "pe_recovered" [ ("pe", Json.str pe); ("pe_index", Json.int pe_index) ]
 
 let to_jsonl events =
   let buf = Buffer.create 4096 in

@@ -58,6 +58,33 @@ type body =
       dur_ns : int;
     }  (** accelerator DMA-in / device-compute / DMA-out sub-span *)
   | Wm_tick of { completions : int; injected : int }
+  | Fault_injected of {
+      task : int;
+      pe : string;
+      pe_index : int;
+      fault : string;
+      attempt : int;
+    }  (** a handler observed an injected fault (incl. slowdowns) *)
+  | Task_failed of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      pe : string;
+      pe_index : int;
+      fault : string;
+      attempt : int;
+    }  (** WM bookkeeping of a failed execution attempt *)
+  | Task_retried of {
+      task : int;
+      instance : int;
+      app : string;
+      node : string;
+      attempt : int;  (** attempts so far; the retry is attempt+1 *)
+      backoff_ns : int;
+    }
+  | Pe_quarantined of { pe : string; pe_index : int; until_ns : int; permanent : bool }
+  | Pe_recovered of { pe : string; pe_index : int }
 
 type event = { t_ns : int; body : body }
 
@@ -195,6 +222,32 @@ val on_wm_tick : t -> now:int -> completions:int -> injected:int -> unit
 (** Emitted at the end of a WM sweep; quiet sweeps (no completions, no
     injections) are suppressed so polling backends don't flood the
     ring. *)
+
+val on_fault_injected :
+  t -> now:int -> task:int -> pe:string -> pe_index:int -> fault:string ->
+  attempt:int -> unit
+(** Sink-only (resource handlers call it, possibly from a native
+    domain; metrics stay WM-thread-only). *)
+
+val on_task_failed :
+  t -> now:int -> task:int -> instance:int -> app:string -> node:string ->
+  pe:string -> pe_index:int -> fault:string -> attempt:int -> unit
+
+val on_task_retried :
+  t -> now:int -> task:int -> instance:int -> app:string -> node:string ->
+  attempt:int -> backoff_ns:int -> unit
+
+val on_pe_quarantined :
+  t -> now:int -> pe:string -> pe_index:int -> until_ns:int -> permanent:bool ->
+  unit
+
+val on_pe_recovered : t -> now:int -> pe:string -> pe_index:int -> unit
+
+val record_drops : t -> unit
+(** Copy the sink's ring-overwrite count into the [events_dropped]
+    counter (registered by {!attach_pes}) so {!Metrics.pp} surfaces
+    silent event loss.  Call after a run, before printing or exporting
+    metrics.  A no-op without metrics; idempotent. *)
 
 (** {2 Export} *)
 

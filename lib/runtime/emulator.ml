@@ -8,24 +8,7 @@ let native_seeded ?(jitter = 0.0) ?(reservation_depth = 0) seed =
 
 let native_default = Native Native_engine.default_params
 
-let run ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs ~config
-    ~workload () =
-  match Scheduler.find policy with
-  | Error _ as e -> e
-  | Ok policy -> (
-    try
-      Ok
-        (match engine with
-        | Virtual params -> Virtual_engine.run ~params ?obs ~config ~workload ~policy ()
-        | Native params -> Native_engine.run ~params ?obs ~config ~workload ~policy ())
-    with Invalid_argument msg -> Error msg)
-
-let run_exn ?engine ?policy ?obs ~config ~workload () =
-  match run ?engine ?policy ?obs ~config ~workload () with
-  | Ok r -> r
-  | Error msg -> invalid_arg (Printf.sprintf "Emulator.run_exn: %s" msg)
-
-let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs
+let run ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs ?fault
     ~config ~workload () =
   match Scheduler.find policy with
   | Error _ as e -> e
@@ -34,7 +17,26 @@ let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS
       Ok
         (match engine with
         | Virtual params ->
-          Virtual_engine.run_detailed ~params ?obs ~config ~workload ~policy ()
+          Virtual_engine.run ~params ?obs ?fault ~config ~workload ~policy ()
         | Native params ->
-          Native_engine.run_detailed ~params ?obs ~config ~workload ~policy ())
+          Native_engine.run ~params ?obs ?fault ~config ~workload ~policy ())
+    with Invalid_argument msg -> Error msg)
+
+let run_exn ?engine ?policy ?obs ?fault ~config ~workload () =
+  match run ?engine ?policy ?obs ?fault ~config ~workload () with
+  | Ok r -> r
+  | Error msg -> invalid_arg (Printf.sprintf "Emulator.run_exn: %s" msg)
+
+let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs
+    ?fault ~config ~workload () =
+  match Scheduler.find policy with
+  | Error _ as e -> e
+  | Ok policy -> (
+    try
+      Ok
+        (match engine with
+        | Virtual params ->
+          Virtual_engine.run_detailed ~params ?obs ?fault ~config ~workload ~policy ()
+        | Native params ->
+          Native_engine.run_detailed ~params ?obs ?fault ~config ~workload ~policy ())
     with Invalid_argument msg -> Error msg)

@@ -30,20 +30,26 @@ val run :
   ?engine:engine ->
   ?policy:string ->
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.plan ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   unit ->
   (Stats.report, string) result
 (** Defaults: deterministic virtual engine (seed 1, 3% jitter), FRFS,
-    observation disabled.  [obs] threads an observation bundle
-    (event sink and/or metrics registry) through the selected
-    engine's run — see {!Dssoc_obs.Obs}.  Errors on unknown policy
-    names or unsupported tasks. *)
+    observation disabled, no fault injection.  [obs] threads an
+    observation bundle (event sink and/or metrics registry) through
+    the selected engine's run — see {!Dssoc_obs.Obs}.  [fault]
+    injects a deterministic fault plan and enables resilient dispatch
+    — see {!Dssoc_fault.Fault} and {!Engine_core.workload_manager};
+    the report's [verdict] and [resilience] fields record the
+    outcome.  Errors on unknown policy names, unsupported tasks, or a
+    fault rule targeting no PE of the configuration. *)
 
 val run_exn :
   ?engine:engine ->
   ?policy:string ->
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.plan ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   unit ->
@@ -53,6 +59,7 @@ val run_detailed :
   ?engine:engine ->
   ?policy:string ->
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.plan ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   unit ->

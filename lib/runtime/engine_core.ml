@@ -5,6 +5,7 @@ module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
 module Prng = Dssoc_util.Prng
 module Obs = Dssoc_obs.Obs
+module Fault = Dssoc_fault.Fault
 
 (* ------------------------------------------------------------------ *)
 (* Parameters                                                          *)
@@ -36,6 +37,9 @@ type 'h handler = {
   mutable h_busy_ns : int;  (** occupancy (execution time), not queue residence *)
   mutable h_tasks_run : int;
   mutable h_busy_until : int;  (** EFT availability horizon; WM-owned *)
+  mutable h_quarantined_until : int;
+      (** WM-owned fault state: 0 = healthy, [max_int] = permanently
+          dead, else the emulation time the quarantine lifts *)
   h_backend : 'h;  (** backend-private per-handler state *)
 }
 
@@ -51,6 +55,7 @@ let make_handler ~pe ~index ~reservation_depth backend =
     h_busy_ns = 0;
     h_tasks_run = 0;
     h_busy_until = 0;
+    h_quarantined_until = 0;
     h_backend = backend;
   }
 
@@ -63,9 +68,25 @@ type wm_stats = {
   mutable sched_ns : int;
   mutable wm_ns : int;
   mutable records : Stats.task_record list;
+  mutable faults : int;  (** failed or slowed execution attempts *)
+  mutable retries : int;
+  mutable quarantines : int;
+  mutable pe_deaths : int;
+  mutable aborted : string option;  (** first abort reason, if any *)
 }
 
-let make_stats () = { sched_invocations = 0; sched_ns = 0; wm_ns = 0; records = [] }
+let make_stats () =
+  {
+    sched_invocations = 0;
+    sched_ns = 0;
+    wm_ns = 0;
+    records = [];
+    faults = 0;
+    retries = 0;
+    quarantines = 0;
+    pe_deaths = 0;
+    aborted = None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Backends                                                            *)
@@ -81,6 +102,9 @@ type 'h backend = {
   b_notify_wm : unit -> unit;
   b_charge : float -> unit;
   b_execute : 'h handler -> Task.t -> unit;
+  b_delay : 'h handler -> int -> unit;
+      (** occupy the handler's PE for a modelled duration without
+          running a kernel (fault detection latency, slowdown tail) *)
   b_sched_start : unit -> int;
   b_sched_done : int -> ready:int -> ops:int -> int;
   b_wm_tick_start : unit -> int;
@@ -121,6 +145,23 @@ let instantiate ~engine_name ~(config : Config.t) ~(workload : Workload.t) =
     instances;
   instances
 
+(* Resolve an engine-facing fault plan against the run's handler
+   array; shared by both backends so they compile identical plans. *)
+let compile_fault plan ~(handlers : 'h handler array) =
+  match plan with
+  | None -> Fault.disabled
+  | Some plan ->
+    Fault.compile plan
+      ~pes:
+        (Array.map
+           (fun h ->
+             {
+               Fault.pe_label = h.h_pe.Pe.label;
+               pe_kind = Pe.kind_name h.h_pe.Pe.kind;
+               pe_is_cpu = Pe.is_cpu h.h_pe.Pe.kind;
+             })
+           handlers)
+
 let accel_phases (task : Task.t) pe acl =
   let entry = Task.platform_entry_for task pe in
   match Option.bind entry (fun e -> e.App_spec.cost_us) with
@@ -131,7 +172,42 @@ let accel_phases (task : Task.t) pe acl =
 (* Resource manager (Fig. 4)                                           *)
 (* ------------------------------------------------------------------ *)
 
-let resource_manager ?(obs = Obs.disabled) (b : 'h backend) (h : 'h handler) =
+let resource_manager ?(obs = Obs.disabled) ?(fault = Fault.disabled) ?est_table
+    (b : 'h backend) (h : 'h handler) =
+  (* One execution attempt.  A faulted attempt burns PE time but MUST
+     NOT run the kernel: kernels mutate the instance store in place and
+     are not idempotent, so only the final (successful) attempt may
+     execute — that keeps functional outputs identical with and
+     without retries. *)
+  let execute (task : Task.t) started =
+    if not (Fault.enabled fault) then b.b_execute h task
+    else begin
+      let est_ns =
+        match est_table with
+        | Some tbl -> Exec_model.lookup tbl task h.h_index
+        | None -> 0
+      in
+      match
+        Fault.decide fault ~pe:h.h_index ~now:started ~task_id:task.Task.id
+          ~attempt:task.Task.attempts ~est_ns
+      with
+      | Fault.Proceed -> b.b_execute h task
+      | Fault.Proceed_slow extra_ns ->
+        if Obs.enabled obs then
+          Obs.on_fault_injected obs ~now:started ~task:task.Task.id
+            ~pe:h.h_pe.Pe.label ~pe_index:h.h_index ~fault:"slowdown"
+            ~attempt:task.Task.attempts;
+        b.b_execute h task;
+        if extra_ns > 0 then b.b_delay h extra_ns
+      | Fault.Fail { after_ns; reason; quarantine_ns } ->
+        if Obs.enabled obs then
+          Obs.on_fault_injected obs ~now:started ~task:task.Task.id
+            ~pe:h.h_pe.Pe.label ~pe_index:h.h_index
+            ~fault:(Fault.failure_name reason) ~attempt:task.Task.attempts;
+        if after_ns > 0 then b.b_delay h after_ns;
+        task.Task.last_failure <- Some (reason, quarantine_ns)
+    end
+  in
   let rec loop () =
     b.b_lock h;
     b.b_handler_await h;
@@ -149,14 +225,16 @@ let resource_manager ?(obs = Obs.disabled) (b : 'h backend) (h : 'h handler) =
               ~depth:(Queue.length h.h_pending);
           b.b_unlock h;
           let started = b.b_now () in
-          b.b_execute h task;
+          execute task started;
           let finished = b.b_now () in
           task.Task.completed_at <- finished;
           b.b_lock h;
           (* Occupancy, not queue residence: utilisation stays
-             meaningful when a reservation queue is configured. *)
+             meaningful when a reservation queue is configured.  Failed
+             attempts still occupied the PE, but only successful runs
+             count as tasks run. *)
           h.h_busy_ns <- h.h_busy_ns + (finished - started);
-          h.h_tasks_run <- h.h_tasks_run + 1;
+          if task.Task.last_failure = None then h.h_tasks_run <- h.h_tasks_run + 1;
           Queue.add task h.h_completed;
           b.b_notify_wm ();
           drain ()
@@ -179,10 +257,11 @@ let resource_manager ?(obs = Obs.disabled) (b : 'h backend) (h : 'h handler) =
    deeper windows pointless. *)
 let sched_window = Cost_model.sched_examined_cap
 
-let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
+let workload_manager ?(obs = Obs.disabled) ?(fault = Fault.disabled) (b : 'h backend)
     ~(handlers : 'h handler array) ~(instances : Task.instance array) ~est_table
     ~(policy : Scheduler.policy) ~prng ~(stats : wm_stats) =
   let n_pes = Array.length handlers in
+  let fault_on = Fault.enabled fault in
   let ready : Task.t Queue.t = Queue.create () in
   (* Tasks leave the ready queue lazily (dispatch flips them to
      Running but only the front is ever popped), so [Queue.length]
@@ -204,13 +283,129 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
         ~instance:task.Task.instance_id ~app:task.Task.app_name
         ~node:task.Task.node.App_spec.node_name ~ready_depth:!ready_live
   in
+  (* ---- fault handling (all WM-owned; no-ops when [fault_on] is false) ---- *)
+  (* Tasks sleeping out a retry backoff, sorted by release time. *)
+  let retry_q : (int * Task.t) list ref = ref [] in
+  let insert_retry at task =
+    let rec ins = function
+      | ((t, _) as hd) :: tl when t <= at -> hd :: ins tl
+      | rest -> (at, task) :: rest
+    in
+    retry_q := ins !retry_q
+  in
+  let abort reason = if stats.aborted = None then stats.aborted <- Some reason in
+  let pe_alive h = h.h_quarantined_until <> max_int in
+  let has_alive_support (task : Task.t) =
+    Array.exists (fun h -> pe_alive h && Task.supports task h.h_pe) handlers
+  in
+  (* Permanent loss of a PE: quarantine it forever, drain its
+     reservation queue back to the ready list (those tasks never
+     started, so re-dispatching them elsewhere is safe), and give up
+     on the run if some unfinished task now has no surviving PE. *)
+  let kill_pe (h : 'h handler) ~now =
+    if pe_alive h then begin
+      h.h_quarantined_until <- max_int;
+      stats.quarantines <- stats.quarantines + 1;
+      stats.pe_deaths <- stats.pe_deaths + 1;
+      if Obs.enabled obs then
+        Obs.on_pe_quarantined obs ~now ~pe:h.h_pe.Pe.label ~pe_index:h.h_index
+          ~until_ns:max_int ~permanent:true;
+      let drained = ref [] in
+      b.b_lock h;
+      Queue.iter (fun t -> drained := t :: !drained) h.h_pending;
+      Queue.clear h.h_pending;
+      b.b_unlock h;
+      List.iter
+        (fun (t : Task.t) ->
+          h.h_inflight <- h.h_inflight - 1;
+          decr inflight;
+          make_ready t)
+        (List.rev !drained);
+      Array.iter
+        (fun inst ->
+          Array.iter
+            (fun (t : Task.t) ->
+              if t.Task.status <> Task.Done && not (has_alive_support t) then
+                abort
+                  (Printf.sprintf "task %s/%s supports no surviving PE" t.Task.app_name
+                     t.Task.node.App_spec.node_name))
+            inst.Task.tasks)
+        instances
+    end
+  in
+  let quarantine_pe (h : 'h handler) ~until ~now =
+    if pe_alive h && until > h.h_quarantined_until then begin
+      h.h_quarantined_until <- until;
+      stats.quarantines <- stats.quarantines + 1;
+      if Obs.enabled obs then
+        Obs.on_pe_quarantined obs ~now ~pe:h.h_pe.Pe.label ~pe_index:h.h_index
+          ~until_ns:until ~permanent:false
+    end
+  in
+  (* WM bookkeeping of one failed execution attempt: count it,
+     quarantine the PE as the fault plan dictates, then either
+     schedule a retry (capped exponential backoff) or abort. *)
+  let handle_failure (h : 'h handler) (task : Task.t) reason quarantine_ns =
+    stats.faults <- stats.faults + 1;
+    let now = b.b_now () in
+    if Obs.enabled obs then
+      Obs.on_task_failed obs ~now ~task:task.Task.id ~instance:task.Task.instance_id
+        ~app:task.Task.app_name ~node:task.Task.node.App_spec.node_name
+        ~pe:h.h_pe.Pe.label ~pe_index:h.h_index ~fault:(Fault.failure_name reason)
+        ~attempt:task.Task.attempts;
+    (match reason with
+    | Fault.Pe_dead -> kill_pe h ~now
+    | _ when quarantine_ns = max_int -> kill_pe h ~now
+    | _ when quarantine_ns > 0 -> quarantine_pe h ~until:(now + quarantine_ns) ~now
+    | _ -> ());
+    if not (has_alive_support task) then
+      abort
+        (Printf.sprintf "task %s/%s supports no surviving PE" task.Task.app_name
+           task.Task.node.App_spec.node_name)
+    else if task.Task.attempts >= Fault.max_attempts fault then
+      abort
+        (Printf.sprintf "task %s/%s exhausted its %d-attempt budget" task.Task.app_name
+           task.Task.node.App_spec.node_name (Fault.max_attempts fault))
+    else begin
+      stats.retries <- stats.retries + 1;
+      let backoff = Fault.backoff_ns fault ~attempt:task.Task.attempts in
+      task.Task.status <- Task.Blocked;
+      insert_retry (now + backoff) task;
+      if Obs.enabled obs then
+        Obs.on_task_retried obs ~now ~task:task.Task.id ~instance:task.Task.instance_id
+          ~app:task.Task.app_name ~node:task.Task.node.App_spec.node_name
+          ~attempt:task.Task.attempts ~backoff_ns:backoff
+    end
+  in
   (* Scratch structures reused by every scheduling invocation: the
      policy-facing PE states are refreshed in place, and the ready
      window is snapshotted into a reusable array (sized once to the
      examination cap).  Reallocating these per invocation — once per
      task completion — dominated the scheduler hot path. *)
+  (* A PE at or past its scheduled death time must never receive work,
+     even if the proactive kill sweep has not reached it yet: the
+     engines' clocks pass the death time at different wall points, and
+     a dispatch that slips through on one engine but not the other
+     consumes an attempt (without a fault draw) and desynchronises the
+     replay. *)
+  let dead_at h ~now =
+    match Fault.death_ns fault ~pe:h.h_index with
+    | Some t -> now >= t
+    | None -> false
+  in
+  let sweep_deaths ~now =
+    Array.iter
+      (fun h ->
+        if dead_at h ~now && pe_alive h then begin
+          stats.faults <- stats.faults + 1;
+          kill_pe h ~now
+        end)
+      handlers
+  in
   let pes_scratch =
-    Array.map (fun h -> { Scheduler.pe = h.h_pe; idle = false; busy_until = 0 }) handlers
+    Array.map
+      (fun h -> { Scheduler.pe = h.h_pe; idle = false; busy_until = 0; available = true })
+      handlers
   in
   let ready_scratch = ref [||] in
   (* One scheduling invocation: snapshot the ready window, run the
@@ -223,8 +418,13 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
     while (not (Queue.is_empty ready)) && (Queue.peek ready).Task.status <> Task.Ready do
       ignore (Queue.pop ready)
     done;
-    let have_idle = Array.exists (fun h -> h.h_inflight < h.h_capacity) handlers in
-    if (not (Queue.is_empty ready)) && have_idle then begin
+    let now0 = if fault_on then b.b_now () else 0 in
+    let pe_ok h =
+      (not fault_on) || (h.h_quarantined_until <= now0 && not (dead_at h ~now:now0))
+    in
+    let usable h = h.h_inflight < h.h_capacity && pe_ok h in
+    let have_idle = Array.exists usable handlers in
+    if stats.aborted = None && (not (Queue.is_empty ready)) && have_idle then begin
       let ready_len = !ready_live in
       let nready =
         let taken = ref 0 in
@@ -245,7 +445,8 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
       Array.iteri
         (fun i h ->
           let st = pes_scratch.(i) in
-          st.Scheduler.idle <- h.h_inflight < h.h_capacity;
+          st.Scheduler.available <- pe_ok h;
+          st.Scheduler.idle <- st.Scheduler.available && h.h_inflight < h.h_capacity;
           st.Scheduler.busy_until <- h.h_busy_until)
         handlers;
       let t0 = b.b_sched_start () in
@@ -274,30 +475,43 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
       List.iter
         (fun (a : Scheduler.assignment) ->
           let task = a.Scheduler.task and h = handlers.(a.Scheduler.pe_index) in
-          b.b_charge Cost_model.dispatch_per_task_ns;
-          b.b_lock h;
-          task.Task.status <- Task.Running;
-          decr ready_live;
-          task.Task.dispatched_at <- b.b_now ();
-          task.Task.pe_label <- h.h_pe.Pe.label;
-          Queue.add task h.h_pending;
-          h.h_inflight <- h.h_inflight + 1;
-          incr inflight;
-          h.h_busy_until <-
-            max (b.b_now ()) h.h_busy_until + Exec_model.lookup est_table task h.h_index;
-          if Obs.enabled obs then begin
-            let now = task.Task.dispatched_at in
-            Obs.on_task_dispatched obs ~now ~task:task.Task.id
-              ~instance:task.Task.instance_id ~app:task.Task.app_name
-              ~node:task.Task.node.App_spec.node_name ~pe:h.h_pe.Pe.label
-              ~pe_index:h.h_index ~wait_ns:(now - task.Task.ready_at)
-              ~ready_depth:!ready_live ~pe_depth:h.h_inflight ~inflight:!inflight;
-            if h.h_capacity > 1 then
-              Obs.on_reservation_enqueued obs ~now ~pe_index:h.h_index
-                ~depth:(Queue.length h.h_pending)
-          end;
-          b.b_notify_handler h;
-          b.b_unlock h)
+          if
+            fault_on
+            && (h.h_quarantined_until > b.b_now ()
+               || dead_at h ~now:(b.b_now ())
+               || h.h_inflight >= h.h_capacity)
+          then
+            (* A custom policy ignored [Scheduler.pe_state.available]
+               (or overcommitted); drop the assignment — the task stays
+               in the ready list for the next invocation. *)
+            ()
+          else begin
+            b.b_charge Cost_model.dispatch_per_task_ns;
+            b.b_lock h;
+            task.Task.status <- Task.Running;
+            task.Task.attempts <- task.Task.attempts + 1;
+            decr ready_live;
+            task.Task.dispatched_at <- b.b_now ();
+            task.Task.pe_label <- h.h_pe.Pe.label;
+            Queue.add task h.h_pending;
+            h.h_inflight <- h.h_inflight + 1;
+            incr inflight;
+            h.h_busy_until <-
+              max (b.b_now ()) h.h_busy_until + Exec_model.lookup est_table task h.h_index;
+            if Obs.enabled obs then begin
+              let now = task.Task.dispatched_at in
+              Obs.on_task_dispatched obs ~now ~task:task.Task.id
+                ~instance:task.Task.instance_id ~app:task.Task.app_name
+                ~node:task.Task.node.App_spec.node_name ~pe:h.h_pe.Pe.label
+                ~pe_index:h.h_index ~wait_ns:(now - task.Task.ready_at)
+                ~ready_depth:!ready_live ~pe_depth:h.h_inflight ~inflight:!inflight;
+              if h.h_capacity > 1 then
+                Obs.on_reservation_enqueued obs ~now ~pe_index:h.h_index
+                  ~depth:(Queue.length h.h_pending)
+            end;
+            b.b_notify_handler h;
+            b.b_unlock h
+          end)
         assignments
     end
   in
@@ -336,6 +550,11 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
   in
   let rec loop () =
     let tick = b.b_wm_tick_start () in
+    (* Planned deaths fire before anything else in the iteration: the
+       first tick may already carry due arrivals (the virtual clock is
+       past t=0 once setup costs are charged), and a death must take
+       effect before any dispatch decision of the same tick. *)
+    if fault_on then sweep_deaths ~now:(b.b_now ());
     (* -- one completion-monitoring sweep over the resource handlers -- *)
     b.b_charge (Cost_model.monitor_per_pe_ns *. float_of_int n_pes);
     let batch_completions = ref false in
@@ -356,15 +575,20 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
             b.b_unlock h;
             h.h_inflight <- h.h_inflight - 1;
             decr inflight;
-            incr completions;
-            if Obs.enabled obs then
-              Obs.on_task_completed obs ~now:task.Task.completed_at
-                ~task:task.Task.id ~instance:task.Task.instance_id
-                ~app:task.Task.app_name ~node:task.Task.node.App_spec.node_name
-                ~pe:task.Task.pe_label ~pe_index:h.h_index
-                ~service_ns:(task.Task.completed_at - task.Task.dispatched_at)
-                ~pe_depth:h.h_inflight ~inflight:!inflight;
-            process_completion task;
+            (match task.Task.last_failure with
+            | Some (reason, quarantine_ns) ->
+              task.Task.last_failure <- None;
+              handle_failure h task reason quarantine_ns
+            | None ->
+              incr completions;
+              if Obs.enabled obs then
+                Obs.on_task_completed obs ~now:task.Task.completed_at
+                  ~task:task.Task.id ~instance:task.Task.instance_id
+                  ~app:task.Task.app_name ~node:task.Task.node.App_spec.node_name
+                  ~pe:task.Task.pe_label ~pe_index:h.h_index
+                  ~service_ns:(task.Task.completed_at - task.Task.dispatched_at)
+                  ~pe_depth:h.h_inflight ~inflight:!inflight;
+              process_completion task);
             if h.h_capacity <= 1 then
               (* No reservation queue: the scheduler runs once per
                  completed task, as in the paper. *)
@@ -391,17 +615,53 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
         drain ()
       | _ -> ()
     in
-    drain ();
+    if stats.aborted = None then drain ();
     if !injected > 0 then begin
       b.b_charge (Cost_model.ready_update_per_task_ns *. float_of_int !injected);
       do_schedule ()
+    end;
+    (* -- fault timeline: planned deaths, quarantine expiry, retries -- *)
+    if fault_on then begin
+      let now = b.b_now () in
+      (* Planned deaths fire proactively, so a PE dies at its scheduled
+         time on both engines even if nothing was dispatched to it.
+         (Also swept at the top of the iteration; this catches deaths
+         whose time was crossed by charges within the iteration.) *)
+      sweep_deaths ~now;
+      let recovered = ref false in
+      Array.iter
+        (fun h ->
+          if h.h_quarantined_until > 0 && pe_alive h && now >= h.h_quarantined_until
+          then begin
+            h.h_quarantined_until <- 0;
+            recovered := true;
+            if Obs.enabled obs then
+              Obs.on_pe_recovered obs ~now ~pe:h.h_pe.Pe.label ~pe_index:h.h_index
+          end)
+        handlers;
+      let released = ref 0 in
+      let rec release () =
+        match !retry_q with
+        | (t, task) :: rest when t <= now && stats.aborted = None ->
+          retry_q := rest;
+          make_ready task;
+          incr released;
+          release ()
+        | _ -> ()
+      in
+      release ();
+      if !released > 0 || !recovered then do_schedule ()
     end;
     b.b_wm_tick_end tick;
     if Obs.enabled obs then
       Obs.on_wm_tick obs ~now:(b.b_now ()) ~completions:!completions
         ~injected:!injected;
     (* -- terminate or wait for the next event -- *)
-    if !unfinished = 0 && !pending = [] then
+    let finished = !unfinished = 0 && !pending = [] in
+    (* An aborted run stops once in-flight work has drained: doomed
+       tasks never complete, so [unfinished] cannot reach zero. *)
+    let gave_up = stats.aborted <> None && !inflight = 0 in
+    if finished || gave_up then
       Array.iter
         (fun h ->
           b.b_lock h;
@@ -410,7 +670,29 @@ let workload_manager ?(obs = Obs.disabled) (b : 'h backend)
           b.b_unlock h)
         handlers
     else begin
-      let deadline = match !pending with [] -> None | inst :: _ -> Some inst.Task.arrival_ns in
+      let deadline =
+        if stats.aborted <> None then
+          (* Only waiting for in-flight tasks; their completions wake
+             the WM. *)
+          None
+        else begin
+          let best = ref (match !pending with [] -> None | i :: _ -> Some i.Task.arrival_ns) in
+          let add t = match !best with Some b when b <= t -> () | _ -> best := Some t in
+          if fault_on then begin
+            (match !retry_q with (t, _) :: _ -> add t | [] -> ());
+            Array.iter
+              (fun h ->
+                if pe_alive h then begin
+                  if h.h_quarantined_until > 0 then add h.h_quarantined_until;
+                  match Fault.death_ns fault ~pe:h.h_index with
+                  | Some t -> add t
+                  | None -> ()
+                end)
+              handlers
+          end;
+          !best
+        end
+      in
       b.b_wm_await ~deadline;
       loop ()
     end
@@ -450,13 +732,21 @@ let report ~host_name ~(config : Config.t) ~(policy : Scheduler.policy)
       app_tbl []
     |> List.sort compare
   in
+  let task_count =
+    Array.fold_left (fun acc i -> acc + Array.length i.Task.tasks) 0 instances
+  in
+  let verdict =
+    match stats.aborted with
+    | Some reason -> Stats.Aborted reason
+    | None -> if stats.faults > 0 || stats.retries > 0 then Stats.Degraded else Stats.Completed
+  in
   {
     Stats.host_name;
     config_label = config.Config.label;
     policy_name = policy.Scheduler.name;
     makespan_ns = makespan;
     job_count = Array.length instances;
-    task_count = Array.fold_left (fun acc i -> acc + Array.length i.Task.tasks) 0 instances;
+    task_count;
     pe_usage =
       Array.to_list
         (Array.map
@@ -479,4 +769,13 @@ let report ~host_name ~(config : Config.t) ~(policy : Scheduler.policy)
     wm_overhead_ns = stats.wm_ns;
     records = List.rev stats.records;
     app_stats;
+    verdict;
+    resilience =
+      {
+        Stats.faults_injected = stats.faults;
+        task_retries = stats.retries;
+        pe_quarantines = stats.quarantines;
+        pe_deaths = stats.pe_deaths;
+        tasks_lost = task_count - List.length stats.records;
+      };
   }

@@ -67,14 +67,18 @@ type 'h handler = {
   mutable h_busy_ns : int;  (** occupancy (execution time), not queue residence *)
   mutable h_tasks_run : int;
   mutable h_busy_until : int;  (** EFT availability horizon; WM-owned *)
+  mutable h_quarantined_until : int;
+      (** fault state: 0 = healthy, [max_int] = permanently dead, else
+          the emulation time the quarantine lifts; WM-owned *)
   h_backend : 'h;  (** backend-private per-handler state *)
 }
 (** One per PE.  The queues and [h_stop] are shared between the
     workload manager and the handler's resource manager and must only
     be touched under the backend's {!field:b_lock} (a no-op for the
-    single-threaded virtual engine); [h_inflight] and [h_busy_until]
-    are written by the workload manager only, [h_busy_ns] and
-    [h_tasks_run] by the resource manager only (read after join). *)
+    single-threaded virtual engine); [h_inflight], [h_busy_until] and
+    [h_quarantined_until] are written by the workload manager only,
+    [h_busy_ns] and [h_tasks_run] by the resource manager only (read
+    after join). *)
 
 val make_handler :
   pe:Dssoc_soc.Pe.t -> index:int -> reservation_depth:int -> 'h -> 'h handler
@@ -87,6 +91,11 @@ type wm_stats = {
   mutable sched_ns : int;  (** modelled (virtual) or measured (native) *)
   mutable wm_ns : int;
   mutable records : Stats.task_record list;  (** newest first *)
+  mutable faults : int;  (** failed or slowed execution attempts *)
+  mutable retries : int;
+  mutable quarantines : int;
+  mutable pe_deaths : int;
+  mutable aborted : string option;  (** first abort reason, if any *)
 }
 
 val make_stats : unit -> wm_stats
@@ -121,6 +130,12 @@ type 'h backend = {
   b_execute : 'h handler -> Task.t -> unit;
       (** run one task on this handler's PE, returning when it is
           complete; called without the handler lock *)
+  b_delay : 'h handler -> int -> unit;
+      (** occupy the handler's PE for a modelled duration (ns) without
+          running a kernel — fault-detection latency and slowdown
+          tails; called without the handler lock.  The virtual backend
+          advances its clock, the native backend sleeps scaled wall
+          time. *)
   b_sched_start : unit -> int;
       (** opaque token taken immediately before a policy invocation *)
   b_sched_done : int -> ready:int -> ops:int -> int;
@@ -149,6 +164,14 @@ val instantiate :
     configuration.
     @raise Invalid_argument (prefixed with [engine_name]) otherwise. *)
 
+val compile_fault :
+  Dssoc_fault.Fault.plan option -> handlers:'h handler array -> Dssoc_fault.Fault.t
+(** Compile a fault plan against the run's PE array ([None] gives
+    {!Dssoc_fault.Fault.disabled}); shared by both backends so they
+    replay identical fault schedules.
+    @raise Invalid_argument when a rule targets no PE (surfaced by
+    [Emulator.run] as an [Error]). *)
+
 val accel_phases :
   Task.t -> Dssoc_soc.Pe.t -> Dssoc_soc.Pe.accel_class -> int * int * int
 (** [(dma_in, compute, dma_out)] ns for an accelerator execution: an
@@ -156,7 +179,13 @@ val accel_phases :
     task as device compute (the JSON override), otherwise the device
     model prices the three phases. *)
 
-val resource_manager : ?obs:Dssoc_obs.Obs.t -> 'h backend -> 'h handler -> unit
+val resource_manager :
+  ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.t ->
+  ?est_table:Exec_model.table ->
+  'h backend ->
+  'h handler ->
+  unit
 (** The per-PE resource-manager body (Fig. 4): await dispatch, drain
     the pending queue — executing each task via {!field:b_execute},
     timestamping completion, accounting occupancy, parking the task on
@@ -165,10 +194,21 @@ val resource_manager : ?obs:Dssoc_obs.Obs.t -> 'h backend -> 'h handler -> unit
     per handler on its own thread abstraction (spawned effect thread /
     domain).  With [obs] and a reservation queue, each pop from the
     pending queue emits a [Reservation_popped] event (sink only — this
-    may run off the WM thread). *)
+    may run off the WM thread).
+
+    With [fault] (and [est_table], which scales failure-detection
+    latencies), every attempt first consults {!Dssoc_fault.Fault.decide}:
+    a failing attempt occupies the PE for the modelled detection time
+    but {e never runs the kernel} (kernels mutate the instance store in
+    place and are not idempotent — only the final successful attempt
+    executes, keeping functional outputs identical with and without
+    retries), then parks the task with [last_failure] set for the
+    workload manager to process.  Slowdowns run the kernel once and
+    append a modelled delay. *)
 
 val workload_manager :
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.t ->
   'h backend ->
   handlers:'h handler array ->
   instances:Task.instance array ->
@@ -193,7 +233,19 @@ val workload_manager :
     / completion / reservation / WM-tick events and updates the engine
     metrics (ready-queue depth, in-flight count, per-PE queue depth,
     wait and service latency, scheduling cost) — all from this thread,
-    timestamped with [b_now]. *)
+    timestamped with [b_now].
+
+    With [fault] the loop becomes resilient: failed attempts are
+    counted and retried with capped exponential backoff under a
+    per-task attempt budget; failing PEs are quarantined (policies see
+    them as unavailable) with timed recovery for transients and
+    permanent removal for deaths — a dead PE's reservation queue
+    drains back to the ready list and its tasks re-dispatch onto
+    surviving PEs from their [platforms] lists; planned deaths fire
+    proactively at their scheduled emulation time.  The run aborts
+    (recorded in [stats.aborted], stopping dispatch and injection and
+    draining in-flight work) when a task exhausts its attempt budget
+    or loses every supporting PE. *)
 
 val report :
   host_name:string ->

@@ -78,6 +78,9 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
     (* Manager bookkeeping costs real time here — nothing to model. *)
     b_charge = (fun _ -> ());
     b_execute = execute;
+    (* Fault-detection latencies and slowdown tails are timed sleeps,
+       like the modelled device compute. *)
+    b_delay = (fun _h ns -> if ns > 0 then Unix.sleepf (float_of_int ns /. 1e9));
     (* Scheduling cost is measured wall time, not a model. *)
     b_sched_start = now;
     b_sched_done = (fun t0 ~ready:_ ~ops:_ -> now () - t0);
@@ -85,8 +88,8 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
     b_wm_tick_end = (fun t0 -> stats.Core.wm_ns <- stats.Core.wm_ns + (now () - t0));
   }
 
-let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ~(config : Config.t)
-    ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
+let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
+    ~(config : Config.t) ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
   let instances = Core.instantiate ~engine_name:"Native_engine.run" ~config ~workload in
   let handlers =
     Array.of_list
@@ -105,21 +108,47 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ~(config : Con
     Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.Core.h_pe) handlers)
   in
   let stats = Core.make_stats () in
+  let fault = Core.compile_fault fault ~handlers in
   Obs.attach_pes obs ~pe_labels:(Array.map (fun h -> h.Core.h_pe.Pe.label) handlers);
   let start = Mclock.now_ns () in
   let b = backend ~start ~params ~stats ~obs in
   (* One domain per PE plays its resource manager (Fig. 4)... *)
   let domains =
-    Array.map (fun h -> Domain.spawn (fun () -> Core.resource_manager ~obs b h)) handlers
+    Array.map
+      (fun h -> Domain.spawn (fun () -> Core.resource_manager ~obs ~fault ~est_table b h))
+      handlers
   in
   (* ...while the calling domain plays the workload manager (Fig. 3). *)
   let prng = Prng.create ~seed:params.Core.seed in
-  Core.workload_manager ~obs b ~handlers ~instances ~est_table ~policy ~prng ~stats;
+  let wm_result =
+    match
+      Core.workload_manager ~obs ~fault b ~handlers ~instances ~est_table ~policy ~prng
+        ~stats
+    with
+    | () -> Ok ()
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  (* Whether or not the WM survived, every handler domain must observe
+     stop before this function returns or re-raises — a poisoned run
+     (policy exception, fault-plan abort, ...) must not leak live
+     domains.  On the normal path the WM already set [h_stop]; setting
+     it again is idempotent. *)
+  Array.iter
+    (fun h ->
+      let nb = h.Core.h_backend in
+      Mutex.lock nb.nh_mutex;
+      h.Core.h_stop <- true;
+      Condition.signal nb.nh_cond;
+      Mutex.unlock nb.nh_mutex)
+    handlers;
   Array.iter Domain.join domains;
-  ( Core.report
-      ~host_name:(config.Config.host.Host.name ^ " (native)")
-      ~config ~policy ~handlers ~instances ~stats,
-    instances )
+  match wm_result with
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Ok () ->
+    ( Core.report
+        ~host_name:(config.Config.host.Host.name ^ " (native)")
+        ~config ~policy ~handlers ~instances ~stats,
+      instances )
 
-let run ?params ?obs ~config ~workload ~policy () =
-  fst (run_detailed ?params ?obs ~config ~workload ~policy ())
+let run ?params ?obs ?fault ~config ~workload ~policy () =
+  fst (run_detailed ?params ?obs ?fault ~config ~workload ~policy ())

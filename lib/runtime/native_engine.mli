@@ -28,6 +28,7 @@ val default_params : Engine_core.params
 val run :
   ?params:Engine_core.params ->
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.plan ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->
@@ -40,12 +41,23 @@ val run :
     (ns since run start).  DMA and device-compute phase events are
     emitted from the handler domains (the sink is mutex-protected);
     metrics are only updated by the workload-manager domain.
+
+    [fault] (default none) injects the plan's deterministic fault
+    schedule — the same schedule the virtual engine replays for the
+    same plan, since draws are keyed on (task, attempt) rather than
+    timing — and turns on resilient dispatch (see
+    {!Engine_core.workload_manager}).
+
+    Whatever happens — including a policy or kernel exception — every
+    handler domain is stopped and joined before this function returns
+    or re-raises; a poisoned run leaks no domains.
     @raise Invalid_argument if some task supports no PE of the
-    configuration. *)
+    configuration, or if a fault rule targets no PE. *)
 
 val run_detailed :
   ?params:Engine_core.params ->
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.plan ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->

@@ -2,7 +2,14 @@ module Pe = Dssoc_soc.Pe
 module Cost_model = Dssoc_soc.Cost_model
 module Prng = Dssoc_util.Prng
 
-type pe_state = { pe : Pe.t; mutable idle : bool; mutable busy_until : int }
+type pe_state = {
+  pe : Pe.t;
+  mutable idle : bool;
+  mutable busy_until : int;
+  mutable available : bool;
+      (* quarantined/dead PEs are unavailable: no policy may select or
+         reserve them.  [idle] implies [available]. *)
+}
 
 type context = {
   now : int;
@@ -92,7 +99,7 @@ let eft =
         Array.iteri
           (fun i st ->
             ctx.ops <- ctx.ops + 1;
-            if Task.supports task st.pe then begin
+            if st.available && Task.supports task st.pe then begin
               let finish = max ctx.now avail.(i) + ctx.estimate task i in
               match !best with
               | Some (_, best_finish) when best_finish <= finish -> ()

@@ -13,6 +13,11 @@ type pe_state = {
   mutable busy_until : int;
       (** estimated completion of the in-flight task (EFT looks at
           this); meaningful only when not idle *)
+  mutable available : bool;
+      (** false for quarantined or dead PEs: policies must neither
+          select nor reserve them.  [idle] implies [available]; EFT is
+          the one built-in that also reads it directly (it reserves
+          busy-but-available PEs via [busy_until]). *)
 }
 
 type context = {

@@ -19,6 +19,24 @@ type pe_usage = {
 
 type app_summary = { instances : int; mean_latency_ns : float; max_latency_ns : int }
 
+type verdict = Completed | Degraded | Aborted of string
+
+let verdict_name = function
+  | Completed -> "completed"
+  | Degraded -> "degraded"
+  | Aborted _ -> "aborted"
+
+type resilience = {
+  faults_injected : int;
+  task_retries : int;
+  pe_quarantines : int;
+  pe_deaths : int;
+  tasks_lost : int;
+}
+
+let no_faults =
+  { faults_injected = 0; task_retries = 0; pe_quarantines = 0; pe_deaths = 0; tasks_lost = 0 }
+
 type report = {
   host_name : string;
   config_label : string;
@@ -32,7 +50,12 @@ type report = {
   wm_overhead_ns : int;
   records : task_record list;
   app_stats : (string * app_summary) list;
+  verdict : verdict;
+  resilience : resilience;
 }
+
+let completed_fraction r =
+  float_of_int (List.length r.records) /. float_of_int (max 1 r.task_count)
 
 let utilization r =
   let span = float_of_int (max 1 r.makespan_ns) in
@@ -66,6 +89,17 @@ let pp_summary fmt r =
     r.sched_invocations (ms r.sched_ns) (avg_sched_overhead_ns r /. 1e3);
   Format.fprintf fmt "  energy: %.3f mJ across all PEs (%.3f mJ busy)@." (total_energy_mj r)
     (total_busy_energy_mj r);
+  (* Fault-free runs keep the historical output byte-for-byte. *)
+  (match (r.verdict, r.resilience) with
+  | Completed, res when res = no_faults -> ()
+  | v, res ->
+    Format.fprintf fmt
+      "  resilience: verdict %s%s; %d faults, %d retries, %d quarantines, %d PE deaths, \
+       %.1f%% tasks completed@."
+      (verdict_name v)
+      (match v with Aborted reason -> Printf.sprintf " (%s)" reason | _ -> "")
+      res.faults_injected res.task_retries res.pe_quarantines res.pe_deaths
+      (100.0 *. completed_fraction r));
   List.iter
     (fun u ->
       Format.fprintf fmt "  %-8s busy %.3f ms (%d tasks, %.1f%% util)@." u.pe_label (ms u.busy_ns)

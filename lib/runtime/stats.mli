@@ -30,6 +30,31 @@ type app_summary = {
   max_latency_ns : int;
 }
 
+(** How a run ended (fault-injection extension).
+
+    - [Completed]: every task ran to completion with no fault activity.
+    - [Degraded]: every remaining obligation was met, but faults were
+      injected and/or tasks were retried along the way.
+    - [Aborted r]: the workload manager gave up (attempt budget
+      exhausted, or a task lost every supporting PE); [r] names the
+      first reason. *)
+type verdict = Completed | Degraded | Aborted of string
+
+val verdict_name : verdict -> string
+(** ["completed"] / ["degraded"] / ["aborted"]. *)
+
+(** Fault-handling counters for one run; all zero without faults. *)
+type resilience = {
+  faults_injected : int;  (** failed or slowed execution attempts *)
+  task_retries : int;  (** re-dispatches after a failed attempt *)
+  pe_quarantines : int;  (** PE quarantine entries (incl. deaths) *)
+  pe_deaths : int;  (** PEs permanently lost *)
+  tasks_lost : int;  (** tasks never completed (aborted runs) *)
+}
+
+val no_faults : resilience
+(** All-zero counters (the fault-free run). *)
+
 type report = {
   host_name : string;
   config_label : string;
@@ -46,7 +71,12 @@ type report = {
           (the Fig. 10b definition) *)
   records : task_record list;  (** by completion time *)
   app_stats : (string * app_summary) list;  (** sorted by app name *)
+  verdict : verdict;
+  resilience : resilience;
 }
+
+val completed_fraction : report -> float
+(** Completed tasks over total tasks — 1.0 unless the run aborted. *)
 
 val utilization : report -> (string * float) list
 (** Per-PE busy-time fraction of the makespan, in PE order. *)

@@ -18,6 +18,8 @@ type t = {
   mutable dispatched_at : int;
   mutable completed_at : int;
   mutable pe_label : string;
+  mutable attempts : int;
+  mutable last_failure : (Dssoc_fault.Fault.failure * int) option;
 }
 
 type instance = {
@@ -51,6 +53,8 @@ let instantiate ~task_id_base ~inst_id ~arrival_ns (spec : App_spec.t) =
           dispatched_at = -1;
           completed_at = -1;
           pe_label = "";
+          attempts = 0;
+          last_failure = None;
         })
       nodes
   in

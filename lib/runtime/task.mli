@@ -24,6 +24,11 @@ type t = {
   mutable dispatched_at : int;
   mutable completed_at : int;
   mutable pe_label : string;  (** PE that executed it, once dispatched *)
+  mutable attempts : int;  (** dispatch count, incl. failed attempts *)
+  mutable last_failure : (Dssoc_fault.Fault.failure * int) option;
+      (** set by the resource handler when an attempt failed: the
+          failure and the quarantine to impose on the PE (ns;
+          [max_int] = permanent).  Cleared by the workload manager. *)
 }
 
 type instance = {

@@ -237,6 +237,10 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
     b_notify_wm = (fun () -> signal eng wm_wake);
     b_charge = charge;
     b_execute = execute;
+    (* Fault-detection latencies and slowdown tails keep the PE's
+       manager thread asleep (the device is wedged, not computing), so
+       no host core is occupied — just virtual time. *)
+    b_delay = (fun _h ns -> sleep_ns eng ns);
     b_sched_start = (fun () -> 0);
     b_sched_done =
       (fun _t0 ~ready ~ops ->
@@ -269,8 +273,8 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
 (* Top-level run                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ~(config : Config.t)
-    ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
+let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
+    ~(config : Config.t) ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
   let instances = Core.instantiate ~engine_name:"Virtual_engine.run" ~config ~workload in
   let eng =
     {
@@ -308,19 +312,22 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ~(config : Con
     Exec_model.build_table ~instances ~pes:(Array.map (fun h -> h.Core.h_pe) handlers)
   in
   let stats = Core.make_stats () in
+  let fault = Core.compile_fault fault ~handlers in
   Obs.attach_pes obs ~pe_labels:(Array.map (fun h -> h.Core.h_pe.Pe.label) handlers);
   let b =
     backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table ~policy
       ~n_pes:(Array.length handlers) ~stats ~obs
   in
-  Array.iter (fun h -> spawn eng (fun () -> Core.resource_manager ~obs b h)) handlers;
+  Array.iter
+    (fun h -> spawn eng (fun () -> Core.resource_manager ~obs ~fault ~est_table b h))
+    handlers;
   spawn eng (fun () ->
-      Core.workload_manager ~obs b ~handlers ~instances ~est_table ~policy
+      Core.workload_manager ~obs ~fault b ~handlers ~instances ~est_table ~policy
         ~prng:eng.prng ~stats);
   run_loop eng;
   ( Core.report ~host_name:config.Config.host.Host.name ~config ~policy ~handlers
       ~instances ~stats,
     instances )
 
-let run ?params ?obs ~config ~workload ~policy () =
-  fst (run_detailed ?params ?obs ~config ~workload ~policy ())
+let run ?params ?obs ?fault ~config ~workload ~policy () =
+  fst (run_detailed ?params ?obs ?fault ~config ~workload ~policy ())

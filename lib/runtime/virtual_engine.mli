@@ -52,6 +52,7 @@ val default_params : params
 val run :
   ?params:params ->
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.plan ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->
@@ -66,12 +67,19 @@ val run :
     backend additionally emits accelerator DMA-in / device-compute /
     DMA-out phase events and samples the event-heap depth gauge
     ([event_heap_depth]) once per WM tick.
+
+    [fault] (default none) injects the plan's deterministic fault
+    schedule and turns on the resilient-dispatch machinery
+    (retries, quarantine, degradation — see {!Engine_core.workload_manager});
+    the report's [verdict] and [resilience] fields record the outcome.
+    Fault draws are keyed on the plan's own seed, not [params.seed].
     @raise Invalid_argument if some task supports no PE of the
-    configuration. *)
+    configuration, or if a fault rule targets no PE. *)
 
 val run_detailed :
   ?params:params ->
   ?obs:Dssoc_obs.Obs.t ->
+  ?fault:Dssoc_fault.Fault.plan ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->

@@ -158,6 +158,34 @@ let test_validate_no_platform () =
     (Result.is_error
        (App_spec.validate { App_spec.app_name = "t"; shared_object = "t.so"; variables = []; nodes }))
 
+(* Rejections must name the offending node, not just fail: a 20-node
+   JSON application with one typo is undebuggable otherwise. *)
+let check_validate_message ~name ~needle nodes =
+  match App_spec.validate { App_spec.app_name = "t"; shared_object = "t.so"; variables = []; nodes } with
+  | Ok _ -> Alcotest.failf "%s: expected validation to reject the spec" name
+  | Error msg ->
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      nl = 0 || go 0
+    in
+    if not (contains needle msg) then
+      Alcotest.failf "%s: error %S does not mention %S" name msg needle
+
+let test_validate_messages () =
+  check_validate_message ~name:"unknown predecessor"
+    ~needle:{|node "a" lists unknown predecessor "ghost"|}
+    [ simple_node "a" ~preds:[ "ghost" ] ];
+  check_validate_message ~name:"unknown successor"
+    ~needle:{|node "a" lists unknown successor "ghost"|}
+    [ { (simple_node "a") with App_spec.successors = [ "ghost" ] } ];
+  check_validate_message ~name:"empty platforms"
+    ~needle:{|node "b" has no platform entries|}
+    [ simple_node "a"; { (simple_node "b") with App_spec.platforms = [] } ];
+  check_validate_message ~name:"self-loop"
+    ~needle:{|node "a" depends on itself|}
+    [ { (simple_node "a" ~preds:[ "a" ]) with App_spec.successors = [ "a" ] } ]
+
 let test_json_roundtrip_all_reference_apps () =
   List.iter
     (fun spec ->
@@ -338,6 +366,7 @@ let () =
           Alcotest.test_case "unknown var" `Quick test_validate_unknown_var;
           Alcotest.test_case "inconsistent links" `Quick test_validate_inconsistent_links;
           Alcotest.test_case "no platforms" `Quick test_validate_no_platform;
+          Alcotest.test_case "rejection messages name the node" `Quick test_validate_messages;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip_all_reference_apps;
           Alcotest.test_case "file roundtrip" `Quick test_json_file_roundtrip;
         ] );

@@ -348,6 +348,80 @@ let test_native_reservation_depth_differential () =
         = Store.get_cbuf ni2.(inst).Task.store "tx_time"))
     [ 0; 1 ]
 
+(* ---------------- fault differential ---------------- *)
+
+module Fault = Dssoc_fault.Fault
+
+(* Fault draws are keyed on (task, attempt) alone, and a die@0 rule
+   fires proactively before anything is dispatched, so the fault
+   schedule is engine-independent by construction: both engines must
+   reach the same verdict with the same completed-task multiset and
+   the same retry counts, for every policy.  (PE-targeted
+   probabilistic rules would not give this — which attempts fail would
+   still agree, but on which PE an attempt runs is timing.) *)
+
+let fault_plan () =
+  Result.get_ok (Fault.of_spec ~seed:5L "fft2:die@0,*:transient:p=0.1:recover=0.2ms")
+
+let completed_multiset (r : Stats.report) =
+  List.sort compare
+    (List.map
+       (fun (t : Stats.task_record) -> (t.Stats.app, t.Stats.instance, t.Stats.node))
+       r.Stats.records)
+
+let test_fault_parity_across_policies () =
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  let wl () =
+    Workload.validation
+      [ (Reference_apps.range_detection (), 1); (Reference_apps.wifi_tx (), 1) ]
+  in
+  List.iter
+    (fun policy ->
+      let label = "faults/" ^ policy in
+      let vr, vi =
+        Result.get_ok
+          (Emulator.run_detailed ~engine:det_engine ~policy ~fault:(fault_plan ()) ~config
+             ~workload:(wl ()) ())
+      in
+      let nr, ni =
+        Result.get_ok
+          (Emulator.run_detailed ~engine:Emulator.native_default ~policy
+             ~fault:(fault_plan ()) ~config ~workload:(wl ()) ())
+      in
+      Alcotest.(check string)
+        (label ^ ": virtual degraded")
+        "degraded"
+        (Stats.verdict_name vr.Stats.verdict);
+      Alcotest.(check string)
+        (label ^ ": same verdict")
+        (Stats.verdict_name vr.Stats.verdict)
+        (Stats.verdict_name nr.Stats.verdict);
+      Alcotest.(check bool)
+        (label ^ ": same completed-task multiset")
+        true
+        (completed_multiset vr = completed_multiset nr);
+      Alcotest.(check int)
+        (label ^ ": same retry count")
+        vr.Stats.resilience.Stats.task_retries nr.Stats.resilience.Stats.task_retries;
+      Alcotest.(check int)
+        (label ^ ": same fault count")
+        vr.Stats.resilience.Stats.faults_injected nr.Stats.resilience.Stats.faults_injected;
+      Alcotest.(check int)
+        (label ^ ": one death each")
+        vr.Stats.resilience.Stats.pe_deaths nr.Stats.resilience.Stats.pe_deaths;
+      check_assignments_valid (label ^ "/virtual") config vi;
+      check_assignments_valid (label ^ "/native") config ni;
+      List.iter
+        (fun (r : Stats.report) ->
+          List.iter
+            (fun (t : Stats.task_record) ->
+              Alcotest.(check bool) (label ^ ": dead PE executed nothing") true
+                (t.Stats.pe <> "fft2"))
+            r.Stats.records)
+        [ vr; nr ];
+      check_stores_agree label vi ni)
+    matrix_policies
+
 (* ---------------- event-stream parity ---------------- *)
 
 (* Timings, PE choices and event interleavings legitimately differ
@@ -418,6 +492,11 @@ let () =
             test_reservation_fewer_invocations_same_decisions;
           Alcotest.test_case "native reservation-depth differential" `Slow
             test_native_reservation_depth_differential;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "fault parity across the policy matrix" `Slow
+            test_fault_parity_across_policies;
         ] );
       ( "event streams",
         [ Alcotest.test_case "task-lifecycle multiset parity" `Slow test_event_multiset_parity ] );

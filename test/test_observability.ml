@@ -50,6 +50,8 @@ let mk_report ?(makespan = 1_000_000) records pe_labels =
     wm_overhead_ns = 0;
     records;
     app_stats = [];
+    verdict = Stats.Completed;
+    resilience = Stats.no_faults;
   }
 
 let contains ~needle haystack =

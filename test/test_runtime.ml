@@ -69,7 +69,8 @@ let rd_tasks () =
 let pe_states kinds =
   Array.of_list
     (List.mapi
-       (fun i kind -> { Scheduler.pe = Pe.make ~id:i ~kind; idle = true; busy_until = 0 })
+       (fun i kind ->
+         { Scheduler.pe = Pe.make ~id:i ~kind; idle = true; busy_until = 0; available = true })
        kinds)
 
 let test_frfs_order () =
@@ -520,6 +521,7 @@ let sched_scenario_setup sc =
              Scheduler.pe = Pe.make ~id:i ~kind:sched_pe_kinds.(k);
              idle = not busy;
              busy_until = (if busy then 50_000 else 0);
+             available = true;
            })
          (List.combine sc.sc_kinds sc.sc_busy))
   in
