@@ -496,6 +496,20 @@ let ablation () =
    regression scripts can track emulations/sec without scraping. *)
 let json_mode = ref false
 
+(* The working-tree revision, so an exported engine-bench JSON is
+   self-describing when archived as a CI artifact.  Falls back to
+   "unknown" outside a git checkout. *)
+let code_rev () =
+  match
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = In_channel.input_line ic in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some rev when rev <> "" -> Some (String.trim rev)
+    | _ -> None
+  with
+  | Some rev -> rev
+  | None | (exception _) -> "unknown"
+
 let engine () =
   let module Json = Dssoc_json.Json in
   let mix () = Workload.validation (List.map (fun a -> (a, 1)) (Reference_apps.all ())) in
@@ -504,31 +518,73 @@ let engine () =
      injection rate under the cheap and the expensive policy.  One
      native scenario tracks the real-domain backend of the same
      Engine_core protocol (its makespan is wall time, not simulated
-     time, so only throughput is comparable across machines). *)
+     time, so only throughput is comparable across machines).  The
+     compiled scenarios replay the matching virtual runs through
+     Compiled_engine — the plan is compiled once outside the timing
+     loop (that is the engine's intended reuse pattern), so
+     emulations/s measures the specialized event loop alone. *)
   let scenarios =
     [
-      ("fig9/mix/1C+0F/FRFS", Config.zcu102_cores_ffts ~cores:1 ~ffts:0, mix, "FRFS", det_engine);
-      ("fig9/mix/3C+2F/FRFS", Config.zcu102_cores_ffts ~cores:3 ~ffts:2, mix, "FRFS", det_engine);
+      ("fig9/mix/1C+0F/FRFS", `Virtual, Config.zcu102_cores_ffts ~cores:1 ~ffts:0, mix, "FRFS");
+      ("fig9/mix/3C+2F/FRFS", `Virtual, Config.zcu102_cores_ffts ~cores:3 ~ffts:2, mix, "FRFS");
+      ( "fig9/mix/3C+2F/FRFS/compiled",
+        `Compiled,
+        Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
+        mix,
+        "FRFS" );
       ( "fig10/rate3.42/3C+2F/FRFS",
+        `Virtual,
         Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
         (fun () -> Workload.table2_workload ~rate:3.42 ()),
-        "FRFS",
-        det_engine );
+        "FRFS" );
+      ( "fig10/rate3.42/3C+2F/FRFS/compiled",
+        `Compiled,
+        Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
+        (fun () -> Workload.table2_workload ~rate:3.42 ()),
+        "FRFS" );
       ( "fig10/rate3.42/3C+2F/EFT",
+        `Virtual,
         Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
         (fun () -> Workload.table2_workload ~rate:3.42 ()),
-        "EFT",
-        det_engine );
+        "EFT" );
+      ( "fig10/rate3.42/3C+2F/EFT/compiled",
+        `Compiled,
+        Config.zcu102_cores_ffts ~cores:3 ~ffts:2,
+        (fun () -> Workload.table2_workload ~rate:3.42 ()),
+        "EFT" );
       ( "fig9/mix/2C+1F/FRFS/native",
+        `Native,
         Config.zcu102_cores_ffts ~cores:2 ~ffts:1,
         mix,
-        "FRFS",
-        Emulator.native_seeded 1L );
+        "FRFS" );
     ]
   in
-  let measure (name, config, wl, policy, engine) =
-    let once () =
-      Emulator.run_exn ~engine ~policy ~config ~workload:(wl ()) ()
+  let variant_name = function
+    | `Virtual -> "virtual"
+    | `Compiled -> "compiled"
+    | `Native -> "native"
+  in
+  let measure (name, variant, config, wl, policy) =
+    let once =
+      match variant with
+      | `Virtual ->
+        fun () -> Emulator.run_exn ~engine:det_engine ~policy ~config ~workload:(wl ()) ()
+      | `Native ->
+        fun () ->
+          Emulator.run_exn ~engine:(Emulator.native_seeded 1L) ~policy ~config
+            ~workload:(wl ()) ()
+      | `Compiled ->
+        let module Compiled = Dssoc_runtime.Compiled_engine in
+        let pol =
+          match Dssoc_runtime.Scheduler.find policy with
+          | Ok p -> p
+          | Error msg -> invalid_arg msg
+        in
+        let plan = Compiled.compile ~config ~workload:(wl ()) ~policy:pol () in
+        let params =
+          { Dssoc_runtime.Engine_core.seed = 1L; jitter = 0.0; reservation_depth = 0 }
+        in
+        fun () -> Compiled.run plan params
     in
     let sample = once () (* warm-up; also yields the per-run task count *) in
     let target_s = 1.0 and min_runs = 3 in
@@ -541,6 +597,7 @@ let engine () =
     let wall_s = Unix.gettimeofday () -. t0 in
     let emu_per_s = float_of_int !runs /. wall_s in
     ( name,
+      variant_name variant,
       sample,
       !runs,
       wall_s,
@@ -558,14 +615,14 @@ let engine () =
      been lost. *)
   let baseline_name = "fig9/mix/3C+2F/FRFS" in
   let traced_emu_s =
-    let _, config, wl, policy, engine =
+    let _, _, config, wl, policy =
       List.find (fun (n, _, _, _, _) -> n = baseline_name) scenarios
     in
     let once () =
       let obs =
         Obs.make ~sink:(Obs.Sink.ring ()) ~metrics:(Obs.Metrics.create ()) ()
       in
-      ignore (Emulator.run_exn ~engine ~policy ~config ~workload:(wl ()) ~obs ())
+      ignore (Emulator.run_exn ~engine:det_engine ~policy ~config ~workload:(wl ()) ~obs ())
     in
     once () (* warm-up *);
     let target_s = 1.0 and min_runs = 3 in
@@ -578,8 +635,8 @@ let engine () =
     float_of_int !runs /. (Unix.gettimeofday () -. t0)
   in
   let baseline_emu_s =
-    let _, _, _, _, emu_s, _ =
-      List.find (fun (n, _, _, _, _, _) -> n = baseline_name) results
+    let _, _, _, _, _, emu_s, _ =
+      List.find (fun (n, _, _, _, _, _, _) -> n = baseline_name) results
     in
     emu_s
   in
@@ -592,13 +649,15 @@ let engine () =
          (Json.Obj
             [
               ("experiment", Json.String "engine");
+              ("code_rev", Json.String (code_rev ()));
               ( "scenarios",
                 Json.List
                   (List.map
-                     (fun (name, (sample : Stats.report), runs, wall_s, emu_s, task_s) ->
+                     (fun (name, variant, (sample : Stats.report), runs, wall_s, emu_s, task_s) ->
                        Json.Obj
                          [
                            ("name", Json.String name);
+                           ("engine", Json.String variant);
                            ("policy", Json.String sample.Stats.policy_name);
                            ("config", Json.String sample.Stats.config_label);
                            ("tasks_per_emulation", Json.Int sample.Stats.task_count);
@@ -619,16 +678,19 @@ let engine () =
                   ] );
             ]))
   else begin
-    header "Engine throughput: full emulations per second (virtual jitter-0 + one native scenario)";
+    header
+      "Engine throughput: full emulations per second (virtual jitter-0, compiled replay, one \
+       native scenario)";
     print_string
       (Table.render
          ~header:
-           [ "scenario"; "tasks/emu"; "runs"; "wall s"; "emulations/s"; "tasks/s" ]
+           [ "scenario"; "engine"; "tasks/emu"; "runs"; "wall s"; "emulations/s"; "tasks/s" ]
          ~rows:
            (List.map
-              (fun (name, (sample : Stats.report), runs, wall_s, emu_s, task_s) ->
+              (fun (name, variant, (sample : Stats.report), runs, wall_s, emu_s, task_s) ->
                 [
                   name;
+                  variant;
                   string_of_int sample.Stats.task_count;
                   string_of_int runs;
                   Printf.sprintf "%.2f" wall_s;

@@ -66,6 +66,29 @@ let jitter_arg =
 let native_arg =
   Arg.(value & flag & info [ "native" ] ~doc:"Run on real OCaml domains instead of the virtual engine.")
 
+let engine_arg =
+  Arg.(
+    value & opt string "virtual"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Engine: virtual (default; deterministic virtual-time simulation), native (real OCaml \
+           domains; same as --native), or compiled (ahead-of-time specialization of the workload \
+           x platform x policy triple into a flat-array event loop — replays the virtual engine \
+           byte-for-byte but rejects fault plans, enabled observability and non-built-in \
+           policies).")
+
+let resolve_engine ~engine ~native ~jitter ~reservation ~seed =
+  let seed = Int64.of_int seed in
+  match (String.lowercase_ascii engine, native) with
+  | "virtual", false -> Ok (Emulator.virtual_seeded ~jitter ~reservation_depth:reservation seed)
+  | ("virtual" | "native"), _ ->
+    Ok (Emulator.native_seeded ~jitter ~reservation_depth:reservation seed)
+  | "compiled", false ->
+    Ok (Emulator.compiled_seeded ~jitter ~reservation_depth:reservation seed)
+  | "compiled", true -> Error "--native conflicts with --engine compiled"
+  | other, _ ->
+    Error (Printf.sprintf "unknown engine %S (try virtual, native or compiled)" other)
+
 let reservation_arg =
   Arg.(
     value & opt int 0
@@ -256,8 +279,8 @@ let run_cmd =
     | Ok _ -> Ok ()
     | Error e -> Error (Printf.sprintf "%s: %s" path (Dssoc_json.Json.error_to_string e))
   in
-  let run host cores ffts big little policy seed jitter native reservation mode apps_spec rate csv
-      trace gantt trace_level events app_file faults fault_seed =
+  let run host cores ffts big little policy seed jitter native engine_name reservation mode
+      apps_spec rate csv trace gantt trace_level events app_file faults fault_seed =
     let ( let* ) = Result.bind in
     let result =
       let* config = config_of host cores ffts big little in
@@ -292,11 +315,7 @@ let run_cmd =
         | `Summary -> Obs.make ~metrics:(Obs.Metrics.create ()) ()
         | `Full -> Obs.make ~sink:(Obs.Sink.ring ()) ~metrics:(Obs.Metrics.create ()) ()
       in
-      let engine =
-        if native then
-          Emulator.native_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
-        else Emulator.virtual_seeded ~jitter ~reservation_depth:reservation (Int64.of_int seed)
-      in
+      let* engine = resolve_engine ~engine:engine_name ~native ~jitter ~reservation ~seed in
       let* report = Emulator.run ~engine ~policy ~obs ?fault ~config ~workload () in
       Ok (report, obs)
     in
@@ -355,8 +374,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an emulation and print the collected statistics.")
     Term.(
       const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg $ policy_arg $ seed_arg
-      $ jitter_arg $ native_arg $ reservation_arg $ mode $ apps $ rate $ csv $ trace $ gantt
-      $ trace_level $ events $ app_file $ faults_arg $ fault_seed_arg)
+      $ jitter_arg $ native_arg $ engine_arg $ reservation_arg $ mode $ apps $ rate $ csv
+      $ trace $ gantt $ trace_level $ events $ app_file $ faults_arg $ fault_seed_arg)
 
 (* ---------------------- sweep ---------------------- *)
 
@@ -403,14 +422,33 @@ let sweep_cmd =
   let summary =
     Arg.(value & flag & info [ "summary" ] ~doc:"Collapse replicates into per-cell quartile summaries.")
   in
-  let run grid_name jobs replicates policies seed jitter csv json summary faults fault_seed =
+  let sweep_engine =
+    Arg.(
+      value & opt string "virtual"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Evaluation engine: virtual (default) or compiled.  The compiled engine produces \
+             byte-identical schedule columns faster, but runs with observability disabled (the \
+             metrics-derived columns read zero) and cannot evaluate fault plans.")
+  in
+  let run grid_name jobs replicates policies seed jitter csv json summary engine_name faults
+      fault_seed =
     let policies = Option.map (fun s -> List.map String.trim (String.split_on_char ',' s)) policies in
     let base_seed = Option.map Int64.of_int seed in
     let grid =
+      let ( let* ) = Result.bind in
+      let* engine =
+        match String.lowercase_ascii engine_name with
+        | "virtual" -> Ok `Virtual
+        | "compiled" ->
+          if faults = None then Ok `Compiled
+          else Error "--faults conflicts with --engine compiled (fault plans are outside its replay contract)"
+        | other -> Error (Printf.sprintf "unknown sweep engine %S (try virtual or compiled)" other)
+      in
       match Presets.by_name ?replicates ?base_seed ?jitter ?policies grid_name with
       | Ok g -> (
         match parse_faults faults fault_seed with
-        | Ok fault -> Ok { g with Grid.fault }
+        | Ok fault -> Ok (engine, { g with Grid.fault })
         | Error _ as e -> e)
       | Error msg -> Error msg
       | exception Invalid_argument msg -> Error msg
@@ -419,9 +457,9 @@ let sweep_cmd =
     | Error msg ->
       prerr_endline msg;
       1
-    | Ok grid ->
+    | Ok (engine, grid) ->
       let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
-      let table, seconds = Sweep.run_timed ~jobs grid in
+      let table, seconds = Sweep.run_timed ~jobs ~engine grid in
       let write_or_stdout path s =
         if path = "-" then print_string s
         else begin
@@ -453,7 +491,7 @@ let sweep_cmd =
           --jobs value.")
     Term.(
       const run $ grid_name $ jobs $ replicates $ policies $ sweep_seed $ sweep_jitter $ csv
-      $ json $ summary $ faults_arg $ fault_seed_arg)
+      $ json $ summary $ sweep_engine $ faults_arg $ fault_seed_arg)
 
 (* ---------------------- convert ---------------------- *)
 

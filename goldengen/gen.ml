@@ -28,4 +28,14 @@ let () =
   let obs = Obs.make ~sink:(Obs.Sink.ring ()) ~metrics:(Obs.Metrics.create ()) () in
   ignore (run ~obs ());
   print_string "===EVENTS===\n";
-  print_string (Obs.to_jsonl (Obs.recorded_events obs))
+  print_string (Obs.to_jsonl (Obs.recorded_events obs));
+  (* The compiled engine replays the virtual run byte-for-byte, so
+     this section must always equal ===CSV=== above; the golden test
+     in test_observability.ml pins both against the same literal. *)
+  let c =
+    Emulator.run_exn
+      ~engine:(Emulator.compiled_seeded ~jitter:0.0 1L)
+      ~config ~workload ()
+  in
+  print_string "===COMPILED-CSV===\n";
+  print_string (Stats.records_csv c)

@@ -125,3 +125,14 @@ let copy t =
   let t' = Hashtbl.create (Hashtbl.length t) in
   Hashtbl.iter (fun k s -> Hashtbl.replace t' k { s with data = Bytes.copy s.data }) t;
   t'
+
+let blit_from dst ~src =
+  if Hashtbl.length dst <> Hashtbl.length src then
+    invalid_arg "Store.blit_from: stores declare different variables";
+  Hashtbl.iter
+    (fun name (s : slot) ->
+      match Hashtbl.find_opt dst name with
+      | Some d when Bytes.length d.data = Bytes.length s.data ->
+        Bytes.blit s.data 0 d.data 0 (Bytes.length s.data)
+      | _ -> invalid_arg (Printf.sprintf "Store.blit_from: variable %S has a different shape" name))
+    src

@@ -77,3 +77,10 @@ val get_raw : t -> string -> Bytes.t
 
 val copy : t -> t
 (** Deep copy; instances of the same archetype never share storage. *)
+
+val blit_from : t -> src:t -> unit
+(** Overwrite every variable of the destination with the bytes of the
+    same-named variable of [src].  Both stores must declare the same
+    variables with the same block sizes — the intended use is copying
+    state between instances of the same application archetype.
+    @raise Invalid_argument when the layouts differ. *)

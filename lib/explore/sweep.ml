@@ -32,16 +32,28 @@ type row = {
 
 type table = { grid_label : string; rows : row list }
 
-let run_point (grid : Grid.t) (p : Grid.point) =
+let run_point ~engine_kind (grid : Grid.t) (p : Grid.point) =
   let engine =
-    Emulator.virtual_seeded ~jitter:grid.Grid.jitter
-      ~reservation_depth:grid.Grid.reservation_depth p.Grid.seed
+    match engine_kind with
+    | `Virtual ->
+      Emulator.virtual_seeded ~jitter:grid.Grid.jitter
+        ~reservation_depth:grid.Grid.reservation_depth p.Grid.seed
+    | `Compiled ->
+      Emulator.compiled_seeded ~jitter:grid.Grid.jitter
+        ~reservation_depth:grid.Grid.reservation_depth p.Grid.seed
   in
   (* Metrics-only observation (no event sink): a few counters/series
      per point, and the virtual engine is deterministic, so result
-     tables stay byte-identical across worker counts. *)
+     tables stay byte-identical across worker counts.  The compiled
+     engine rejects enabled observability, so its points run with the
+     null bundle and report zeros in the metrics-derived columns; the
+     schedule columns are byte-identical to the virtual engine's. *)
   let metrics = Obs.Metrics.create () in
-  let obs = Obs.make ~metrics () in
+  let obs =
+    match engine_kind with
+    | `Virtual -> Obs.make ~metrics ()
+    | `Compiled -> Obs.disabled
+  in
   match
     Emulator.run ~engine ~policy:p.Grid.policy ~obs ?fault:grid.Grid.fault
       ~config:p.Grid.config ~workload:p.Grid.workload ()
@@ -111,15 +123,18 @@ let run_point (grid : Grid.t) (p : Grid.point) =
     task_retries = r.Stats.resilience.Stats.task_retries;
   }
 
-let run ?jobs grid =
+let run ?jobs ?(engine = `Virtual) grid =
   let points = Grid.points grid in
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
-  let rows = Pool.map ~jobs ~n:(Array.length points) (fun i -> run_point grid points.(i)) in
+  let rows =
+    Pool.map ~jobs ~n:(Array.length points) (fun i ->
+        run_point ~engine_kind:engine grid points.(i))
+  in
   { grid_label = grid.Grid.label; rows = Array.to_list rows }
 
-let run_timed ?jobs grid =
+let run_timed ?jobs ?engine grid =
   let t0 = Unix.gettimeofday () in
-  let t = run ?jobs grid in
+  let t = run ?jobs ?engine grid in
   (t, Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)

@@ -39,24 +39,31 @@ type row = {
 
 type table = { grid_label : string; rows : row list  (** in point order *) }
 
-val run : ?jobs:int -> Grid.t -> table
+val run : ?jobs:int -> ?engine:[ `Virtual | `Compiled ] -> Grid.t -> table
 (** Evaluate the grid on [jobs] domains (default
-    {!Pool.default_jobs}; clamped to at least 1).
+    {!Pool.default_jobs}; clamped to at least 1).  [engine] selects
+    the evaluation backend (default [`Virtual]): [`Compiled] lowers
+    each point through {!Dssoc_runtime.Compiled_engine} — the
+    schedule-derived columns stay byte-identical to the virtual
+    engine's, but the compiled engine rejects enabled observability,
+    so the metrics-derived columns ([max_ready_depth],
+    [max_inflight], [mean_wait_us], [p95_service_us]) read zero, and
+    a grid fault plan aborts every point.
     @raise Invalid_argument when a point's workload cannot run on its
     configuration (reported for the lowest failing point index,
     independent of worker count). *)
 
-val run_timed : ?jobs:int -> Grid.t -> table * float
+val run_timed : ?jobs:int -> ?engine:[ `Virtual | `Compiled ] -> Grid.t -> table * float
 (** [run] plus wall-clock seconds — kept out of {!table} so result
     tables stay byte-comparable across runs and worker counts. *)
 
-val run_point : Grid.t -> Grid.point -> row
-(** Evaluate a single point (the unit of work {!run} shards).  Each
-    point runs under a metrics-only observation bundle
+val run_point : engine_kind:[ `Virtual | `Compiled ] -> Grid.t -> Grid.point -> row
+(** Evaluate a single point (the unit of work {!run} shards).  A
+    [`Virtual] point runs under a metrics-only observation bundle
     ({!Dssoc_obs.Obs}), which feeds the queueing/latency columns
     ([max_ready_depth], [max_inflight], [mean_wait_us],
     [p95_service_us]) without perturbing the deterministic virtual
-    run. *)
+    run; a [`Compiled] point runs with observation disabled. *)
 
 val to_csv : table -> string
 (** One line per point; floats rendered with fixed precision; string

@@ -1,0 +1,1076 @@
+module Pe = Dssoc_soc.Pe
+module Host = Dssoc_soc.Host
+module Config = Dssoc_soc.Config
+module Cost_model = Dssoc_soc.Cost_model
+module App_spec = Dssoc_apps.App_spec
+module Workload = Dssoc_apps.Workload
+module Store = Dssoc_apps.Store
+module Prng = Dssoc_util.Prng
+module Obs = Dssoc_obs.Obs
+module Core = Engine_core
+
+exception Unsupported of string
+
+(* The compiled engine replays the virtual engine's event sequence
+   exactly: the reference semantics is "whatever Virtual_engine does",
+   down to heap insertion order (the heap breaks time ties FIFO by
+   insertion sequence) and PRNG draw interleaving.  Everything below
+   that looks like duplicated protocol logic is deliberate — each
+   block mirrors a specific suspension point of engine_core.ml /
+   virtual_engine.ml, with the effect-handler closures flattened into
+   integer program counters.  Divergences are caught by the
+   differential matrix in test_diff_engines.ml. *)
+
+type pcode = P_frfs | P_met | P_eft | P_power | P_random
+
+(* One application archetype, lowered.  Node indices are positions in
+   [c_nodes] (= App_spec declaration order = dense task id offsets). *)
+type cls = {
+  c_spec : App_spec.t;
+  c_nodes : App_spec.node array;
+  c_n : int;
+  c_unmet : int array;  (** initial unmet-predecessor counts *)
+  c_succ : int array array;  (** successor node indices, JSON order *)
+  c_entry : int array;  (** nodes with no predecessors, node order *)
+  c_est : int array;  (** (node, pe) estimate matrix; [min_int] = unsupported *)
+  c_ph_in : int array;  (** accelerator DMA-in ns per (node, pe) *)
+  c_ph_comp : int array;
+  c_ph_out : int array;
+  c_store0 : Store.t;  (** pristine initial store image *)
+  c_final : Store.t option;
+      (** post-kernel store image when every node's kernel is the same
+          physical closure on all supported PEs (see compile) *)
+}
+
+type plan = {
+  p_config : Config.t;
+  p_policy : Scheduler.policy;
+  p_pcode : pcode;
+  p_classes : cls array;
+  p_item_class : int array;
+  p_item_arrival : int array;
+  p_task_base : int array;  (** dense task-id base per workload item *)
+  p_n_pes : int;
+  p_pes : Pe.t array;
+  p_pe_is_cpu : bool array;
+  p_pe_busy_w : float array;
+  p_est : int array;  (** (task id, pe) estimates, stride [p_n_pes] *)
+  p_ph_in : int array;
+  p_ph_comp : int array;
+  p_ph_out : int array;
+  p_core_of_pe : int array;  (** manager-core index; core 0 is the overlay *)
+  p_core_rate1 : float array;  (** per core: quantum /. (quantum + switch) *)
+  p_overlay_perf : float;
+}
+
+let builtin_pcode (policy : Scheduler.policy) =
+  if policy == Scheduler.frfs then Some P_frfs
+  else if policy == Scheduler.met then Some P_met
+  else if policy == Scheduler.eft then Some P_eft
+  else if policy == Scheduler.power then Some P_power
+  else if policy == Scheduler.random then Some P_random
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let build_class ~(config : Config.t) ~(pes : Pe.t array) (spec : App_spec.t) =
+  let n_pes = Array.length pes in
+  let pes_list = Array.to_list pes in
+  let tmpl = Task.instantiate ~task_id_base:0 ~inst_id:0 ~arrival_ns:0 spec in
+  Array.iter
+    (fun (t : Task.t) ->
+      if not (List.exists (Task.supports t) pes_list) then
+        invalid_arg
+          (Printf.sprintf
+             "Compiled_engine.compile: task %s/%s supports no PE of configuration %s"
+             t.Task.app_name t.Task.node.App_spec.node_name config.Config.label))
+    tmpl.Task.tasks;
+  let n = Array.length tmpl.Task.tasks in
+  let tbl = Exec_model.build_table ~instances:[| tmpl |] ~pes in
+  let est = Array.make (max 1 (n * n_pes)) min_int in
+  let ph_in = Array.make (max 1 (n * n_pes)) 0 in
+  let ph_comp = Array.make (max 1 (n * n_pes)) 0 in
+  let ph_out = Array.make (max 1 (n * n_pes)) 0 in
+  Array.iteri
+    (fun j (t : Task.t) ->
+      Array.iteri
+        (fun i pe ->
+          est.((j * n_pes) + i) <- Exec_model.lookup tbl t i;
+          match pe.Pe.kind with
+          | Pe.Accel acl when Task.supports t pe ->
+            let a, b, c = Core.accel_phases t pe acl in
+            ph_in.((j * n_pes) + i) <- a;
+            ph_comp.((j * n_pes) + i) <- b;
+            ph_out.((j * n_pes) + i) <- c
+          | _ -> ())
+        pes)
+    tmpl.Task.tasks;
+  let nodes = Array.of_list spec.App_spec.nodes in
+  let by_name = Hashtbl.create (max 1 n) in
+  Array.iteri (fun j (nd : App_spec.node) -> Hashtbl.replace by_name nd.App_spec.node_name j) nodes;
+  let succ =
+    Array.map
+      (fun (nd : App_spec.node) ->
+        Array.of_list (List.map (Hashtbl.find by_name) nd.App_spec.successors))
+      nodes
+  in
+  let unmet = Array.map (fun (nd : App_spec.node) -> List.length nd.App_spec.predecessors) nodes in
+  let entry =
+    let out = ref [] in
+    Array.iteri (fun j u -> if u = 0 then out := j :: !out) unmet;
+    Array.of_list (List.rev !out)
+  in
+  (* Kernel-template memoization: every instance of an archetype
+     starts from the same store bytes, so when the final store is
+     independent of dispatch decisions the kernel chain can run once
+     here and runs blit the image instead of re-executing identical
+     kernels per instance.  A node usually resolves to one physical
+     kernel closure across all its supported PEs; when PEs register
+     distinct closures (e.g. a CPU and an accelerator variant of the
+     same transform), each distinct kernel is executed on a copy of
+     the template context and all must produce byte-identical stores.
+     The chain runs in topological order — the DAG's dataflow makes
+     the final store linearization-independent.  Any resolution
+     failure or kernel-output divergence falls back to per-instance
+     execution, which preserves the replay contract exactly. *)
+  let final =
+    try
+      let ks =
+        Array.map
+          (fun (t : Task.t) ->
+            let resolved =
+              List.filter_map
+                (fun pe ->
+                  if Task.supports t pe then Some (Exec_model.resolve_kernel t pe)
+                  else None)
+                pes_list
+            in
+            match resolved with
+            | [] -> raise Exit
+            | k :: rest ->
+              let distinct =
+                List.fold_left
+                  (fun acc k' ->
+                    if List.exists (fun k0 -> k0 == k') acc then acc else k' :: acc)
+                  [ k ] rest
+              in
+              Array.of_list (List.rev distinct))
+          tmpl.Task.tasks
+      in
+      let stores_eq a b =
+        List.for_all
+          (fun nm -> Bytes.equal (Store.get_raw a nm) (Store.get_raw b nm))
+          (Store.names a)
+      in
+      let st = Store.create spec.App_spec.variables in
+      List.iter
+        (fun (nd : App_spec.node) ->
+          let j = Hashtbl.find by_name nd.App_spec.node_name in
+          let kn = ks.(j) in
+          if Array.length kn = 1 then kn.(0) st nd.App_spec.arguments
+          else begin
+            let ctx = Store.copy st in
+            kn.(0) st nd.App_spec.arguments;
+            for i = 1 to Array.length kn - 1 do
+              let alt = Store.copy ctx in
+              kn.(i) alt nd.App_spec.arguments;
+              if not (stores_eq alt st) then raise Exit
+            done
+          end)
+        (App_spec.topological_order spec);
+      Some st
+    with Exit | Invalid_argument _ -> None
+  in
+  {
+    c_spec = spec;
+    c_nodes = nodes;
+    c_n = n;
+    c_unmet = unmet;
+    c_succ = succ;
+    c_entry = entry;
+    c_est = est;
+    c_ph_in = ph_in;
+    c_ph_comp = ph_comp;
+    c_ph_out = ph_out;
+    c_store0 = tmpl.Task.store;
+    c_final = final;
+  }
+
+let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
+    ~(policy : Scheduler.policy) () =
+  (match fault with
+  | Some _ ->
+    raise
+      (Unsupported
+         "fault plans are outside the compiled engine's replay contract (use the \
+          virtual or native engine)")
+  | None -> ());
+  (match obs with
+  | Some o when Obs.enabled o ->
+    raise
+      (Unsupported
+         "enabled observability is outside the compiled engine's replay contract \
+          (use the virtual or native engine)")
+  | _ -> ());
+  let pcode =
+    match builtin_pcode policy with
+    | Some p -> p
+    | None ->
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "policy %S is not one of the five built-ins the compiled engine \
+               specializes"
+              policy.Scheduler.name))
+  in
+  let pes = Array.of_list (Config.pes config) in
+  let n_pes = Array.length pes in
+  (* Manager-core table: index 0 is the overlay core (the WM's), the
+     rest appear in placement order. *)
+  let overlay = config.Config.host.Host.overlay in
+  let core_list = ref [ overlay ] in
+  let core_index (c : Host.core) =
+    let rec go i = function
+      | [] ->
+        core_list := !core_list @ [ c ];
+        i
+      | (x : Host.core) :: tl -> if x.Host.core_id = c.Host.core_id then i else go (i + 1) tl
+    in
+    go 0 !core_list
+  in
+  let core_of_pe =
+    Array.of_list
+      (List.map (fun (p : Config.placement) -> core_index p.Config.host_core)
+         config.Config.placements)
+  in
+  let cores = Array.of_list !core_list in
+  let core_rate1 =
+    Array.map
+      (fun (c : Host.core) ->
+        float_of_int c.Host.quantum_ns
+        /. (float_of_int c.Host.quantum_ns +. float_of_int c.Host.ctx_switch_ns))
+      cores
+  in
+  (* Archetype discovery: one class per distinct spec (shared refs
+     first, structural equality as the fallback for re-parsed JSON). *)
+  let items = Array.of_list workload.Workload.items in
+  let class_specs : App_spec.t list ref = ref [] in
+  let class_of spec =
+    let rec go i = function
+      | [] ->
+        class_specs := !class_specs @ [ spec ];
+        i
+      | s :: tl -> if s == spec || s = spec then i else go (i + 1) tl
+    in
+    go 0 !class_specs
+  in
+  let item_class = Array.map (fun (it : Workload.item) -> class_of it.Workload.spec) items in
+  let classes = Array.of_list (List.map (build_class ~config ~pes) !class_specs) in
+  let n_items = Array.length items in
+  let task_base = Array.make (max 1 n_items) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun idx ci ->
+      task_base.(idx) <- !total;
+      total := !total + classes.(ci).c_n)
+    item_class;
+  let n_tasks = !total in
+  let est = Array.make (max 1 (n_tasks * n_pes)) min_int in
+  let ph_in = Array.make (max 1 (n_tasks * n_pes)) 0 in
+  let ph_comp = Array.make (max 1 (n_tasks * n_pes)) 0 in
+  let ph_out = Array.make (max 1 (n_tasks * n_pes)) 0 in
+  Array.iteri
+    (fun idx ci ->
+      let cls = classes.(ci) in
+      let len = cls.c_n * n_pes in
+      if len > 0 then begin
+        let dst = task_base.(idx) * n_pes in
+        Array.blit cls.c_est 0 est dst len;
+        Array.blit cls.c_ph_in 0 ph_in dst len;
+        Array.blit cls.c_ph_comp 0 ph_comp dst len;
+        Array.blit cls.c_ph_out 0 ph_out dst len
+      end)
+    item_class;
+  {
+    p_config = config;
+    p_policy = policy;
+    p_pcode = pcode;
+    p_classes = classes;
+    p_item_class = item_class;
+    p_item_arrival = Array.map (fun (it : Workload.item) -> it.Workload.arrival_ns) items;
+    p_task_base = task_base;
+    p_n_pes = n_pes;
+    p_pes = pes;
+    p_pe_is_cpu = Array.map (fun pe -> Pe.is_cpu pe.Pe.kind) pes;
+    p_pe_busy_w = Array.map (fun pe -> Pe.busy_w pe.Pe.kind) pes;
+    p_est = est;
+    p_ph_in = ph_in;
+    p_ph_comp = ph_comp;
+    p_ph_out = ph_out;
+    p_core_of_pe = core_of_pe;
+    p_core_rate1 = core_rate1;
+    p_overlay_perf = config.Config.host.Host.overlay.Host.core_class.Pe.perf_factor;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation (replicates Task.instantiate via the class tables)    *)
+(* ------------------------------------------------------------------ *)
+
+let instantiate_fast plan =
+  Array.init (Array.length plan.p_item_class) (fun idx ->
+      let cls = plan.p_classes.(plan.p_item_class.(idx)) in
+      let base = plan.p_task_base.(idx) in
+      let spec = cls.c_spec in
+      let store = Store.copy cls.c_store0 in
+      let tasks =
+        Array.init cls.c_n (fun j ->
+            {
+              Task.id = base + j;
+              instance_id = idx;
+              app_name = spec.App_spec.app_name;
+              node = cls.c_nodes.(j);
+              spec;
+              store;
+              status = Task.Blocked;
+              unmet = cls.c_unmet.(j);
+              successors = [];
+              ready_at = -1;
+              dispatched_at = -1;
+              completed_at = -1;
+              pe_label = "";
+              attempts = 0;
+              last_failure = None;
+            })
+      in
+      Array.iteri
+        (fun j (t : Task.t) ->
+          t.Task.successors <-
+            Array.to_list (Array.map (fun k -> tasks.(k)) cls.c_succ.(j)))
+        tasks;
+      {
+        Task.inst_id = idx;
+        app = spec;
+        store;
+        arrival_ns = plan.p_item_arrival.(idx);
+        tasks;
+        entry = Array.to_list (Array.map (fun k -> tasks.(k)) cls.c_entry);
+        remaining = cls.c_n;
+        completed_at = -1;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* The monomorphic event loop                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sched_window = Cost_model.sched_examined_cap
+
+(* Event kinds in the integer-encoded heap. *)
+let ev_start_rm = 0
+let ev_start_wm = 1
+let ev_resume = 2
+let ev_core = 3
+let ev_deadline = 4
+
+let run_detailed plan (params : Core.params) =
+  let instances = instantiate_fast plan in
+  let config = plan.p_config in
+  let n_pes = plan.p_n_pes in
+  let stride = n_pes in
+  let wm_th = n_pes in
+  let n_thr = n_pes + 1 in
+  let prng = Prng.create ~seed:params.Core.seed in
+  let jitter = params.Core.jitter in
+  let est = plan.p_est in
+  let handlers =
+    Array.mapi
+      (fun i pe ->
+        Core.make_handler ~pe ~index:i ~reservation_depth:params.Core.reservation_depth ())
+      plan.p_pes
+  in
+  let stats = Core.make_stats () in
+  let inst_memo =
+    Array.map (fun ci -> Option.is_some plan.p_classes.(ci).c_final) plan.p_item_class
+  in
+  (* ---- virtual clock and SoA event heap, (time, seq) ordered ---- *)
+  let now = ref 0 in
+  let hcap = ref 1024 in
+  let ht = ref (Array.make !hcap 0) in
+  let hs = ref (Array.make !hcap 0) in
+  let hk = ref (Array.make !hcap 0) in
+  let ha = ref (Array.make !hcap 0) in
+  let hb = ref (Array.make !hcap 0) in
+  let hn = ref 0 in
+  let hseq = ref 0 in
+  let hless i j =
+    let ti = !ht.(i) and tj = !ht.(j) in
+    ti < tj || (ti = tj && !hs.(i) < !hs.(j))
+  in
+  let hswap i j =
+    let t = !ht.(i) in
+    !ht.(i) <- !ht.(j);
+    !ht.(j) <- t;
+    let t = !hs.(i) in
+    !hs.(i) <- !hs.(j);
+    !hs.(j) <- t;
+    let t = !hk.(i) in
+    !hk.(i) <- !hk.(j);
+    !hk.(j) <- t;
+    let t = !ha.(i) in
+    !ha.(i) <- !ha.(j);
+    !ha.(j) <- t;
+    let t = !hb.(i) in
+    !hb.(i) <- !hb.(j);
+    !hb.(j) <- t
+  in
+  let hgrow () =
+    let ncap = !hcap * 2 in
+    let g a = let n = Array.make ncap 0 in Array.blit !a 0 n 0 !hn; a := n in
+    g ht; g hs; g hk; g ha; g hb;
+    hcap := ncap
+  in
+  let push t k a b =
+    let t = if t < !now then !now else t in
+    if !hn = !hcap then hgrow ();
+    let i = !hn in
+    !ht.(i) <- t;
+    !hs.(i) <- !hseq;
+    !hk.(i) <- k;
+    !ha.(i) <- a;
+    !hb.(i) <- b;
+    hseq := !hseq + 1;
+    hn := !hn + 1;
+    let i = ref i in
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if hless !i parent then begin
+        hswap !i parent;
+        i := parent
+      end
+      else continue_ := false
+    done
+  in
+  let sift_down () =
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < !hn && hless l !smallest then smallest := l;
+      if r < !hn && hless r !smallest then smallest := r;
+      if !smallest <> !i then begin
+        hswap !i !smallest;
+        i := !smallest
+      end
+      else continue_ := false
+    done
+  in
+  (* ---- per-thread waiter state (one outstanding suspension each) ---- *)
+  let w_gen = Array.make n_thr 0 in
+  let w_resumed = Array.make n_thr true in
+  let resume_thread th =
+    if not w_resumed.(th) then begin
+      w_resumed.(th) <- true;
+      push !now ev_resume th 0
+    end
+  in
+  let suspend th =
+    w_resumed.(th) <- false;
+    w_gen.(th) <- w_gen.(th) + 1
+  in
+  (* ---- processor-sharing cores (virtual_engine's update/reschedule) ---- *)
+  let n_cores = Array.length plan.p_core_rate1 in
+  let c_last = Array.make n_cores 0 in
+  let c_version = Array.make n_cores 0 in
+  let c_njobs = Array.make n_cores 0 in
+  let c_rem = Array.init n_cores (fun _ -> Array.make n_thr 0.0) in
+  let c_thr = Array.init n_cores (fun _ -> Array.make n_thr (-1)) in
+  let c_fin = Array.make n_thr (-1) in
+  let job_rate c k = if k <= 1 then 1.0 else plan.p_core_rate1.(c) /. float_of_int k in
+  let update_core c =
+    let elapsed = !now - c_last.(c) in
+    if elapsed > 0 then begin
+      let k = c_njobs.(c) in
+      if k > 0 then begin
+        let progress = float_of_int elapsed *. job_rate c k in
+        let rem = c_rem.(c) in
+        for j = 0 to k - 1 do
+          rem.(j) <- rem.(j) -. progress
+        done
+      end;
+      c_last.(c) <- !now
+    end
+  in
+  let reschedule_core c =
+    c_version.(c) <- c_version.(c) + 1;
+    let k = c_njobs.(c) in
+    if k > 0 then begin
+      let rate = job_rate c k in
+      let rem = c_rem.(c) in
+      let mn = ref Float.infinity in
+      for j = 0 to k - 1 do
+        mn := Float.min !mn rem.(j)
+      done;
+      let dt = int_of_float (Float.ceil (Float.max 0.0 !mn /. rate)) in
+      push (!now + dt) ev_core c c_version.(c)
+    end
+  in
+  let add_job c th ns =
+    update_core c;
+    let k = c_njobs.(c) in
+    c_rem.(c).(k) <- float_of_int ns;
+    c_thr.(c).(k) <- th;
+    c_njobs.(c) <- k + 1;
+    reschedule_core c
+  in
+  let core_event c v =
+    if v = c_version.(c) then begin
+      update_core c;
+      let k = c_njobs.(c) in
+      let rem = c_rem.(c) and thr = c_thr.(c) in
+      let nf = ref 0 and w = ref 0 in
+      for j = 0 to k - 1 do
+        if rem.(j) <= 1e-6 then begin
+          c_fin.(!nf) <- thr.(j);
+          incr nf
+        end
+        else begin
+          rem.(!w) <- rem.(j);
+          thr.(!w) <- thr.(j);
+          incr w
+        end
+      done;
+      c_njobs.(c) <- !w;
+      reschedule_core c;
+      for j = 0 to !nf - 1 do
+        resume_thread c_fin.(j)
+      done
+    end
+  in
+  (* ---- condition variables (wm_wake + one per resource manager) ---- *)
+  let vh_pending = Array.make (max 1 n_pes) false in
+  let vh_waiting = Array.make (max 1 n_pes) false in
+  let wm_pending = ref false in
+  let wm_waiting = ref false in
+  let signal_rm i =
+    if vh_waiting.(i) then begin
+      vh_waiting.(i) <- false;
+      resume_thread i
+    end
+    else vh_pending.(i) <- true
+  in
+  let signal_wm () =
+    if !wm_waiting then begin
+      wm_waiting := false;
+      resume_thread wm_th
+    end
+    else wm_pending := true
+  in
+  let jit ns = Core.jittered prng ~jitter ns in
+  let overlay_perf = plan.p_overlay_perf in
+  let scale ns = int_of_float (Float.round (ns /. overlay_perf)) in
+  (* ---- workload-manager state ----
+     The ready collection is an intrusive doubly-linked list over dense
+     task ids: append on ready, O(1) unlink on dispatch.  It holds
+     exactly the Ready tasks in insertion order — the same sequence the
+     reference engine's queue exposes once stale (already-dispatched)
+     entries are skipped — so the scheduling window never rescans stale
+     entries and never allocates. *)
+  let n_tasks = if stride = 0 then 0 else Array.length est / stride in
+  let tk_of =
+    if n_tasks = 0 then [||]
+    else begin
+      let d = ref None in
+      (try
+         Array.iter
+           (fun (inst : Task.instance) ->
+             if Array.length inst.Task.tasks > 0 then begin
+               d := Some inst.Task.tasks.(0);
+               raise Exit
+             end)
+           instances
+       with Exit -> ());
+      match !d with
+      | None -> [||]
+      | Some d0 ->
+        let a = Array.make n_tasks d0 in
+        Array.iter
+          (fun (inst : Task.instance) ->
+            Array.iter (fun (t : Task.t) -> a.(t.Task.id) <- t) inst.Task.tasks)
+          instances;
+        a
+    end
+  in
+  let rl_nxt = Array.make (max 1 n_tasks) (-1) in
+  let rl_prv = Array.make (max 1 n_tasks) (-1) in
+  let rl_head = ref (-1) in
+  let rl_tail = ref (-1) in
+  let rl_append id =
+    if !rl_tail < 0 then rl_head := id
+    else begin
+      rl_nxt.(!rl_tail) <- id;
+      rl_prv.(id) <- !rl_tail
+    end;
+    rl_nxt.(id) <- -1;
+    rl_tail := id
+  in
+  let rl_unlink id =
+    let p = rl_prv.(id) and n = rl_nxt.(id) in
+    if p >= 0 then rl_nxt.(p) <- n else rl_head := n;
+    if n >= 0 then rl_prv.(n) <- p else rl_tail := p;
+    rl_prv.(id) <- -1
+  in
+  let ready_live = ref 0 in
+  let inflight = ref 0 in
+  let n_items = Array.length instances in
+  let pending_idx = ref 0 in
+  let unfinished = ref n_items in
+  let wm_pc = ref 0 in
+  let sw_hi = ref 0 in
+  let sw_batch = ref false in
+  let ds_ret = ref 0 in
+  let ds_cost = ref 0 in
+  let ds_pos = ref 0 in
+  let idle = Array.make (max 1 n_pes) false in
+  let avail = Array.make (max 1 n_pes) 0 in
+  let cand = Array.make (max 1 n_pes) 0 in
+  let as_task : Task.t array ref = ref [||] in
+  let as_pe = Array.make (max 1 n_pes) 0 in
+  let as_n = ref 0 in
+  let make_ready (t : Task.t) =
+    t.Task.status <- Task.Ready;
+    t.Task.ready_at <- !now;
+    rl_append t.Task.id;
+    incr ready_live
+  in
+  (* ---- resource-manager threads (engine_core.resource_manager) ---- *)
+  let rm_pc = Array.make (max 1 n_pes) 0 in
+  let rm_task : Task.t option array = Array.make (max 1 n_pes) None in
+  let rm_started = Array.make (max 1 n_pes) 0 in
+  let rm_cur i =
+    match rm_task.(i) with Some t -> t | None -> assert false
+  in
+  let rec rm_await i =
+    if vh_pending.(i) then begin
+      vh_pending.(i) <- false;
+      rm_wake i
+    end
+    else begin
+      vh_waiting.(i) <- true;
+      suspend i;
+      rm_pc.(i) <- 1
+    end
+  and rm_wake i = if handlers.(i).Core.h_stop then () else rm_drain i
+  and rm_drain i =
+    let h = handlers.(i) in
+    match Queue.take_opt h.Core.h_pending with
+    | None -> rm_await i
+    | Some task ->
+      rm_task.(i) <- Some task;
+      rm_started.(i) <- !now;
+      let row = (task.Task.id * stride) + i in
+      if plan.p_pe_is_cpu.(i) then begin
+        if not inst_memo.(task.Task.instance_id) then begin
+          let k = Exec_model.resolve_kernel task h.Core.h_pe in
+          k task.Task.store task.Task.node.App_spec.arguments
+        end;
+        rm_work i (jit est.(row)) 2
+      end
+      else rm_work i (jit plan.p_ph_in.(row)) 3
+  and rm_work i ns pc =
+    if ns <= 0 then rm_goto i pc
+    else begin
+      rm_pc.(i) <- pc;
+      suspend i;
+      add_job plan.p_core_of_pe.(i) i ns
+    end
+  and rm_acc_after_in i =
+    let task = rm_cur i in
+    if not inst_memo.(task.Task.instance_id) then begin
+      let k = Exec_model.resolve_kernel task handlers.(i).Core.h_pe in
+      k task.Task.store task.Task.node.App_spec.arguments
+    end;
+    let ns = jit plan.p_ph_comp.((task.Task.id * stride) + i) in
+    if ns <= 0 then rm_acc_after_comp i
+    else begin
+      rm_pc.(i) <- 4;
+      suspend i;
+      push (!now + ns) ev_deadline i w_gen.(i)
+    end
+  and rm_acc_after_comp i =
+    let task = rm_cur i in
+    rm_work i (jit plan.p_ph_out.((task.Task.id * stride) + i)) 5
+  and rm_finish i =
+    let task = rm_cur i in
+    let h = handlers.(i) in
+    task.Task.completed_at <- !now;
+    h.Core.h_busy_ns <- h.Core.h_busy_ns + (!now - rm_started.(i));
+    h.Core.h_tasks_run <- h.Core.h_tasks_run + 1;
+    Queue.add task h.Core.h_completed;
+    signal_wm ();
+    rm_drain i
+  and rm_goto i pc =
+    match pc with
+    | 1 -> rm_wake i
+    | 2 | 5 -> rm_finish i
+    | 3 -> rm_acc_after_in i
+    | 4 -> rm_acc_after_comp i
+    | _ -> assert false
+  in
+  (* ---- workload-manager thread (engine_core.workload_manager,
+     fault and observability off) ---- *)
+  let rec wm_charge ns pc =
+    let c = scale ns in
+    stats.Core.wm_ns <- stats.Core.wm_ns + c;
+    if c <= 0 then wm_goto pc
+    else begin
+      wm_pc := pc;
+      suspend wm_th;
+      add_job 0 wm_th c
+    end
+  and wm_tick_top () = wm_charge (Cost_model.monitor_per_pe_ns *. float_of_int n_pes) 10
+  and wm_sweep_start () =
+    sw_hi := 0;
+    sw_batch := false;
+    wm_sweep_cont ()
+  and wm_sweep_cont () =
+    if !sw_hi >= n_pes then begin
+      if !sw_batch then do_schedule 1 else wm_inject ()
+    end
+    else begin
+      let h = handlers.(!sw_hi) in
+      match Queue.take_opt h.Core.h_completed with
+      | None ->
+        incr sw_hi;
+        wm_sweep_cont ()
+      | Some task ->
+        h.Core.h_inflight <- h.Core.h_inflight - 1;
+        decr inflight;
+        task.Task.status <- Task.Done;
+        stats.Core.records <-
+          {
+            Stats.app = task.Task.app_name;
+            instance = task.Task.instance_id;
+            node = task.Task.node.App_spec.node_name;
+            pe = task.Task.pe_label;
+            ready_ns = task.Task.ready_at;
+            dispatched_ns = task.Task.dispatched_at;
+            completed_ns = task.Task.completed_at;
+          }
+          :: stats.Core.records;
+        let inst = instances.(task.Task.instance_id) in
+        inst.Task.remaining <- inst.Task.remaining - 1;
+        if inst.Task.remaining = 0 then begin
+          inst.Task.completed_at <- !now;
+          decr unfinished
+        end;
+        let newly = ref 0 in
+        List.iter
+          (fun (succ : Task.t) ->
+            succ.Task.unmet <- succ.Task.unmet - 1;
+            if succ.Task.unmet = 0 then begin
+              make_ready succ;
+              incr newly
+            end)
+          task.Task.successors;
+        if !newly > 0 then
+          wm_charge (Cost_model.ready_update_per_task_ns *. float_of_int !newly) 11
+        else wm_after_completion ()
+    end
+  and wm_after_completion () =
+    if handlers.(!sw_hi).Core.h_capacity <= 1 then do_schedule 0
+    else begin
+      sw_batch := true;
+      wm_sweep_cont ()
+    end
+  and do_schedule ret =
+    ds_ret := ret;
+    let n_idle = ref 0 in
+    for i = 0 to n_pes - 1 do
+      let b = handlers.(i).Core.h_inflight < handlers.(i).Core.h_capacity in
+      idle.(i) <- b;
+      if b then incr n_idle
+    done;
+    if !ready_live = 0 || !n_idle = 0 then ds_end ()
+    else begin
+      let ready_len = !ready_live in
+      let nready = if ready_len < sched_window then ready_len else sched_window in
+      as_n := 0;
+      run_policy nready !n_idle;
+      let cost =
+        scale
+          (float_of_int
+             (Scheduler.overhead_ns ~policy_name:plan.p_policy.Scheduler.name
+                ~ready:ready_len ~pes:n_pes ~ops:(nready * n_pes)))
+      in
+      ds_cost := cost;
+      stats.Core.wm_ns <- stats.Core.wm_ns + cost;
+      if cost <= 0 then wm_after_sched_work ()
+      else begin
+        wm_pc := 12;
+        suspend wm_th;
+        add_job 0 wm_th cost
+      end
+    end
+  (* The reference scans its whole <= [sched_window] window, but an
+     assignment can only ever land on an idle PE and every other
+     per-entry computation is scratch — so once the idle budget is
+     exhausted the rest of the walk is unobservable (RANDOM included:
+     its candidate list, and hence any PRNG draw, is idle-gated).
+     Breaking early there is exact. *)
+  and run_policy nready n_idle0 =
+    let emit (t : Task.t) i =
+      if Array.length !as_task = 0 then as_task := Array.make (max 1 n_pes) t;
+      !as_task.(!as_n) <- t;
+      as_pe.(!as_n) <- i;
+      incr as_n
+    in
+    let n_idle = ref n_idle0 in
+    let cur = ref !rl_head in
+    let j = ref 0 in
+    (match plan.p_pcode with
+    | P_frfs ->
+      while !j < nready && !n_idle > 0 do
+        let t = tk_of.(!cur) in
+        let row = t.Task.id * stride in
+        let chosen = ref (-1) in
+        for i = 0 to n_pes - 1 do
+          if !chosen < 0 && idle.(i) && est.(row + i) <> min_int then chosen := i
+        done;
+        if !chosen >= 0 then begin
+          idle.(!chosen) <- false;
+          decr n_idle;
+          emit t !chosen
+        end;
+        cur := rl_nxt.(!cur);
+        incr j
+      done
+    | P_met ->
+      while !j < nready && !n_idle > 0 do
+        let t = tk_of.(!cur) in
+        let row = t.Task.id * stride in
+        let best = ref (-1) and best_est = ref 0 in
+        for i = 0 to n_pes - 1 do
+          if idle.(i) then begin
+            let e = est.(row + i) in
+            if e <> min_int && (!best < 0 || e < !best_est) then begin
+              best := i;
+              best_est := e
+            end
+          end
+        done;
+        if !best >= 0 then begin
+          idle.(!best) <- false;
+          decr n_idle;
+          emit t !best
+        end;
+        cur := rl_nxt.(!cur);
+        incr j
+      done
+    | P_eft ->
+      let now_v = !now in
+      for i = 0 to n_pes - 1 do
+        avail.(i) <- (if idle.(i) then now_v else handlers.(i).Core.h_busy_until)
+      done;
+      while !j < nready && !n_idle > 0 do
+        let t = tk_of.(!cur) in
+        let row = t.Task.id * stride in
+        let best = ref (-1) and best_fin = ref 0 in
+        for i = 0 to n_pes - 1 do
+          let e = est.(row + i) in
+          if e <> min_int then begin
+            let fin = max now_v avail.(i) + e in
+            if !best < 0 || fin < !best_fin then begin
+              best := i;
+              best_fin := fin
+            end
+          end
+        done;
+        if !best >= 0 then begin
+          avail.(!best) <- !best_fin;
+          if idle.(!best) then begin
+            idle.(!best) <- false;
+            decr n_idle;
+            emit t !best
+          end
+        end;
+        cur := rl_nxt.(!cur);
+        incr j
+      done
+    | P_power ->
+      while !j < nready && !n_idle > 0 do
+        let t = tk_of.(!cur) in
+        let row = t.Task.id * stride in
+        let best = ref (-1) and best_energy = ref 0.0 and best_est = ref 0 in
+        for i = 0 to n_pes - 1 do
+          if idle.(i) then begin
+            let e = est.(row + i) in
+            if e <> min_int then begin
+              let energy = float_of_int e *. plan.p_pe_busy_w.(i) in
+              if
+                !best < 0 || energy < !best_energy
+                || (energy = !best_energy && e < !best_est)
+              then begin
+                best := i;
+                best_energy := energy;
+                best_est := e
+              end
+            end
+          end
+        done;
+        if !best >= 0 then begin
+          idle.(!best) <- false;
+          decr n_idle;
+          emit t !best
+        end;
+        cur := rl_nxt.(!cur);
+        incr j
+      done
+    | P_random ->
+      while !j < nready && !n_idle > 0 do
+        let t = tk_of.(!cur) in
+        let row = t.Task.id * stride in
+        let cn = ref 0 in
+        for i = 0 to n_pes - 1 do
+          if idle.(i) && est.(row + i) <> min_int then begin
+            cand.(!cn) <- i;
+            incr cn
+          end
+        done;
+        if !cn > 0 then begin
+          (* The reference builds the candidate list by prepending
+             ascending PE indices (so the array Prng.choose indexes is
+             descending); replicate the draw against that ordering. *)
+          let k = Prng.int prng !cn in
+          let i = cand.(!cn - 1 - k) in
+          idle.(i) <- false;
+          decr n_idle;
+          emit t i
+        end;
+        cur := rl_nxt.(!cur);
+        incr j
+      done)
+  and wm_after_sched_work () =
+    stats.Core.sched_ns <- stats.Core.sched_ns + !ds_cost;
+    stats.Core.sched_invocations <- stats.Core.sched_invocations + 1;
+    ds_pos := 0;
+    wm_dispatch_next ()
+  and wm_dispatch_next () =
+    if !ds_pos >= !as_n then ds_end ()
+    else wm_charge Cost_model.dispatch_per_task_ns 13
+  and wm_dispatch_commit () =
+    let j = !ds_pos in
+    let task = !as_task.(j) and pi = as_pe.(j) in
+    let h = handlers.(pi) in
+    task.Task.status <- Task.Running;
+    task.Task.attempts <- task.Task.attempts + 1;
+    rl_unlink task.Task.id;
+    decr ready_live;
+    task.Task.dispatched_at <- !now;
+    task.Task.pe_label <- h.Core.h_pe.Pe.label;
+    Queue.add task h.Core.h_pending;
+    h.Core.h_inflight <- h.Core.h_inflight + 1;
+    incr inflight;
+    h.Core.h_busy_until <-
+      max !now h.Core.h_busy_until + est.((task.Task.id * stride) + pi);
+    signal_rm pi;
+    incr ds_pos;
+    wm_dispatch_next ()
+  and ds_end () =
+    match !ds_ret with
+    | 0 -> wm_sweep_cont ()
+    | 1 -> wm_inject ()
+    | _ -> wm_tick_tail ()
+  and wm_inject () =
+    let injected = ref 0 in
+    let now_v = !now in
+    while
+      !pending_idx < n_items && instances.(!pending_idx).Task.arrival_ns <= now_v
+    do
+      let inst = instances.(!pending_idx) in
+      incr pending_idx;
+      List.iter
+        (fun t ->
+          make_ready t;
+          incr injected)
+        inst.Task.entry
+    done;
+    if !injected > 0 then
+      wm_charge (Cost_model.ready_update_per_task_ns *. float_of_int !injected) 14
+    else wm_tick_tail ()
+  and wm_after_inject () = do_schedule 2
+  and wm_tick_tail () =
+    if !unfinished = 0 && !pending_idx >= n_items then
+      Array.iter
+        (fun (h : unit Core.handler) ->
+          h.Core.h_stop <- true;
+          signal_rm h.Core.h_index)
+        handlers
+    else begin
+      if !wm_pending then begin
+        wm_pending := false;
+        wm_tick_top ()
+      end
+      else begin
+        wm_waiting := true;
+        suspend wm_th;
+        if !pending_idx < n_items then
+          push instances.(!pending_idx).Task.arrival_ns ev_deadline wm_th w_gen.(wm_th);
+        wm_pc := 15
+      end
+    end
+  and wm_goto pc =
+    match pc with
+    | 10 -> wm_sweep_start ()
+    | 11 -> wm_after_completion ()
+    | 12 -> wm_after_sched_work ()
+    | 13 -> wm_dispatch_commit ()
+    | 14 -> wm_after_inject ()
+    | 15 -> wm_tick_top ()
+    | _ -> assert false
+  in
+  (* ---- startup (spawn order: resource managers, then the WM) ---- *)
+  for i = 0 to n_pes - 1 do
+    push 0 ev_start_rm i 0
+  done;
+  push 0 ev_start_wm 0 0;
+  (* ---- event loop ---- *)
+  let continue_ = ref true in
+  while !continue_ do
+    if !hn = 0 then continue_ := false
+    else begin
+      let t = !ht.(0) and k = !hk.(0) and a = !ha.(0) and b = !hb.(0) in
+      hn := !hn - 1;
+      if !hn > 0 then begin
+        hswap 0 !hn;
+        sift_down ()
+      end;
+      if t > !now then now := t;
+      if k = ev_resume then begin
+        if a = wm_th then wm_goto !wm_pc else rm_goto a rm_pc.(a)
+      end
+      else if k = ev_core then core_event a b
+      else if k = ev_deadline then begin
+        if b = w_gen.(a) && not w_resumed.(a) then begin
+          if a = wm_th then wm_waiting := false;
+          resume_thread a
+        end
+      end
+      else if k = ev_start_rm then rm_await a
+      else wm_tick_top ()
+    end
+  done;
+  (* ---- functional outputs: blit the memoized kernel image ---- *)
+  Array.iteri
+    (fun idx (inst : Task.instance) ->
+      match plan.p_classes.(plan.p_item_class.(idx)).c_final with
+      | Some final -> Store.blit_from inst.Task.store ~src:final
+      | None -> ())
+    instances;
+  ( Core.report ~host_name:config.Config.host.Host.name ~config ~policy:plan.p_policy
+      ~handlers ~instances ~stats,
+    instances )
+
+let run plan params = fst (run_detailed plan params)

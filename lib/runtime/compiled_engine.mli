@@ -1,0 +1,66 @@
+(** Ahead-of-time compiled emulation engine.
+
+    The virtual engine interprets the workload every run: polymorphic
+    task records, effect-based threads, `Scheduler.context` closures
+    and the `Engine_core` backend record all sit on the hottest loop.
+    This module instead {e compiles} one (workload x platform x policy)
+    triple into a {!type:plan} of unboxed flat arrays — CSR
+    predecessor/successor adjacency over dense task ids, a preresolved
+    per-(task, PE) estimate matrix and accelerator phase tables, dense
+    PE/core/task state arrays — and then {!val:run}s a monomorphic
+    event loop over integer-encoded events with no per-event closure
+    allocation, the workload-manager protocol and the chosen policy
+    inlined.
+
+    The contract with the reference engines is {e exact replay}: for
+    every supported parameter set (any seed, any jitter, any
+    reservation depth, all five built-in policies) a compiled run
+    produces the same event sequence as the virtual engine — the same
+    [Stats.report] (byte-identical [records_csv]) and the same final
+    instance stores.  Anything v1 cannot replay bit-for-bit (fault
+    plans, enabled observability, custom policies) is rejected at
+    compile time with {!exception:Unsupported} rather than allowed to
+    diverge silently.  The differential matrix in
+    [test/test_diff_engines.ml] pins the contract.
+
+    Because every instance of an application archetype starts from the
+    same store bytes and its kernels are deterministic dataflow
+    functions, compilation also runs each archetype's kernel chain once
+    (in topological order) and records the final store; runs then blit
+    that image into every instance store instead of re-executing
+    identical kernels hundreds of times.  When a node's platform
+    entries resolve to different kernel functions the archetype falls
+    back to per-instance kernel execution, preserving the contract. *)
+
+type plan
+
+exception Unsupported of string
+(** Raised by {!val:compile} for inputs outside the compiled engine's
+    replay contract: a fault plan, enabled observability, or a policy
+    other than the five built-ins. *)
+
+val compile :
+  ?fault:Dssoc_fault.Fault.plan ->
+  ?obs:Dssoc_obs.Obs.t ->
+  config:Dssoc_soc.Config.t ->
+  workload:Dssoc_apps.Workload.t ->
+  policy:Scheduler.policy ->
+  unit ->
+  plan
+(** Lower the triple into a plan.  The plan is immutable apart from
+    internal scratch buffers: it can be kept, reused and interleaved
+    with other plans — every {!val:run} starts from fresh instances.
+    @raise Unsupported for a fault plan, enabled [obs], or a policy
+    that is not one of the five built-ins (the compiler specializes the
+    policy loop and cannot inline arbitrary closures).
+    @raise Invalid_argument when some task supports no PE of the
+    configuration (same validation as the reference engines). *)
+
+val run : plan -> Engine_core.params -> Stats.report
+(** Execute one emulation of the plan: instantiate fresh instances,
+    replay the workload-manager protocol, assemble the report exactly
+    as the virtual engine would. *)
+
+val run_detailed : plan -> Engine_core.params -> Stats.report * Task.instance array
+(** Like {!val:run}, also returning the instances (with final store
+    contents) for functional inspection. *)

@@ -1,10 +1,16 @@
-type engine = Virtual of Engine_core.params | Native of Engine_core.params
+type engine =
+  | Virtual of Engine_core.params
+  | Native of Engine_core.params
+  | Compiled of Engine_core.params
 
 let virtual_seeded ?(jitter = 0.03) ?(reservation_depth = 0) seed =
   Virtual { Engine_core.seed; jitter; reservation_depth }
 
 let native_seeded ?(jitter = 0.0) ?(reservation_depth = 0) seed =
   Native { Engine_core.seed; jitter; reservation_depth }
+
+let compiled_seeded ?(jitter = 0.03) ?(reservation_depth = 0) seed =
+  Compiled { Engine_core.seed; jitter; reservation_depth }
 
 let native_default = Native Native_engine.default_params
 
@@ -19,8 +25,14 @@ let run ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs ?
         | Virtual params ->
           Virtual_engine.run ~params ?obs ?fault ~config ~workload ~policy ()
         | Native params ->
-          Native_engine.run ~params ?obs ?fault ~config ~workload ~policy ())
-    with Invalid_argument msg -> Error msg)
+          Native_engine.run ~params ?obs ?fault ~config ~workload ~policy ()
+        | Compiled params ->
+          Compiled_engine.run
+            (Compiled_engine.compile ?obs ?fault ~config ~workload ~policy ())
+            params)
+    with
+    | Invalid_argument msg -> Error msg
+    | Compiled_engine.Unsupported msg -> Error msg)
 
 let run_exn ?engine ?policy ?obs ?fault ~config ~workload () =
   match run ?engine ?policy ?obs ?fault ~config ~workload () with
@@ -38,5 +50,11 @@ let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS
         | Virtual params ->
           Virtual_engine.run_detailed ~params ?obs ?fault ~config ~workload ~policy ()
         | Native params ->
-          Native_engine.run_detailed ~params ?obs ?fault ~config ~workload ~policy ())
-    with Invalid_argument msg -> Error msg)
+          Native_engine.run_detailed ~params ?obs ?fault ~config ~workload ~policy ()
+        | Compiled params ->
+          Compiled_engine.run_detailed
+            (Compiled_engine.compile ?obs ?fault ~config ~workload ~policy ())
+            params)
+    with
+    | Invalid_argument msg -> Error msg
+    | Compiled_engine.Unsupported msg -> Error msg)

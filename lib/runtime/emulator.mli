@@ -13,6 +13,13 @@ type engine =
   | Native of Engine_core.params
       (** OCaml 5 domains executing the same handler protocol in real
           time on the machine running the emulator *)
+  | Compiled of Engine_core.params
+      (** ahead-of-time specialization of (workload x platform x
+          policy) into a flat-array event loop; replays the virtual
+          engine byte-for-byte for the five built-in policies — see
+          {!Compiled_engine}.  Fault plans, enabled observability and
+          custom policies are outside its contract and turn into
+          [Error] here. *)
 
 val virtual_seeded : ?jitter:float -> ?reservation_depth:int -> int64 -> engine
 (** Convenience: virtual engine with the given seed (jitter defaults
@@ -22,6 +29,13 @@ val native_seeded : ?jitter:float -> ?reservation_depth:int -> int64 -> engine
 (** Convenience: native engine with the given seed (jitter defaults to
     0. — native kernels run for real; the jitter only shapes the
     modelled device-compute sleeps — reservation queues off). *)
+
+val compiled_seeded : ?jitter:float -> ?reservation_depth:int -> int64 -> engine
+(** Convenience: compiled engine with the given seed (same defaults as
+    {!virtual_seeded}, whose runs it replays exactly).  Each call to
+    {!run} compiles the triple afresh; callers that re-run one
+    workload many times should use {!Compiled_engine.compile} once and
+    {!Compiled_engine.run} per emulation instead. *)
 
 val native_default : engine
 (** Native engine with {!Native_engine.default_params}. *)

@@ -473,6 +473,304 @@ let test_event_multiset_parity () =
         (project "ready" m = project "completed" m))
     [ ("virtual", vm); ("native", nm) ]
 
+(* ---------------- compiled engine: exact replay ---------------- *)
+
+(* The compiled engine's contract is stronger than the native one's:
+   it must replay the virtual engine *byte for byte* — same
+   records_csv, same report, same final stores — for every built-in
+   policy, any reservation depth and any jitter.  The matrix below
+   pins that contract on the reference mix, the fig9-style workload
+   and a fig10 performance trace. *)
+
+module Compiled = Dssoc_runtime.Compiled_engine
+module Scheduler = Dssoc_runtime.Scheduler
+module Engine_core = Dssoc_runtime.Engine_core
+module Kernels = Dssoc_apps.Kernels
+module Prng = Dssoc_util.Prng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let policy_of name = Result.get_ok (Scheduler.find name)
+
+(* On divergence, show the first differing CSV record rather than two
+   multi-thousand-line blobs. *)
+let check_csv_identical label vcsv ccsv =
+  if not (String.equal vcsv ccsv) then begin
+    let vl = String.split_on_char '\n' vcsv and cl = String.split_on_char '\n' ccsv in
+    let rec first i = function
+      | a :: ta, b :: tb ->
+        if String.equal a b then first (i + 1) (ta, tb)
+        else Printf.sprintf "line %d: virtual %S vs compiled %S" i a b
+      | a :: _, [] -> Printf.sprintf "line %d only in virtual: %S" i a
+      | [], b :: _ -> Printf.sprintf "line %d only in compiled: %S" i b
+      | [], [] -> "equal length, no differing line (?)"
+    in
+    Alcotest.failf "%s: records_csv diverges at %s" label (first 0 (vl, cl))
+  end
+
+let check_stores_identical label (vi : Task.instance array) (ci : Task.instance array) =
+  Alcotest.(check int) (label ^ ": same instance count") (Array.length vi) (Array.length ci);
+  Array.iteri
+    (fun i (v : Task.instance) ->
+      List.iter
+        (fun var ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: instance %d var %s byte-identical" label i var)
+            true
+            (Bytes.equal (Store.get_raw v.Task.store var) (Store.get_raw ci.(i).Task.store var)))
+        (Store.names v.Task.store))
+    vi
+
+let compiled_scenarios =
+  [
+    ( "reference-mix",
+      (fun () -> Config.zcu102_cores_ffts ~cores:2 ~ffts:1),
+      fun () ->
+        Workload.validation
+          [ (Reference_apps.range_detection (), 2); (Reference_apps.wifi_tx (), 2);
+            (Reference_apps.wifi_rx (), 1) ] );
+    ( "fig9-mix",
+      (fun () -> Config.zcu102_cores_ffts ~cores:3 ~ffts:2),
+      fun () ->
+        Workload.validation
+          [ (Reference_apps.pulse_doppler (), 1); (Reference_apps.range_detection (), 2);
+            (Reference_apps.wifi_tx (), 2); (Reference_apps.wifi_rx (), 2) ] );
+    ( "fig10-rate1.71",
+      (fun () -> Config.zcu102_cores_ffts ~cores:3 ~ffts:2),
+      fun () -> Workload.table2_workload ~rate:1.71 () );
+  ]
+
+let matrix_jitters = [ 0.0; 0.03 ]
+
+let test_compiled_exact_replay () =
+  List.iter
+    (fun (scen, config_fn, wl_fn) ->
+      let config = config_fn () in
+      List.iter
+        (fun policy ->
+          (* One plan per (scenario, policy): params are run inputs,
+             not compile inputs, so depth/jitter reuse the plan — the
+             test doubles as a plan-reuse check. *)
+          let plan =
+            Compiled.compile ~config ~workload:(wl_fn ()) ~policy:(policy_of policy) ()
+          in
+          List.iter
+            (fun depth ->
+              List.iter
+                (fun jitter ->
+                  let label =
+                    Printf.sprintf "%s/%s/depth%d/jitter%.2f" scen policy depth jitter
+                  in
+                  let params =
+                    { Engine_core.seed = 7L; jitter; reservation_depth = depth }
+                  in
+                  let vr, vi =
+                    Result.get_ok
+                      (Emulator.run_detailed
+                         ~engine:(Emulator.Virtual params)
+                         ~policy ~config ~workload:(wl_fn ()) ())
+                  in
+                  let cr, ci = Compiled.run_detailed plan params in
+                  check_csv_identical label (Stats.records_csv vr) (Stats.records_csv cr);
+                  Alcotest.(check int) (label ^ ": same makespan") vr.Stats.makespan_ns
+                    cr.Stats.makespan_ns;
+                  Alcotest.(check int) (label ^ ": same WM overhead") vr.Stats.wm_overhead_ns
+                    cr.Stats.wm_overhead_ns;
+                  Alcotest.(check (float 1e-9)) (label ^ ": same busy energy")
+                    (Stats.total_busy_energy_mj vr) (Stats.total_busy_energy_mj cr);
+                  Alcotest.(check (float 1e-9)) (label ^ ": same total energy")
+                    (Stats.total_energy_mj vr) (Stats.total_energy_mj cr);
+                  Alcotest.(check bool) (label ^ ": same report") true (vr = cr);
+                  check_stores_identical label vi ci)
+                matrix_jitters)
+            matrix_depths)
+        matrix_policies)
+    compiled_scenarios
+
+let test_compiled_plan_purity () =
+  (* A plan is immutable apart from scratch buffers: compiling twice
+     and interleaving runs (including runs under different params in
+     between) must not change what any given (plan, params) pair
+     produces. *)
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  let wl () =
+    Workload.validation
+      [ (Reference_apps.range_detection (), 2); (Reference_apps.wifi_tx (), 1) ]
+  in
+  let compile () = Compiled.compile ~config ~workload:(wl ()) ~policy:Scheduler.eft () in
+  let p1 = compile () and p2 = compile () in
+  let params = { Engine_core.seed = 3L; jitter = 0.03; reservation_depth = 1 } in
+  let other = { Engine_core.seed = 9L; jitter = 0.01; reservation_depth = 0 } in
+  let baseline = Stats.records_csv (Compiled.run p1 params) in
+  Alcotest.(check string) "second plan replays the first" baseline
+    (Stats.records_csv (Compiled.run p2 params));
+  ignore (Compiled.run p1 other);
+  ignore (Compiled.run p2 other);
+  Alcotest.(check string) "plan 1 unchanged after interleaved runs" baseline
+    (Stats.records_csv (Compiled.run p1 params));
+  Alcotest.(check string) "plan 2 unchanged after interleaved runs" baseline
+    (Stats.records_csv (Compiled.run p2 params))
+
+let test_compiled_rejects_fault_plans () =
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  let workload = Workload.validation [ (Reference_apps.wifi_tx (), 1) ] in
+  Alcotest.(check bool) "compile raises Unsupported" true
+    (try
+       ignore
+         (Compiled.compile ~fault:(fault_plan ()) ~config ~workload ~policy:Scheduler.frfs ());
+       false
+     with Compiled.Unsupported _ -> true);
+  match
+    Emulator.run
+      ~engine:(Emulator.compiled_seeded 1L)
+      ~fault:(fault_plan ()) ~config ~workload ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "Emulator surfaced no error for fault + compiled"
+
+(* ---------------- compiled engine: random-DAG properties ---------------- *)
+
+(* The reference apps exercise a handful of DAG shapes; the properties
+   below throw randomly wired DAGs at the compiler so the CSR
+   adjacency lowering, the ready bookkeeping and the policy loops are
+   checked on shapes nobody hand-picked. *)
+
+let () =
+  Kernels.register_object "qdag.so"
+    [
+      ( "bump",
+        fun store args ->
+          (* One shared accumulator: every node execution adds its
+             first argument's length-independent constant, so the
+             final store is a function of *which* tasks ran, not of
+             scheduling order. *)
+          ignore args;
+          Store.set_i32 store "acc" (Store.get_i32 store "acc" + 1) );
+    ]
+
+(* Deterministically derive a random DAG from [seed]: n nodes, each
+   wired to a random subset of its predecessors (guaranteeing at least
+   one edge from the previous node half the time), each supported on
+   cpu and — with probability 1/2 — also on the FFT accelerator. *)
+let random_dag seed =
+  let prng = Prng.create ~seed:(Int64.of_int (0x5EED + seed)) in
+  let n = 3 + Prng.int prng 8 in
+  let nodes =
+    List.init n (fun i ->
+        let preds =
+          List.filteri (fun j _ -> j < i && Prng.bool prng) (List.init n (fun j -> j))
+          |> List.map (Printf.sprintf "n%d")
+        in
+        let preds =
+          if i > 0 && preds = [] && Prng.bool prng then [ Printf.sprintf "n%d" (i - 1) ]
+          else preds
+        in
+        let platforms =
+          { App_spec.platform = "cpu"; runfunc = "bump"; shared_object = None; cost_us = None }
+          ::
+          (if Prng.bool prng then
+             [ { App_spec.platform = "fft"; runfunc = "bump"; shared_object = None;
+                 cost_us = None } ]
+           else [])
+        in
+        {
+          App_spec.node_name = Printf.sprintf "n%d" i;
+          arguments = [ "acc" ];
+          predecessors = preds;
+          successors = [];
+          platforms;
+          kernel_class = "generic";
+          size = 1 + Prng.int prng 64;
+          bytes_in = 0;
+          bytes_out = 0;
+        })
+  in
+  App_spec.of_edges ~app_name:(Printf.sprintf "qdag%d" seed) ~shared_object:"qdag.so"
+    ~variables:[ ("acc", { Store.bytes = 4; is_ptr = false; ptr_alloc_bytes = 0; init = [] }) ]
+    ~nodes
+
+let qcheck_compiled_respects_adjacency =
+  QCheck.Test.make ~name:"compiled run respects random-DAG adjacency" ~count:30
+    QCheck.(make Gen.(int_range 0 10_000))
+    (fun seed ->
+      let spec = random_dag seed in
+      let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+      let plan =
+        Compiled.compile ~config
+          ~workload:(Workload.validation [ (spec, 2) ])
+          ~policy:Scheduler.frfs ()
+      in
+      let r, insts =
+        Compiled.run_detailed plan { Engine_core.seed = 1L; jitter = 0.0; reservation_depth = 0 }
+      in
+      (* every task completed exactly once... *)
+      let n = List.length spec.App_spec.nodes in
+      if List.length r.Stats.records <> 2 * n then
+        QCheck.Test.fail_reportf "expected %d records, got %d" (2 * n)
+          (List.length r.Stats.records);
+      (* ...the kernel ran once per task (adjacency lost no node)... *)
+      Array.iter
+        (fun (inst : Task.instance) ->
+          if Store.get_i32 inst.Task.store "acc" <> n then
+            QCheck.Test.fail_reportf "instance ran %d of %d kernels"
+              (Store.get_i32 inst.Task.store "acc") n)
+        insts;
+      (* ...and no task was dispatched before all its predecessors
+         completed: the CSR lowering round-trips the DAG. *)
+      let completed = Hashtbl.create 16 in
+      List.iter
+        (fun (t : Stats.task_record) ->
+          Hashtbl.replace completed (t.Stats.instance, t.Stats.node) t.Stats.completed_ns)
+        r.Stats.records;
+      List.for_all
+        (fun (t : Stats.task_record) ->
+          let node = App_spec.node spec t.Stats.node in
+          List.for_all
+            (fun pred ->
+              match Hashtbl.find_opt completed (t.Stats.instance, pred) with
+              | Some c -> c <= t.Stats.dispatched_ns
+              | None -> false)
+            node.App_spec.predecessors)
+        r.Stats.records)
+
+let qcheck_compiled_replays_virtual =
+  QCheck.Test.make ~name:"compiled replays virtual on random DAGs" ~count:30
+    QCheck.(make Gen.(pair (int_range 0 10_000) (pair (int_range 0 4) (int_range 0 2))))
+    (fun (seed, (policy_ix, depth)) ->
+      let spec = random_dag seed in
+      let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+      let policy = List.nth matrix_policies policy_ix in
+      let wl () = Workload.validation [ (spec, 2) ] in
+      let params =
+        { Engine_core.seed = Int64.of_int (seed + 1); jitter = 0.03; reservation_depth = depth }
+      in
+      let vr =
+        Result.get_ok
+          (Emulator.run ~engine:(Emulator.Virtual params) ~policy ~config ~workload:(wl ()) ())
+      in
+      let plan =
+        Compiled.compile ~config ~workload:(wl ()) ~policy:(policy_of policy) ()
+      in
+      let cr = Compiled.run plan params in
+      if not (String.equal (Stats.records_csv vr) (Stats.records_csv cr)) then
+        QCheck.Test.fail_reportf "records diverge for seed %d policy %s depth %d" seed policy
+          depth;
+      vr.Stats.makespan_ns = cr.Stats.makespan_ns && completed_multiset vr = completed_multiset cr)
+
+let qcheck_compiled_rejects_faults =
+  QCheck.Test.make ~name:"compile rejects fault plans on random DAGs" ~count:10
+    QCheck.(make Gen.(int_range 0 10_000))
+    (fun seed ->
+      let spec = random_dag seed in
+      let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+      try
+        ignore
+          (Compiled.compile ~fault:(fault_plan ()) ~config
+             ~workload:(Workload.validation [ (spec, 1) ])
+             ~policy:Scheduler.frfs ());
+        false
+      with Compiled.Unsupported _ -> true)
+
 let () =
   Alcotest.run "diff_engines"
     [
@@ -500,4 +798,14 @@ let () =
         ] );
       ( "event streams",
         [ Alcotest.test_case "task-lifecycle multiset parity" `Slow test_event_multiset_parity ] );
+      ( "virtual vs compiled",
+        [
+          Alcotest.test_case "exact-replay matrix" `Slow test_compiled_exact_replay;
+          Alcotest.test_case "plan purity under interleaved runs" `Quick
+            test_compiled_plan_purity;
+          Alcotest.test_case "fault plans rejected" `Quick test_compiled_rejects_fault_plans;
+          qtest qcheck_compiled_respects_adjacency;
+          qtest qcheck_compiled_replays_virtual;
+          qtest qcheck_compiled_rejects_faults;
+        ] );
     ]

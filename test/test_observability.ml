@@ -125,6 +125,17 @@ let golden_trace =
 let test_records_csv_golden () =
   Alcotest.(check string) "records_csv pinned" golden_csv (Stats.records_csv (golden_run ()))
 
+let test_compiled_records_csv_golden () =
+  (* The compiled engine must replay the golden scenario byte for
+     byte, so it is pinned against the *same* literal as the virtual
+     engine — one golden, two engines. *)
+  let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+  let workload = Workload.validation [ (Reference_apps.wifi_tx (), 1) ] in
+  let r =
+    Emulator.run_exn ~engine:(Emulator.compiled_seeded ~jitter:0.0 1L) ~config ~workload ()
+  in
+  Alcotest.(check string) "compiled records_csv pinned" golden_csv (Stats.records_csv r)
+
 let test_chrome_trace_golden () =
   Alcotest.(check string) "chrome_trace pinned" golden_trace
     (Json.to_string (Stats.chrome_trace (golden_run ())))
@@ -339,6 +350,7 @@ let () =
       ( "golden",
         [
           Alcotest.test_case "records_csv" `Quick test_records_csv_golden;
+          Alcotest.test_case "compiled records_csv" `Quick test_compiled_records_csv_golden;
           Alcotest.test_case "chrome_trace" `Quick test_chrome_trace_golden;
           Alcotest.test_case "chrome_trace roundtrip" `Quick test_chrome_trace_roundtrip;
         ] );
