@@ -15,6 +15,8 @@ module Driver = Dssoc_compiler.Driver
 module Table = Dssoc_stats.Table
 module Grid = Dssoc_explore.Grid
 module Sweep = Dssoc_explore.Sweep
+module Cache = Dssoc_explore.Cache
+module Frontier = Dssoc_explore.Frontier
 module Presets = Dssoc_explore.Presets
 module Pool = Dssoc_explore.Pool
 module Obs = Dssoc_obs.Obs
@@ -431,11 +433,68 @@ let sweep_cmd =
              byte-identical schedule columns faster, but runs with observability disabled (the \
              metrics-derived columns read zero) and cannot evaluate fault plans.")
   in
+  let cache_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache directory.  Finished points are looked up before \
+             being evaluated and new rows are appended (one JSONL file per shard, \
+             fsync-batched), so interrupted sweeps resume and warm re-sweeps are near-free.  \
+             Keys include the engine and the code revision ($(b,--code-rev)).")
+  in
+  let shard_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Evaluate only the deterministic index shard I of N (points with index mod N = I). \
+             Run the N shards in separate processes against the same $(b,--cache), then join \
+             them with $(b,--merge).")
+  in
+  let merge_arg =
+    Arg.(
+      value & flag
+      & info [ "merge" ]
+          ~doc:
+            "Do not evaluate anything: reassemble the grid's full result table from the \
+             $(b,--cache) store (byte-identical to a single-process run) and fail listing the \
+             missing points if any shard has not finished.")
+  in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Successive-halving exploration instead of the exhaustive grid: (config x policy x \
+             workload) cells are arms, replicates the rung budget; dominated arms are pruned \
+             between rungs, never an arm holding a point on the current Pareto frontier \
+             (makespan x energy x completed fraction).  Deterministic for a given grid and \
+             seed.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Stream CSV rows to FILE as points complete (flushed per row, completion order), \
+             so an aborted sweep keeps its partial table.  Unlike $(b,--csv), which writes the \
+             full table in point order at the end.")
+  in
+  let code_rev_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "code-rev" ] ~docv:"REV"
+          ~doc:
+            "Code revision for cache keys (default: $(b,DSSOC_CODE_REV), else git rev-parse \
+             --short HEAD, else \"unknown\").  Rows cached under one revision are never served \
+             to another.")
+  in
   let run grid_name jobs replicates policies seed jitter csv json summary engine_name faults
-      fault_seed =
+      fault_seed cache_dir shard merge adaptive out code_rev =
     let policies = Option.map (fun s -> List.map String.trim (String.split_on_char ',' s)) policies in
     let base_seed = Option.map Int64.of_int seed in
-    let grid =
+    let setup =
       let ( let* ) = Result.bind in
       let* engine =
         match String.lowercase_ascii engine_name with
@@ -445,21 +504,53 @@ let sweep_cmd =
           else Error "--faults conflicts with --engine compiled (fault plans are outside its replay contract)"
         | other -> Error (Printf.sprintf "unknown sweep engine %S (try virtual or compiled)" other)
       in
-      match Presets.by_name ?replicates ?base_seed ?jitter ?policies grid_name with
-      | Ok g -> (
-        match parse_faults faults fault_seed with
-        | Ok fault -> Ok (engine, { g with Grid.fault })
-        | Error _ as e -> e)
-      | Error msg -> Error msg
-      | exception Invalid_argument msg -> Error msg
+      let* shard =
+        match shard with
+        | None -> Ok None
+        | Some s -> (
+          match String.split_on_char '/' s with
+          | [ i; n ] -> (
+            match (int_of_string_opt (String.trim i), int_of_string_opt (String.trim n)) with
+            | Some i, Some n when n > 0 && 0 <= i && i < n -> Ok (Some (i, n))
+            | _ -> Error (Printf.sprintf "bad --shard %S (want I/N with 0 <= I < N)" s))
+          | _ -> Error (Printf.sprintf "bad --shard %S (want I/N, e.g. 0/2)" s))
+      in
+      let* () =
+        if merge && cache_dir = None then Error "--merge needs --cache DIR to merge from"
+        else if merge && (shard <> None || adaptive) then
+          Error "--merge conflicts with --shard and --adaptive"
+        else if merge && out <> None then
+          Error "--merge conflicts with --out (use --csv for the merged table)"
+        else if adaptive && shard <> None then
+          Error "--adaptive conflicts with --shard (the rung schedule is not index-sharded)"
+        else Ok ()
+      in
+      let* grid =
+        match Presets.by_name ?replicates ?base_seed ?jitter ?policies grid_name with
+        | Ok g -> (
+          match parse_faults faults fault_seed with
+          | Ok fault -> Ok { g with Grid.fault }
+          | Error _ as e -> e)
+        | Error msg -> Error msg
+        | exception Invalid_argument msg -> Error msg
+      in
+      Ok (engine, shard, grid)
     in
-    match grid with
+    match setup with
     | Error msg ->
       prerr_endline msg;
       1
-    | Ok (engine, grid) ->
+    | Ok (engine, shard, grid) -> (
       let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
-      let table, seconds = Sweep.run_timed ~jobs ~engine grid in
+      let cache =
+        Option.map
+          (fun dir ->
+            Cache.open_ ~readonly:merge
+              ?shard:(if merge then None else shard)
+              ?code_rev ~dir ())
+          cache_dir
+      in
+      let finally () = Option.iter Cache.close cache in
       let write_or_stdout path s =
         if path = "-" then print_string s
         else begin
@@ -467,31 +558,145 @@ let sweep_cmd =
           Printf.printf "wrote %s\n" path
         end
       in
-      (match csv with
-      | Some path -> write_or_stdout path (Sweep.to_csv table)
-      | None -> ());
-      (match json with
-      | Some path -> write_or_stdout path (Dssoc_json.Json.to_string (Sweep.to_json table) ^ "\n")
-      | None -> ());
-      if csv = None && json = None then
-        if summary then Format.printf "%a" Sweep.pp_summary table
-        else Format.printf "%a" Sweep.pp table
-      else if summary then Format.printf "%a" Sweep.pp_summary table;
-      (* Timing goes to stderr so stdout stays byte-comparable across runs. *)
-      Printf.eprintf "%d points on %d domain%s in %.3f s\n" (Grid.size grid) jobs
-        (if jobs = 1 then "" else "s")
-        seconds;
-      0
+      let emit_table ?(extra_json = []) table =
+        (match csv with
+        | Some path -> write_or_stdout path (Sweep.to_csv table)
+        | None -> ());
+        (match json with
+        | Some path ->
+          let j =
+            match (Sweep.to_json table, extra_json) with
+            | j, [] -> j
+            | Dssoc_json.Json.Obj fields, extra -> Dssoc_json.Json.Obj (fields @ extra)
+            | j, _ -> j
+          in
+          write_or_stdout path (Dssoc_json.Json.to_string j ^ "\n")
+        | None -> ());
+        if csv = None && json = None then
+          if summary then Format.printf "%a" Sweep.pp_summary table
+          else Format.printf "%a" Sweep.pp table
+        else if summary then Format.printf "%a" Sweep.pp_summary table
+      in
+      (* All progress/timing chatter goes to stderr so stdout stays
+         byte-comparable across runs, shard counts and cache states. *)
+      let stats_lines (s : Sweep.stats) =
+        Printf.eprintf "%d points on %d domain%s in %.3f s\n" s.Sweep.points jobs
+          (if jobs = 1 then "" else "s")
+          (float_of_int s.Sweep.elapsed_ns /. 1e9);
+        if cache <> None then
+          Printf.eprintf "cache: %d hits, %d misses\n" s.Sweep.cache_hits s.Sweep.cache_misses;
+        if engine = `Compiled then
+          Printf.eprintf "plans: %d compiled, %d reused\n" s.Sweep.plan_compiles
+            s.Sweep.plan_reuses
+      in
+      let with_out k =
+        match out with
+        | None -> k None
+        | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (Sweep.csv_header ^ "\n");
+              Out_channel.flush oc;
+              let r =
+                k
+                  (Some
+                     (fun row ->
+                       Out_channel.output_string oc (Sweep.csv_row row ^ "\n");
+                       Out_channel.flush oc))
+              in
+              Printf.eprintf "streamed rows to %s\n" path;
+              r)
+      in
+      Fun.protect ~finally (fun () ->
+          if merge then begin
+            match Sweep.of_cache ~engine ~cache:(Option.get cache) grid with
+            | Ok table ->
+              emit_table table;
+              Printf.eprintf "merged %d points from %s\n" (List.length table.Sweep.rows)
+                (Option.get cache_dir);
+              0
+            | Error msg ->
+              prerr_endline msg;
+              1
+          end
+          else if adaptive then begin
+            let a = with_out (fun on_row -> Sweep.run_adaptive ~jobs ~engine ?cache ?on_row grid) in
+            let frontier_table =
+              { Sweep.grid_label = grid.Grid.label ^ "/frontier"; rows = a.Sweep.a_frontier }
+            in
+            let extra_json =
+              [
+                ( "adaptive",
+                  Dssoc_json.Json.obj
+                    [
+                      ("exhaustive_points", Dssoc_json.Json.int a.Sweep.a_exhaustive_points);
+                      ("evaluated_points", Dssoc_json.Json.int a.Sweep.a_stats.Sweep.points);
+                      ( "survivors",
+                        Dssoc_json.Json.list
+                          (List.map
+                             (fun arm ->
+                               let c, p, w = Sweep.arm_cell grid arm in
+                               Dssoc_json.Json.list
+                                 [ Dssoc_json.Json.str c; Dssoc_json.Json.str p;
+                                   Dssoc_json.Json.str w ])
+                             a.Sweep.a_survivors) );
+                      ( "frontier",
+                        Dssoc_json.Json.list
+                          (List.map
+                             (fun (r : Sweep.row) ->
+                               Dssoc_json.Json.list
+                                 [ Dssoc_json.Json.str r.Sweep.config;
+                                   Dssoc_json.Json.str r.Sweep.policy;
+                                   Dssoc_json.Json.str r.Sweep.workload;
+                                   Dssoc_json.Json.int r.Sweep.replicate ])
+                             a.Sweep.a_frontier) );
+                    ] );
+              ]
+            in
+            emit_table ~extra_json a.Sweep.a_table;
+            if csv = None && json = None then begin
+              Format.printf "@.Pareto frontier (makespan x energy x completed fraction):@.";
+              Format.printf "%a" Sweep.pp frontier_table
+            end;
+            List.iter
+              (fun (r : Frontier.rung) ->
+                Printf.eprintf "rung %d: %d arms at %d replicate%s, pruned %d\n" r.Frontier.rung
+                  (List.length r.Frontier.arms_in)
+                  r.Frontier.cumulative_replicates
+                  (if r.Frontier.cumulative_replicates = 1 then "" else "s")
+                  (List.length r.Frontier.pruned))
+              a.Sweep.a_rungs;
+            Printf.eprintf "adaptive: evaluated %d of %d points (%.0f%%), %d survivor arm%s\n"
+              a.Sweep.a_stats.Sweep.points a.Sweep.a_exhaustive_points
+              (100.0
+              *. float_of_int a.Sweep.a_stats.Sweep.points
+              /. float_of_int (max 1 a.Sweep.a_exhaustive_points))
+              (List.length a.Sweep.a_survivors)
+              (if List.length a.Sweep.a_survivors = 1 then "" else "s");
+            stats_lines a.Sweep.a_stats;
+            0
+          end
+          else begin
+            let table, stats =
+              with_out (fun on_row -> Sweep.run_stats ~jobs ~engine ?cache ?shard ?on_row grid)
+            in
+            emit_table table;
+            (match shard with
+            | Some (i, n) -> Printf.eprintf "shard %d/%d: " i n
+            | None -> ());
+            stats_lines stats;
+            0
+          end))
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Run a design-space exploration grid across a pool of worker domains.  Output is \
           deterministic: the same grid and seed produce a byte-identical result table for any \
-          --jobs value.")
+          --jobs value, any --shard split (after --merge) and any --cache state.")
     Term.(
       const run $ grid_name $ jobs $ replicates $ policies $ sweep_seed $ sweep_jitter $ csv
-      $ json $ summary $ sweep_engine $ faults_arg $ fault_seed_arg)
+      $ json $ summary $ sweep_engine $ faults_arg $ fault_seed_arg $ cache_arg $ shard_arg
+      $ merge_arg $ adaptive_arg $ out_arg $ code_rev_arg)
 
 (* ---------------------- convert ---------------------- *)
 

@@ -28,7 +28,8 @@ let () =
     iterations jobs;
   (* Jittered replicates for the boxplots... *)
   let grid = Presets.fig9 ~replicates:iterations ~base_seed:1000L () in
-  let table, seconds = Sweep.run_timed ~jobs grid in
+  let table, elapsed_ns = Sweep.run_timed ~jobs grid in
+  let seconds = float_of_int elapsed_ns /. 1e9 in
   (* ...and one deterministic run per configuration for utilisation. *)
   let det = Sweep.run ~jobs (Presets.fig9 ~replicates:1 ~jitter:0.0 ()) in
   let results =

@@ -1,0 +1,186 @@
+(* Content-addressed append-only store: digest -> single-line payload,
+   one JSONL file per shard, fsync-batched.  See cache.mli. *)
+
+module Json = Dssoc_json.Json
+
+exception Conflict of string
+
+type t = {
+  dir : string;
+  shard : int * int;
+  code_rev : string;
+  readonly : bool;
+  fsync_every : int;
+  index : (string, string) Hashtbl.t;
+  mutable oc : out_channel option;  (* lazily opened append channel *)
+  mutable pending : int;  (* rows appended since the last fsync *)
+  mu : Mutex.t;
+}
+
+let digest_of_parts parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let detect_code_rev () =
+  match Sys.getenv_opt "DSSOC_CODE_REV" with
+  | Some r when String.trim r <> "" -> String.trim r
+  | _ -> (
+    match
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = In_channel.input_line ic in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some rev when String.trim rev <> "" -> Some (String.trim rev)
+      | _ -> None
+    with
+    | Some rev -> rev
+    | None | (exception _) -> "unknown")
+
+let shard_basename (i, n) = Printf.sprintf "shard-%d-of-%d.jsonl" i n
+
+let is_shard_file name =
+  String.length name > String.length "shard-"
+  && String.sub name 0 6 = "shard-"
+  && Filename.check_suffix name ".jsonl"
+
+let record_entry index ~source digest payload =
+  match Hashtbl.find_opt index digest with
+  | Some existing when not (String.equal existing payload) ->
+    raise
+      (Conflict
+         (Printf.sprintf
+            "%s: digest %s maps to two different rows (corrupt store, or a code_rev reused \
+             across incompatible builds)"
+            source digest))
+  | Some _ -> ()
+  | None -> Hashtbl.add index digest payload
+
+let load_file index path =
+  In_channel.with_open_bin path (fun ic ->
+      let rec go lineno =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> go (lineno + 1)
+        | Some line ->
+          let fail msg = raise (Conflict (Printf.sprintf "%s:%d: %s" path lineno msg)) in
+          (match Json.parse line with
+          | Error e -> fail ("unreadable cache line: " ^ Json.error_to_string e)
+          | Ok j -> (
+            match
+              ( Result.bind (Json.member "digest" j) Json.to_str,
+                Json.member "row" j )
+            with
+            | Ok digest, Ok row ->
+              record_entry index ~source:path digest (Json.to_string ~minify:true row)
+            | Error msg, _ | _, Error msg -> fail ("malformed cache line: " ^ msg)));
+          go (lineno + 1)
+      in
+      go 1)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?(readonly = false) ?(shard = (0, 1)) ?(fsync_every = 32) ?code_rev ~dir () =
+  let i, n = shard in
+  if n <= 0 || i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Cache.open_: shard %d/%d out of range" i n);
+  if fsync_every <= 0 then invalid_arg "Cache.open_: non-positive fsync_every";
+  let code_rev = match code_rev with Some r -> r | None -> detect_code_rev () in
+  if not (Sys.file_exists dir) then
+    if readonly then invalid_arg (Printf.sprintf "Cache.open_: no cache directory %s" dir)
+    else mkdir_p dir;
+  let index = Hashtbl.create 256 in
+  Sys.readdir dir
+  |> Array.to_list
+  |> List.filter is_shard_file
+  |> List.sort compare
+  |> List.iter (fun name -> load_file index (Filename.concat dir name));
+  {
+    dir;
+    shard;
+    code_rev;
+    readonly;
+    fsync_every;
+    index;
+    oc = None;
+    pending = 0;
+    mu = Mutex.create ();
+  }
+
+let dir t = t.dir
+let code_rev t = t.code_rev
+let shard_file t = Filename.concat t.dir (shard_basename t.shard)
+let size t = Mutex.protect t.mu (fun () -> Hashtbl.length t.index)
+let find t ~digest = Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.index digest)
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+    let oc =
+      Out_channel.open_gen [ Open_append; Open_creat; Open_binary ] 0o644 (shard_file t)
+    in
+    t.oc <- Some oc;
+    oc
+
+let sync oc =
+  Out_channel.flush oc;
+  (* fsync may be unsupported on exotic filesystems; the flush above
+     already handed the rows to the OS. *)
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let add t ~digest payload =
+  (* The payload is embedded verbatim as the "row" member of the
+     stored line, so it must itself be JSON; canonicalize so the
+     in-memory copy equals what a reload would produce. *)
+  let payload =
+    match Json.parse payload with
+    | Ok j -> Json.to_string ~minify:true j
+    | Error e -> invalid_arg ("Cache.add: payload is not JSON: " ^ Json.error_to_string e)
+  in
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.index digest with
+      | Some existing when String.equal existing payload -> ()
+      | Some _ ->
+        raise
+          (Conflict
+             (Printf.sprintf "Cache.add: digest %s already holds a different row" digest))
+      | None ->
+        if t.readonly then invalid_arg "Cache.add: read-only cache";
+        Hashtbl.add t.index digest payload;
+        let oc = channel t in
+        Out_channel.output_string oc
+          (Printf.sprintf "{\"digest\":%s,\"row\":%s}\n"
+             (Json.to_string ~minify:true (Json.str digest))
+             payload);
+        t.pending <- t.pending + 1;
+        if t.pending >= t.fsync_every then begin
+          sync oc;
+          t.pending <- 0
+        end)
+
+let flush t =
+  Mutex.protect t.mu (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        sync oc;
+        t.pending <- 0)
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        sync oc;
+        Out_channel.close oc;
+        t.oc <- None;
+        t.pending <- 0)

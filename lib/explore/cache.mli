@@ -1,0 +1,91 @@
+(** Content-addressed, append-only result store for sweep campaigns.
+
+    A cache directory holds one JSON-Lines file per shard
+    ([shard-I-of-N.jsonl]); every line maps a stable digest of one
+    grid point's full identity — configuration, policy, workload
+    trace, seed, jitter, reservation depth, fault spec, engine and
+    [code_rev] — to the serialized result row ({!Sweep} owns the row
+    codec and digest recipe; this module is a generic digest → payload
+    store).  Files are append-only and fsync-batched, so a sweep
+    interrupted at any point keeps every finished row and a re-run
+    only computes the delta: warm re-sweeps, resumption after faults
+    and multi-host shard merging all fall out of the same store.
+
+    Opening a cache loads {e every} shard file present in the
+    directory, whatever shard the handle itself appends to — a worker
+    sees rows computed by other shards, and {!Sweep.of_cache} merges
+    them.  Digest collisions (one digest, two different payloads) are
+    detected both at load and on {!add} and raise {!Conflict}: the
+    store is content-addressed, so a collision means a corrupt file or
+    a [code_rev] reused across incompatible builds.
+
+    Handles are thread-safe: worker domains of one {!Pool} may call
+    {!find}/{!add} concurrently. *)
+
+exception Conflict of string
+(** One digest, two different payloads (corrupt store, or a stale
+    [code_rev] reused across incompatible code revisions). *)
+
+type t
+
+val open_ :
+  ?readonly:bool ->
+  ?shard:int * int ->
+  ?fsync_every:int ->
+  ?code_rev:string ->
+  dir:string ->
+  unit ->
+  t
+(** Open (creating the directory if needed) and load every
+    [shard-*.jsonl] file under [dir].  New rows are appended to the
+    file of [shard] (default [(0, 1)], the unsharded store; shard
+    [(i, n)] must satisfy [0 <= i < n]).  Writes are batched: the
+    shard file is flushed and fsynced every [fsync_every] rows
+    (default 32) and on {!flush}/{!close}.  [code_rev] defaults to
+    {!detect_code_rev} and is carried on the handle for digest
+    construction — it is not itself part of the store.
+    @raise Invalid_argument on a bad shard index, [readonly] with a
+    missing directory, or a non-positive [fsync_every].
+    @raise Conflict when the loaded files disagree on a digest. *)
+
+val close : t -> unit
+(** Flush, fsync and close the append channel (idempotent).  The
+    in-memory index stays readable. *)
+
+val flush : t -> unit
+(** Flush and fsync any buffered rows. *)
+
+val find : t -> digest:string -> string option
+(** The payload stored for [digest], from any shard file. *)
+
+val add : t -> digest:string -> string -> unit
+(** Append a payload under [digest].  The payload must parse as JSON
+    (it is embedded verbatim in the stored line) and is canonicalized
+    to its minified rendering before storage and comparison.  Adding
+    an equivalent payload again is a no-op (shards may overlap after a
+    resume); a different payload raises {!Conflict}.
+    @raise Invalid_argument on a read-only handle or a non-JSON
+    payload. *)
+
+val size : t -> int
+(** Number of distinct digests loaded or added. *)
+
+val dir : t -> string
+
+val shard_file : t -> string
+(** Absolute path of the file this handle appends to. *)
+
+val code_rev : t -> string
+
+val detect_code_rev : unit -> string
+(** The [DSSOC_CODE_REV] environment variable if set, else
+    [git rev-parse --short HEAD], else ["unknown"].  Cache keys
+    include it so rows computed by one code revision are never served
+    to another; export [DSSOC_CODE_REV] to pin a logical revision
+    across uncommitted changes (or to share a cache when the change is
+    known to be result-irrelevant). *)
+
+val digest_of_parts : string list -> string
+(** Stable hex digest of a part list.  Parts are length-prefixed
+    before hashing, so no concatenation of distinct part lists
+    collides textually. *)

@@ -1,0 +1,145 @@
+(* Pareto-frontier tracking and deterministic successive halving.
+   See frontier.mli. *)
+
+module Prng = Dssoc_util.Prng
+
+type objectives = {
+  makespan_ns : int;
+  energy_mj : float;
+  completed_fraction : float;
+}
+
+let dominates a b =
+  let no_worse =
+    a.makespan_ns <= b.makespan_ns
+    && a.energy_mj <= b.energy_mj
+    && a.completed_fraction >= b.completed_fraction
+  in
+  let better =
+    a.makespan_ns < b.makespan_ns
+    || a.energy_mj < b.energy_mj
+    || a.completed_fraction > b.completed_fraction
+  in
+  no_worse && better
+
+type t = { mutable rev_entries : (int * objectives) list }
+
+let create () = { rev_entries = [] }
+let add t ~id obj = t.rev_entries <- (id, obj) :: t.rev_entries
+let entries t = List.rev t.rev_entries
+
+let nondominated all =
+  List.filter (fun (_, o) -> not (List.exists (fun (_, o') -> dominates o' o) all)) all
+
+let frontier t = nondominated (entries t)
+let frontier_ids t = List.map fst (frontier t)
+
+(* ------------------------------------------------------------------ *)
+
+type rung = {
+  rung : int;
+  cumulative_replicates : int;
+  arms_in : int list;
+  frontier_arms : int list;
+  pruned : int list;
+}
+
+type 'a outcome = {
+  evaluated : (int * int * 'a) list;
+  survivors : int list;
+  rungs : rung list;
+  frontier : (int * int) list;
+}
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let successive_halving ~arms ~replicates ~seed ~eval ~objectives () =
+  if arms <= 0 then invalid_arg "Frontier.successive_halving: non-positive arm count";
+  if replicates <= 0 then invalid_arg "Frontier.successive_halving: non-positive replicates";
+  (* Seed-derived promotion order: the only tie-breaker, drawn once so
+     the whole run is a pure function of (grid, seed). *)
+  let order = Array.init arms Fun.id in
+  Prng.shuffle (Prng.derive ~seed ~index:0x5a17) order;
+  let rank = Array.make arms 0 in
+  Array.iteri (fun pos a -> rank.(a) <- pos) order;
+  let evaluated = ref [] in
+  let objs = ref [] (* ((arm, replicate), objectives), all rungs so far *) in
+  let alive = ref (List.init arms Fun.id) in
+  let rungs = ref [] in
+  let cum = ref 0 in
+  let rung_i = ref 0 in
+  while !cum < replicates do
+    let budget = if !cum = 0 then 1 else min (replicates - !cum) !cum in
+    let pairs =
+      Array.of_list
+        (List.concat_map (fun a -> List.init budget (fun k -> (a, !cum + k))) !alive)
+    in
+    let values = eval pairs in
+    if Array.length values <> Array.length pairs then
+      invalid_arg "Frontier.successive_halving: eval returned the wrong number of values";
+    Array.iteri
+      (fun k (a, r) ->
+        evaluated := (a, r, values.(k)) :: !evaluated;
+        objs := ((a, r), objectives values.(k)) :: !objs)
+      pairs;
+    cum := !cum + budget;
+    let arms_in = !alive in
+    let frontier_arms, pruned =
+      if !cum >= replicates || List.length !alive <= 1 then ([], [])
+      else begin
+        let all = !objs in
+        let front_pts = nondominated all in
+        let front_arms = List.sort_uniq compare (List.map (fun ((a, _), _) -> a) front_pts) in
+        let frontier_alive = List.filter (fun a -> List.mem a front_arms) !alive in
+        let target = max 1 ((List.length !alive + 1) / 2) in
+        let chosen =
+          if List.length frontier_alive >= target then frontier_alive
+          else begin
+            (* Fill the half with the least-dominated remaining arms:
+               score = fewest dominators over the arm's best point. *)
+            let score a =
+              List.fold_left
+                (fun best ((a', _), o) ->
+                  if a' <> a then best
+                  else
+                    min best
+                      (List.length (List.filter (fun (_, o') -> dominates o' o) all)))
+                max_int all
+            in
+            let rest =
+              List.filter (fun a -> not (List.mem a frontier_alive)) !alive
+              |> List.sort (fun a b ->
+                     match compare (score a) (score b) with
+                     | 0 -> compare rank.(a) rank.(b)
+                     | c -> c)
+            in
+            frontier_alive @ take (target - List.length frontier_alive) rest
+          end
+        in
+        let survivors = List.filter (fun a -> List.mem a chosen) !alive in
+        let pruned = List.filter (fun a -> not (List.mem a chosen)) !alive in
+        alive := survivors;
+        (frontier_alive, pruned)
+      end
+    in
+    rungs :=
+      { rung = !rung_i; cumulative_replicates = !cum; arms_in; frontier_arms; pruned }
+      :: !rungs;
+    incr rung_i
+  done;
+  let all = !objs in
+  let frontier =
+    List.filter_map
+      (fun (pr, o) ->
+        if List.exists (fun (_, o') -> dominates o' o) all then None else Some pr)
+      all
+    |> List.sort_uniq compare
+  in
+  {
+    evaluated = List.rev !evaluated;
+    survivors = !alive;
+    rungs = List.rev !rungs;
+    frontier;
+  }

@@ -1,0 +1,96 @@
+(** Pareto-frontier tracking and successive-halving pruning for
+    adaptive design-space exploration.
+
+    Exhaustive sweeps evaluate every (configuration x policy x
+    workload x replicate) point; on the axis spaces ROADMAP item 3
+    targets that is millions of points, most of them dominated.  This
+    module supplies the two pieces {!Sweep.run_adaptive} composes:
+
+    - a {!t} tracker over the sweep's three-objective space —
+      makespan (minimize), energy (minimize), completed fraction
+      (maximize) — answering "which evaluated points are
+      nondominated?";
+    - {!successive_halving}, a replicate-budgeted pruner: arms (grid
+      cells) are evaluated rung by rung with a doubling replicate
+      budget, and between rungs dominated arms are dropped down to
+      half the field.  An arm owning a point on the current Pareto
+      frontier is {e never} pruned (the qcheck property in
+      [test/test_distributed.ml]), so the reported frontier of an
+      adaptive run can only miss a point whose whole cell was
+      dominated at every observed rung.
+
+    Determinism: the pruner draws nothing at run time.  Ties in the
+    domination score are broken by a promotion order derived once from
+    the campaign seed ({!Dssoc_util.Prng}), so the same grid produces
+    the same rung decisions — adaptive runs are replayable and
+    cache-friendly by construction. *)
+
+type objectives = {
+  makespan_ns : int;  (** minimized *)
+  energy_mj : float;  (** minimized *)
+  completed_fraction : float;  (** maximized *)
+}
+
+val dominates : objectives -> objectives -> bool
+(** [dominates a b]: [a] is no worse than [b] on every objective and
+    strictly better on at least one.  Equal vectors do not dominate
+    each other (both stay on a frontier). *)
+
+(** {1 Frontier tracker} *)
+
+type t
+
+val create : unit -> t
+val add : t -> id:int -> objectives -> unit
+
+val entries : t -> (int * objectives) list
+(** Every added entry, in insertion order. *)
+
+val frontier : t -> (int * objectives) list
+(** The nondominated entries, in insertion order. *)
+
+val frontier_ids : t -> int list
+
+(** {1 Successive halving} *)
+
+type rung = {
+  rung : int;  (** rung number, from 0 *)
+  cumulative_replicates : int;  (** replicates evaluated per surviving arm so far *)
+  arms_in : int list;  (** arms evaluated in this rung *)
+  frontier_arms : int list;
+      (** surviving arms owning a current-frontier point at prune
+          time; [[]] when the rung did not prune (final rung) *)
+  pruned : int list;  (** arms dropped after this rung *)
+}
+
+type 'a outcome = {
+  evaluated : (int * int * 'a) list;
+      (** [(arm, replicate, value)] in evaluation order *)
+  survivors : int list;  (** arms alive after the last rung, in arm order *)
+  rungs : rung list;
+  frontier : (int * int) list;
+      (** [(arm, replicate)] of the evaluated values on the final
+          Pareto frontier, sorted *)
+}
+
+val successive_halving :
+  arms:int ->
+  replicates:int ->
+  seed:int64 ->
+  eval:((int * int) array -> 'a array) ->
+  objectives:('a -> objectives) ->
+  unit ->
+  'a outcome
+(** Run the rung schedule: every arm gets 1 replicate in rung 0, and
+    each later rung doubles the per-arm budget (capped at
+    [replicates]) for the arms still alive.  Between rungs (never
+    after the last) the field is cut to
+    [max (frontier arms) (ceil (alive / 2))]: all arms owning a
+    frontier point survive, and if they number fewer than half the
+    field, the least-dominated remaining arms (ties broken by the
+    seed-derived promotion order) fill the half.  [eval] receives the
+    whole rung's [(arm, replicate)] batch at once so the caller can
+    fan it out over a {!Pool}; it must return one value per pair, in
+    order.
+    @raise Invalid_argument on non-positive [arms]/[replicates] or an
+    [eval] result of the wrong length. *)

@@ -8,7 +8,13 @@
     Determinism contract: the same grid produces bit-identical rows —
     and therefore byte-identical {!to_csv}/{!to_json} output — for
     any worker count, because every point's randomness comes from its
-    own index-derived seed and result slots are written by index. *)
+    own index-derived seed and result slots are written by index.
+    The contract extends across processes and hosts: a point's result
+    is content-addressed by {!point_digest} and may be served from a
+    {!Cache.t} instead of being recomputed, and index shards
+    ([?shard]) of one grid computed by separate processes merge
+    ({!of_cache}) into a table byte-identical to a single-process
+    run. *)
 
 type row = {
   index : int;
@@ -39,31 +45,145 @@ type row = {
 
 type table = { grid_label : string; rows : row list  (** in point order *) }
 
-val run : ?jobs:int -> ?engine:[ `Virtual | `Compiled ] -> Grid.t -> table
+type engine_kind = [ `Virtual | `Compiled ]
+
+val engine_name : engine_kind -> string
+
+(** {1 Content addressing} *)
+
+val point_digest : engine:engine_kind -> code_rev:string -> Grid.t -> Grid.point -> string
+(** Stable digest of everything a point's row depends on: engine,
+    [code_rev], platform configuration (structure, not just label),
+    policy, the fully-instantiated workload trace, seed, jitter,
+    reservation depth and the grid fault plan.  Deliberately excludes
+    the point index, so a grid grown with more replicates or cells
+    re-uses every previously cached row. *)
+
+val row_payload : row -> string
+(** Single-line JSON encoding of a row, floats as hex-float strings —
+    {!row_of_payload} restores bit-identical values, so a cached row
+    re-renders byte-identically in {!to_csv}. *)
+
+val row_of_payload : string -> (row, string) result
+
+(** {1 Running} *)
+
+type stats = {
+  points : int;  (** points this run covered (after shard filtering) *)
+  cache_hits : int;
+  cache_misses : int;  (** points actually evaluated *)
+  plan_compiles : int;  (** compiled engine only: plans AOT-compiled *)
+  plan_reuses : int;  (** compiled engine only: points served by a memoized plan *)
+  elapsed_ns : int;  (** wall clock, {!Dssoc_util.Mclock} *)
+}
+
+val run_stats :
+  ?jobs:int ->
+  ?engine:engine_kind ->
+  ?cache:Cache.t ->
+  ?shard:int * int ->
+  ?on_row:(row -> unit) ->
+  Grid.t ->
+  table * stats
 (** Evaluate the grid on [jobs] domains (default
-    {!Pool.default_jobs}; clamped to at least 1).  [engine] selects
-    the evaluation backend (default [`Virtual]): [`Compiled] lowers
-    each point through {!Dssoc_runtime.Compiled_engine} — the
-    schedule-derived columns stay byte-identical to the virtual
-    engine's, but the compiled engine rejects enabled observability,
-    so the metrics-derived columns ([max_ready_depth],
-    [max_inflight], [mean_wait_us], [p95_service_us]) read zero, and
-    a grid fault plan aborts every point.
+    {!Pool.default_jobs}; clamped to at least 1).
+
+    [engine] selects the evaluation backend (default [`Virtual]):
+    [`Compiled] lowers each grid cell through
+    {!Dssoc_runtime.Compiled_engine} once per (config x policy x
+    workload) per worker domain and replays the plan for every
+    replicate (counted in [stats]) — the schedule-derived columns stay
+    byte-identical to the virtual engine's, but the compiled engine
+    rejects enabled observability, so the metrics-derived columns
+    ([max_ready_depth], [max_inflight], [mean_wait_us],
+    [p95_service_us]) read zero, and a grid fault plan aborts every
+    point.
+
+    [cache] consults the content-addressed store before evaluating a
+    point and appends every newly computed row to it (flushed before
+    returning), making warm re-sweeps near-free and aborted sweeps
+    resumable.  [shard (i, n)] restricts the run to the deterministic
+    index shard [{p | p.index mod n = i}] — combined with a cache,
+    [n] separate processes cover the grid and {!of_cache} reassembles
+    the full table.  [on_row] is called once per finished row
+    (cached or computed), serialized but in completion order — the
+    hook for streaming rows to disk as they complete.
+
     @raise Invalid_argument when a point's workload cannot run on its
     configuration (reported for the lowest failing point index,
-    independent of worker count). *)
+    independent of worker count), or on a shard index outside
+    [0 <= i < n]. *)
 
-val run_timed : ?jobs:int -> ?engine:[ `Virtual | `Compiled ] -> Grid.t -> table * float
-(** [run] plus wall-clock seconds — kept out of {!table} so result
-    tables stay byte-comparable across runs and worker counts. *)
+val run :
+  ?jobs:int ->
+  ?engine:engine_kind ->
+  ?cache:Cache.t ->
+  ?shard:int * int ->
+  ?on_row:(row -> unit) ->
+  Grid.t ->
+  table
+(** {!run_stats} without the stats. *)
 
-val run_point : engine_kind:[ `Virtual | `Compiled ] -> Grid.t -> Grid.point -> row
+val run_timed : ?jobs:int -> ?engine:engine_kind -> Grid.t -> table * int
+(** [run] plus wall-clock nanoseconds ({!Dssoc_util.Mclock}) — kept
+    out of {!table} so result tables stay byte-comparable across runs
+    and worker counts. *)
+
+val run_point : engine_kind:engine_kind -> Grid.t -> Grid.point -> row
 (** Evaluate a single point (the unit of work {!run} shards).  A
     [`Virtual] point runs under a metrics-only observation bundle
     ({!Dssoc_obs.Obs}), which feeds the queueing/latency columns
     ([max_ready_depth], [max_inflight], [mean_wait_us],
     [p95_service_us]) without perturbing the deterministic virtual
     run; a [`Compiled] point runs with observation disabled. *)
+
+val of_cache : ?engine:engine_kind -> cache:Cache.t -> Grid.t -> (table, string) result
+(** Reassemble the grid's full table purely from cached rows — the
+    [--merge] path joining shard stores.  [Error] describes missing
+    points (some shard has not finished) or a corrupt row; no point is
+    ever evaluated. *)
+
+(** {1 Adaptive exploration} *)
+
+type adaptive = {
+  a_table : table;  (** every evaluated row, in point order *)
+  a_frontier : row list;  (** rows on the final Pareto frontier, in point order *)
+  a_exhaustive_points : int;  (** what {!run} would have evaluated *)
+  a_survivors : int list;  (** arms alive after the last rung *)
+  a_rungs : Frontier.rung list;
+  a_stats : stats;
+}
+
+val arm_cell : Grid.t -> int -> string * string * string
+(** [(config_label, policy, wl_label)] of an arm index (a grid cell in
+    enumeration order). *)
+
+val objectives_of_row : row -> Frontier.objectives
+(** The sweep's three-objective view of a row.  An [Aborted] row maps
+    to the worst possible vector so it can never sit on a frontier. *)
+
+val run_adaptive :
+  ?jobs:int ->
+  ?engine:engine_kind ->
+  ?cache:Cache.t ->
+  ?on_row:(row -> unit) ->
+  Grid.t ->
+  adaptive
+(** Successive-halving sweep ({!Frontier.successive_halving}): each
+    (config x policy x workload) cell is an arm, replicates are the
+    rung budget, and dominated arms are pruned between rungs — never
+    an arm owning a current-frontier point.  Deterministic: the
+    promotion order derives from [grid.base_seed], and arm [a]'s
+    replicate [r] is exactly grid point [a * replicates + r], so
+    adaptive runs share cache entries with exhaustive runs of the same
+    grid. *)
+
+(** {1 Serialization} *)
+
+val csv_header : string
+
+val csv_row : row -> string
+(** One CSV line (no newline) — the streaming unit behind [--out]. *)
 
 val to_csv : table -> string
 (** One line per point; floats rendered with fixed precision; string
