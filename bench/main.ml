@@ -16,6 +16,7 @@ module App_spec = Dssoc_apps.App_spec
 module Reference_apps = Dssoc_apps.Reference_apps
 module Workload = Dssoc_apps.Workload
 module Config = Dssoc_soc.Config
+module Fabric = Dssoc_soc.Fabric
 module Emulator = Dssoc_runtime.Emulator
 module Stats = Dssoc_runtime.Stats
 module Obs = Dssoc_obs.Obs
@@ -629,6 +630,30 @@ let engine () =
         mix,
         "FRFS" );
     ]
+    (* DMA storm: both accelerators stream through the interconnect at
+       once.  The ideal pair is the zero-contention baseline; the bus
+       pair charges every stream through a starved 100 MB/s, 1-deep
+       fabric, so emulations/s prices the fabric event machinery and
+       total_fabric_stall_ns in the JSON shows the queueing it models. *)
+    @ (let storm_config = Config.zcu102_cores_ffts ~cores:2 ~ffts:2 in
+       let storm_bus =
+         match Fabric.of_spec "bus:bw=100MB/s,fifo=1" with
+         | Ok f -> f
+         | Error msg -> invalid_arg msg
+       in
+       [
+         ("storm/mix/2C+2F/FRFS/ideal", `Virtual, storm_config, mix, "FRFS");
+         ( "storm/mix/2C+2F/FRFS/bus100",
+           `Virtual,
+           Config.with_fabric storm_bus storm_config,
+           mix,
+           "FRFS" );
+         ( "storm/mix/2C+2F/FRFS/bus100/compiled",
+           `Compiled,
+           Config.with_fabric storm_bus storm_config,
+           mix,
+           "FRFS" );
+       ])
   in
   let variant_name = function
     | `Virtual -> "virtual"
@@ -733,6 +758,10 @@ let engine () =
                            ("config", Json.String sample.Stats.config_label);
                            ("tasks_per_emulation", Json.Int sample.Stats.task_count);
                            ("simulated_makespan_ns", Json.Int sample.Stats.makespan_ns);
+                           ( "total_fabric_stall_ns",
+                             Json.Int sample.Stats.fabric.Stats.fabric_stall_ns );
+                           ( "dma_streams",
+                             Json.Int sample.Stats.fabric.Stats.dma_streams );
                            ("runs", Json.Int runs);
                            ("wall_s", Json.Float wall_s);
                            ("emulations_per_s", Json.Float emu_s);
@@ -755,7 +784,10 @@ let engine () =
     print_string
       (Table.render
          ~header:
-           [ "scenario"; "engine"; "tasks/emu"; "runs"; "wall s"; "emulations/s"; "tasks/s" ]
+           [
+             "scenario"; "engine"; "tasks/emu"; "runs"; "wall s"; "emulations/s"; "tasks/s";
+             "stall ms";
+           ]
          ~rows:
            (List.map
               (fun (name, variant, (sample : Stats.report), runs, wall_s, emu_s, task_s) ->
@@ -767,6 +799,8 @@ let engine () =
                   Printf.sprintf "%.2f" wall_s;
                   Printf.sprintf "%.1f" emu_s;
                   Printf.sprintf "%.0f" task_s;
+                  Printf.sprintf "%.3f"
+                    (float_of_int sample.Stats.fabric.Stats.fabric_stall_ns /. 1e6);
                 ])
               results));
     Printf.printf

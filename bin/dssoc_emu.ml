@@ -7,6 +7,7 @@ module App_spec = Dssoc_apps.App_spec
 module Reference_apps = Dssoc_apps.Reference_apps
 module Workload = Dssoc_apps.Workload
 module Config = Dssoc_soc.Config
+module Fabric = Dssoc_soc.Fabric
 module Host = Dssoc_soc.Host
 module Emulator = Dssoc_runtime.Emulator
 module Scheduler = Dssoc_runtime.Scheduler
@@ -122,6 +123,25 @@ let parse_faults faults fault_seed =
   | None -> Ok None
   | Some spec ->
     Result.map Option.some (Fault.of_spec ~seed:(Int64.of_int fault_seed) spec)
+
+let fabric_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fabric" ] ~docv:"SPEC"
+        ~doc:
+          "Shared-interconnect model every accelerator DMA stream is charged through: 'ideal' \
+           (the default — each device's private DMA cost model, no contention) or \
+           'bus:bw=BWMB/s,fifo=N,hop=NSns,hops=crossbar|meshWxH' (an arbitrated bus of \
+           aggregate bandwidth BW, fair-shared among in-flight streams, with an N-deep \
+           admission FIFO that stalls initiators when full).  Example: \
+           'bus:bw=200MB/s,fifo=2'.")
+
+(* [None] means "no override": run keeps the platform default and sweep
+   keeps whatever fabric the grid preset baked into its configs. *)
+let parse_fabric = function
+  | None -> Ok None
+  | Some spec -> Result.map Option.some (Fabric.of_spec spec)
 
 (* ---------------------- apps ---------------------- *)
 
@@ -282,10 +302,14 @@ let run_cmd =
     | Error e -> Error (Printf.sprintf "%s: %s" path (Dssoc_json.Json.error_to_string e))
   in
   let run host cores ffts big little policy seed jitter native engine_name reservation mode
-      apps_spec rate csv trace gantt trace_level events app_file faults fault_seed =
+      apps_spec rate csv trace gantt trace_level events app_file faults fault_seed fabric =
     let ( let* ) = Result.bind in
     let result =
       let* config = config_of host cores ffts big little in
+      let* fab = parse_fabric fabric in
+      let config =
+        match fab with Some f -> Config.with_fabric f config | None -> config
+      in
       let* fault = parse_faults faults fault_seed in
       let* workload =
         match (app_file, String.lowercase_ascii mode) with
@@ -377,7 +401,8 @@ let run_cmd =
     Term.(
       const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg $ policy_arg $ seed_arg
       $ jitter_arg $ native_arg $ engine_arg $ reservation_arg $ mode $ apps $ rate $ csv
-      $ trace $ gantt $ trace_level $ events $ app_file $ faults_arg $ fault_seed_arg)
+      $ trace $ gantt $ trace_level $ events $ app_file $ faults_arg $ fault_seed_arg
+      $ fabric_arg)
 
 (* ---------------------- sweep ---------------------- *)
 
@@ -491,7 +516,7 @@ let sweep_cmd =
              to another.")
   in
   let run grid_name jobs replicates policies seed jitter csv json summary engine_name faults
-      fault_seed cache_dir shard merge adaptive out code_rev =
+      fault_seed fabric cache_dir shard merge adaptive out code_rev =
     let policies = Option.map (fun s -> List.map String.trim (String.split_on_char ',' s)) policies in
     let base_seed = Option.map Int64.of_int seed in
     let setup =
@@ -533,6 +558,20 @@ let sweep_cmd =
           | Error _ as e -> e)
         | Error msg -> Error msg
         | exception Invalid_argument msg -> Error msg
+      in
+      let* grid =
+        match parse_fabric fabric with
+        | Ok None -> Ok grid
+        | Ok (Some f) ->
+          (* Override every grid config's interconnect, including any
+             the preset itself baked in (e.g. fig9-contended). *)
+          Ok
+            {
+              grid with
+              Grid.configs =
+                List.map (fun (l, c) -> (l, Config.with_fabric f c)) grid.Grid.configs;
+            }
+        | Error _ as e -> e
       in
       Ok (engine, shard, grid)
     in
@@ -695,7 +734,8 @@ let sweep_cmd =
           --jobs value, any --shard split (after --merge) and any --cache state.")
     Term.(
       const run $ grid_name $ jobs $ replicates $ policies $ sweep_seed $ sweep_jitter $ csv
-      $ json $ summary $ sweep_engine $ faults_arg $ fault_seed_arg $ cache_arg $ shard_arg
+      $ json $ summary $ sweep_engine $ faults_arg $ fault_seed_arg $ fabric_arg $ cache_arg
+      $ shard_arg
       $ merge_arg $ adaptive_arg $ out_arg $ code_rev_arg)
 
 (* ---------------------- convert ---------------------- *)

@@ -1,4 +1,5 @@
 module Config = Dssoc_soc.Config
+module Fabric = Dssoc_soc.Fabric
 module Workload = Dssoc_apps.Workload
 module Reference_apps = Dssoc_apps.Reference_apps
 
@@ -50,11 +51,63 @@ let fig11 ?(policies = [ "FRFS" ]) ?(base_seed = 1L) () =
     ~workloads:(rate_workloads ())
     ()
 
-let names = [ "fig9"; "fig10"; "fig11" ]
+(* Fig. 9 under a shared interconnect: the same (cores, ffts) axis,
+   but every DMA stream rides one contended bus.  The default spec is
+   narrow enough that FFT-heavy configurations queue on the link, so
+   the cores-vs-accelerators crossover shifts relative to plain fig9. *)
+let fig9_contended ?(replicates = 10) ?(base_seed = 1L) ?(jitter = 0.03)
+    ?(policies = [ "FRFS" ]) ?(fabric = "bus:bw=200MB/s,fifo=2") () =
+  let f =
+    match Fabric.of_spec fabric with
+    | Ok f -> f
+    | Error msg -> invalid_arg ("Presets.fig9_contended: " ^ msg)
+  in
+  Grid.make ~label:"fig9-contended" ~replicates ~base_seed ~jitter
+    ~configs:
+      (List.map
+         (fun (cores, ffts) ->
+           let c = Config.with_fabric f (Config.zcu102_cores_ffts ~cores ~ffts) in
+           (c.Config.label, c))
+         zcu102_grid_configs)
+    ~policies
+    ~workloads:[ sdr_mix () ]
+    ()
+
+let fabric_widths_mb_s = [ 4000.0; 2000.0; 1000.0; 500.0; 250.0; 100.0 ]
+
+(* Interconnect-width axis: one platform, the bus bandwidth swept from
+   generous to starved, with the ideal (infinite) fabric as baseline.
+   A 1-deep admission FIFO makes the two accelerators serialize on the
+   link, so the fabric_stall_ns column turns from negligible to
+   dominant along the axis (the platform only ever has two initiators;
+   the 16-deep default FIFO would never fill and never stall). *)
+let fabric_width ?(replicates = 5) ?(base_seed = 1L) ?(jitter = 0.03) ?(policies = [ "EFT" ])
+    () =
+  let base = Config.zcu102_cores_ffts ~cores:3 ~ffts:2 in
+  let configs =
+    (base.Config.label ^ "/ideal", base)
+    :: List.map
+         (fun bw ->
+           let f =
+             Fabric.Bus { Fabric.default_bus with Fabric.bw_mb_s = bw; Fabric.fifo_depth = 1 }
+           in
+           ( Printf.sprintf "%s/bus%gMBs" base.Config.label bw,
+             Config.with_fabric f base ))
+         fabric_widths_mb_s
+  in
+  Grid.make ~label:"fabric-width" ~replicates ~base_seed ~jitter ~configs ~policies
+    ~workloads:[ sdr_mix () ]
+    ()
+
+let names = [ "fig9"; "fig10"; "fig11"; "fig9-contended"; "fabric-width" ]
 
 let by_name ?replicates ?base_seed ?jitter ?policies name =
   match String.lowercase_ascii name with
   | "fig9" -> Ok (fig9 ?replicates ?base_seed ?jitter ?policies ())
+  | "fig9-contended" | "fig9_contended" ->
+    Ok (fig9_contended ?replicates ?base_seed ?jitter ?policies ())
+  | "fabric-width" | "fabric_width" ->
+    Ok (fabric_width ?replicates ?base_seed ?jitter ?policies ())
   | "fig10" ->
     (* fig10/fig11 are deterministic single-replicate grids; replicate
        and jitter overrides still apply when given. *)

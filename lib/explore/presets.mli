@@ -25,6 +25,28 @@ val fig10 : ?policies:string list -> ?base_seed:int64 -> unit -> Grid.t
 val fig11 : ?policies:string list -> ?base_seed:int64 -> unit -> Grid.t
 (** 8 big.LITTLE mixes x FRFS x 5 injection rates, deterministic. *)
 
+val fig9_contended :
+  ?replicates:int ->
+  ?base_seed:int64 ->
+  ?jitter:float ->
+  ?policies:string list ->
+  ?fabric:string ->
+  unit ->
+  Grid.t
+(** The Fig. 9 axis with every DMA stream charged through a shared
+    bus ([fabric] is a {!Dssoc_soc.Fabric.of_spec} spec, default
+    ["bus:bw=200MB/s,fifo=2"]).  FFT-heavy configurations contend on
+    the link, shifting the cores-vs-accelerators crossover.
+    @raise Invalid_argument on a malformed [fabric] spec. *)
+
+val fabric_widths_mb_s : float list
+(** The bus bandwidths (MB/s) swept by {!fabric_width}. *)
+
+val fabric_width :
+  ?replicates:int -> ?base_seed:int64 -> ?jitter:float -> ?policies:string list -> unit -> Grid.t
+(** One 3Core+2FFT platform with the interconnect width as the swept
+    axis: the ideal fabric plus {!fabric_widths_mb_s} bus points. *)
+
 val names : string list
 
 val by_name :

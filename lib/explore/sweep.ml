@@ -11,6 +11,7 @@ module Fault = Dssoc_fault.Fault
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
 module Config = Dssoc_soc.Config
+module Fabric = Dssoc_soc.Fabric
 module Mclock = Dssoc_util.Mclock
 
 type row = {
@@ -36,6 +37,7 @@ type row = {
   verdict : Stats.verdict;
   completed_fraction : float;
   task_retries : int;
+  fabric_stall_ns : int;
 }
 
 type table = { grid_label : string; rows : row list }
@@ -88,11 +90,16 @@ let workload_fingerprint (wl : Workload.t) =
 let point_digest ~engine ~code_rev (grid : Grid.t) (p : Grid.point) =
   Cache.digest_of_parts
     [
-      "dssoc-sweep-row/v1";
+      (* v2: the fabric joined the recipe — a row priced on a
+         contended interconnect must never alias the uncontended one,
+         and v1 rows (no fabric part at all) can never collide with
+         any v2 row, Ideal included. *)
+      "dssoc-sweep-row/v2";
       "engine=" ^ engine_name engine;
       "code_rev=" ^ code_rev;
       "config=" ^ p.Grid.config_label;
       "platform=" ^ Format.asprintf "%a" Config.pp p.Grid.config;
+      "fabric=" ^ Fabric.fingerprint p.Grid.config.Config.fabric;
       "policy=" ^ p.Grid.policy;
       "workload=" ^ p.Grid.wl_label;
       "trace=" ^ workload_fingerprint p.Grid.workload;
@@ -148,6 +155,7 @@ let row_payload r =
          ("verdict", verdict_to_json r.verdict);
          ("completed_fraction", jf r.completed_fraction);
          ("task_retries", Json.int r.task_retries);
+         ("fabric_stall_ns", Json.int r.fabric_stall_ns);
        ])
 
 let row_of_payload payload =
@@ -195,6 +203,7 @@ let row_of_payload payload =
   let* verdict = Result.bind (Json.member "verdict" j) verdict_of_json in
   let* completed_fraction = mem "completed_fraction" jf_of in
   let* task_retries = mem "task_retries" Json.to_int in
+  let* fabric_stall_ns = mem "fabric_stall_ns" Json.to_int in
   Ok
     {
       index;
@@ -219,6 +228,7 @@ let row_of_payload payload =
       verdict;
       completed_fraction;
       task_retries;
+      fabric_stall_ns;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -316,6 +326,7 @@ let aborted_row (p : Grid.point) msg =
     verdict = Stats.Aborted msg;
     completed_fraction = 0.0;
     task_retries = 0;
+    fabric_stall_ns = 0;
   }
 
 let run_point_inner ?counters ~engine_kind (grid : Grid.t) (p : Grid.point) =
@@ -378,6 +389,7 @@ let run_point_inner ?counters ~engine_kind (grid : Grid.t) (p : Grid.point) =
       verdict = r.Stats.verdict;
       completed_fraction = Stats.completed_fraction r;
       task_retries = r.Stats.resilience.Stats.task_retries;
+      fabric_stall_ns = r.Stats.fabric.Stats.fabric_stall_ns;
     }
 
 let run_point ~engine_kind grid p = run_point_inner ~engine_kind grid p
@@ -593,16 +605,16 @@ let run_adaptive ?jobs ?(engine = `Virtual) ?cache ?on_row grid =
 let util_string u = String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%.6f" k v) u)
 
 let csv_header =
-  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,max_ready_depth,max_inflight,mean_wait_us,p95_service_us,util_by_kind,verdict,completed_fraction,task_retries"
+  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,max_ready_depth,max_inflight,mean_wait_us,p95_service_us,util_by_kind,verdict,completed_fraction,task_retries,fabric_stall_ns"
 
 let csv_row r =
   let field = Table.csv_field in
-  Printf.sprintf "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,%s,%s,%.6f,%d"
+  Printf.sprintf "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,%s,%s,%.6f,%d,%d"
     (field r.config) (field r.policy) (field r.workload) r.replicate r.seed r.makespan_ns
     r.job_count r.task_count r.sched_invocations r.sched_ns r.wm_overhead_ns r.busy_energy_mj
     r.energy_mj r.max_ready_depth r.max_inflight r.mean_wait_us r.p95_service_us
     (field (util_string r.util_by_kind))
-    (Stats.verdict_name r.verdict) r.completed_fraction r.task_retries
+    (Stats.verdict_name r.verdict) r.completed_fraction r.task_retries r.fabric_stall_ns
 
 let to_csv t =
   let buf = Buffer.create 4096 in
@@ -648,6 +660,7 @@ let to_json t =
                    ("verdict", Json.str (Stats.verdict_name r.verdict));
                    ("completed_fraction", Json.float r.completed_fraction);
                    ("task_retries", Json.int r.task_retries);
+                   ("fabric_stall_ns", Json.int r.fabric_stall_ns);
                  ])
              t.rows) );
     ]

@@ -41,6 +41,9 @@ type row = {
           whether the point completed, degraded or aborted *)
   completed_fraction : float;  (** tasks completed / tasks injected, 1.0 when fault-free *)
   task_retries : int;  (** resilient-dispatch retries (0 when fault-free) *)
+  fabric_stall_ns : int;
+      (** total ns DMA streams spent queued for a full interconnect
+          FIFO (0 under {!Dssoc_soc.Fabric.Ideal}) *)
 }
 
 type table = { grid_label : string; rows : row list  (** in point order *) }
@@ -54,10 +57,13 @@ val engine_name : engine_kind -> string
 val point_digest : engine:engine_kind -> code_rev:string -> Grid.t -> Grid.point -> string
 (** Stable digest of everything a point's row depends on: engine,
     [code_rev], platform configuration (structure, not just label),
-    policy, the fully-instantiated workload trace, seed, jitter,
-    reservation depth and the grid fault plan.  Deliberately excludes
-    the point index, so a grid grown with more replicates or cells
-    re-uses every previously cached row. *)
+    interconnect fabric, policy, the fully-instantiated workload
+    trace, seed, jitter, reservation depth and the grid fault plan.
+    Deliberately excludes the point index, so a grid grown with more
+    replicates or cells re-uses every previously cached row.  The
+    format tag is [dssoc-sweep-row/v2]: v1 rows (which predate the
+    fabric part) never collide with v2 rows, including Ideal-fabric
+    ones. *)
 
 val row_payload : row -> string
 (** Single-line JSON encoding of a row, floats as hex-float strings —

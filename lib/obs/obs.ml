@@ -74,6 +74,8 @@ type body =
     }
   | Pe_quarantined of { pe : string; pe_index : int; until_ns : int; permanent : bool }
   | Pe_recovered of { pe : string; pe_index : int }
+  | Stream_stalled of { pe_index : int; bytes : int; queued : int }
+  | Stream_admitted of { pe_index : int; bytes : int; stall_ns : int; inflight : int }
 
 type event = { t_ns : int; body : body }
 
@@ -404,6 +406,15 @@ let on_pe_quarantined t ~now ~pe ~pe_index ~until_ns ~permanent =
 let on_pe_recovered t ~now ~pe ~pe_index =
   Sink.emit t.sink now (Pe_recovered { pe; pe_index })
 
+(* Fabric contention, emitted by the engines' DMA-charging hook: sink
+   only here — the fabric occupancy gauge and stall histogram are
+   registered and driven by the (single-threaded) virtual engine. *)
+let on_stream_stalled t ~now ~pe_index ~bytes ~queued =
+  Sink.emit t.sink now (Stream_stalled { pe_index; bytes; queued })
+
+let on_stream_admitted t ~now ~pe_index ~bytes ~stall_ns ~inflight =
+  Sink.emit t.sink now (Stream_admitted { pe_index; bytes; stall_ns; inflight })
+
 let record_drops t =
   match t.eng with
   | Some e ->
@@ -518,6 +529,21 @@ let event_to_json { t_ns; body } =
         ]
   | Pe_recovered { pe; pe_index } ->
       mk "pe_recovered" [ ("pe", Json.str pe); ("pe_index", Json.int pe_index) ]
+  | Stream_stalled { pe_index; bytes; queued } ->
+      mk "stream_stalled"
+        [
+          ("pe_index", Json.int pe_index);
+          ("bytes", Json.int bytes);
+          ("queued", Json.int queued);
+        ]
+  | Stream_admitted { pe_index; bytes; stall_ns; inflight } ->
+      mk "stream_admitted"
+        [
+          ("pe_index", Json.int pe_index);
+          ("bytes", Json.int bytes);
+          ("stall_ns", Json.int stall_ns);
+          ("inflight", Json.int inflight);
+        ]
 
 let to_jsonl events =
   let buf = Buffer.create 4096 in

@@ -85,6 +85,12 @@ type body =
     }
   | Pe_quarantined of { pe : string; pe_index : int; until_ns : int; permanent : bool }
   | Pe_recovered of { pe : string; pe_index : int }
+  | Stream_stalled of { pe_index : int; bytes : int; queued : int }
+      (** a DMA stream found the fabric FIFO full; [queued] = streams
+          now waiting for a slot (interconnect extension) *)
+  | Stream_admitted of { pe_index : int; bytes : int; stall_ns : int; inflight : int }
+      (** a DMA stream entered the shared link after [stall_ns] queued
+          ([0] = admitted immediately); [inflight] includes it *)
 
 type event = { t_ns : int; body : body }
 
@@ -242,6 +248,13 @@ val on_pe_quarantined :
   unit
 
 val on_pe_recovered : t -> now:int -> pe:string -> pe_index:int -> unit
+
+val on_stream_stalled : t -> now:int -> pe_index:int -> bytes:int -> queued:int -> unit
+(** Sink only (may run from a handler thread); the fabric occupancy
+    gauge and stall histogram are owned by the virtual engine. *)
+
+val on_stream_admitted :
+  t -> now:int -> pe_index:int -> bytes:int -> stall_ns:int -> inflight:int -> unit
 
 val record_drops : t -> unit
 (** Copy the sink's ring-overwrite count into the [events_dropped]

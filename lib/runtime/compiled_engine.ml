@@ -2,6 +2,7 @@ module Pe = Dssoc_soc.Pe
 module Host = Dssoc_soc.Host
 module Config = Dssoc_soc.Config
 module Cost_model = Dssoc_soc.Cost_model
+module Fabric = Dssoc_soc.Fabric
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
 module Store = Dssoc_apps.Store
@@ -33,9 +34,15 @@ type cls = {
   c_succ : int array array;  (** successor node indices, JSON order *)
   c_entry : int array;  (** nodes with no predecessors, node order *)
   c_est : int array;  (** (node, pe) estimate matrix; [min_int] = unsupported *)
-  c_ph_in : int array;  (** accelerator DMA-in ns per (node, pe) *)
+  c_ph_in : int array;  (** accelerator ideal DMA-in ns per (node, pe) *)
   c_ph_comp : int array;
   c_ph_out : int array;
+  c_fb_dem_in : int array;
+      (** bus-fabric link demand per (node, pe); [-1] = phase moves no
+          data, bypass the fabric (replay the ideal duration) *)
+  c_fb_dem_out : int array;
+  c_fb_fix_in : int array;  (** fixed chunk + hop latency per (node, pe) *)
+  c_fb_fix_out : int array;
   c_store0 : Store.t;  (** pristine initial store image *)
   c_final : Store.t option;
       (** post-kernel store image when every node's kernel is the same
@@ -58,6 +65,11 @@ type plan = {
   p_ph_in : int array;
   p_ph_comp : int array;
   p_ph_out : int array;
+  p_fabric : Fabric.t;
+  p_fb_dem_in : int array;  (** (task id, pe) link demand; [-1] = bypass *)
+  p_fb_dem_out : int array;
+  p_fb_fix_in : int array;
+  p_fb_fix_out : int array;
   p_core_of_pe : int array;  (** manager-core index; core 0 is the overlay *)
   p_core_rate1 : float array;  (** per core: quantum /. (quantum + switch) *)
   p_overlay_perf : float;
@@ -93,6 +105,10 @@ let build_class ~(config : Config.t) ~(pes : Pe.t array) (spec : App_spec.t) =
   let ph_in = Array.make (max 1 (n * n_pes)) 0 in
   let ph_comp = Array.make (max 1 (n * n_pes)) 0 in
   let ph_out = Array.make (max 1 (n * n_pes)) 0 in
+  let fb_dem_in = Array.make (max 1 (n * n_pes)) (-1) in
+  let fb_dem_out = Array.make (max 1 (n * n_pes)) (-1) in
+  let fb_fix_in = Array.make (max 1 (n * n_pes)) 0 in
+  let fb_fix_out = Array.make (max 1 (n * n_pes)) 0 in
   Array.iteri
     (fun j (t : Task.t) ->
       Array.iteri
@@ -101,9 +117,22 @@ let build_class ~(config : Config.t) ~(pes : Pe.t array) (spec : App_spec.t) =
           match pe.Pe.kind with
           | Pe.Accel acl when Task.supports t pe ->
             let a, b, c = Core.accel_phases t pe acl in
-            ph_in.((j * n_pes) + i) <- a;
-            ph_comp.((j * n_pes) + i) <- b;
-            ph_out.((j * n_pes) + i) <- c
+            let row = (j * n_pes) + i in
+            ph_in.(row) <- a.Core.dp_ideal_ns;
+            ph_comp.(row) <- b;
+            ph_out.(row) <- c.Core.dp_ideal_ns;
+            (match config.Config.fabric with
+            | Fabric.Ideal -> ()
+            | Fabric.Bus bus ->
+              let hop = Fabric.hops bus.Fabric.topology ~pe_index:i * bus.Fabric.hop_ns in
+              let fill dem fix (ph : Core.dma_phase) =
+                if ph.Core.dp_bytes > 0 then begin
+                  dem.(row) <- Fabric.demand_ns bus ~bytes:ph.Core.dp_bytes;
+                  fix.(row) <- ph.Core.dp_chunks * (ph.Core.dp_chunk_lat_ns + hop)
+                end
+              in
+              fill fb_dem_in fb_fix_in a;
+              fill fb_dem_out fb_fix_out c)
           | _ -> ())
         pes)
     tmpl.Task.tasks;
@@ -194,6 +223,10 @@ let build_class ~(config : Config.t) ~(pes : Pe.t array) (spec : App_spec.t) =
     c_ph_in = ph_in;
     c_ph_comp = ph_comp;
     c_ph_out = ph_out;
+    c_fb_dem_in = fb_dem_in;
+    c_fb_dem_out = fb_dem_out;
+    c_fb_fix_in = fb_fix_in;
+    c_fb_fix_out = fb_fix_out;
     c_store0 = tmpl.Task.store;
     c_final = final;
   }
@@ -212,6 +245,13 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
     raise
       (Unsupported
          "enabled observability is outside the compiled engine's replay contract \
+          (use the virtual or native engine)")
+  | _ -> ());
+  (match config.Config.fabric with
+  | Fabric.Bus { Fabric.topology = Fabric.Mesh _; _ } ->
+    raise
+      (Unsupported
+         "NoC (mesh) fabric topologies are outside the compiled engine's lowering \
           (use the virtual or native engine)")
   | _ -> ());
   let pcode =
@@ -281,6 +321,10 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
   let ph_in = Array.make (max 1 (n_tasks * n_pes)) 0 in
   let ph_comp = Array.make (max 1 (n_tasks * n_pes)) 0 in
   let ph_out = Array.make (max 1 (n_tasks * n_pes)) 0 in
+  let fb_dem_in = Array.make (max 1 (n_tasks * n_pes)) (-1) in
+  let fb_dem_out = Array.make (max 1 (n_tasks * n_pes)) (-1) in
+  let fb_fix_in = Array.make (max 1 (n_tasks * n_pes)) 0 in
+  let fb_fix_out = Array.make (max 1 (n_tasks * n_pes)) 0 in
   Array.iteri
     (fun idx ci ->
       let cls = classes.(ci) in
@@ -290,7 +334,11 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
         Array.blit cls.c_est 0 est dst len;
         Array.blit cls.c_ph_in 0 ph_in dst len;
         Array.blit cls.c_ph_comp 0 ph_comp dst len;
-        Array.blit cls.c_ph_out 0 ph_out dst len
+        Array.blit cls.c_ph_out 0 ph_out dst len;
+        Array.blit cls.c_fb_dem_in 0 fb_dem_in dst len;
+        Array.blit cls.c_fb_dem_out 0 fb_dem_out dst len;
+        Array.blit cls.c_fb_fix_in 0 fb_fix_in dst len;
+        Array.blit cls.c_fb_fix_out 0 fb_fix_out dst len
       end)
     item_class;
   {
@@ -309,6 +357,11 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
     p_ph_in = ph_in;
     p_ph_comp = ph_comp;
     p_ph_out = ph_out;
+    p_fabric = config.Config.fabric;
+    p_fb_dem_in = fb_dem_in;
+    p_fb_dem_out = fb_dem_out;
+    p_fb_fix_in = fb_fix_in;
+    p_fb_fix_out = fb_fix_out;
     p_core_of_pe = core_of_pe;
     p_core_rate1 = core_rate1;
     p_overlay_perf = config.Config.host.Host.overlay.Host.core_class.Pe.perf_factor;
@@ -372,6 +425,7 @@ let ev_start_wm = 1
 let ev_resume = 2
 let ev_core = 3
 let ev_deadline = 4
+let ev_fab = 5
 
 let run_detailed plan (params : Core.params) =
   let instances = instantiate_fast plan in
@@ -549,6 +603,105 @@ let run_detailed plan (params : Core.params) =
       done
     end
   in
+  (* ---- shared fabric link (virtual_engine's fab_* machinery, flat) ----
+     One processor-shared link; at most one outstanding DMA stream per
+     PE, so n_pes bounds both the in-flight set and the stall queue.
+     Event/heap traffic is push-for-push identical to the reference
+     engine: admission is inline (no event), a full FIFO enqueues with
+     no event, and each completion batch re-arms exactly one ev_fab. *)
+  let fabric_counters = Core.make_fabric_counters () in
+  let fab_fifo =
+    match plan.p_fabric with
+    | Fabric.Bus b -> b.Fabric.fifo_depth
+    | Fabric.Ideal -> max_int
+  in
+  let fb_last = ref 0 in
+  let fb_version = ref 0 in
+  let fb_njobs = ref 0 in
+  let fb_rem = Array.make (max 1 n_pes) 0.0 in
+  let fb_thr = Array.make (max 1 n_pes) (-1) in
+  let fb_fin = Array.make (max 1 n_pes) (-1) in
+  let fb_queue : int Queue.t = Queue.create () in
+  let fb_qt0 = Array.make (max 1 n_pes) 0 in
+  let fb_qdem = Array.make (max 1 n_pes) 0 in
+  let fab_rate k = if k <= 1 then 1.0 else 1.0 /. float_of_int k in
+  let update_fab () =
+    let elapsed = !now - !fb_last in
+    if elapsed > 0 then begin
+      let k = !fb_njobs in
+      if k > 0 then begin
+        let progress = float_of_int elapsed *. fab_rate k in
+        for j = 0 to k - 1 do
+          fb_rem.(j) <- fb_rem.(j) -. progress
+        done
+      end;
+      fb_last := !now
+    end
+  in
+  let fab_admit th dem ~stall_ns =
+    let k = !fb_njobs in
+    fb_rem.(k) <- float_of_int dem;
+    fb_thr.(k) <- th;
+    fb_njobs := k + 1;
+    let c = fabric_counters in
+    c.Core.fc_stall_ns <- c.Core.fc_stall_ns + stall_ns;
+    if !fb_njobs > c.Core.fc_max_inflight then c.Core.fc_max_inflight <- !fb_njobs
+  in
+  let reschedule_fab () =
+    fb_version := !fb_version + 1;
+    let k = !fb_njobs in
+    if k > 0 then begin
+      let rate = fab_rate k in
+      let mn = ref Float.infinity in
+      for j = 0 to k - 1 do
+        mn := Float.min !mn fb_rem.(j)
+      done;
+      let dt = int_of_float (Float.ceil (Float.max 0.0 !mn /. rate)) in
+      push (!now + dt) ev_fab !fb_version 0
+    end
+  in
+  let fab_event v =
+    if v = !fb_version then begin
+      update_fab ();
+      let k = !fb_njobs in
+      let nf = ref 0 and w = ref 0 in
+      for j = 0 to k - 1 do
+        if fb_rem.(j) <= 1e-6 then begin
+          fb_fin.(!nf) <- fb_thr.(j);
+          incr nf
+        end
+        else begin
+          fb_rem.(!w) <- fb_rem.(j);
+          fb_thr.(!w) <- fb_thr.(j);
+          incr w
+        end
+      done;
+      fb_njobs := !w;
+      while (not (Queue.is_empty fb_queue)) && !fb_njobs < fab_fifo do
+        let th = Queue.pop fb_queue in
+        fab_admit th fb_qdem.(th) ~stall_ns:(!now - fb_qt0.(th))
+      done;
+      reschedule_fab ();
+      for j = 0 to !nf - 1 do
+        resume_thread fb_fin.(j)
+      done
+    end
+  in
+  let fab_submit th dem =
+    let c = fabric_counters in
+    c.Core.fc_streams <- c.Core.fc_streams + 1;
+    if !fb_njobs < fab_fifo then begin
+      update_fab ();
+      fab_admit th dem ~stall_ns:0;
+      reschedule_fab ()
+    end
+    else begin
+      c.Core.fc_stalls <- c.Core.fc_stalls + 1;
+      fb_qt0.(th) <- !now;
+      fb_qdem.(th) <- dem;
+      Queue.add th fb_queue
+    end
+  in
   (* ---- condition variables (wm_wake + one per resource manager) ---- *)
   let vh_pending = Array.make (max 1 n_pes) false in
   let vh_waiting = Array.make (max 1 n_pes) false in
@@ -678,7 +831,19 @@ let run_detailed plan (params : Core.params) =
         end;
         rm_work i (jit est.(row)) 2
       end
-      else rm_work i (jit plan.p_ph_in.(row)) 3
+      else begin
+        let dem = plan.p_fb_dem_in.(row) in
+        if dem < 0 then rm_work i (jit plan.p_ph_in.(row)) 3
+        else begin
+          let d = jit dem in
+          if d > 0 then begin
+            rm_pc.(i) <- 6;
+            suspend i;
+            fab_submit i d
+          end
+          else rm_fab_fix i plan.p_fb_fix_in.(row) 3
+        end
+      end
   and rm_work i ns pc =
     if ns <= 0 then rm_goto i pc
     else begin
@@ -701,7 +866,28 @@ let run_detailed plan (params : Core.params) =
     end
   and rm_acc_after_comp i =
     let task = rm_cur i in
-    rm_work i (jit plan.p_ph_out.((task.Task.id * stride) + i)) 5
+    let row = (task.Task.id * stride) + i in
+    let dem = plan.p_fb_dem_out.(row) in
+    if dem < 0 then rm_work i (jit plan.p_ph_out.(row)) 5
+    else begin
+      let d = jit dem in
+      if d > 0 then begin
+        rm_pc.(i) <- 7;
+        suspend i;
+        fab_submit i d
+      end
+      else rm_fab_fix i plan.p_fb_fix_out.(row) 5
+    end
+  and rm_fab_fix i fix pc =
+    (* Fixed chunk/hop latency after the shared-link service — the
+       reference engine's [sleep_ns], i.e. an ev_deadline + ev_resume
+       pair, or an inline continue when zero. *)
+    if fix <= 0 then rm_goto i pc
+    else begin
+      rm_pc.(i) <- pc;
+      suspend i;
+      push (!now + fix) ev_deadline i w_gen.(i)
+    end
   and rm_finish i =
     let task = rm_cur i in
     let h = handlers.(i) in
@@ -717,6 +903,12 @@ let run_detailed plan (params : Core.params) =
     | 2 | 5 -> rm_finish i
     | 3 -> rm_acc_after_in i
     | 4 -> rm_acc_after_comp i
+    | 6 ->
+      let task = rm_cur i in
+      rm_fab_fix i plan.p_fb_fix_in.((task.Task.id * stride) + i) 3
+    | 7 ->
+      let task = rm_cur i in
+      rm_fab_fix i plan.p_fb_fix_out.((task.Task.id * stride) + i) 5
     | _ -> assert false
   in
   (* ---- workload-manager thread (engine_core.workload_manager,
@@ -1058,6 +1250,7 @@ let run_detailed plan (params : Core.params) =
           resume_thread a
         end
       end
+      else if k = ev_fab then fab_event a
       else if k = ev_start_rm then rm_await a
       else wm_tick_top ()
     end
@@ -1070,7 +1263,7 @@ let run_detailed plan (params : Core.params) =
       | None -> ())
     instances;
   ( Core.report ~host_name:config.Config.host.Host.name ~config ~policy:plan.p_policy
-      ~handlers ~instances ~stats,
+      ~handlers ~instances ~stats ~fabric:fabric_counters,
     instances )
 
 let run plan params = fst (run_detailed plan params)

@@ -1,6 +1,7 @@
 module Pe = Dssoc_soc.Pe
 module Config = Dssoc_soc.Config
 module Cost_model = Dssoc_soc.Cost_model
+module Fabric = Dssoc_soc.Fabric
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
 module Prng = Dssoc_util.Prng
@@ -21,6 +22,27 @@ let jittered prng ~jitter ns =
     let f = Prng.gaussian prng ~mu:1.0 ~sigma:jitter in
     max 1 (int_of_float (Float.round (float_of_int ns *. Float.max 0.1 f)))
   end
+
+(* ------------------------------------------------------------------ *)
+(* DMA phases                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A DMA phase is no longer a fixed duration decided at dispatch time:
+   under a shared fabric its cost depends on who else is on the link.
+   The engines receive the decomposition and charge it through their
+   [b_dma] hook — [dp_ideal_ns] is the legacy per-device duration
+   (what [Fabric.Ideal] replays exactly); under a bus the phase places
+   [dp_bytes] of bandwidth demand on the shared link plus a fixed
+   latency of [dp_chunks] per-transfer setups (and per-hop fabric
+   latency, resolved per PE by the engine). *)
+type dma_phase = {
+  dp_ideal_ns : int;
+  dp_bytes : int;
+  dp_chunks : int;
+  dp_chunk_lat_ns : int;
+}
+
+let no_dma = { dp_ideal_ns = 0; dp_bytes = 0; dp_chunks = 0; dp_chunk_lat_ns = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Resource handlers                                                   *)
@@ -88,6 +110,18 @@ let make_stats () =
     aborted = None;
   }
 
+(* Fabric contention accumulator.  Virtual/compiled mutate it from the
+   single event-loop thread; native guards it with the fabric mutex. *)
+type fabric_counters = {
+  mutable fc_streams : int;  (** DMA streams routed through the fabric *)
+  mutable fc_stalls : int;  (** admissions that found the FIFO full *)
+  mutable fc_stall_ns : int;  (** total time initiators spent queued *)
+  mutable fc_max_inflight : int;  (** peak concurrent in-flight streams *)
+}
+
+let make_fabric_counters () =
+  { fc_streams = 0; fc_stalls = 0; fc_stall_ns = 0; fc_max_inflight = 0 }
+
 (* ------------------------------------------------------------------ *)
 (* Backends                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -101,6 +135,9 @@ type 'h backend = {
   b_wm_await : deadline:int option -> unit;
   b_notify_wm : unit -> unit;
   b_charge : float -> unit;
+  b_dma : 'h handler -> dma_phase -> unit;
+      (** charge one DMA phase: acquire/release shared-fabric capacity
+          (or replay [dp_ideal_ns] under {!Fabric.Ideal}) *)
   b_execute : 'h handler -> Task.t -> unit;
   b_delay : 'h handler -> int -> unit;
       (** occupy the handler's PE for a modelled duration without
@@ -165,8 +202,19 @@ let compile_fault plan ~(handlers : 'h handler array) =
 let accel_phases (task : Task.t) pe acl =
   let entry = Task.platform_entry_for task pe in
   match Option.bind entry (fun e -> e.App_spec.cost_us) with
-  | Some us -> (0, int_of_float (us *. 1e3), 0)
-  | None -> Exec_model.accel_phases_ns task acl
+  | Some us -> (no_dma, int_of_float (us *. 1e3), no_dma)
+  | None ->
+    let dma_in, compute, dma_out = Exec_model.accel_phases_ns task acl in
+    let bytes_in, bytes_out = Exec_model.dma_bytes task.Task.node in
+    let phase ideal bytes =
+      {
+        dp_ideal_ns = ideal;
+        dp_bytes = bytes;
+        dp_chunks = Cost_model.chunk_count acl ~bytes;
+        dp_chunk_lat_ns = acl.Pe.dma.Dssoc_soc.Dma.latency_ns;
+      }
+    in
+    (phase dma_in bytes_in, compute, phase dma_out bytes_out)
 
 (* ------------------------------------------------------------------ *)
 (* Resource manager (Fig. 4)                                           *)
@@ -705,7 +753,7 @@ let workload_manager ?(obs = Obs.disabled) ?(fault = Fault.disabled) (b : 'h bac
 
 let report ~host_name ~(config : Config.t) ~(policy : Scheduler.policy)
     ~(handlers : 'h handler array) ~(instances : Task.instance array)
-    ~(stats : wm_stats) =
+    ~(stats : wm_stats) ~(fabric : fabric_counters) =
   let makespan =
     Array.fold_left (fun acc inst -> max acc inst.Task.completed_at) 0 instances
   in
@@ -777,5 +825,12 @@ let report ~host_name ~(config : Config.t) ~(policy : Scheduler.policy)
         pe_quarantines = stats.quarantines;
         pe_deaths = stats.pe_deaths;
         tasks_lost = task_count - List.length stats.records;
+      };
+    fabric =
+      {
+        Stats.dma_streams = fabric.fc_streams;
+        fabric_stalls = fabric.fc_stalls;
+        fabric_stall_ns = fabric.fc_stall_ns;
+        max_inflight_streams = fabric.fc_max_inflight;
       };
   }

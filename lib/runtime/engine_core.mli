@@ -54,6 +54,24 @@ val jittered : Dssoc_util.Prng.t -> jitter:float -> int -> int
     0.1, result at 1 ns.  [jitter <= 0.] (or a non-positive duration)
     draws nothing and returns the input unchanged. *)
 
+(** {1 DMA phases} *)
+
+type dma_phase = {
+  dp_ideal_ns : int;
+      (** legacy per-device duration — what {!Dssoc_soc.Fabric.Ideal}
+          replays byte-exactly *)
+  dp_bytes : int;  (** bandwidth demand placed on a shared link *)
+  dp_chunks : int;  (** BRAM-sized transfers the phase decomposes into *)
+  dp_chunk_lat_ns : int;  (** per-transfer device latency (setup + completion) *)
+}
+(** One DMA direction of an accelerator execution.  Engines no longer
+    receive a fixed integer duration at dispatch time: under a shared
+    fabric the cost depends on concurrent streams, so the phase is
+    charged through the backend's {!field:b_dma} hook. *)
+
+val no_dma : dma_phase
+(** The all-zero phase (e.g. a [cost_us]-priced task moves no data). *)
+
 (** {1 Resource handlers} *)
 
 type 'h handler = {
@@ -100,6 +118,18 @@ type wm_stats = {
 
 val make_stats : unit -> wm_stats
 
+type fabric_counters = {
+  mutable fc_streams : int;  (** DMA streams routed through the fabric *)
+  mutable fc_stalls : int;  (** admissions that found the FIFO full *)
+  mutable fc_stall_ns : int;  (** total time initiators spent queued *)
+  mutable fc_max_inflight : int;  (** peak concurrent in-flight streams *)
+}
+(** Fabric contention accumulator, all zero under {!Dssoc_soc.Fabric.Ideal}.
+    Virtual/compiled mutate it from the single event-loop thread; the
+    native engine guards it with its fabric mutex. *)
+
+val make_fabric_counters : unit -> fabric_counters
+
 (** {1 Backends} *)
 
 type 'h backend = {
@@ -127,6 +157,13 @@ type 'h backend = {
           reference overlay core; the virtual backend scales it and
           occupies the overlay core, the native backend ignores it
           (its loop costs real time instead) *)
+  b_dma : 'h handler -> dma_phase -> unit;
+      (** charge one DMA phase of an accelerator execution: under
+          {!Dssoc_soc.Fabric.Ideal} replay [dp_ideal_ns] on the
+          handler's host core exactly as before; under a bus, acquire
+          shared-link capacity for [dp_bytes] (stalling FIFO-fashion
+          when the link is full) and then pay the fixed chunk/hop
+          latency; called without the handler lock *)
   b_execute : 'h handler -> Task.t -> unit;
       (** run one task on this handler's PE, returning when it is
           complete; called without the handler lock *)
@@ -173,11 +210,12 @@ val compile_fault :
     [Emulator.run] as an [Error]). *)
 
 val accel_phases :
-  Task.t -> Dssoc_soc.Pe.t -> Dssoc_soc.Pe.accel_class -> int * int * int
-(** [(dma_in, compute, dma_out)] ns for an accelerator execution: an
+  Task.t -> Dssoc_soc.Pe.t -> Dssoc_soc.Pe.accel_class -> dma_phase * int * dma_phase
+(** [(dma_in, compute_ns, dma_out)] for an accelerator execution: an
     explicit [cost_us] on the matching platform entry prices the whole
-    task as device compute (the JSON override), otherwise the device
-    model prices the three phases. *)
+    task as device compute (the JSON override, DMA phases {!no_dma}),
+    otherwise the device model prices the three phases — the DMA ones
+    as {!dma_phase} decompositions for the {!field:b_dma} hook. *)
 
 val resource_manager :
   ?obs:Dssoc_obs.Obs.t ->
@@ -254,7 +292,8 @@ val report :
   handlers:'h handler array ->
   instances:Task.instance array ->
   stats:wm_stats ->
+  fabric:fabric_counters ->
   Stats.report
 (** Assemble the run report: makespan, per-PE usage and energy,
-    scheduling statistics, task records (oldest first) and per-app
-    latency summaries. *)
+    scheduling statistics, task records (oldest first), per-app
+    latency summaries and fabric contention counters. *)

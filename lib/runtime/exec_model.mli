@@ -37,6 +37,12 @@ val accel_phases_ns : Task.t -> Dssoc_soc.Pe.accel_class -> int * int * int
     [bytes_in]/[bytes_out], defaulting to [8 * size] (one complex
     float32 per sample) when unspecified. *)
 
+val dma_bytes : Dssoc_apps.App_spec.node -> int * int
+(** [(bytes_in, bytes_out)] a node moves over the interconnect —
+    the explicit [bytes_in]/[bytes_out] when positive, else the
+    [8 * size] default.  The fabric layer prices bandwidth demand
+    from these. *)
+
 val resolve_kernel : Task.t -> Dssoc_soc.Pe.t -> Dssoc_apps.Kernels.kernel
 (** The functional kernel to execute for this (task, PE) pairing.
     @raise Invalid_argument on unknown shared object or symbol — app

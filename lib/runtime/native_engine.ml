@@ -1,6 +1,7 @@
 module Pe = Dssoc_soc.Pe
 module Host = Dssoc_soc.Host
 module Config = Dssoc_soc.Config
+module Fabric = Dssoc_soc.Fabric
 module App_spec = Dssoc_apps.App_spec
 module Store = Dssoc_apps.Store
 module Workload = Dssoc_apps.Workload
@@ -20,8 +21,70 @@ let default_params = { Core.seed = 7L; jitter = 0.0; reservation_depth = 0 }
    a shared stream). *)
 type nh = { nh_mutex : Mutex.t; nh_cond : Condition.t; nh_prng : Prng.t }
 
-let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
+(* Shared-fabric ledger: a counting semaphore bounded by the FIFO
+   depth, with contention counters updated under the same mutex.
+   Handler domains block in [Condition.wait] while the link is full —
+   the wall-clock analogue of the virtual engine's FIFO stall. *)
+type nfab = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_inflight : int;
+  f_bus : Fabric.bus;
+  f_hop_ns : int array;  (* per-PE index: hops x per-hop latency *)
+  f_counters : Core.fabric_counters;
+}
+
+let backend ~start ~fab ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
   let now () = Mclock.now_ns () - start in
+  (* The b_dma hook.  The real byte copies stand in for the transfer
+     itself (in [execute], fabric or not); under a bus the modelled
+     demand and fixed chunk/hop latency are timed sleeps, gated by the
+     bounded-FIFO ledger.  Under Ideal nothing extra is charged — the
+     legacy behaviour, byte-for-byte. *)
+  let dma (h : nh Core.handler) (ph : Core.dma_phase) =
+    match fab with
+    | None -> ()
+    | Some f ->
+      if ph.Core.dp_bytes > 0 then begin
+        let dem =
+          Core.jittered h.Core.h_backend.nh_prng ~jitter:params.Core.jitter
+            (Fabric.demand_ns f.f_bus ~bytes:ph.Core.dp_bytes)
+        in
+        if dem > 0 then begin
+          let c = f.f_counters in
+          Mutex.lock f.f_mutex;
+          c.Core.fc_streams <- c.Core.fc_streams + 1;
+          if f.f_inflight >= f.f_bus.Fabric.fifo_depth then begin
+            c.Core.fc_stalls <- c.Core.fc_stalls + 1;
+            if Obs.enabled obs then
+              Obs.on_stream_stalled obs ~now:(now ()) ~pe_index:h.Core.h_index
+                ~bytes:ph.Core.dp_bytes
+                ~queued:(f.f_inflight - f.f_bus.Fabric.fifo_depth + 1);
+            let t0 = now () in
+            while f.f_inflight >= f.f_bus.Fabric.fifo_depth do
+              Condition.wait f.f_cond f.f_mutex
+            done;
+            c.Core.fc_stall_ns <- c.Core.fc_stall_ns + (now () - t0)
+          end;
+          f.f_inflight <- f.f_inflight + 1;
+          if f.f_inflight > c.Core.fc_max_inflight then
+            c.Core.fc_max_inflight <- f.f_inflight;
+          if Obs.enabled obs then
+            Obs.on_stream_admitted obs ~now:(now ()) ~pe_index:h.Core.h_index
+              ~bytes:ph.Core.dp_bytes ~stall_ns:0 ~inflight:f.f_inflight;
+          Mutex.unlock f.f_mutex;
+          Unix.sleepf (float_of_int dem /. 1e9);
+          Mutex.lock f.f_mutex;
+          f.f_inflight <- f.f_inflight - 1;
+          Condition.broadcast f.f_cond;
+          Mutex.unlock f.f_mutex
+        end;
+        let fix =
+          ph.Core.dp_chunks * (ph.Core.dp_chunk_lat_ns + f.f_hop_ns.(h.Core.h_index))
+        in
+        if fix > 0 then Unix.sleepf (float_of_int fix /. 1e9)
+      end
+  in
   let execute (h : nh Core.handler) (task : Task.t) =
     let kernel = Exec_model.resolve_kernel task h.Core.h_pe in
     let args = task.Task.node.App_spec.arguments in
@@ -40,6 +103,7 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
       let ptr_args =
         List.filter (fun a -> (Store.spec task.Task.store a).Store.is_ptr) args
       in
+      let dma_in, compute, dma_out = Core.accel_phases task h.Core.h_pe acl in
       let t0 = now () in
       let scratch =
         match ptr_args with
@@ -49,15 +113,16 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
           List.iter (fun a -> Buffer.add_bytes buf (Store.get_raw task.Task.store a)) ptr_args;
           Some buf
       in
+      dma h dma_in;
       phase_end Obs.Dma_in t0;
       kernel task.Task.store args;
-      let _, compute, _ = Core.accel_phases task h.Core.h_pe acl in
       let compute = Core.jittered h.Core.h_backend.nh_prng ~jitter:params.Core.jitter compute in
       let t1 = now () in
       Unix.sleepf (float_of_int compute /. 1e9);
       phase_end Obs.Device_compute t1;
       let t2 = now () in
       Option.iter (fun buf -> ignore (Buffer.contents buf)) scratch;
+      dma h dma_out;
       phase_end Obs.Dma_out t2
   in
   {
@@ -77,6 +142,7 @@ let backend ~start ~(params : Core.params) ~(stats : Core.wm_stats) ~obs =
     b_notify_wm = (fun () -> ());
     (* Manager bookkeeping costs real time here — nothing to model. *)
     b_charge = (fun _ -> ());
+    b_dma = dma;
     b_execute = execute;
     (* Fault-detection latencies and slowdown tails are timed sleeps,
        like the modelled device compute. *)
@@ -110,8 +176,28 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
   let stats = Core.make_stats () in
   let fault = Core.compile_fault fault ~handlers in
   Obs.attach_pes obs ~pe_labels:(Array.map (fun h -> h.Core.h_pe.Pe.label) handlers);
+  let fabric_counters = Core.make_fabric_counters () in
+  let fab =
+    match config.Config.fabric with
+    | Fabric.Ideal -> None
+    | Fabric.Bus bus ->
+      Some
+        {
+          f_mutex = Mutex.create ();
+          f_cond = Condition.create ();
+          f_inflight = 0;
+          f_bus = bus;
+          f_hop_ns =
+            Array.map
+              (fun h ->
+                Fabric.hops bus.Fabric.topology ~pe_index:h.Core.h_index
+                * bus.Fabric.hop_ns)
+              handlers;
+          f_counters = fabric_counters;
+        }
+  in
   let start = Mclock.now_ns () in
-  let b = backend ~start ~params ~stats ~obs in
+  let b = backend ~start ~fab ~params ~stats ~obs in
   (* One domain per PE plays its resource manager (Fig. 4)... *)
   let domains =
     Array.map
@@ -147,7 +233,7 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
   | Ok () ->
     ( Core.report
         ~host_name:(config.Config.host.Host.name ^ " (native)")
-        ~config ~policy ~handlers ~instances ~stats,
+        ~config ~policy ~handlers ~instances ~stats ~fabric:fabric_counters,
       instances )
 
 let run ?params ?obs ?fault ~config ~workload ~policy () =

@@ -37,6 +37,16 @@ type resilience = {
 let no_faults =
   { faults_injected = 0; task_retries = 0; pe_quarantines = 0; pe_deaths = 0; tasks_lost = 0 }
 
+type fabric = {
+  dma_streams : int;
+  fabric_stalls : int;
+  fabric_stall_ns : int;
+  max_inflight_streams : int;
+}
+
+let no_fabric =
+  { dma_streams = 0; fabric_stalls = 0; fabric_stall_ns = 0; max_inflight_streams = 0 }
+
 type report = {
   host_name : string;
   config_label : string;
@@ -52,6 +62,7 @@ type report = {
   app_stats : (string * app_summary) list;
   verdict : verdict;
   resilience : resilience;
+  fabric : fabric;
 }
 
 let completed_fraction r =
@@ -100,6 +111,13 @@ let pp_summary fmt r =
       (match v with Aborted reason -> Printf.sprintf " (%s)" reason | _ -> "")
       res.faults_injected res.task_retries res.pe_quarantines res.pe_deaths
       (100.0 *. completed_fraction r));
+  (* Ideal-fabric runs keep the historical output byte-for-byte. *)
+  (if r.fabric <> no_fabric then
+     Format.fprintf fmt
+       "  fabric: %d DMA streams, %d stalls, %.3f ms stalled, peak %d in flight@."
+       r.fabric.dma_streams r.fabric.fabric_stalls
+       (ms r.fabric.fabric_stall_ns)
+       r.fabric.max_inflight_streams);
   List.iter
     (fun u ->
       Format.fprintf fmt "  %-8s busy %.3f ms (%d tasks, %.1f%% util)@." u.pe_label (ms u.busy_ns)

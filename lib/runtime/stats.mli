@@ -55,6 +55,18 @@ type resilience = {
 val no_faults : resilience
 (** All-zero counters (the fault-free run). *)
 
+(** Shared-interconnect contention counters for one run; all zero
+    under an ideal fabric (interconnect extension). *)
+type fabric = {
+  dma_streams : int;  (** DMA streams routed through the fabric *)
+  fabric_stalls : int;  (** admissions that found the FIFO full *)
+  fabric_stall_ns : int;  (** total time initiators spent queued for a slot *)
+  max_inflight_streams : int;  (** peak concurrent in-flight streams *)
+}
+
+val no_fabric : fabric
+(** All-zero counters (the ideal-fabric run). *)
+
 type report = {
   host_name : string;
   config_label : string;
@@ -73,6 +85,7 @@ type report = {
   app_stats : (string * app_summary) list;  (** sorted by app name *)
   verdict : verdict;
   resilience : resilience;
+  fabric : fabric;
 }
 
 val completed_fraction : report -> float

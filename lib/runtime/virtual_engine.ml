@@ -4,6 +4,7 @@ module Vec = Dssoc_util.Vec
 module Pe = Dssoc_soc.Pe
 module Host = Dssoc_soc.Host
 module Config = Dssoc_soc.Config
+module Fabric = Dssoc_soc.Fabric
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
 module Core = Engine_core
@@ -122,6 +123,126 @@ let signal eng cond =
     resume eng w
   | _ -> cond.pending <- true
 
+(* ------------------------------------------------------------------ *)
+(* Shared interconnect: one processor-shared link + bounded FIFO       *)
+(* ------------------------------------------------------------------ *)
+
+(* The fabric link reuses the core machinery shape (progress updates,
+   version-invalidated completion events) but serves the in-flight DMA
+   streams at a plain fair share 1/k — an arbitrated bus has no
+   round-robin context-switch discount.  Streams beyond the FIFO depth
+   queue in arrival order and their manager threads stall. *)
+type fab = {
+  fb_bus : Fabric.bus;
+  fb_hop_ns : int array;  (** per-PE index: hops x per-hop latency *)
+  fb_jobs : job Vec.t;  (** in-flight streams, arrival order *)
+  fb_queue : (int * int * int * job) Queue.t;
+      (** (enqueue time, pe_index, bytes, stream) awaiting a FIFO slot *)
+  mutable fb_last : int;
+  mutable fb_version : int;
+  fb_counters : Core.fabric_counters;
+  fb_obs : Obs.t;
+  fb_occ : Obs.Metrics.gauge option;
+  fb_stall_hist : Obs.Metrics.histogram option;
+}
+
+let fab_rate k = if k <= 1 then 1.0 else 1.0 /. float_of_int k
+
+let update_fab eng fb =
+  let elapsed = eng.now - fb.fb_last in
+  if elapsed > 0 then begin
+    let k = Vec.length fb.fb_jobs in
+    if k > 0 then begin
+      let progress = float_of_int elapsed *. fab_rate k in
+      Vec.iter (fun j -> j.remaining <- j.remaining -. progress) fb.fb_jobs
+    end;
+    fb.fb_last <- eng.now
+  end
+
+let fab_track fb =
+  let c = fb.fb_counters in
+  let k = Vec.length fb.fb_jobs in
+  if k > c.Core.fc_max_inflight then c.Core.fc_max_inflight <- k
+
+let fab_admitted eng fb ~pe_index ~bytes ~stall_ns =
+  let c = fb.fb_counters in
+  c.Core.fc_stall_ns <- c.Core.fc_stall_ns + stall_ns;
+  fab_track fb;
+  (match fb.fb_stall_hist with
+  | Some h when stall_ns > 0 -> Obs.Metrics.observe h (float_of_int stall_ns)
+  | _ -> ());
+  if Obs.enabled fb.fb_obs then
+    Obs.on_stream_admitted fb.fb_obs ~now:eng.now ~pe_index ~bytes ~stall_ns
+      ~inflight:(Vec.length fb.fb_jobs)
+
+let fab_occupancy eng fb =
+  match fb.fb_occ with
+  | None -> ()
+  | Some g -> Obs.Metrics.set g ~t_ns:eng.now (Vec.length fb.fb_jobs)
+
+let rec reschedule_fab eng fb =
+  fb.fb_version <- fb.fb_version + 1;
+  let k = Vec.length fb.fb_jobs in
+  if k > 0 then begin
+    let rate = fab_rate k in
+    let min_remaining = Vec.fold (fun acc j -> Float.min acc j.remaining) Float.infinity fb.fb_jobs in
+    let dt = int_of_float (Float.ceil (Float.max 0.0 min_remaining /. rate)) in
+    let v = fb.fb_version in
+    push_event eng (eng.now + dt) (fun () -> fab_event eng fb v)
+  end
+
+and fab_event eng fb v =
+  if v = fb.fb_version then begin
+    update_fab eng fb;
+    let finished = ref [] in
+    Vec.filter_in_place
+      (fun j ->
+        if j.remaining <= 1e-6 then begin
+          finished := j :: !finished;
+          false
+        end
+        else true)
+      fb.fb_jobs;
+    (* Freed slots admit queued streams FIFO, inline (no per-admission
+       reschedule: one link re-arm covers the whole admission batch). *)
+    while
+      (not (Queue.is_empty fb.fb_queue))
+      && Vec.length fb.fb_jobs < fb.fb_bus.Fabric.fifo_depth
+    do
+      let t0, pe_index, bytes, j = Queue.pop fb.fb_queue in
+      Vec.push fb.fb_jobs j;
+      fab_admitted eng fb ~pe_index ~bytes ~stall_ns:(eng.now - t0)
+    done;
+    fab_occupancy eng fb;
+    reschedule_fab eng fb;
+    List.iter (fun j -> resume eng j.jw) (List.rev !finished)
+  end
+
+let fab_submit eng fb ~pe_index ~bytes w ns =
+  let c = fb.fb_counters in
+  c.Core.fc_streams <- c.Core.fc_streams + 1;
+  let j = { remaining = float_of_int ns; jw = w } in
+  if Vec.length fb.fb_jobs < fb.fb_bus.Fabric.fifo_depth then begin
+    update_fab eng fb;
+    Vec.push fb.fb_jobs j;
+    fab_admitted eng fb ~pe_index ~bytes ~stall_ns:0;
+    fab_occupancy eng fb;
+    reschedule_fab eng fb
+  end
+  else begin
+    c.Core.fc_stalls <- c.Core.fc_stalls + 1;
+    if Obs.enabled fb.fb_obs then
+      Obs.on_stream_stalled fb.fb_obs ~now:eng.now ~pe_index ~bytes
+        ~queued:(Queue.length fb.fb_queue + 1);
+    Queue.add (eng.now, pe_index, bytes, j) fb.fb_queue
+  end
+
+type _ Effect.t +=
+  | Fab_work : fab * int * int * int -> unit Effect.t
+        (** [(fab, pe_index, bytes, demand_ns)]: stream [demand_ns] of
+            link service through the shared fabric, stalling while the
+            FIFO is full *)
+
 let spawn eng body =
   let open Effect.Deep in
   let handler =
@@ -136,6 +257,11 @@ let spawn eng body =
               (fun (k : (a, unit) continuation) ->
                 if ns <= 0 then continue k ()
                 else add_job eng cs { resumed = false; k } ns)
+          | Fab_work (fb, pe_index, bytes, ns) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if ns <= 0 then continue k ()
+                else fab_submit eng fb ~pe_index ~bytes { resumed = false; k } ns)
           | Await (cond, deadline) ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -186,7 +312,7 @@ let sleep_ns eng ns = if ns > 0 then await (new_cond ()) (Some (eng.now + ns))
    dispatch / stop on. *)
 type vh = { vh_core : core_state; vh_cond : cond }
 
-let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
+let backend eng ~fab ~wm_wake ~overlay_core ~overlay_perf ~est_table
     ~(policy : Scheduler.policy) ~n_pes ~(stats : Core.wm_stats) ~obs =
   let scale ns = int_of_float (Float.round (ns /. overlay_perf)) in
   (* Modelled workload-manager bookkeeping occupies the overlay core. *)
@@ -196,6 +322,27 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
     work overlay_core ns
   in
   let jit ns = Core.jittered eng.prng ~jitter:eng.jitter ns in
+  (* The b_dma hook.  Ideal (or a phase moving no data) replays the
+     legacy per-device duration on the manager's host core exactly as
+     before.  Under a bus the manager thread leaves its host core:
+     the stream is serviced by the shared link (fair-share among
+     in-flight streams, FIFO-stalled when the link is full), then the
+     fixed per-chunk device latency plus per-hop fabric latency is
+     paid as plain delay. *)
+  let dma (h : vh Core.handler) (ph : Core.dma_phase) =
+    let vb = h.Core.h_backend in
+    match fab with
+    | None -> work vb.vh_core (jit ph.Core.dp_ideal_ns)
+    | Some fb ->
+      if ph.Core.dp_bytes <= 0 then work vb.vh_core (jit ph.Core.dp_ideal_ns)
+      else begin
+        let dem = jit (Fabric.demand_ns fb.fb_bus ~bytes:ph.Core.dp_bytes) in
+        if dem > 0 then
+          Effect.perform (Fab_work (fb, h.Core.h_index, ph.Core.dp_bytes, dem));
+        sleep_ns eng
+          (ph.Core.dp_chunks * (ph.Core.dp_chunk_lat_ns + fb.fb_hop_ns.(h.Core.h_index)))
+      end
+  in
   let execute (h : vh Core.handler) (task : Task.t) =
     let kernel = Exec_model.resolve_kernel task h.Core.h_pe in
     let args = task.Task.node.App_spec.arguments in
@@ -212,9 +359,9 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
           Obs.on_phase obs ~now:eng.now ~task:task.Task.id ~pe_index:h.Core.h_index
             ~phase:ph ~start_ns:t0 ~dur_ns:(eng.now - t0)
       in
-      (* DMA to device occupies the manager's core... *)
+      (* DMA to device goes through the fabric hook... *)
       let t0 = eng.now in
-      work vb.vh_core (jit dma_in);
+      dma h dma_in;
       phase_end Obs.Dma_in t0;
       kernel task.Task.store args;
       (* ...then the thread sleeps while the device computes... *)
@@ -223,7 +370,7 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
       phase_end Obs.Device_compute t1;
       (* ...and wakes to move the results back. *)
       let t2 = eng.now in
-      work vb.vh_core (jit dma_out);
+      dma h dma_out;
       phase_end Obs.Dma_out t2
   in
   {
@@ -236,6 +383,7 @@ let backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table
     b_wm_await = (fun ~deadline -> await wm_wake deadline);
     b_notify_wm = (fun () -> signal eng wm_wake);
     b_charge = charge;
+    b_dma = dma;
     b_execute = execute;
     (* Fault-detection latencies and slowdown tails keep the PE's
        manager thread asleep (the device is wedged, not computing), so
@@ -314,8 +462,36 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
   let stats = Core.make_stats () in
   let fault = Core.compile_fault fault ~handlers in
   Obs.attach_pes obs ~pe_labels:(Array.map (fun h -> h.Core.h_pe.Pe.label) handlers);
+  let fabric_counters = Core.make_fabric_counters () in
+  let fab =
+    match config.Config.fabric with
+    | Fabric.Ideal -> None
+    | Fabric.Bus bus ->
+      (* Fabric metrics register after [attach_pes] so the engine
+         metrics keep their historical registration order. *)
+      let metrics = Obs.metrics obs in
+      Some
+        {
+          fb_bus = bus;
+          fb_hop_ns =
+            Array.map
+              (fun h ->
+                Fabric.hops bus.Fabric.topology ~pe_index:h.Core.h_index
+                * bus.Fabric.hop_ns)
+              handlers;
+          fb_jobs = Vec.create ();
+          fb_queue = Queue.create ();
+          fb_last = 0;
+          fb_version = 0;
+          fb_counters = fabric_counters;
+          fb_obs = obs;
+          fb_occ = Option.map (fun m -> Obs.Metrics.gauge m "fabric_occupancy") metrics;
+          fb_stall_hist =
+            Option.map (fun m -> Obs.Metrics.histogram m "fabric_stall_ns") metrics;
+        }
+  in
   let b =
-    backend eng ~wm_wake ~overlay_core ~overlay_perf ~est_table ~policy
+    backend eng ~fab ~wm_wake ~overlay_core ~overlay_perf ~est_table ~policy
       ~n_pes:(Array.length handlers) ~stats ~obs
   in
   Array.iter
@@ -326,7 +502,7 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
         ~prng:eng.prng ~stats);
   run_loop eng;
   ( Core.report ~host_name:config.Config.host.Host.name ~config ~policy ~handlers
-      ~instances ~stats,
+      ~instances ~stats ~fabric:fabric_counters,
     instances )
 
 let run ?params ?obs ?fault ~config ~workload ~policy () =

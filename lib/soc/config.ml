@@ -2,7 +2,7 @@ type request = { kind : Pe.kind; count : int }
 
 type placement = { pe : Pe.t; host_core : Host.core; dedicated : bool }
 
-type t = { host : Host.t; label : string; placements : placement list }
+type t = { host : Host.t; label : string; placements : placement list; fabric : Fabric.t }
 
 let label_of_requests host requests =
   let part r =
@@ -126,12 +126,14 @@ let make ~host ~requests =
       (fun (pe, core) -> { pe; host_core = core; dedicated = count_on core.Host.core_id = 1 })
       all
   in
-  Ok { host; label = label_of_requests host requests; placements }
+  Ok { host; label = label_of_requests host requests; placements; fabric = Fabric.Ideal }
 
 let make_exn ~host ~requests =
   match make ~host ~requests with
   | Ok t -> t
   | Error msg -> invalid_arg (Printf.sprintf "Config.make_exn: %s" msg)
+
+let with_fabric fabric t = { t with fabric }
 
 let zcu102_cores_ffts ~cores ~ffts =
   make_exn ~host:Host.zcu102
@@ -168,4 +170,9 @@ let pp fmt t =
     (fun p ->
       Format.fprintf fmt "  %a -> core %d%s@." Pe.pp p.pe p.host_core.Host.core_id
         (if p.dedicated then "" else " (shared)"))
-    t.placements
+    t.placements;
+  (* Printed only when non-Ideal so legacy output (and everything
+     derived from it, e.g. sweep digests) stays byte-identical. *)
+  match t.fabric with
+  | Fabric.Ideal -> ()
+  | f -> Format.fprintf fmt "  fabric: %a@." Fabric.pp f

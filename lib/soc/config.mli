@@ -26,13 +26,17 @@ type t = {
   host : Host.t;
   label : string;  (** e.g. "2Core+1FFT", "3BIG+2LTL" *)
   placements : placement list;
+  fabric : Fabric.t;  (** shared interconnect; [Ideal] = legacy per-device DMA *)
 }
 
 val make : host:Host.t -> requests:request list -> (t, string) result
 (** Fails when a CPU request exceeds the matching pool cores, or an
-    accelerator request exceeds the host's accelerator slots. *)
+    accelerator request exceeds the host's accelerator slots.  The
+    fabric is {!Fabric.Ideal}; override with {!with_fabric}. *)
 
 val make_exn : host:Host.t -> requests:request list -> t
+
+val with_fabric : Fabric.t -> t -> t
 
 val zcu102_cores_ffts : cores:int -> ffts:int -> t
 (** Convenience builder for the Fig. 9 / Fig. 10 sweep

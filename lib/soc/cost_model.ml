@@ -64,6 +64,10 @@ let cpu_cost_ns ~kernel ~n cls =
     let ref_ns = p.base_ns +. (p.lin_ns *. nf) +. (p.nlogn_ns *. nf *. log2n) +. (p.quad_ns *. nf *. nf) in
     int_of_float (Float.round (ref_ns /. cls.Pe.perf_factor))
 
+let chunk_count (a : Pe.accel_class) ~bytes =
+  if bytes <= 0 then 0
+  else (bytes + a.Pe.local_mem_bytes - 1) / a.Pe.local_mem_bytes
+
 let chunked_transfer_ns (a : Pe.accel_class) ~bytes =
   if bytes <= 0 then 0
   else begin

@@ -37,6 +37,12 @@ val accel_phases_ns :
     because the manager thread occupies its host core only during the
     DMA phases and sleeps during device compute (Section II-D). *)
 
+val chunk_count : Pe.accel_class -> bytes:int -> int
+(** Number of BRAM-sized DMA chunks a transfer decomposes into (each
+    pays the device's per-transfer latency); [0] when [bytes <= 0].
+    Used by the fabric layer to split a phase into fixed latency vs
+    bandwidth demand. *)
+
 (** {1 Workload-manager overhead constants}
 
     Charged on the overlay core per workload-manager loop iteration;

@@ -8,7 +8,13 @@ let make ~latency_ns ~bandwidth_mb_s =
 
 let transfer_ns t ~bytes =
   if bytes < 0 then invalid_arg "Dma.transfer_ns: negative size";
-  t.latency_ns + int_of_float (Float.round (float_of_int bytes /. t.bandwidth_bytes_per_us *. 1e3))
+  let ns = Float.round (float_of_int bytes /. t.bandwidth_bytes_per_us *. 1e3) in
+  (* [int_of_float] on an out-of-range float is undefined (wraps
+     negative on amd64); multi-GB transfers at low bandwidth overflow
+     the product, so guard before converting. *)
+  if Float.is_nan ns || ns >= float_of_int (max_int - t.latency_ns) then
+    invalid_arg "Dma.transfer_ns: duration overflows"
+  else t.latency_ns + int_of_float ns
 
 let round_trip_ns t ~bytes_in ~bytes_out =
   transfer_ns t ~bytes:bytes_in + transfer_ns t ~bytes:bytes_out

@@ -16,7 +16,10 @@ type t = {
 val make : latency_ns:int -> bandwidth_mb_s:float -> t
 
 val transfer_ns : t -> bytes:int -> int
-(** Modelled wall time of moving [bytes] in one direction. *)
+(** Modelled wall time of moving [bytes] in one direction.
+    @raise Invalid_argument on a negative size, or when the modelled
+    duration would overflow [max_int] (multi-GB transfers at low
+    bandwidth used to wrap negative via [int_of_float]). *)
 
 val round_trip_ns : t -> bytes_in:int -> bytes_out:int -> int
 (** Input transfer plus output transfer (the device compute between

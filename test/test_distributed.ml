@@ -78,6 +78,35 @@ let test_digest_stability () =
   Alcotest.(check bool) "digest_of_parts is injective on part boundaries" true
     (Cache.digest_of_parts [ "ab"; "c" ] <> Cache.digest_of_parts [ "a"; "bc" ])
 
+(* The v2 digest must separate rows by interconnect: an Ideal-fabric
+   point and a Bus-fabric point of the otherwise identical grid may
+   not share a cache entry, and distinct bus parameters may not share
+   one either.  (The v1 -> v2 tag bump itself keeps pre-fabric rows
+   from ever being served to either.) *)
+let test_digest_fabric_conflict () =
+  let module Fabric = Dssoc_soc.Fabric in
+  let with_fab f =
+    let g = small_grid () in
+    { g with Grid.configs = List.map (fun (l, c) -> (l, Config.with_fabric f c)) g.Grid.configs }
+  in
+  let digest g = Sweep.point_digest ~engine:`Virtual ~code_rev:"r1" g (Grid.points g).(0) in
+  let ideal = digest (small_grid ()) in
+  let bus spec =
+    match Fabric.of_spec spec with
+    | Ok f -> digest (with_fab f)
+    | Error msg -> Alcotest.fail msg
+  in
+  let contended = bus "bus:bw=200MB/s,fifo=2" in
+  Alcotest.(check bool) "ideal vs bus fabric differ" true (ideal <> contended);
+  Alcotest.(check bool) "bus bandwidth in key" true (contended <> bus "bus:bw=100MB/s,fifo=2");
+  Alcotest.(check bool) "fifo depth in key" true (contended <> bus "bus:bw=200MB/s,fifo=3");
+  Alcotest.(check bool) "hop latency in key" true
+    (contended <> bus "bus:bw=200MB/s,fifo=2,hop=50ns");
+  Alcotest.(check bool) "topology in key" true
+    (contended <> bus "bus:bw=200MB/s,fifo=2,hops=mesh2x2");
+  Alcotest.(check string) "explicit ideal spec digests like the default" ideal
+    (digest (with_fab Fabric.Ideal))
+
 let test_row_codec_roundtrip () =
   let g = small_grid ~jitter:0.03 ~replicates:1 () in
   let rows = (Sweep.run ~jobs:1 g).Sweep.rows in
@@ -411,6 +440,7 @@ let () =
       ( "digest",
         [
           Alcotest.test_case "stability and sensitivity" `Quick test_digest_stability;
+          Alcotest.test_case "fabric separates rows" `Quick test_digest_fabric_conflict;
           Alcotest.test_case "row codec round-trip" `Quick test_row_codec_roundtrip;
         ] );
       ( "cache",

@@ -52,6 +52,7 @@ let mk_report ?(makespan = 1_000_000) records pe_labels =
     app_stats = [];
     verdict = Stats.Completed;
     resilience = Stats.no_faults;
+    fabric = Stats.no_fabric;
   }
 
 let contains ~needle haystack =

@@ -21,6 +21,36 @@ let test_dma_validation () =
   Alcotest.check_raises "bad bandwidth" (Invalid_argument "Dma.make: bandwidth must be positive")
     (fun () -> ignore (Dma.make ~latency_ns:0 ~bandwidth_mb_s:0.0))
 
+(* transfer_ns must refuse to return a wrapped-negative duration: the
+   float duration of a huge transfer at low bandwidth exceeds max_int,
+   and int_of_float on such a value is undefined on amd64. *)
+let test_dma_transfer_boundaries () =
+  let slow = Dma.make ~latency_ns:1000 ~bandwidth_mb_s:0.001 in
+  Alcotest.check_raises "overflowing product"
+    (Invalid_argument "Dma.transfer_ns: duration overflows") (fun () ->
+      ignore (Dma.transfer_ns slow ~bytes:max_int));
+  Alcotest.check_raises "negative size" (Invalid_argument "Dma.transfer_ns: negative size")
+    (fun () -> ignore (Dma.transfer_ns slow ~bytes:(-1)));
+  (* Just inside the guard: the largest duration at 1 MB/s that still
+     fits must come back positive, not wrapped (the float product is
+     rounded, so only the sign and scale are exact at this magnitude). *)
+  let unit = Dma.make ~latency_ns:7 ~bandwidth_mb_s:1.0 in
+  let big = (max_int - 7) / 1000 - 1 in
+  let near_max = Dma.transfer_ns unit ~bytes:big in
+  Alcotest.(check bool) "near-max transfer stays positive" true (near_max > big);
+  Alcotest.check_raises "twice the representable duration overflows"
+    (Invalid_argument "Dma.transfer_ns: duration overflows") (fun () ->
+      ignore (Dma.transfer_ns unit ~bytes:(max_int / 500)))
+
+let prop_dma_never_negative =
+  QCheck.Test.make ~name:"transfer time is positive or raises, never wraps" ~count:300
+    QCheck.(pair (int_range 0 max_int) (float_range 0.001 4000.0))
+    (fun (bytes, bw) ->
+      let dma = Dma.make ~latency_ns:100 ~bandwidth_mb_s:bw in
+      match Dma.transfer_ns dma ~bytes with
+      | ns -> ns >= 100
+      | exception Invalid_argument _ -> true)
+
 let prop_dma_monotone =
   QCheck.Test.make ~name:"transfer time monotone in size" ~count:200
     QCheck.(pair (int_range 0 100_000) (int_range 0 100_000))
@@ -193,7 +223,9 @@ let () =
         [
           Alcotest.test_case "pricing" `Quick test_dma_pricing;
           Alcotest.test_case "validation" `Quick test_dma_validation;
+          Alcotest.test_case "transfer boundaries" `Quick test_dma_transfer_boundaries;
           qtest prop_dma_monotone;
+          qtest prop_dma_never_negative;
         ] );
       ( "cost_model",
         [
