@@ -77,8 +77,8 @@ let engine_arg =
           "Engine: virtual (default; deterministic virtual-time simulation), native (real OCaml \
            domains; same as --native), or compiled (ahead-of-time specialization of the workload \
            x platform x policy triple into a flat-array event loop — replays the virtual engine \
-           byte-for-byte but rejects fault plans, enabled observability and non-built-in \
-           policies).")
+           byte-for-byte, including traced runs' event logs and metrics, but rejects fault \
+           plans and non-built-in policies).")
 
 let resolve_engine ~engine ~native ~jitter ~reservation ~seed =
   let seed = Int64.of_int seed in
@@ -270,6 +270,22 @@ let run_cmd =
           ~doc:
             "Write the recorded engine events as JSON Lines to FILE (implies --trace-level full).")
   in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Append periodic snapshots of the metrics registry to FILE as JSON Lines, one \
+             object per elapsed $(b,--metrics-period) of emulated time (implies --trace-level \
+             summary at least).  Each line carries t_ns plus every counter, gauge and \
+             histogram summary, so the file is a time series of the run's queueing state.")
+  in
+  let metrics_period =
+    Arg.(
+      value & opt int 10
+      & info [ "metrics-period" ] ~docv:"MS"
+          ~doc:"Emulated-time period between --metrics-out snapshots, in milliseconds.")
+  in
   let app_file =
     Arg.(
       value
@@ -302,7 +318,8 @@ let run_cmd =
     | Error e -> Error (Printf.sprintf "%s: %s" path (Dssoc_json.Json.error_to_string e))
   in
   let run host cores ffts big little policy seed jitter native engine_name reservation mode
-      apps_spec rate csv trace gantt trace_level events app_file faults fault_seed fabric =
+      apps_spec rate csv trace gantt trace_level events metrics_out metrics_period app_file
+      faults fault_seed fabric =
     let ( let* ) = Result.bind in
     let result =
       let* config = config_of host cores ffts big little in
@@ -333,23 +350,40 @@ let run_cmd =
         | "full" -> Ok `Full
         | other -> Error (Printf.sprintf "unknown trace level %S (try off, summary or full)" other)
       in
-      (* Recording events to a file needs the full level. *)
+      (* Recording events to a file needs the full level; a metrics
+         time series needs at least the metrics registry. *)
       let level = if events <> None && level <> `Full then `Full else level in
+      let level = if metrics_out <> None && level = `Off then `Summary else level in
       let obs =
         match level with
         | `Off -> Obs.disabled
         | `Summary -> Obs.make ~metrics:(Obs.Metrics.create ()) ()
         | `Full -> Obs.make ~sink:(Obs.Sink.ring ()) ~metrics:(Obs.Metrics.create ()) ()
       in
+      let* flusher =
+        match (metrics_out, Obs.metrics obs) with
+        | None, _ | _, None -> Ok None
+        | Some path, Some m ->
+          if metrics_period <= 0 then Error "--metrics-period must be positive"
+          else begin
+            let f = Obs.Flush.every ~period_ms:metrics_period ~path m in
+            Obs.set_flush obs f;
+            Ok (Some f)
+          end
+      in
       let* engine = resolve_engine ~engine:engine_name ~native ~jitter ~reservation ~seed in
-      let* report = Emulator.run ~engine ~policy ~obs ?fault ~config ~workload () in
-      Ok (report, obs)
+      let run_result = Emulator.run ~engine ~policy ~obs ?fault ~config ~workload () in
+      (* The flusher holds an open channel: close (final snapshot) on
+         both success and failure. *)
+      Option.iter Obs.Flush.close flusher;
+      let* report = run_result in
+      Ok (report, obs, flusher)
     in
     match result with
     | Error msg ->
       prerr_endline msg;
       1
-    | Ok (report, obs) ->
+    | Ok (report, obs, flusher) ->
       Format.printf "%a" Stats.pp_summary report;
       (match Obs.metrics obs with
       | None -> ()
@@ -364,6 +398,11 @@ let run_cmd =
           "warning: event ring overflowed; the oldest %d events were dropped (raise the ring \
            capacity or lower the trace level)\n"
           ring_dropped;
+      (match flusher with
+      | None -> ()
+      | Some f ->
+        Printf.printf "wrote %d metric snapshots to %s\n" (Obs.Flush.snapshots f)
+          (Obs.Flush.path f));
       (match csv with
       | None -> ()
       | Some path ->
@@ -374,8 +413,7 @@ let run_cmd =
       | None -> ()
       | Some path ->
         let recorded = Obs.recorded_events obs in
-        Out_channel.with_open_bin path (fun oc ->
-            Out_channel.output_string oc (Obs.to_jsonl recorded));
+        Out_channel.with_open_bin path (fun oc -> Obs.output_jsonl oc recorded);
         (match validate_jsonl path with
         | Ok n ->
           let dropped = Obs.Sink.dropped (Obs.sink obs) in
@@ -401,8 +439,8 @@ let run_cmd =
     Term.(
       const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg $ policy_arg $ seed_arg
       $ jitter_arg $ native_arg $ engine_arg $ reservation_arg $ mode $ apps $ rate $ csv
-      $ trace $ gantt $ trace_level $ events $ app_file $ faults_arg $ fault_seed_arg
-      $ fabric_arg)
+      $ trace $ gantt $ trace_level $ events $ metrics_out $ metrics_period $ app_file
+      $ faults_arg $ fault_seed_arg $ fabric_arg)
 
 (* ---------------------- sweep ---------------------- *)
 
@@ -455,8 +493,10 @@ let sweep_cmd =
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
             "Evaluation engine: virtual (default) or compiled.  The compiled engine produces \
-             byte-identical schedule columns faster, but runs with observability disabled (the \
-             metrics-derived columns read zero) and cannot evaluate fault plans.")
+             the same table faster: its lowered observability hooks replay the virtual \
+             engine's event stream byte-for-byte, so every column — including the \
+             metrics-derived and critical-path ones — is byte-identical.  It cannot evaluate \
+             fault plans.")
   in
   let cache_arg =
     Arg.(
@@ -738,6 +778,72 @@ let sweep_cmd =
       $ shard_arg
       $ merge_arg $ adaptive_arg $ out_arg $ code_rev_arg)
 
+(* ---------------------- analyze ---------------------- *)
+
+let analyze_cmd =
+  let module Analyze = Dssoc_obs.Analyze in
+  let events_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EVENTS.jsonl"
+          ~doc:"Event log written by $(b,run --events) (either engine).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the analysis as JSON on stdout.") in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to FILE instead of stdout.")
+  in
+  (* Strict load: an unparseable line means a truncated or corrupt log,
+     and silently analysing a prefix would misreport the critical path. *)
+  let load_events_exn path =
+    In_channel.with_open_bin path (fun ic ->
+        let rec go n acc =
+          match In_channel.input_line ic with
+          | None -> Ok (List.rev acc)
+          | Some line when String.trim line = "" -> go (n + 1) acc
+          | Some line -> (
+            match Dssoc_json.Json.parse line with
+            | Error e ->
+              Error
+                (Printf.sprintf "%s: line %d: %s" path (n + 1)
+                   (Dssoc_json.Json.error_to_string e))
+            | Ok j -> (
+              match Obs.event_of_json j with
+              | Error msg -> Error (Printf.sprintf "%s: line %d: %s" path (n + 1) msg)
+              | Ok ev -> go (n + 1) (ev :: acc)))
+        in
+        go 0 [])
+  in
+  let load_events path = try load_events_exn path with Sys_error msg -> Error msg in
+  let run path json out =
+    match load_events path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok events ->
+      let t = Analyze.of_events events in
+      let text =
+        if json then Dssoc_json.Json.to_string (Analyze.to_json t) ^ "\n"
+        else Format.asprintf "%a" Analyze.pp t
+      in
+      (match out with
+      | None -> print_string text
+      | Some file ->
+        Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc text);
+        Printf.printf "wrote %s\n" file);
+      0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Post-run analytics over a recorded event log: critical path of the realized schedule \
+          (with per-step slack and a DMA/stall decomposition), per-PE-class utilization, and \
+          the wait/service/stall queueing breakdown.  Engine-agnostic — the log alone \
+          determines the report.")
+    Term.(const run $ events_file $ json $ out)
+
 (* ---------------------- convert ---------------------- *)
 
 let convert_cmd =
@@ -801,4 +907,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ apps_cmd; platforms_cmd; policies_cmd; run_cmd; sweep_cmd; convert_cmd ]))
+       (Cmd.group info
+          [ apps_cmd; platforms_cmd; policies_cmd; run_cmd; sweep_cmd; analyze_cmd; convert_cmd ]))

@@ -7,6 +7,7 @@ module Json = Dssoc_json.Json
 module Table = Dssoc_stats.Table
 module Quantile = Dssoc_stats.Quantile
 module Obs = Dssoc_obs.Obs
+module Analyze = Dssoc_obs.Analyze
 module Fault = Dssoc_fault.Fault
 module App_spec = Dssoc_apps.App_spec
 module Workload = Dssoc_apps.Workload
@@ -38,6 +39,8 @@ type row = {
   completed_fraction : float;
   task_retries : int;
   fabric_stall_ns : int;
+  crit_path_us : float;
+  crit_path_dma_frac : float;
 }
 
 type table = { grid_label : string; rows : row list }
@@ -90,11 +93,12 @@ let workload_fingerprint (wl : Workload.t) =
 let point_digest ~engine ~code_rev (grid : Grid.t) (p : Grid.point) =
   Cache.digest_of_parts
     [
-      (* v2: the fabric joined the recipe — a row priced on a
-         contended interconnect must never alias the uncontended one,
-         and v1 rows (no fabric part at all) can never collide with
-         any v2 row, Ideal included. *)
-      "dssoc-sweep-row/v2";
+      (* v3: rows grew the critical-path analytics columns, and the
+         compiled engine now populates the observability columns for
+         real — cached v2 rows (compiled zeros, no crit_path fields)
+         must never satisfy a v3 lookup.  v2 added the fabric to the
+         recipe so contended rows never alias uncontended ones. *)
+      "dssoc-sweep-row/v3";
       "engine=" ^ engine_name engine;
       "code_rev=" ^ code_rev;
       "config=" ^ p.Grid.config_label;
@@ -156,6 +160,8 @@ let row_payload r =
          ("completed_fraction", jf r.completed_fraction);
          ("task_retries", Json.int r.task_retries);
          ("fabric_stall_ns", Json.int r.fabric_stall_ns);
+         ("crit_path_us", jf r.crit_path_us);
+         ("crit_path_dma_frac", jf r.crit_path_dma_frac);
        ])
 
 let row_of_payload payload =
@@ -204,6 +210,8 @@ let row_of_payload payload =
   let* completed_fraction = mem "completed_fraction" jf_of in
   let* task_retries = mem "task_retries" Json.to_int in
   let* fabric_stall_ns = mem "fabric_stall_ns" Json.to_int in
+  let* crit_path_us = mem "crit_path_us" jf_of in
+  let* crit_path_dma_frac = mem "crit_path_dma_frac" jf_of in
   Ok
     {
       index;
@@ -229,6 +237,8 @@ let row_of_payload payload =
       completed_fraction;
       task_retries;
       fabric_stall_ns;
+      crit_path_us;
+      crit_path_dma_frac;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -261,7 +271,29 @@ let plan_memo : (string * string * string, Workload.t * Compiled_engine.plan) Ha
     Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
-let compiled_result ?counters (grid : Grid.t) (p : Grid.point) =
+(* One observation bundle per worker domain, reused (via [Obs.reset])
+   across the points it evaluates: a large point's ring is tens of MB
+   of flat arrays, and rebuilding that per point costs more than the
+   tracing it serves.  Reuse is keyed on the exact capacity so a
+   point's ring size — and therefore its drop behavior — never depends
+   on which worker picked it up or what ran before. *)
+let obs_memo : (int * Obs.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let obs_for ~capacity =
+  let memo = Domain.DLS.get obs_memo in
+  match !memo with
+  | Some (cap, obs) when cap = capacity ->
+    Obs.reset obs;
+    obs
+  | _ ->
+    let obs =
+      Obs.make ~sink:(Obs.Sink.ring ~capacity ()) ~metrics:(Obs.Metrics.create ()) ()
+    in
+    memo := Some (capacity, obs);
+    obs
+
+let compiled_result ?counters ~obs (grid : Grid.t) (p : Grid.point) =
   let bump f = match counters with Some c -> Atomic.incr (f c) | None -> () in
   let policy () =
     match Scheduler.find p.Grid.policy with Ok pol -> pol | Error msg -> invalid_arg msg
@@ -291,7 +323,7 @@ let compiled_result ?counters (grid : Grid.t) (p : Grid.point) =
           Hashtbl.replace memo key (p.Grid.workload, plan);
           plan)
     in
-    Compiled_engine.run plan
+    Compiled_engine.run ~obs plan
       {
         Engine_core.seed = p.Grid.seed;
         jitter = grid.Grid.jitter;
@@ -327,16 +359,26 @@ let aborted_row (p : Grid.point) msg =
     completed_fraction = 0.0;
     task_retries = 0;
     fabric_stall_ns = 0;
+    crit_path_us = 0.0;
+    crit_path_dma_frac = 0.0;
   }
 
 let run_point_inner ?counters ~engine_kind (grid : Grid.t) (p : Grid.point) =
-  (* Metrics-only observation (no event sink): a few counters/series
-     per point, and the virtual engine is deterministic, so result
-     tables stay byte-identical across worker counts.  The compiled
-     engine rejects enabled observability, so its points run with the
-     null bundle and report zeros in the metrics-derived columns; the
-     schedule columns are byte-identical to the virtual engine's. *)
-  let metrics = Obs.Metrics.create () in
+  (* Full observation per point: metrics feed the queue-depth /
+     latency columns, the ring sink feeds the critical-path analytics.
+     Both engines run traced — the compiled engine lowers the same
+     hooks and produces the same events, so result tables stay
+     byte-identical across engines and worker counts.  The ring is
+     sized off the task count so no point ever overwrites events
+     (a truncated log would silently skew the analytics columns). *)
+  let task_count =
+    List.fold_left
+      (fun acc (it : Workload.item) ->
+        acc + List.length it.Workload.spec.App_spec.nodes)
+      0 p.Grid.workload.Workload.items
+  in
+  let obs = obs_for ~capacity:(max 65536 (32 * task_count)) in
+  let metrics = Option.get (Obs.metrics obs) in
   let result =
     match engine_kind with
     | `Virtual ->
@@ -344,9 +386,9 @@ let run_point_inner ?counters ~engine_kind (grid : Grid.t) (p : Grid.point) =
         Emulator.virtual_seeded ~jitter:grid.Grid.jitter
           ~reservation_depth:grid.Grid.reservation_depth p.Grid.seed
       in
-      Emulator.run ~engine ~policy:p.Grid.policy ~obs:(Obs.make ~metrics ())
-        ?fault:grid.Grid.fault ~config:p.Grid.config ~workload:p.Grid.workload ()
-    | `Compiled -> compiled_result ?counters grid p
+      Emulator.run ~engine ~policy:p.Grid.policy ~obs ?fault:grid.Grid.fault
+        ~config:p.Grid.config ~workload:p.Grid.workload ()
+    | `Compiled -> compiled_result ?counters ~obs grid p
   in
   match result with
   | Error msg when grid.Grid.fault <> None ->
@@ -366,6 +408,7 @@ let run_point_inner ?counters ~engine_kind (grid : Grid.t) (p : Grid.point) =
       | Some h -> Option.value ~default:0.0 (f h)
       | None -> 0.0
     in
+    let cp = Analyze.critical_path (Analyze.of_events (Obs.recorded_events obs)) in
     {
       index = p.Grid.index;
       config = p.Grid.config_label;
@@ -390,6 +433,8 @@ let run_point_inner ?counters ~engine_kind (grid : Grid.t) (p : Grid.point) =
       completed_fraction = Stats.completed_fraction r;
       task_retries = r.Stats.resilience.Stats.task_retries;
       fabric_stall_ns = r.Stats.fabric.Stats.fabric_stall_ns;
+      crit_path_us = float_of_int cp.Analyze.cp_length_ns /. 1e3;
+      crit_path_dma_frac = cp.Analyze.cp_dma_frac;
     }
 
 let run_point ~engine_kind grid p = run_point_inner ~engine_kind grid p
@@ -605,16 +650,18 @@ let run_adaptive ?jobs ?(engine = `Virtual) ?cache ?on_row grid =
 let util_string u = String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%.6f" k v) u)
 
 let csv_header =
-  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,max_ready_depth,max_inflight,mean_wait_us,p95_service_us,util_by_kind,verdict,completed_fraction,task_retries,fabric_stall_ns"
+  "config,policy,workload,replicate,seed,makespan_ns,job_count,task_count,sched_invocations,sched_ns,wm_overhead_ns,busy_energy_mj,energy_mj,max_ready_depth,max_inflight,mean_wait_us,p95_service_us,util_by_kind,verdict,completed_fraction,task_retries,fabric_stall_ns,crit_path_us,crit_path_dma_frac"
 
 let csv_row r =
   let field = Table.csv_field in
-  Printf.sprintf "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,%s,%s,%.6f,%d,%d"
+  Printf.sprintf
+    "%s,%s,%s,%d,%Ld,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,%s,%s,%.6f,%d,%d,%.3f,%.6f"
     (field r.config) (field r.policy) (field r.workload) r.replicate r.seed r.makespan_ns
     r.job_count r.task_count r.sched_invocations r.sched_ns r.wm_overhead_ns r.busy_energy_mj
     r.energy_mj r.max_ready_depth r.max_inflight r.mean_wait_us r.p95_service_us
     (field (util_string r.util_by_kind))
     (Stats.verdict_name r.verdict) r.completed_fraction r.task_retries r.fabric_stall_ns
+    r.crit_path_us r.crit_path_dma_frac
 
 let to_csv t =
   let buf = Buffer.create 4096 in
@@ -661,6 +708,8 @@ let to_json t =
                    ("completed_fraction", Json.float r.completed_fraction);
                    ("task_retries", Json.int r.task_retries);
                    ("fabric_stall_ns", Json.int r.fabric_stall_ns);
+                   ("crit_path_us", Json.float r.crit_path_us);
+                   ("crit_path_dma_frac", Json.float r.crit_path_dma_frac);
                  ])
              t.rows) );
     ]

@@ -44,6 +44,13 @@ type row = {
   fabric_stall_ns : int;
       (** total ns DMA streams spent queued for a full interconnect
           FIFO (0 under {!Dssoc_soc.Fabric.Ideal}) *)
+  crit_path_us : float;
+      (** realized critical-path length ({!Dssoc_obs.Analyze}) — equal
+          to the makespan by construction; the interesting signal is
+          its decomposition, below *)
+  crit_path_dma_frac : float;
+      (** fraction of the critical path spent in accelerator DMA
+          phases — how interconnect-bound the binding chain is *)
 }
 
 type table = { grid_label : string; rows : row list  (** in point order *) }
@@ -61,9 +68,9 @@ val point_digest : engine:engine_kind -> code_rev:string -> Grid.t -> Grid.point
     trace, seed, jitter, reservation depth and the grid fault plan.
     Deliberately excludes the point index, so a grid grown with more
     replicates or cells re-uses every previously cached row.  The
-    format tag is [dssoc-sweep-row/v2]: v1 rows (which predate the
-    fabric part) never collide with v2 rows, including Ideal-fabric
-    ones. *)
+    format tag is [dssoc-sweep-row/v3] (rows grew the critical-path
+    columns and compiled points now carry real observability columns);
+    v1/v2 rows never collide with v3 rows. *)
 
 val row_payload : row -> string
 (** Single-line JSON encoding of a row, floats as hex-float strings —
@@ -98,12 +105,13 @@ val run_stats :
     [`Compiled] lowers each grid cell through
     {!Dssoc_runtime.Compiled_engine} once per (config x policy x
     workload) per worker domain and replays the plan for every
-    replicate (counted in [stats]) — the schedule-derived columns stay
-    byte-identical to the virtual engine's, but the compiled engine
-    rejects enabled observability, so the metrics-derived columns
-    ([max_ready_depth], [max_inflight], [mean_wait_us],
-    [p95_service_us]) read zero, and a grid fault plan aborts every
-    point.
+    replicate (counted in [stats]).  Compiled runs are traced through
+    the same lowered observability hooks, so every column — including
+    the metrics-derived [max_ready_depth], [max_inflight],
+    [mean_wait_us], [p95_service_us] and the analytics-derived
+    [crit_path_us], [crit_path_dma_frac] — is byte-identical to the
+    virtual engine's.  A grid fault plan still aborts every compiled
+    point (outside the replay contract).
 
     [cache] consults the content-addressed store before evaluating a
     point and appends every newly computed row to it (flushed before
@@ -136,12 +144,12 @@ val run_timed : ?jobs:int -> ?engine:engine_kind -> Grid.t -> table * int
     and worker counts. *)
 
 val run_point : engine_kind:engine_kind -> Grid.t -> Grid.point -> row
-(** Evaluate a single point (the unit of work {!run} shards).  A
-    [`Virtual] point runs under a metrics-only observation bundle
-    ({!Dssoc_obs.Obs}), which feeds the queueing/latency columns
-    ([max_ready_depth], [max_inflight], [mean_wait_us],
-    [p95_service_us]) without perturbing the deterministic virtual
-    run; a [`Compiled] point runs with observation disabled. *)
+(** Evaluate a single point (the unit of work {!run} shards).  Every
+    point — virtual or compiled — runs under a metrics + ring-sink
+    observation bundle ({!Dssoc_obs.Obs}): metrics feed the
+    queueing/latency columns, the recorded events feed the
+    {!Dssoc_obs.Analyze} critical-path columns.  Neither perturbs the
+    deterministic run. *)
 
 val of_cache : ?engine:engine_kind -> cache:Cache.t -> Grid.t -> (table, string) result
 (** Reassemble the grid's full table purely from cached rows — the

@@ -80,9 +80,24 @@ type body =
 type event = { t_ns : int; body : body }
 
 module Sink = struct
+  (* The ring stores events decomposed into flat preallocated arrays —
+     a packed timestamp+tag word, up to five int fields, up to four
+     string fields per slot — instead of retaining the body records
+     passed to [emit].  The records themselves are transient (they die
+     in the minor heap); a ring of live records would promote every
+     recorded body to the major heap, and that promotion traffic, not
+     the stores, dominated traced-run cost.  [events] re-materializes
+     records lazily on the cold path. *)
+
+  let istride = 5
+  let sstride = 4
+
   type recorder = {
-    buf : event array;
+    meta : int array;  (* (t_ns lsl 4) lor tag *)
+    ints : int array;  (* [istride] int fields per slot *)
+    strs : string array;  (* [sstride] string fields per slot *)
     lock : Mutex.t;
+    mutable concurrent : bool;  (* emitters on several domains? *)
     mutable head : int;  (* next write slot *)
     mutable stored : int;  (* live entries, <= capacity *)
     mutable total : int;  (* lifetime emits *)
@@ -92,14 +107,15 @@ module Sink = struct
 
   let null = Null
 
-  let dummy_event = { t_ns = 0; body = Wm_tick { completions = 0; injected = 0 } }
-
   let ring ?(capacity = 65536) () =
     if capacity <= 0 then invalid_arg "Obs.Sink.ring: capacity must be positive";
     Ring
       {
-        buf = Array.make capacity dummy_event;
+        meta = Array.make capacity 0;
+        ints = Array.make (capacity * istride) 0;
+        strs = Array.make (capacity * sstride) "";
         lock = Mutex.create ();
+        concurrent = false;
         head = 0;
         stored = 0;
         total = 0;
@@ -107,44 +123,256 @@ module Sink = struct
 
   let is_null = function Null -> true | Ring _ -> false
 
+  (* The single-producer engines (virtual, compiled) emit from one
+     thread, so the ring skips its mutex unless the native engine has
+     declared concurrent emitters via [synchronize] — handler domains
+     there emit phase/reservation events concurrently with the WM. *)
+  let synchronize = function Null -> () | Ring r -> r.concurrent <- true
+
+  let phase_tag = function Dma_in -> 0 | Device_compute -> 1 | Dma_out -> 2
+  let phase_of_tag = function 0 -> Dma_in | 1 -> Device_compute | _ -> Dma_out
+
+  (* Claims the next slot and stores the packed timestamp+tag word;
+     the caller fills the slot's field arrays.  16 constructors fit the
+     4 tag bits exactly, and emulated/monotonic timestamps stay far
+     below the remaining 58 bits. *)
+  let slot r t_ns tag =
+    let h = r.head in
+    r.meta.(h) <- (t_ns lsl 4) lor tag;
+    let cap = Array.length r.meta in
+    let h' = h + 1 in
+    r.head <- (if h' = cap then 0 else h');
+    if r.stored < cap then r.stored <- r.stored + 1;
+    r.total <- r.total + 1;
+    h
+
+  (* Each case writes exactly the fields its constructor carries;
+     [decode] only reads those same offsets per tag, so slots never
+     need clearing between occupants. *)
   let emit t t_ns body =
     match t with
     | Null -> ()
     | Ring r ->
-        (* Handler domains emit phase/reservation events concurrently with
-           the WM in the native engine, so the ring is mutex-protected. *)
-        Mutex.lock r.lock;
-        let cap = Array.length r.buf in
-        r.buf.(r.head) <- { t_ns; body };
-        r.head <- (r.head + 1) mod cap;
-        if r.stored < cap then r.stored <- r.stored + 1;
-        r.total <- r.total + 1;
-        Mutex.unlock r.lock
+        if r.concurrent then Mutex.lock r.lock;
+        (match body with
+        | Instance_injected { instance; app } ->
+            let h = slot r t_ns 0 in
+            r.ints.(h * istride) <- instance;
+            r.strs.(h * sstride) <- app
+        | Task_ready { task; instance; app; node } ->
+            let h = slot r t_ns 1 in
+            let i = h * istride in
+            r.ints.(i) <- task;
+            r.ints.(i + 1) <- instance;
+            let j = h * sstride in
+            r.strs.(j) <- app;
+            r.strs.(j + 1) <- node
+        | Task_dispatched { task; instance; app; node; pe; pe_index; wait_ns } ->
+            let h = slot r t_ns 2 in
+            let i = h * istride in
+            r.ints.(i) <- task;
+            r.ints.(i + 1) <- instance;
+            r.ints.(i + 2) <- pe_index;
+            r.ints.(i + 3) <- wait_ns;
+            let j = h * sstride in
+            r.strs.(j) <- app;
+            r.strs.(j + 1) <- node;
+            r.strs.(j + 2) <- pe
+        | Task_completed { task; instance; app; node; pe; pe_index; service_ns } ->
+            let h = slot r t_ns 3 in
+            let i = h * istride in
+            r.ints.(i) <- task;
+            r.ints.(i + 1) <- instance;
+            r.ints.(i + 2) <- pe_index;
+            r.ints.(i + 3) <- service_ns;
+            let j = h * sstride in
+            r.strs.(j) <- app;
+            r.strs.(j + 1) <- node;
+            r.strs.(j + 2) <- pe
+        | Sched_invoked { ready; examined; ops; cost_ns; assigned } ->
+            let i = slot r t_ns 4 * istride in
+            r.ints.(i) <- ready;
+            r.ints.(i + 1) <- examined;
+            r.ints.(i + 2) <- ops;
+            r.ints.(i + 3) <- cost_ns;
+            r.ints.(i + 4) <- assigned
+        | Reservation_enqueued { pe_index; depth } ->
+            let i = slot r t_ns 5 * istride in
+            r.ints.(i) <- pe_index;
+            r.ints.(i + 1) <- depth
+        | Reservation_popped { pe_index; depth } ->
+            let i = slot r t_ns 6 * istride in
+            r.ints.(i) <- pe_index;
+            r.ints.(i + 1) <- depth
+        | Phase { task; pe_index; phase; start_ns; dur_ns } ->
+            let i = slot r t_ns 7 * istride in
+            r.ints.(i) <- task;
+            r.ints.(i + 1) <- pe_index;
+            r.ints.(i + 2) <- phase_tag phase;
+            r.ints.(i + 3) <- start_ns;
+            r.ints.(i + 4) <- dur_ns
+        | Wm_tick { completions; injected } ->
+            let i = slot r t_ns 8 * istride in
+            r.ints.(i) <- completions;
+            r.ints.(i + 1) <- injected
+        | Fault_injected { task; pe; pe_index; fault; attempt } ->
+            let h = slot r t_ns 9 in
+            let i = h * istride in
+            r.ints.(i) <- task;
+            r.ints.(i + 1) <- pe_index;
+            r.ints.(i + 2) <- attempt;
+            let j = h * sstride in
+            r.strs.(j) <- pe;
+            r.strs.(j + 1) <- fault
+        | Task_failed { task; instance; app; node; pe; pe_index; fault; attempt } ->
+            let h = slot r t_ns 10 in
+            let i = h * istride in
+            r.ints.(i) <- task;
+            r.ints.(i + 1) <- instance;
+            r.ints.(i + 2) <- pe_index;
+            r.ints.(i + 3) <- attempt;
+            let j = h * sstride in
+            r.strs.(j) <- app;
+            r.strs.(j + 1) <- node;
+            r.strs.(j + 2) <- pe;
+            r.strs.(j + 3) <- fault
+        | Task_retried { task; instance; app; node; attempt; backoff_ns } ->
+            let h = slot r t_ns 11 in
+            let i = h * istride in
+            r.ints.(i) <- task;
+            r.ints.(i + 1) <- instance;
+            r.ints.(i + 2) <- attempt;
+            r.ints.(i + 3) <- backoff_ns;
+            let j = h * sstride in
+            r.strs.(j) <- app;
+            r.strs.(j + 1) <- node
+        | Pe_quarantined { pe; pe_index; until_ns; permanent } ->
+            let h = slot r t_ns 12 in
+            let i = h * istride in
+            r.ints.(i) <- pe_index;
+            r.ints.(i + 1) <- until_ns;
+            r.ints.(i + 2) <- (if permanent then 1 else 0);
+            r.strs.(h * sstride) <- pe
+        | Pe_recovered { pe; pe_index } ->
+            let h = slot r t_ns 13 in
+            r.ints.(h * istride) <- pe_index;
+            r.strs.(h * sstride) <- pe
+        | Stream_stalled { pe_index; bytes; queued } ->
+            let i = slot r t_ns 14 * istride in
+            r.ints.(i) <- pe_index;
+            r.ints.(i + 1) <- bytes;
+            r.ints.(i + 2) <- queued
+        | Stream_admitted { pe_index; bytes; stall_ns; inflight } ->
+            let i = slot r t_ns 15 * istride in
+            r.ints.(i) <- pe_index;
+            r.ints.(i + 1) <- bytes;
+            r.ints.(i + 2) <- stall_ns;
+            r.ints.(i + 3) <- inflight);
+        if r.concurrent then Mutex.unlock r.lock
 
   let length = function Null -> 0 | Ring r -> r.stored
   let total = function Null -> 0 | Ring r -> r.total
   let dropped = function Null -> 0 | Ring r -> r.total - r.stored
-  let capacity = function Null -> 0 | Ring r -> Array.length r.buf
+  let capacity = function Null -> 0 | Ring r -> Array.length r.meta
+
+  let clear = function
+    | Null -> ()
+    | Ring r ->
+        r.head <- 0;
+        r.stored <- 0;
+        r.total <- 0
+
+  let decode r h =
+    let t_ns = r.meta.(h) asr 4 in
+    let i = h * istride in
+    let a = r.ints.(i)
+    and b = r.ints.(i + 1)
+    and c = r.ints.(i + 2)
+    and d = r.ints.(i + 3)
+    and e = r.ints.(i + 4) in
+    let j = h * sstride in
+    let s1 = r.strs.(j)
+    and s2 = r.strs.(j + 1)
+    and s3 = r.strs.(j + 2)
+    and s4 = r.strs.(j + 3) in
+    let body =
+      match r.meta.(h) land 15 with
+      | 0 -> Instance_injected { instance = a; app = s1 }
+      | 1 -> Task_ready { task = a; instance = b; app = s1; node = s2 }
+      | 2 ->
+          Task_dispatched
+            { task = a; instance = b; app = s1; node = s2; pe = s3; pe_index = c; wait_ns = d }
+      | 3 ->
+          Task_completed
+            {
+              task = a;
+              instance = b;
+              app = s1;
+              node = s2;
+              pe = s3;
+              pe_index = c;
+              service_ns = d;
+            }
+      | 4 -> Sched_invoked { ready = a; examined = b; ops = c; cost_ns = d; assigned = e }
+      | 5 -> Reservation_enqueued { pe_index = a; depth = b }
+      | 6 -> Reservation_popped { pe_index = a; depth = b }
+      | 7 ->
+          Phase { task = a; pe_index = b; phase = phase_of_tag c; start_ns = d; dur_ns = e }
+      | 8 -> Wm_tick { completions = a; injected = b }
+      | 9 -> Fault_injected { task = a; pe = s1; pe_index = b; fault = s2; attempt = c }
+      | 10 ->
+          Task_failed
+            {
+              task = a;
+              instance = b;
+              app = s1;
+              node = s2;
+              pe = s3;
+              pe_index = c;
+              fault = s4;
+              attempt = d;
+            }
+      | 11 ->
+          Task_retried
+            { task = a; instance = b; app = s1; node = s2; attempt = c; backoff_ns = d }
+      | 12 ->
+          Pe_quarantined { pe = s1; pe_index = a; until_ns = b; permanent = c = 1 }
+      | 13 -> Pe_recovered { pe = s1; pe_index = a }
+      | 14 -> Stream_stalled { pe_index = a; bytes = b; queued = c }
+      | _ -> Stream_admitted { pe_index = a; bytes = b; stall_ns = c; inflight = d }
+    in
+    { t_ns; body }
 
   let events = function
     | Null -> []
     | Ring r ->
-        let cap = Array.length r.buf in
+        let cap = Array.length r.meta in
         let start = (r.head - r.stored + cap) mod cap in
-        List.init r.stored (fun i -> r.buf.((start + i) mod cap))
+        List.init r.stored (fun i -> decode r ((start + i) mod cap))
 end
 
 module Metrics = struct
   type counter = { c_name : string; mutable c_count : int }
 
+  (* Gauges and histograms store their samples in raw resizable arrays
+     rather than [Vec]s: updates run once or more per traced event, and
+     the specialized representations spare, per sample, a tuple or
+     boxed-float allocation plus a cross-module polymorphic call.  The
+     interleaved (t, v) gauge layout keeps a sample one cache line. *)
   type gauge = {
     g_name : string;
     mutable g_value : int;
     mutable g_max : int;
-    g_series : (int * int) Vec.t;
+    mutable g_last_t : int;  (* timestamp of the newest sample *)
+    mutable g_buf : int array;  (* interleaved t, v pairs *)
+    mutable g_len : int;  (* ints used in [g_buf] *)
   }
 
-  type histogram = { h_name : string; h_samples : float Vec.t }
+  type histogram = {
+    h_name : string;
+    mutable h_data : float array;
+    mutable h_len : int;
+  }
   type item = Counter of counter | Gauge of gauge | Histogram of histogram
 
   (* Registration order is preserved so [pp] and exporters are
@@ -175,7 +403,16 @@ module Metrics = struct
     | Some (Gauge g) -> g
     | Some _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " registered with another kind")
     | None ->
-        let g = { g_name = name; g_value = 0; g_max = 0; g_series = Vec.create () } in
+        let g =
+          {
+            g_name = name;
+            g_value = 0;
+            g_max = 0;
+            g_last_t = min_int;
+            g_buf = [||];
+            g_len = 0;
+          }
+        in
         Vec.push t.items (Gauge g);
         g
 
@@ -185,7 +422,7 @@ module Metrics = struct
     | Some _ ->
         invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " registered with another kind")
     | None ->
-        let h = { h_name = name; h_samples = Vec.create () } in
+        let h = { h_name = name; h_data = [||]; h_len = 0 } in
         Vec.push t.items (Histogram h);
         h
 
@@ -204,32 +441,65 @@ module Metrics = struct
   let set g ~t_ns v =
     if v > g.g_max then g.g_max <- v;
     g.g_value <- v;
-    let n = Vec.length g.g_series in
     (* Several updates at one backend timestamp collapse to the last, so
        the series is a step function keyed by strictly increasing time. *)
-    if n > 0 && fst (Vec.get g.g_series (n - 1)) = t_ns then
-      Vec.set g.g_series (n - 1) (t_ns, v)
-    else Vec.push g.g_series (t_ns, v)
+    if t_ns = g.g_last_t then g.g_buf.(g.g_len - 1) <- v
+    else begin
+      let len = g.g_len in
+      if len + 2 > Array.length g.g_buf then begin
+        let nb = Array.make (max 16 (2 * len)) 0 in
+        Array.blit g.g_buf 0 nb 0 len;
+        g.g_buf <- nb
+      end;
+      g.g_buf.(len) <- t_ns;
+      g.g_buf.(len + 1) <- v;
+      g.g_len <- len + 2;
+      g.g_last_t <- t_ns
+    end
 
   let gauge_value g = g.g_value
   let gauge_max g = g.g_max
-  let gauge_series g = Vec.to_list g.g_series
+
+  let gauge_samples g = g.g_len / 2
+
+  let gauge_series g =
+    List.init (gauge_samples g) (fun i -> (g.g_buf.(2 * i), g.g_buf.((2 * i) + 1)))
+
   let gauge_name g = g.g_name
 
-  let observe h v = Vec.push h.h_samples v
-  let histogram_count h = Vec.length h.h_samples
-  let histogram_samples h = Vec.to_array h.h_samples
+  let observe h v =
+    let len = h.h_len in
+    if len = Array.length h.h_data then begin
+      let nd = Array.make (max 16 (2 * len)) 0.0 in
+      Array.blit h.h_data 0 nd 0 len;
+      h.h_data <- nd
+    end;
+    h.h_data.(len) <- v;
+    h.h_len <- len + 1
+
+  let histogram_count h = h.h_len
+  let histogram_samples h = Array.sub h.h_data 0 h.h_len
 
   let histogram_mean h =
-    if Vec.is_empty h.h_samples then None
-    else Some (Quantile.mean (Vec.to_array h.h_samples))
+    if h.h_len = 0 then None else Some (Quantile.mean (histogram_samples h))
 
   let histogram_quantile h q =
-    if Vec.is_empty h.h_samples then None
-    else Some (Quantile.quantile (Vec.to_array h.h_samples) q)
+    if h.h_len = 0 then None else Some (Quantile.quantile (histogram_samples h) q)
 
   let gauges t =
     List.filter_map (function Gauge g -> Some g | _ -> None) (Vec.to_list t.items)
+
+  let reset t =
+    Vec.iter
+      (function
+        | Counter c -> c.c_count <- 0
+        | Gauge g ->
+            g.g_value <- 0;
+            g.g_max <- 0;
+            g.g_last_t <- min_int;
+            g.g_len <- 0
+        | Histogram h -> h.h_len <- 0)
+      t.items
 
   let pp fmt t =
     Format.fprintf fmt "== metrics ==@.";
@@ -239,17 +509,115 @@ module Metrics = struct
         | Counter c -> Format.fprintf fmt "  counter  %-26s %d@." c.c_name c.c_count
         | Gauge g ->
             Format.fprintf fmt "  gauge    %-26s last %d  max %d  (%d samples)@."
-              g.g_name g.g_value g.g_max (Vec.length g.g_series)
+              g.g_name g.g_value g.g_max (gauge_samples g)
         | Histogram h ->
-            if Vec.is_empty h.h_samples then
+            if h.h_len = 0 then
               Format.fprintf fmt "  hist     %-26s (empty)@." h.h_name
             else
-              let xs = Vec.to_array h.h_samples in
+              let xs = histogram_samples h in
               Format.fprintf fmt
                 "  hist     %-26s n %d  mean %.3f  p50 %.3f  p95 %.3f  max %.3f@."
                 h.h_name (Array.length xs) (Quantile.mean xs) (Quantile.median xs)
                 (Quantile.quantile xs 0.95) (Quantile.max xs))
       t.items
+end
+
+module Flush = struct
+  (* Periodic snapshots of a metrics registry, appended as JSONL.  The
+     cadence runs on the emulated clock (driven from the WM tick), so
+     the snapshot stream is deterministic for a given seed. *)
+  type flusher = {
+    f_metrics : Metrics.t;
+    f_period_ns : int;
+    f_path : string;
+    f_oc : out_channel;
+    f_buf : Buffer.t;  (* reused per snapshot; never grows a log string *)
+    mutable f_next_ns : int;
+    mutable f_last_ns : int;  (* latest tick time seen *)
+    mutable f_last_snap_ns : int;  (* -1 until the first snapshot *)
+    mutable f_snapshots : int;
+    mutable f_closed : bool;
+  }
+
+  let snapshot_json m ~t_ns =
+    let counters = ref [] and gauges = ref [] and hists = ref [] in
+    Vec.iter
+      (fun item ->
+        match item with
+        | Metrics.Counter c ->
+            counters := (c.Metrics.c_name, Json.int c.Metrics.c_count) :: !counters
+        | Metrics.Gauge g ->
+            gauges :=
+              ( g.Metrics.g_name,
+                Json.obj
+                  [ ("last", Json.int g.Metrics.g_value); ("max", Json.int g.Metrics.g_max) ]
+              )
+              :: !gauges
+        | Metrics.Histogram h ->
+            let xs = Metrics.histogram_samples h in
+            let fields =
+              if Array.length xs = 0 then [ ("n", Json.int 0) ]
+              else
+                [
+                  ("n", Json.int (Array.length xs));
+                  ("mean", Json.float (Quantile.mean xs));
+                  ("p50", Json.float (Quantile.median xs));
+                  ("p95", Json.float (Quantile.quantile xs 0.95));
+                  ("max", Json.float (Quantile.max xs));
+                ]
+            in
+            hists := (h.Metrics.h_name, Json.obj fields) :: !hists)
+      m.Metrics.items;
+    Json.obj
+      [
+        ("t_ns", Json.int t_ns);
+        ("counters", Json.obj (List.rev !counters));
+        ("gauges", Json.obj (List.rev !gauges));
+        ("hists", Json.obj (List.rev !hists));
+      ]
+
+  let every ~period_ms ~path metrics =
+    if period_ms <= 0 then invalid_arg "Obs.Flush.every: period_ms must be positive";
+    {
+      f_metrics = metrics;
+      f_period_ns = period_ms * 1_000_000;
+      f_path = path;
+      f_oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path;
+      f_buf = Buffer.create 1024;
+      f_next_ns = 0;
+      f_last_ns = 0;
+      f_last_snap_ns = -1;
+      f_snapshots = 0;
+      f_closed = false;
+    }
+
+  let snapshot t ~now =
+    Buffer.clear t.f_buf;
+    Buffer.add_string t.f_buf
+      (Json.to_string ~minify:true (snapshot_json t.f_metrics ~t_ns:now));
+    Buffer.add_char t.f_buf '\n';
+    Buffer.output_buffer t.f_oc t.f_buf;
+    t.f_snapshots <- t.f_snapshots + 1;
+    t.f_last_snap_ns <- now;
+    t.f_next_ns <- now + t.f_period_ns
+
+  let tick t ~now =
+    if not t.f_closed then begin
+      if now > t.f_last_ns then t.f_last_ns <- now;
+      if now >= t.f_next_ns then snapshot t ~now
+    end
+
+  let snapshots t = t.f_snapshots
+  let path t = t.f_path
+
+  let close t =
+    if not t.f_closed then begin
+      (* Final snapshot at the last tick time: short runs and the tail
+         between two periods are represented in the stream. *)
+      if t.f_last_ns > t.f_last_snap_ns then snapshot t ~now:t.f_last_ns;
+      t.f_closed <- true;
+      close_out t.f_oc
+    end
 end
 
 (* Handles the engine hot path uses so emitting a metric is a field
@@ -276,12 +644,32 @@ type t = {
   metrics : Metrics.t option;
   active : bool;
   mutable eng : engine_metrics option;
+  mutable flush : Flush.flusher option;
 }
 
-let disabled = { sink = Sink.Null; metrics = None; active = false; eng = None }
+let disabled = { sink = Sink.Null; metrics = None; active = false; eng = None; flush = None }
 
 let make ?(sink = Sink.null) ?metrics () =
-  { sink; metrics; active = (not (Sink.is_null sink)) || Option.is_some metrics; eng = None }
+  {
+    sink;
+    metrics;
+    active = (not (Sink.is_null sink)) || Option.is_some metrics;
+    eng = None;
+    flush = None;
+  }
+
+let set_flush t f = t.flush <- Some f
+
+(* A reset bundle records the next run exactly as a freshly made one:
+   instruments stay registered (so cached handles and registration
+   order survive) but hold no samples, and the ring keeps its storage.
+   This is what lets sweep workers recycle one bundle across points —
+   a fig10-class ring is tens of MB of flat arrays, and rebuilding it
+   per point would cost more than the tracing itself. *)
+let reset t =
+  Sink.clear t.sink;
+  (match t.metrics with Some m -> Metrics.reset m | None -> ());
+  t.flush <- None
 
 let enabled t = t.active
 let sink t = t.sink
@@ -383,6 +771,9 @@ let on_phase t ~now ~task ~pe_index ~phase ~start_ns ~dur_ns =
   Sink.emit t.sink now (Phase { task; pe_index; phase; start_ns; dur_ns })
 
 let on_wm_tick t ~now ~completions ~injected =
+  (* The flusher runs on every sweep — including quiet ones — so its
+     cadence follows the emulated clock, not the event density. *)
+  (match t.flush with Some f -> Flush.tick f ~now | None -> ());
   if completions > 0 || injected > 0 then
     Sink.emit t.sink now (Wm_tick { completions; injected })
 
@@ -545,11 +936,151 @@ let event_to_json { t_ns; body } =
           ("inflight", Json.int inflight);
         ]
 
+let add_jsonl buf e =
+  Buffer.add_string buf (Json.to_string ~minify:true (event_to_json e));
+  Buffer.add_char buf '\n'
+
 let to_jsonl events =
   let buf = Buffer.create 4096 in
+  List.iter (add_jsonl buf) events;
+  Buffer.contents buf
+
+let output_jsonl oc events =
+  (* One reused line buffer: the log streams to the channel without
+     ever materialising as a single string. *)
+  let buf = Buffer.create 512 in
   List.iter
     (fun e ->
-      Buffer.add_string buf (Json.to_string ~minify:true (event_to_json e));
-      Buffer.add_char buf '\n')
-    events;
-  Buffer.contents buf
+      Buffer.clear buf;
+      add_jsonl buf e;
+      Buffer.output_buffer oc buf)
+    events
+
+let event_of_json j =
+  let ( let* ) = Result.bind in
+  let int name =
+    let* v = Json.member name j in
+    Json.to_int v
+  in
+  let str name =
+    let* v = Json.member name j in
+    Json.to_str v
+  in
+  let bool name =
+    let* v = Json.member name j in
+    Json.to_bool v
+  in
+  let* t_ns = int "t" in
+  let* ev = str "ev" in
+  let* body =
+    match ev with
+    | "instance_injected" ->
+        let* instance = int "instance" in
+        let* app = str "app" in
+        Ok (Instance_injected { instance; app })
+    | "task_ready" ->
+        let* task = int "task" in
+        let* instance = int "instance" in
+        let* app = str "app" in
+        let* node = str "node" in
+        Ok (Task_ready { task; instance; app; node })
+    | "task_dispatched" ->
+        let* task = int "task" in
+        let* instance = int "instance" in
+        let* app = str "app" in
+        let* node = str "node" in
+        let* pe = str "pe" in
+        let* pe_index = int "pe_index" in
+        let* wait_ns = int "wait_ns" in
+        Ok (Task_dispatched { task; instance; app; node; pe; pe_index; wait_ns })
+    | "task_completed" ->
+        let* task = int "task" in
+        let* instance = int "instance" in
+        let* app = str "app" in
+        let* node = str "node" in
+        let* pe = str "pe" in
+        let* pe_index = int "pe_index" in
+        let* service_ns = int "service_ns" in
+        Ok (Task_completed { task; instance; app; node; pe; pe_index; service_ns })
+    | "sched" ->
+        let* ready = int "ready" in
+        let* examined = int "examined" in
+        let* ops = int "ops" in
+        let* cost_ns = int "cost_ns" in
+        let* assigned = int "assigned" in
+        Ok (Sched_invoked { ready; examined; ops; cost_ns; assigned })
+    | "resv_enq" ->
+        let* pe_index = int "pe_index" in
+        let* depth = int "depth" in
+        Ok (Reservation_enqueued { pe_index; depth })
+    | "resv_pop" ->
+        let* pe_index = int "pe_index" in
+        let* depth = int "depth" in
+        Ok (Reservation_popped { pe_index; depth })
+    | "phase" ->
+        let* p = str "phase" in
+        let* phase =
+          match p with
+          | "dma_in" -> Ok Dma_in
+          | "compute" -> Ok Device_compute
+          | "dma_out" -> Ok Dma_out
+          | other -> Error (Printf.sprintf "unknown phase %S" other)
+        in
+        let* task = int "task" in
+        let* pe_index = int "pe_index" in
+        let* start_ns = int "start_ns" in
+        let* dur_ns = int "dur_ns" in
+        Ok (Phase { task; pe_index; phase; start_ns; dur_ns })
+    | "wm_tick" ->
+        let* completions = int "completions" in
+        let* injected = int "injected" in
+        Ok (Wm_tick { completions; injected })
+    | "fault_injected" ->
+        let* task = int "task" in
+        let* pe = str "pe" in
+        let* pe_index = int "pe_index" in
+        let* fault = str "fault" in
+        let* attempt = int "attempt" in
+        Ok (Fault_injected { task; pe; pe_index; fault; attempt })
+    | "task_failed" ->
+        let* task = int "task" in
+        let* instance = int "instance" in
+        let* app = str "app" in
+        let* node = str "node" in
+        let* pe = str "pe" in
+        let* pe_index = int "pe_index" in
+        let* fault = str "fault" in
+        let* attempt = int "attempt" in
+        Ok (Task_failed { task; instance; app; node; pe; pe_index; fault; attempt })
+    | "task_retried" ->
+        let* task = int "task" in
+        let* instance = int "instance" in
+        let* app = str "app" in
+        let* node = str "node" in
+        let* attempt = int "attempt" in
+        let* backoff_ns = int "backoff_ns" in
+        Ok (Task_retried { task; instance; app; node; attempt; backoff_ns })
+    | "pe_quarantined" ->
+        let* pe = str "pe" in
+        let* pe_index = int "pe_index" in
+        let* until_ns = int "until_ns" in
+        let* permanent = bool "permanent" in
+        Ok (Pe_quarantined { pe; pe_index; until_ns; permanent })
+    | "pe_recovered" ->
+        let* pe = str "pe" in
+        let* pe_index = int "pe_index" in
+        Ok (Pe_recovered { pe; pe_index })
+    | "stream_stalled" ->
+        let* pe_index = int "pe_index" in
+        let* bytes = int "bytes" in
+        let* queued = int "queued" in
+        Ok (Stream_stalled { pe_index; bytes; queued })
+    | "stream_admitted" ->
+        let* pe_index = int "pe_index" in
+        let* bytes = int "bytes" in
+        let* stall_ns = int "stall_ns" in
+        let* inflight = int "inflight" in
+        Ok (Stream_admitted { pe_index; bytes; stall_ns; inflight })
+    | other -> Error (Printf.sprintf "unknown event kind %S" other)
+  in
+  Ok { t_ns; body }

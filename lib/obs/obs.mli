@@ -12,8 +12,10 @@
       (engines guard hook sites with {!enabled}, keeping the default
       path free of observation cost);
     - metrics are updated only from the workload-manager thread;
-    - the ring sink is mutex-protected because native resource-handler
-      domains emit phase and reservation-pop events concurrently. *)
+    - the ring sink is lock-free for the single-producer engines; the
+      native engine calls {!Sink.synchronize} before spawning handler
+      domains, which makes emits mutex-protected there (handler
+      domains emit phase and reservation-pop events concurrently). *)
 
 type phase = Dma_in | Device_compute | Dma_out
 
@@ -108,11 +110,25 @@ module Sink : sig
       @raise Invalid_argument if [capacity <= 0]. *)
 
   val is_null : t -> bool
+
+  val synchronize : t -> unit
+  (** Declare that several domains will emit into this sink
+      concurrently, making every subsequent [emit] take the ring's
+      mutex.  The native engine calls this before spawning handler
+      domains; the single-producer engines leave the ring lock-free.
+      Must be called before the concurrent emitters start.  No-op on
+      the null sink. *)
+
   val emit : t -> int -> body -> unit
   val length : t -> int
   val total : t -> int
   val dropped : t -> int
   val capacity : t -> int
+
+  val clear : t -> unit
+  (** Forget every recorded event and zero the lifetime counters,
+      keeping the preallocated ring storage.  No-op on the null
+      sink. *)
 
   val events : t -> event list
   (** Retained events, oldest first. *)
@@ -162,10 +178,45 @@ module Metrics : sig
   val gauges : t -> gauge list
   (** All gauges in registration order. *)
 
+  val reset : t -> unit
+  (** Zero every registered instrument in place — counters to 0,
+      gauges to value/max 0 with an empty series, histograms emptied —
+      while keeping the instruments registered, so handles and
+      registration order survive. *)
+
   val pp : Format.formatter -> t -> unit
   (** The [pp_metrics] text summary: counters, gauge last/max, and
       histogram n/mean/p50/p95/max (histograms via
       [Dssoc_stats.Quantile]). *)
+end
+
+(** Periodic metrics flushing: append-only JSONL snapshots of a
+    metrics registry, paced by the emulated clock.  Driven from the WM
+    tick via {!set_flush}, so the snapshot stream is deterministic for
+    a given seed.  Each line carries [t_ns] plus every counter, gauge
+    (last/max) and histogram (n/mean/p50/p95/max) in registration
+    order. *)
+module Flush : sig
+  type flusher
+
+  val every : period_ms:int -> path:string -> Metrics.t -> flusher
+  (** Open [path] for append and snapshot the registry at least every
+      [period_ms] of emulated time (the first due tick snapshots; a WM
+      sweep cadence coarser than the period yields one snapshot per
+      sweep).
+      @raise Invalid_argument if [period_ms <= 0]. *)
+
+  val tick : flusher -> now:int -> unit
+  (** Advance the flusher's clock; snapshots when a period boundary has
+      passed.  Engines call this through {!on_wm_tick}. *)
+
+  val close : flusher -> unit
+  (** Write a final snapshot at the last tick time (if anything
+      happened since the previous one) and close the channel.
+      Idempotent. *)
+
+  val snapshots : flusher -> int
+  val path : flusher -> string
 end
 
 (** {1 Per-run observation bundle} *)
@@ -183,6 +234,18 @@ val enabled : t -> bool
 
 val sink : t -> Sink.t
 val metrics : t -> Metrics.t option
+
+val set_flush : t -> Flush.flusher -> unit
+(** Attach a periodic flusher: {!on_wm_tick} will drive it on every WM
+    sweep (including quiet ones).  The caller keeps the flusher and is
+    responsible for {!Flush.close} after the run. *)
+
+val reset : t -> unit
+(** Return the bundle to its just-made state: clears the sink in
+    place, zeroes all metrics (instruments stay registered), and
+    detaches any flusher.  A reset bundle records a following run
+    exactly as a freshly made one would — sweep workers use this to
+    recycle one bundle (and its preallocated ring) across points. *)
 
 val attach_pes : t -> pe_labels:string array -> unit
 (** Called once per run by the engine before the WM starts: registers
@@ -273,5 +336,14 @@ val counter_tracks : t -> (string * (int * int) list) list
 
 val event_to_json : event -> Dssoc_json.Json.t
 
+val event_of_json : Dssoc_json.Json.t -> (event, string) result
+(** Inverse of {!event_to_json} — [event_of_json (event_to_json e) =
+    Ok e].  The analysis layer and the [analyze] CLI subcommand use it
+    to reload persisted event logs. *)
+
 val to_jsonl : event list -> string
 (** One minified JSON object per line. *)
+
+val output_jsonl : out_channel -> event list -> unit
+(** Stream the same bytes as {!to_jsonl} to a channel, reusing one
+    line buffer — the log never materialises as a single string. *)

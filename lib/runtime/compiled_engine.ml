@@ -43,6 +43,10 @@ type cls = {
   c_fb_dem_out : int array;
   c_fb_fix_in : int array;  (** fixed chunk + hop latency per (node, pe) *)
   c_fb_fix_out : int array;
+  c_fb_bytes_in : int array;
+      (** raw stream bytes per (node, pe); [0] = no fabric stream
+          (only consumed by traced runs, for stream events) *)
+  c_fb_bytes_out : int array;
   c_store0 : Store.t;  (** pristine initial store image *)
   c_final : Store.t option;
       (** post-kernel store image when every node's kernel is the same
@@ -70,6 +74,8 @@ type plan = {
   p_fb_dem_out : int array;
   p_fb_fix_in : int array;
   p_fb_fix_out : int array;
+  p_fb_bytes_in : int array;
+  p_fb_bytes_out : int array;
   p_core_of_pe : int array;  (** manager-core index; core 0 is the overlay *)
   p_core_rate1 : float array;  (** per core: quantum /. (quantum + switch) *)
   p_overlay_perf : float;
@@ -109,6 +115,8 @@ let build_class ~(config : Config.t) ~(pes : Pe.t array) (spec : App_spec.t) =
   let fb_dem_out = Array.make (max 1 (n * n_pes)) (-1) in
   let fb_fix_in = Array.make (max 1 (n * n_pes)) 0 in
   let fb_fix_out = Array.make (max 1 (n * n_pes)) 0 in
+  let fb_bytes_in = Array.make (max 1 (n * n_pes)) 0 in
+  let fb_bytes_out = Array.make (max 1 (n * n_pes)) 0 in
   Array.iteri
     (fun j (t : Task.t) ->
       Array.iteri
@@ -125,14 +133,15 @@ let build_class ~(config : Config.t) ~(pes : Pe.t array) (spec : App_spec.t) =
             | Fabric.Ideal -> ()
             | Fabric.Bus bus ->
               let hop = Fabric.hops bus.Fabric.topology ~pe_index:i * bus.Fabric.hop_ns in
-              let fill dem fix (ph : Core.dma_phase) =
+              let fill dem fix bytes (ph : Core.dma_phase) =
                 if ph.Core.dp_bytes > 0 then begin
                   dem.(row) <- Fabric.demand_ns bus ~bytes:ph.Core.dp_bytes;
-                  fix.(row) <- ph.Core.dp_chunks * (ph.Core.dp_chunk_lat_ns + hop)
+                  fix.(row) <- ph.Core.dp_chunks * (ph.Core.dp_chunk_lat_ns + hop);
+                  bytes.(row) <- ph.Core.dp_bytes
                 end
               in
-              fill fb_dem_in fb_fix_in a;
-              fill fb_dem_out fb_fix_out c)
+              fill fb_dem_in fb_fix_in fb_bytes_in a;
+              fill fb_dem_out fb_fix_out fb_bytes_out c)
           | _ -> ())
         pes)
     tmpl.Task.tasks;
@@ -227,11 +236,13 @@ let build_class ~(config : Config.t) ~(pes : Pe.t array) (spec : App_spec.t) =
     c_fb_dem_out = fb_dem_out;
     c_fb_fix_in = fb_fix_in;
     c_fb_fix_out = fb_fix_out;
+    c_fb_bytes_in = fb_bytes_in;
+    c_fb_bytes_out = fb_bytes_out;
     c_store0 = tmpl.Task.store;
     c_final = final;
   }
 
-let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
+let compile ?fault ~(config : Config.t) ~(workload : Workload.t)
     ~(policy : Scheduler.policy) () =
   (match fault with
   | Some _ ->
@@ -240,13 +251,6 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
          "fault plans are outside the compiled engine's replay contract (use the \
           virtual or native engine)")
   | None -> ());
-  (match obs with
-  | Some o when Obs.enabled o ->
-    raise
-      (Unsupported
-         "enabled observability is outside the compiled engine's replay contract \
-          (use the virtual or native engine)")
-  | _ -> ());
   (match config.Config.fabric with
   | Fabric.Bus { Fabric.topology = Fabric.Mesh _; _ } ->
     raise
@@ -325,6 +329,8 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
   let fb_dem_out = Array.make (max 1 (n_tasks * n_pes)) (-1) in
   let fb_fix_in = Array.make (max 1 (n_tasks * n_pes)) 0 in
   let fb_fix_out = Array.make (max 1 (n_tasks * n_pes)) 0 in
+  let fb_bytes_in = Array.make (max 1 (n_tasks * n_pes)) 0 in
+  let fb_bytes_out = Array.make (max 1 (n_tasks * n_pes)) 0 in
   Array.iteri
     (fun idx ci ->
       let cls = classes.(ci) in
@@ -338,7 +344,9 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
         Array.blit cls.c_fb_dem_in 0 fb_dem_in dst len;
         Array.blit cls.c_fb_dem_out 0 fb_dem_out dst len;
         Array.blit cls.c_fb_fix_in 0 fb_fix_in dst len;
-        Array.blit cls.c_fb_fix_out 0 fb_fix_out dst len
+        Array.blit cls.c_fb_fix_out 0 fb_fix_out dst len;
+        Array.blit cls.c_fb_bytes_in 0 fb_bytes_in dst len;
+        Array.blit cls.c_fb_bytes_out 0 fb_bytes_out dst len
       end)
     item_class;
   {
@@ -362,6 +370,8 @@ let compile ?fault ?obs ~(config : Config.t) ~(workload : Workload.t)
     p_fb_dem_out = fb_dem_out;
     p_fb_fix_in = fb_fix_in;
     p_fb_fix_out = fb_fix_out;
+    p_fb_bytes_in = fb_bytes_in;
+    p_fb_bytes_out = fb_bytes_out;
     p_core_of_pe = core_of_pe;
     p_core_rate1 = core_rate1;
     p_overlay_perf = config.Config.host.Host.overlay.Host.core_class.Pe.perf_factor;
@@ -427,7 +437,7 @@ let ev_core = 3
 let ev_deadline = 4
 let ev_fab = 5
 
-let run_detailed plan (params : Core.params) =
+let run_detailed ?(obs = Obs.disabled) plan (params : Core.params) =
   let instances = instantiate_fast plan in
   let config = plan.p_config in
   let n_pes = plan.p_n_pes in
@@ -444,6 +454,14 @@ let run_detailed plan (params : Core.params) =
       plan.p_pes
   in
   let stats = Core.make_stats () in
+  (* Observability lowering: [traced] is constant for the whole run, so
+     the untraced loop pays one predictable branch per hook site.
+     Metric registration order mirrors the reference engine exactly —
+     engine handles, then (bus only) the fabric instruments, then the
+     event-heap depth gauge — so [Metrics.pp] output is comparable
+     byte-for-byte across engines. *)
+  let traced = Obs.enabled obs in
+  Obs.attach_pes obs ~pe_labels:(Array.map (fun pe -> pe.Pe.label) plan.p_pes);
   let inst_memo =
     Array.map (fun ci -> Option.is_some plan.p_classes.(ci).c_final) plan.p_item_class
   in
@@ -615,6 +633,22 @@ let run_detailed plan (params : Core.params) =
     | Fabric.Bus b -> b.Fabric.fifo_depth
     | Fabric.Ideal -> max_int
   in
+  let metrics = Obs.metrics obs in
+  (* The reference engine's fabric record registers the stall histogram
+     before the occupancy gauge; [Metrics.pp] order is part of the
+     cross-engine parity contract. *)
+  let fb_stall_hist =
+    match plan.p_fabric with
+    | Fabric.Bus _ ->
+      Option.map (fun m -> Obs.Metrics.histogram m "fabric_stall_ns") metrics
+    | Fabric.Ideal -> None
+  in
+  let fb_occ =
+    match plan.p_fabric with
+    | Fabric.Bus _ -> Option.map (fun m -> Obs.Metrics.gauge m "fabric_occupancy") metrics
+    | Fabric.Ideal -> None
+  in
+  let heap_gauge = Option.map (fun m -> Obs.Metrics.gauge m "event_heap_depth") metrics in
   let fb_last = ref 0 in
   let fb_version = ref 0 in
   let fb_njobs = ref 0 in
@@ -624,6 +658,7 @@ let run_detailed plan (params : Core.params) =
   let fb_queue : int Queue.t = Queue.create () in
   let fb_qt0 = Array.make (max 1 n_pes) 0 in
   let fb_qdem = Array.make (max 1 n_pes) 0 in
+  let fb_qbytes = Array.make (max 1 n_pes) 0 in
   let fab_rate k = if k <= 1 then 1.0 else 1.0 /. float_of_int k in
   let update_fab () =
     let elapsed = !now - !fb_last in
@@ -638,14 +673,25 @@ let run_detailed plan (params : Core.params) =
       fb_last := !now
     end
   in
-  let fab_admit th dem ~stall_ns =
+  let fab_admit th dem bytes ~stall_ns =
     let k = !fb_njobs in
     fb_rem.(k) <- float_of_int dem;
     fb_thr.(k) <- th;
     fb_njobs := k + 1;
     let c = fabric_counters in
     c.Core.fc_stall_ns <- c.Core.fc_stall_ns + stall_ns;
-    if !fb_njobs > c.Core.fc_max_inflight then c.Core.fc_max_inflight <- !fb_njobs
+    if !fb_njobs > c.Core.fc_max_inflight then c.Core.fc_max_inflight <- !fb_njobs;
+    (match fb_stall_hist with
+    | Some h when stall_ns > 0 -> Obs.Metrics.observe h (float_of_int stall_ns)
+    | _ -> ());
+    if traced then
+      Obs.on_stream_admitted obs ~now:!now ~pe_index:th ~bytes ~stall_ns
+        ~inflight:!fb_njobs
+  in
+  let set_fb_occ () =
+    match fb_occ with
+    | Some g -> Obs.Metrics.set g ~t_ns:!now !fb_njobs
+    | None -> ()
   in
   let reschedule_fab () =
     fb_version := !fb_version + 1;
@@ -679,26 +725,32 @@ let run_detailed plan (params : Core.params) =
       fb_njobs := !w;
       while (not (Queue.is_empty fb_queue)) && !fb_njobs < fab_fifo do
         let th = Queue.pop fb_queue in
-        fab_admit th fb_qdem.(th) ~stall_ns:(!now - fb_qt0.(th))
+        fab_admit th fb_qdem.(th) fb_qbytes.(th) ~stall_ns:(!now - fb_qt0.(th))
       done;
+      set_fb_occ ();
       reschedule_fab ();
       for j = 0 to !nf - 1 do
         resume_thread fb_fin.(j)
       done
     end
   in
-  let fab_submit th dem =
+  let fab_submit th dem bytes =
     let c = fabric_counters in
     c.Core.fc_streams <- c.Core.fc_streams + 1;
     if !fb_njobs < fab_fifo then begin
       update_fab ();
-      fab_admit th dem ~stall_ns:0;
+      fab_admit th dem bytes ~stall_ns:0;
+      set_fb_occ ();
       reschedule_fab ()
     end
     else begin
       c.Core.fc_stalls <- c.Core.fc_stalls + 1;
+      if traced then
+        Obs.on_stream_stalled obs ~now:!now ~pe_index:th ~bytes
+          ~queued:(Queue.length fb_queue + 1);
       fb_qt0.(th) <- !now;
       fb_qdem.(th) <- dem;
+      fb_qbytes.(th) <- bytes;
       Queue.add th fb_queue
     end
   in
@@ -786,6 +838,10 @@ let run_detailed plan (params : Core.params) =
   let ds_ret = ref 0 in
   let ds_cost = ref 0 in
   let ds_pos = ref 0 in
+  let ds_ready = ref 0 in
+  let ds_nready = ref 0 in
+  let tick_completions = ref 0 in
+  let tick_injected = ref 0 in
   let idle = Array.make (max 1 n_pes) false in
   let avail = Array.make (max 1 n_pes) 0 in
   let cand = Array.make (max 1 n_pes) 0 in
@@ -796,12 +852,18 @@ let run_detailed plan (params : Core.params) =
     t.Task.status <- Task.Ready;
     t.Task.ready_at <- !now;
     rl_append t.Task.id;
-    incr ready_live
+    incr ready_live;
+    if traced then
+      Obs.on_task_ready obs ~now:t.Task.ready_at ~task:t.Task.id
+        ~instance:t.Task.instance_id ~app:t.Task.app_name
+        ~node:t.Task.node.App_spec.node_name ~ready_depth:!ready_live
   in
   (* ---- resource-manager threads (engine_core.resource_manager) ---- *)
   let rm_pc = Array.make (max 1 n_pes) 0 in
   let rm_task : Task.t option array = Array.make (max 1 n_pes) None in
   let rm_started = Array.make (max 1 n_pes) 0 in
+  (* Start of the current accelerator phase, for traced Phase spans. *)
+  let rm_ph0 = Array.make (max 1 n_pes) 0 in
   let rm_cur i =
     match rm_task.(i) with Some t -> t | None -> assert false
   in
@@ -821,6 +883,9 @@ let run_detailed plan (params : Core.params) =
     match Queue.take_opt h.Core.h_pending with
     | None -> rm_await i
     | Some task ->
+      if traced && h.Core.h_capacity > 1 then
+        Obs.on_reservation_popped obs ~now:!now ~pe_index:i
+          ~depth:(Queue.length h.Core.h_pending);
       rm_task.(i) <- Some task;
       rm_started.(i) <- !now;
       let row = (task.Task.id * stride) + i in
@@ -832,6 +897,7 @@ let run_detailed plan (params : Core.params) =
         rm_work i (jit est.(row)) 2
       end
       else begin
+        if traced then rm_ph0.(i) <- !now;
         let dem = plan.p_fb_dem_in.(row) in
         if dem < 0 then rm_work i (jit plan.p_ph_in.(row)) 3
         else begin
@@ -839,7 +905,7 @@ let run_detailed plan (params : Core.params) =
           if d > 0 then begin
             rm_pc.(i) <- 6;
             suspend i;
-            fab_submit i d
+            fab_submit i d plan.p_fb_bytes_in.(row)
           end
           else rm_fab_fix i plan.p_fb_fix_in.(row) 3
         end
@@ -853,10 +919,14 @@ let run_detailed plan (params : Core.params) =
     end
   and rm_acc_after_in i =
     let task = rm_cur i in
+    if traced then
+      Obs.on_phase obs ~now:!now ~task:task.Task.id ~pe_index:i ~phase:Obs.Dma_in
+        ~start_ns:rm_ph0.(i) ~dur_ns:(!now - rm_ph0.(i));
     if not inst_memo.(task.Task.instance_id) then begin
       let k = Exec_model.resolve_kernel task handlers.(i).Core.h_pe in
       k task.Task.store task.Task.node.App_spec.arguments
     end;
+    if traced then rm_ph0.(i) <- !now;
     let ns = jit plan.p_ph_comp.((task.Task.id * stride) + i) in
     if ns <= 0 then rm_acc_after_comp i
     else begin
@@ -866,6 +936,11 @@ let run_detailed plan (params : Core.params) =
     end
   and rm_acc_after_comp i =
     let task = rm_cur i in
+    if traced then begin
+      Obs.on_phase obs ~now:!now ~task:task.Task.id ~pe_index:i
+        ~phase:Obs.Device_compute ~start_ns:rm_ph0.(i) ~dur_ns:(!now - rm_ph0.(i));
+      rm_ph0.(i) <- !now
+    end;
     let row = (task.Task.id * stride) + i in
     let dem = plan.p_fb_dem_out.(row) in
     if dem < 0 then rm_work i (jit plan.p_ph_out.(row)) 5
@@ -874,7 +949,7 @@ let run_detailed plan (params : Core.params) =
       if d > 0 then begin
         rm_pc.(i) <- 7;
         suspend i;
-        fab_submit i d
+        fab_submit i d plan.p_fb_bytes_out.(row)
       end
       else rm_fab_fix i plan.p_fb_fix_out.(row) 5
     end
@@ -900,7 +975,14 @@ let run_detailed plan (params : Core.params) =
   and rm_goto i pc =
     match pc with
     | 1 -> rm_wake i
-    | 2 | 5 -> rm_finish i
+    | 2 -> rm_finish i
+    | 5 ->
+      if traced then begin
+        let task = rm_cur i in
+        Obs.on_phase obs ~now:!now ~task:task.Task.id ~pe_index:i
+          ~phase:Obs.Dma_out ~start_ns:rm_ph0.(i) ~dur_ns:(!now - rm_ph0.(i))
+      end;
+      rm_finish i
     | 3 -> rm_acc_after_in i
     | 4 -> rm_acc_after_comp i
     | 6 ->
@@ -912,7 +994,7 @@ let run_detailed plan (params : Core.params) =
     | _ -> assert false
   in
   (* ---- workload-manager thread (engine_core.workload_manager,
-     fault and observability off) ---- *)
+     fault off; observability lowered at the same protocol points) ---- *)
   let rec wm_charge ns pc =
     let c = scale ns in
     stats.Core.wm_ns <- stats.Core.wm_ns + c;
@@ -922,7 +1004,12 @@ let run_detailed plan (params : Core.params) =
       suspend wm_th;
       add_job 0 wm_th c
     end
-  and wm_tick_top () = wm_charge (Cost_model.monitor_per_pe_ns *. float_of_int n_pes) 10
+  and wm_tick_top () =
+    if traced then begin
+      tick_completions := 0;
+      tick_injected := 0
+    end;
+    wm_charge (Cost_model.monitor_per_pe_ns *. float_of_int n_pes) 10
   and wm_sweep_start () =
     sw_hi := 0;
     sw_batch := false;
@@ -940,6 +1027,15 @@ let run_detailed plan (params : Core.params) =
       | Some task ->
         h.Core.h_inflight <- h.Core.h_inflight - 1;
         decr inflight;
+        if traced then begin
+          incr tick_completions;
+          Obs.on_task_completed obs ~now:task.Task.completed_at ~task:task.Task.id
+            ~instance:task.Task.instance_id ~app:task.Task.app_name
+            ~node:task.Task.node.App_spec.node_name ~pe:task.Task.pe_label
+            ~pe_index:h.Core.h_index
+            ~service_ns:(task.Task.completed_at - task.Task.dispatched_at)
+            ~pe_depth:h.Core.h_inflight ~inflight:!inflight
+        end;
         task.Task.status <- Task.Done;
         stats.Core.records <-
           {
@@ -989,6 +1085,10 @@ let run_detailed plan (params : Core.params) =
     else begin
       let ready_len = !ready_live in
       let nready = if ready_len < sched_window then ready_len else sched_window in
+      if traced then begin
+        ds_ready := ready_len;
+        ds_nready := nready
+      end;
       as_n := 0;
       run_policy nready !n_idle;
       let cost =
@@ -1147,6 +1247,9 @@ let run_detailed plan (params : Core.params) =
   and wm_after_sched_work () =
     stats.Core.sched_ns <- stats.Core.sched_ns + !ds_cost;
     stats.Core.sched_invocations <- stats.Core.sched_invocations + 1;
+    if traced then
+      Obs.on_sched obs ~now:!now ~ready:!ds_ready ~examined:!ds_nready
+        ~ops:(!ds_nready * n_pes) ~cost_ns:!ds_cost ~assigned:!as_n;
     ds_pos := 0;
     wm_dispatch_next ()
   and wm_dispatch_next () =
@@ -1167,6 +1270,16 @@ let run_detailed plan (params : Core.params) =
     incr inflight;
     h.Core.h_busy_until <-
       max !now h.Core.h_busy_until + est.((task.Task.id * stride) + pi);
+    if traced then begin
+      Obs.on_task_dispatched obs ~now:!now ~task:task.Task.id
+        ~instance:task.Task.instance_id ~app:task.Task.app_name
+        ~node:task.Task.node.App_spec.node_name ~pe:h.Core.h_pe.Pe.label
+        ~pe_index:pi ~wait_ns:(!now - task.Task.ready_at) ~ready_depth:!ready_live
+        ~pe_depth:h.Core.h_inflight ~inflight:!inflight;
+      if h.Core.h_capacity > 1 then
+        Obs.on_reservation_enqueued obs ~now:!now ~pe_index:pi
+          ~depth:(Queue.length h.Core.h_pending)
+    end;
     signal_rm pi;
     incr ds_pos;
     wm_dispatch_next ()
@@ -1183,17 +1296,27 @@ let run_detailed plan (params : Core.params) =
     do
       let inst = instances.(!pending_idx) in
       incr pending_idx;
+      if traced then
+        Obs.on_instance_injected obs ~now:now_v ~instance:inst.Task.inst_id
+          ~app:inst.Task.app.App_spec.app_name;
       List.iter
         (fun t ->
           make_ready t;
           incr injected)
         inst.Task.entry
     done;
+    if traced then tick_injected := !injected;
     if !injected > 0 then
       wm_charge (Cost_model.ready_update_per_task_ns *. float_of_int !injected) 14
     else wm_tick_tail ()
   and wm_after_inject () = do_schedule 2
   and wm_tick_tail () =
+    (match heap_gauge with
+    | Some g -> Obs.Metrics.set g ~t_ns:!now !hn
+    | None -> ());
+    if traced then
+      Obs.on_wm_tick obs ~now:!now ~completions:!tick_completions
+        ~injected:!tick_injected;
     if !unfinished = 0 && !pending_idx >= n_items then
       Array.iter
         (fun (h : unit Core.handler) ->
@@ -1266,4 +1389,4 @@ let run_detailed plan (params : Core.params) =
       ~handlers ~instances ~stats ~fabric:fabric_counters,
     instances )
 
-let run plan params = fst (run_detailed plan params)
+let run ?obs plan params = fst (run_detailed ?obs plan params)

@@ -17,11 +17,16 @@
     reservation depth, all five built-in policies) a compiled run
     produces the same event sequence as the virtual engine — the same
     [Stats.report] (byte-identical [records_csv]) and the same final
-    instance stores.  Anything v1 cannot replay bit-for-bit (fault
-    plans, enabled observability, custom policies) is rejected at
+    instance stores.  Observability is lowered into the loop rather
+    than interpreted: a traced run ([?obs] on {!val:run}) emits the
+    same events with the same timestamps in the same order as the
+    virtual engine (byte-identical {!Dssoc_obs.Obs.to_jsonl}) and
+    populates the same metrics registry, while an untraced run pays
+    only one predictable branch per hook site.  Anything v1 cannot
+    replay bit-for-bit (fault plans, custom policies) is rejected at
     compile time with {!exception:Unsupported} rather than allowed to
     diverge silently.  The differential matrix in
-    [test/test_diff_engines.ml] pins the contract.
+    [test/test_diff_engines.ml] pins both contracts.
 
     Because every instance of an application archetype starts from the
     same store bytes and its kernels are deterministic dataflow
@@ -36,12 +41,11 @@ type plan
 
 exception Unsupported of string
 (** Raised by {!val:compile} for inputs outside the compiled engine's
-    replay contract: a fault plan, enabled observability, or a policy
-    other than the five built-ins. *)
+    replay contract: a fault plan, or a policy other than the five
+    built-ins. *)
 
 val compile :
   ?fault:Dssoc_fault.Fault.plan ->
-  ?obs:Dssoc_obs.Obs.t ->
   config:Dssoc_soc.Config.t ->
   workload:Dssoc_apps.Workload.t ->
   policy:Scheduler.policy ->
@@ -50,17 +54,24 @@ val compile :
 (** Lower the triple into a plan.  The plan is immutable apart from
     internal scratch buffers: it can be kept, reused and interleaved
     with other plans — every {!val:run} starts from fresh instances.
-    @raise Unsupported for a fault plan, enabled [obs], or a policy
-    that is not one of the five built-ins (the compiler specializes the
-    policy loop and cannot inline arbitrary closures).
+    Observability is a per-run concern ([?obs] on {!val:run} /
+    {!val:run_detailed}), not a compile-time one.
+    @raise Unsupported for a fault plan or a policy that is not one of
+    the five built-ins (the compiler specializes the policy loop and
+    cannot inline arbitrary closures).
     @raise Invalid_argument when some task supports no PE of the
     configuration (same validation as the reference engines). *)
 
-val run : plan -> Engine_core.params -> Stats.report
+val run : ?obs:Dssoc_obs.Obs.t -> plan -> Engine_core.params -> Stats.report
 (** Execute one emulation of the plan: instantiate fresh instances,
     replay the workload-manager protocol, assemble the report exactly
-    as the virtual engine would. *)
+    as the virtual engine would.  With [?obs], also emit the virtual
+    engine's exact event log and metrics. *)
 
-val run_detailed : plan -> Engine_core.params -> Stats.report * Task.instance array
+val run_detailed :
+  ?obs:Dssoc_obs.Obs.t ->
+  plan ->
+  Engine_core.params ->
+  Stats.report * Task.instance array
 (** Like {!val:run}, also returning the instances (with final store
     contents) for functional inspection. *)

@@ -27,8 +27,8 @@ let run ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS") ?obs ?
         | Native params ->
           Native_engine.run ~params ?obs ?fault ~config ~workload ~policy ()
         | Compiled params ->
-          Compiled_engine.run
-            (Compiled_engine.compile ?obs ?fault ~config ~workload ~policy ())
+          Compiled_engine.run ?obs
+            (Compiled_engine.compile ?fault ~config ~workload ~policy ())
             params)
     with
     | Invalid_argument msg -> Error msg
@@ -52,8 +52,8 @@ let run_detailed ?(engine = Virtual Engine_core.default_params) ?(policy = "FRFS
         | Native params ->
           Native_engine.run_detailed ~params ?obs ?fault ~config ~workload ~policy ()
         | Compiled params ->
-          Compiled_engine.run_detailed
-            (Compiled_engine.compile ?obs ?fault ~config ~workload ~policy ())
+          Compiled_engine.run_detailed ?obs
+            (Compiled_engine.compile ?fault ~config ~workload ~policy ())
             params)
     with
     | Invalid_argument msg -> Error msg

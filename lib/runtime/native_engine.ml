@@ -176,6 +176,10 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
   let stats = Core.make_stats () in
   let fault = Core.compile_fault fault ~handlers in
   Obs.attach_pes obs ~pe_labels:(Array.map (fun h -> h.Core.h_pe.Pe.label) handlers);
+  (* Handler domains emit into the sink concurrently with the WM, so
+     switch the ring from its single-producer lock-free mode before any
+     domain spawns. *)
+  Obs.Sink.synchronize (Obs.sink obs);
   let fabric_counters = Core.make_fabric_counters () in
   let fab =
     match config.Config.fabric with

@@ -146,6 +146,7 @@ let records_csv r =
 let chrome_trace ?obs r =
   let module Json = Dssoc_json.Json in
   let module Obs = Dssoc_obs.Obs in
+  let module Analyze = Dssoc_obs.Analyze in
   let pe_index =
     List.mapi (fun i u -> (u.pe_label, i)) r.pe_usage
   in
@@ -222,7 +223,52 @@ let chrome_trace ?obs r =
               series)
           (Obs.counter_tracks o)
       in
-      phases @ counters
+      (* Critical-path highlighting: the binding chain of the realized
+         schedule on its own thread row, one span per step, so the
+         bottleneck sequence reads straight across the trace. *)
+      let crit =
+        let cp = Analyze.critical_path (Analyze.of_events (Obs.recorded_events o)) in
+        match cp.Analyze.cp_steps with
+        | [] -> []
+        | steps ->
+          let tid = List.length pe_index in
+          Json.obj
+            [
+              ("name", Json.str "thread_name");
+              ("ph", Json.str "M");
+              ("pid", Json.int 1);
+              ("tid", Json.int tid);
+              ("args", Json.obj [ ("name", Json.str "critical path") ]);
+            ]
+          :: List.map
+               (fun (s : Analyze.step) ->
+                 let x = s.Analyze.s_task in
+                 Json.obj
+                   [
+                     ( "name",
+                       Json.str
+                         (Printf.sprintf "%s/%d:%s" x.Analyze.x_app x.Analyze.x_instance
+                            x.Analyze.x_node) );
+                     ("cat", Json.str "crit");
+                     ("ph", Json.str "X");
+                     ("ts", Json.float (float_of_int x.Analyze.x_dispatched_ns /. 1e3));
+                     ( "dur",
+                       Json.float
+                         (float_of_int (x.Analyze.x_completed_ns - x.Analyze.x_dispatched_ns)
+                         /. 1e3) );
+                     ("pid", Json.int 1);
+                     ("tid", Json.int tid);
+                     ( "args",
+                       Json.obj
+                         [
+                           ("pe", Json.str x.Analyze.x_pe);
+                           ("edge", Json.str (Analyze.edge_name s.Analyze.s_edge));
+                           ("slack_us", Json.float (float_of_int s.Analyze.s_slack_ns /. 1e3));
+                         ] );
+                   ])
+               steps
+      in
+      phases @ counters @ crit
   in
   Json.obj
     [

@@ -492,11 +492,11 @@ let qtest = QCheck_alcotest.to_alcotest
 
 let policy_of name = Result.get_ok (Scheduler.find name)
 
-(* On divergence, show the first differing CSV record rather than two
+(* On divergence, show the first differing line rather than two
    multi-thousand-line blobs. *)
-let check_csv_identical label vcsv ccsv =
-  if not (String.equal vcsv ccsv) then begin
-    let vl = String.split_on_char '\n' vcsv and cl = String.split_on_char '\n' ccsv in
+let check_lines_identical label what vtext ctext =
+  if not (String.equal vtext ctext) then begin
+    let vl = String.split_on_char '\n' vtext and cl = String.split_on_char '\n' ctext in
     let rec first i = function
       | a :: ta, b :: tb ->
         if String.equal a b then first (i + 1) (ta, tb)
@@ -505,8 +505,10 @@ let check_csv_identical label vcsv ccsv =
       | [], b :: _ -> Printf.sprintf "line %d only in compiled: %S" i b
       | [], [] -> "equal length, no differing line (?)"
     in
-    Alcotest.failf "%s: records_csv diverges at %s" label (first 0 (vl, cl))
+    Alcotest.failf "%s: %s diverges at %s" label what (first 0 (vl, cl))
   end
+
+let check_csv_identical label vcsv ccsv = check_lines_identical label "records_csv" vcsv ccsv
 
 let check_stores_identical label (vi : Task.instance array) (ci : Task.instance array) =
   Alcotest.(check int) (label ^ ": same instance count") (Array.length vi) (Array.length ci);
@@ -627,6 +629,69 @@ let test_compiled_rejects_fault_plans () =
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "Emulator surfaced no error for fault + compiled"
+
+(* ---------------- compiled engine: observability lowering ---------------- *)
+
+module Analyze = Dssoc_obs.Analyze
+
+(* Ring large enough that no scenario in the matrix drops events — a
+   truncated stream would make the byte comparison vacuous. *)
+let traced_obs () =
+  Obs.make ~sink:(Obs.Sink.ring ~capacity:(1 lsl 18) ()) ~metrics:(Obs.Metrics.create ()) ()
+
+let metrics_text obs =
+  match Obs.metrics obs with
+  | Some m -> Format.asprintf "%a" Obs.Metrics.pp m
+  | None -> ""
+
+(* The lowered hooks must make a traced compiled run indistinguishable
+   from a traced virtual run: same event stream (byte-for-byte as
+   JSONL), same metrics registry contents and registration order, on
+   top of the untraced exact-replay contract. *)
+let test_compiled_obs_parity () =
+  List.iter
+    (fun (scen, config_fn, wl_fn) ->
+      let config = config_fn () in
+      List.iter
+        (fun policy ->
+          let plan =
+            Compiled.compile ~config ~workload:(wl_fn ()) ~policy:(policy_of policy) ()
+          in
+          List.iter
+            (fun depth ->
+              List.iter
+                (fun jitter ->
+                  let label =
+                    Printf.sprintf "%s/%s/depth%d/jitter%.2f" scen policy depth jitter
+                  in
+                  let params =
+                    { Engine_core.seed = 7L; jitter; reservation_depth = depth }
+                  in
+                  let vobs = traced_obs () and cobs = traced_obs () in
+                  let vr =
+                    Result.get_ok
+                      (Emulator.run
+                         ~engine:(Emulator.Virtual params)
+                         ~policy ~obs:vobs ~config ~workload:(wl_fn ()) ())
+                  in
+                  let cr = Compiled.run ~obs:cobs plan params in
+                  Alcotest.(check int) (label ^ ": no dropped events") 0
+                    (Obs.Sink.dropped (Obs.sink vobs));
+                  check_lines_identical label "event JSONL"
+                    (Obs.to_jsonl (Obs.recorded_events vobs))
+                    (Obs.to_jsonl (Obs.recorded_events cobs));
+                  check_lines_identical label "metrics" (metrics_text vobs) (metrics_text cobs);
+                  check_csv_identical label (Stats.records_csv vr) (Stats.records_csv cr);
+                  (* and the shared analytics layer sees the same run *)
+                  let cp =
+                    Analyze.critical_path (Analyze.of_events (Obs.recorded_events cobs))
+                  in
+                  Alcotest.(check int) (label ^ ": crit path = makespan") cr.Stats.makespan_ns
+                    cp.Analyze.cp_length_ns)
+                matrix_jitters)
+            matrix_depths)
+        matrix_policies)
+    compiled_scenarios
 
 (* ---------------- compiled engine: random-DAG properties ---------------- *)
 
@@ -757,6 +822,42 @@ let qcheck_compiled_replays_virtual =
           depth;
       vr.Stats.makespan_ns = cr.Stats.makespan_ns && completed_multiset vr = completed_multiset cr)
 
+let qcheck_crit_path_equals_makespan =
+  (* The critical path's gaps and services partition [0, makespan] for
+     any realized schedule — pinned on random DAGs through both
+     engines, whose traced streams must also agree byte-for-byte. *)
+  QCheck.Test.make ~name:"critical-path length = makespan on random DAGs (both engines)"
+    ~count:30
+    QCheck.(make Gen.(pair (int_range 0 10_000) (pair (int_range 0 4) (int_range 0 2))))
+    (fun (seed, (policy_ix, depth)) ->
+      let spec = random_dag seed in
+      let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+      let policy = List.nth matrix_policies policy_ix in
+      let wl () = Workload.validation [ (spec, 2) ] in
+      let params =
+        { Engine_core.seed = Int64.of_int (seed + 1); jitter = 0.03; reservation_depth = depth }
+      in
+      let vobs = traced_obs () and cobs = traced_obs () in
+      let vr =
+        Result.get_ok
+          (Emulator.run ~engine:(Emulator.Virtual params) ~policy ~obs:vobs ~config
+             ~workload:(wl ()) ())
+      in
+      let plan = Compiled.compile ~config ~workload:(wl ()) ~policy:(policy_of policy) () in
+      let cr = Compiled.run ~obs:cobs plan params in
+      let cp_len obs =
+        (Analyze.critical_path (Analyze.of_events (Obs.recorded_events obs))).Analyze.cp_length_ns
+      in
+      if cp_len vobs <> vr.Stats.makespan_ns then
+        QCheck.Test.fail_reportf "virtual: crit path %d <> makespan %d (seed %d %s depth %d)"
+          (cp_len vobs) vr.Stats.makespan_ns seed policy depth;
+      if cp_len cobs <> cr.Stats.makespan_ns then
+        QCheck.Test.fail_reportf "compiled: crit path %d <> makespan %d (seed %d %s depth %d)"
+          (cp_len cobs) cr.Stats.makespan_ns seed policy depth;
+      String.equal
+        (Obs.to_jsonl (Obs.recorded_events vobs))
+        (Obs.to_jsonl (Obs.recorded_events cobs)))
+
 let qcheck_compiled_rejects_faults =
   QCheck.Test.make ~name:"compile rejects fault plans on random DAGs" ~count:10
     QCheck.(make Gen.(int_range 0 10_000))
@@ -807,5 +908,11 @@ let () =
           qtest qcheck_compiled_respects_adjacency;
           qtest qcheck_compiled_replays_virtual;
           qtest qcheck_compiled_rejects_faults;
+        ] );
+      ( "observability lowering",
+        [
+          Alcotest.test_case "traced-replay matrix (events + metrics)" `Slow
+            test_compiled_obs_parity;
+          qtest qcheck_crit_path_equals_makespan;
         ] );
     ]

@@ -176,6 +176,38 @@ let test_sweep_row_fields () =
   Alcotest.(check bool) "chain on one PE: policies within overhead noise" true
     (float_of_int (abs (m "FRFS" - m "MET")) /. float_of_int (m "FRFS") < 0.25)
 
+let test_sweep_compiled_obs_columns () =
+  (* Regression for the compiled engine's lowered observability: on a
+     fig9-class preset the compiled table must be byte-identical to
+     the virtual one — in particular the four metrics-derived columns
+     and the two critical-path columns, which used to read zero under
+     the compiled engine — and the columns must be live, not
+     vacuously-equal zeros. *)
+  let g = Result.get_ok (Presets.by_name ~replicates:1 "fig9") in
+  let tv = Sweep.run ~jobs:2 ~engine:`Virtual g in
+  let tc = Sweep.run ~jobs:2 ~engine:`Compiled g in
+  Alcotest.(check string) "CSV byte-identical across engines" (Sweep.to_csv tv) (Sweep.to_csv tc);
+  List.iter2
+    (fun (v : Sweep.row) (c : Sweep.row) ->
+      let label = Printf.sprintf "%s/%s/%s" v.Sweep.config v.Sweep.policy v.Sweep.workload in
+      Alcotest.(check int) (label ^ ": max_ready_depth") v.Sweep.max_ready_depth
+        c.Sweep.max_ready_depth;
+      Alcotest.(check int) (label ^ ": max_inflight") v.Sweep.max_inflight c.Sweep.max_inflight;
+      Alcotest.(check (float 0.0)) (label ^ ": mean_wait_us") v.Sweep.mean_wait_us
+        c.Sweep.mean_wait_us;
+      Alcotest.(check (float 0.0)) (label ^ ": p95_service_us") v.Sweep.p95_service_us
+        c.Sweep.p95_service_us;
+      Alcotest.(check (float 0.0)) (label ^ ": crit_path_us") v.Sweep.crit_path_us
+        c.Sweep.crit_path_us;
+      Alcotest.(check (float 0.0)) (label ^ ": crit_path_dma_frac") v.Sweep.crit_path_dma_frac
+        c.Sweep.crit_path_dma_frac;
+      Alcotest.(check bool) (label ^ ": obs columns live") true
+        (c.Sweep.max_inflight > 0 && c.Sweep.p95_service_us > 0.0 && c.Sweep.crit_path_us > 0.0);
+      Alcotest.(check (float 1e-6)) (label ^ ": crit path equals makespan")
+        (float_of_int c.Sweep.makespan_ns /. 1e3)
+        c.Sweep.crit_path_us)
+    tv.Sweep.rows tc.Sweep.rows
+
 let test_summarize_counts () =
   let g = small_grid ~jitter:0.01 ~replicates:4 () in
   let t = Sweep.run ~jobs:2 g in
@@ -224,6 +256,8 @@ let () =
           Alcotest.test_case "deterministic across jobs" `Slow test_sweep_deterministic_across_jobs;
           Alcotest.test_case "jitter varies replicates" `Slow test_sweep_jitter_varies_replicates;
           Alcotest.test_case "row fields" `Quick test_sweep_row_fields;
+          Alcotest.test_case "compiled obs columns match virtual" `Slow
+            test_sweep_compiled_obs_columns;
           Alcotest.test_case "summarize" `Slow test_summarize_counts;
           Alcotest.test_case "presets" `Quick test_presets;
         ] );

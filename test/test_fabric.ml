@@ -213,6 +213,66 @@ let test_contended_virtual_compiled_matrix () =
         matrix_policies)
     contended_scenarios
 
+(* Traced lowering parity under contention: the fabric hooks
+   (stream admissions with their stall times, stall-queue events, the
+   occupancy gauge and stall histogram) must replay byte-for-byte, on
+   top of the untraced record parity above. *)
+let test_contended_obs_parity () =
+  let module Obs = Dssoc_obs.Obs in
+  let module Analyze = Dssoc_obs.Analyze in
+  let traced () =
+    Obs.make ~sink:(Obs.Sink.ring ~capacity:(1 lsl 18) ()) ~metrics:(Obs.Metrics.create ()) ()
+  in
+  let metrics_text obs =
+    match Obs.metrics obs with
+    | Some m -> Format.asprintf "%a" Obs.Metrics.pp m
+    | None -> ""
+  in
+  List.iter
+    (fun (scen, config_fn, fabric, wl) ->
+      let config = Config.with_fabric fabric (config_fn ()) in
+      List.iter
+        (fun policy ->
+          let label = scen ^ "/" ^ policy in
+          let vobs = traced () and cobs = traced () in
+          let vr, _ =
+            Result.get_ok
+              (Emulator.run_detailed
+                 ~engine:(Emulator.virtual_seeded ~jitter:0.03 7L)
+                 ~policy ~obs:vobs ~config ~workload:(wl ()) ())
+          in
+          let plan = Compiled.compile ~config ~workload:(wl ()) ~policy:(policy_of policy) () in
+          let cr =
+            Compiled.run ~obs:cobs plan
+              { Engine_core.seed = 7L; jitter = 0.03; reservation_depth = 0 }
+          in
+          Alcotest.(check int) (label ^ ": no dropped events") 0
+            (Obs.Sink.dropped (Obs.sink vobs));
+          Alcotest.(check string)
+            (label ^ ": event JSONL byte-identical")
+            (Obs.to_jsonl (Obs.recorded_events vobs))
+            (Obs.to_jsonl (Obs.recorded_events cobs));
+          Alcotest.(check string)
+            (label ^ ": metrics identical")
+            (metrics_text vobs) (metrics_text cobs);
+          Alcotest.(check int) (label ^ ": same makespan") vr.Stats.makespan_ns
+            cr.Stats.makespan_ns;
+          let admissions =
+            List.length
+              (List.filter
+                 (fun (e : Obs.event) ->
+                   match e.Obs.body with Obs.Stream_admitted _ -> true | _ -> false)
+                 (Obs.recorded_events cobs))
+          in
+          Alcotest.(check int)
+            (label ^ ": one admission event per DMA stream")
+            cr.Stats.fabric.Stats.dma_streams admissions;
+          let cp = Analyze.critical_path (Analyze.of_events (Obs.recorded_events cobs)) in
+          Alcotest.(check int) (label ^ ": crit path = makespan") cr.Stats.makespan_ns
+            cp.Analyze.cp_length_ns)
+        matrix_policies)
+    contended_scenarios
+
 let test_contended_native_functional_matrix () =
   List.iter
     (fun (scen, config_fn, fabric, wl) ->
@@ -436,6 +496,8 @@ let () =
         [
           Alcotest.test_case "virtual = compiled byte-for-byte" `Slow
             test_contended_virtual_compiled_matrix;
+          Alcotest.test_case "traced virtual = traced compiled (events + metrics)" `Slow
+            test_contended_obs_parity;
           Alcotest.test_case "native functional agreement" `Slow
             test_contended_native_functional_matrix;
         ] );

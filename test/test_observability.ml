@@ -332,11 +332,382 @@ let test_chrome_trace_with_obs () =
   Alcotest.(check bool) "ready-queue counter track" true (List.mem "ready_queue_depth" counter_names);
   Alcotest.(check bool) "in-flight counter track" true (List.mem "in_flight_tasks" counter_names);
   Alcotest.(check bool) ">= 2 counter tracks" true (List.length counter_names >= 2);
+  (* the critical-path highlight rides on a dedicated named thread *)
+  let crit_spans =
+    List.filter
+      (fun e ->
+        str_member "ph" e = Some "X"
+        && (match Json.member "cat" e with Ok (Json.String "crit") -> true | _ -> false))
+      evs
+  in
+  Alcotest.(check bool) "critical-path spans present" true (crit_spans <> []);
+  Alcotest.(check bool) "critical-path thread named" true
+    (List.exists
+       (fun e ->
+         str_member "name" e = Some "thread_name"
+         &&
+         match Json.member "args" e with
+         | Ok (Json.Obj args) -> List.assoc_opt "name" args = Some (Json.str "critical path")
+         | _ -> false)
+       evs);
+  List.iter
+    (fun e ->
+      match Json.member "args" e with
+      | Ok (Json.Obj args) ->
+          Alcotest.(check bool) "crit span carries edge + slack" true
+            (List.mem_assoc "edge" args && List.mem_assoc "slack_us" args)
+      | _ -> Alcotest.fail "crit span without args")
+    crit_spans;
   (* without ~obs the output must be exactly the pre-observability trace *)
   Alcotest.(check bool) "no counter events without obs" true
     (List.for_all
        (fun e -> str_member "ph" e <> Some "C")
        (trace_events (Stats.chrome_trace r)))
+
+(* ---------------------- event JSON round-trip / streaming writer ---------------------- *)
+
+let sample_events =
+  [
+    { Obs.t_ns = 0; body = Obs.Instance_injected { instance = 3; app = "wifi_rx" } };
+    { Obs.t_ns = 10; body = Obs.Task_ready { task = 7; instance = 3; app = "wifi_rx"; node = "FFT" } };
+    {
+      Obs.t_ns = 20;
+      body =
+        Obs.Task_dispatched
+          { task = 7; instance = 3; app = "wifi_rx"; node = "FFT"; pe = "fft1"; pe_index = 4;
+            wait_ns = 10 };
+    };
+    {
+      Obs.t_ns = 25;
+      body = Obs.Phase { task = 7; pe_index = 4; phase = Obs.Dma_in; start_ns = 20; dur_ns = 5 };
+    };
+    { Obs.t_ns = 30; body = Obs.Stream_stalled { pe_index = 4; bytes = 4096; queued = 2 } };
+    {
+      Obs.t_ns = 40;
+      body = Obs.Stream_admitted { pe_index = 4; bytes = 4096; stall_ns = 10; inflight = 1 };
+    };
+    { Obs.t_ns = 50; body = Obs.Reservation_enqueued { pe_index = 4; depth = 1 } };
+    { Obs.t_ns = 55; body = Obs.Reservation_popped { pe_index = 4; depth = 0 } };
+    {
+      Obs.t_ns = 60;
+      body =
+        Obs.Sched_invoked { ready = 2; examined = 2; ops = 10; cost_ns = 2000; assigned = 1 };
+    };
+    {
+      Obs.t_ns = 70;
+      body =
+        Obs.Task_completed
+          { task = 7; instance = 3; app = "wifi_rx"; node = "FFT"; pe = "fft1"; pe_index = 4;
+            service_ns = 50 };
+    };
+    {
+      Obs.t_ns = 80;
+      body =
+        Obs.Fault_injected { task = 7; pe = "fft1"; pe_index = 4; fault = "transient"; attempt = 1 };
+    };
+    {
+      Obs.t_ns = 85;
+      body =
+        Obs.Task_failed
+          { task = 7; instance = 3; app = "wifi_rx"; node = "FFT"; pe = "fft1"; pe_index = 4;
+            fault = "transient"; attempt = 1 };
+    };
+    {
+      Obs.t_ns = 90;
+      body =
+        Obs.Task_retried
+          { task = 7; instance = 3; app = "wifi_rx"; node = "FFT"; attempt = 1; backoff_ns = 100 };
+    };
+    { Obs.t_ns = 95; body = Obs.Pe_quarantined { pe = "fft1"; pe_index = 4; until_ns = 500; permanent = false } };
+    { Obs.t_ns = 99; body = Obs.Pe_recovered { pe = "fft1"; pe_index = 4 } };
+    { Obs.t_ns = 100; body = Obs.Wm_tick { completions = 1; injected = 0 } };
+  ]
+
+let test_event_json_roundtrip () =
+  (* Every constructor round-trips, plus everything a real traced run
+     emits (reloading an --events file must lose nothing). *)
+  let _, obs = observed_run [ (Reference_apps.wifi_tx (), 1); (Reference_apps.range_detection (), 1) ] in
+  List.iter
+    (fun (e : Obs.event) ->
+      match Obs.event_of_json (Obs.event_to_json e) with
+      | Ok e' -> Alcotest.(check bool) "event round-trips" true (e = e')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    (sample_events @ Obs.recorded_events obs);
+  (match Obs.event_of_json (Json.obj [ ("t", Json.int 1) ]) with
+  | Ok _ -> Alcotest.fail "missing ev accepted"
+  | Error _ -> ());
+  match Obs.event_of_json (Json.obj [ ("t", Json.int 1); ("ev", Json.str "no_such_event") ]) with
+  | Ok _ -> Alcotest.fail "unknown ev accepted"
+  | Error _ -> ()
+
+let test_output_jsonl_streams_same_bytes () =
+  (* The streaming writer must be a drop-in for [to_jsonl]: same golden
+     bytes, straight to the channel. *)
+  let _, obs = observed_run [ (Reference_apps.wifi_tx (), 1) ] in
+  let events = Obs.recorded_events obs in
+  let path = Filename.temp_file "dssoc_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Obs.output_jsonl oc events);
+      let written = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check string) "streamed bytes = to_jsonl" (Obs.to_jsonl events) written;
+      Alcotest.(check string) "golden bytes" golden_jsonl written)
+
+(* ---------------------- analysis: hand-built schedules ---------------------- *)
+
+module Analyze = Dssoc_obs.Analyze
+
+(* Three tasks of one instance on one CPU:
+     A: ready 0,   dispatched 0,   completed 100   (chain start)
+     B: ready 0,   dispatched 120, completed 270   (waited for cpu0: resource)
+     C: ready 270, dispatched 270, completed 420   (ready when B completed: dependency)
+   and the WM tick that observed the last completion at 440. *)
+let handbuilt_cpu_events =
+  let t task node = (task, node) in
+  let ready t_ns (task, node) =
+    { Obs.t_ns; body = Obs.Task_ready { task; instance = 0; app = "app"; node } }
+  in
+  let disp t_ns (task, node) wait_ns =
+    {
+      Obs.t_ns;
+      body =
+        Obs.Task_dispatched
+          { task; instance = 0; app = "app"; node; pe = "cpu0"; pe_index = 0; wait_ns };
+    }
+  in
+  let comp t_ns (task, node) service_ns =
+    {
+      Obs.t_ns;
+      body =
+        Obs.Task_completed
+          { task; instance = 0; app = "app"; node; pe = "cpu0"; pe_index = 0; service_ns };
+    }
+  in
+  [
+    { Obs.t_ns = 0; body = Obs.Instance_injected { instance = 0; app = "app" } };
+    ready 0 (t 0 "A");
+    disp 0 (t 0 "A") 0;
+    ready 0 (t 1 "B");
+    comp 100 (t 0 "A") 100;
+    disp 120 (t 1 "B") 120;
+    comp 270 (t 1 "B") 150;
+    ready 270 (t 2 "C");
+    disp 270 (t 2 "C") 0;
+    comp 420 (t 2 "C") 150;
+    { Obs.t_ns = 440; body = Obs.Wm_tick { completions = 1; injected = 0 } };
+  ]
+
+let test_analyze_critical_path_pinned () =
+  let a = Analyze.of_events handbuilt_cpu_events in
+  Alcotest.(check int) "makespan is the WM-observed end" 440 (Analyze.makespan_ns a);
+  let cp = Analyze.critical_path a in
+  Alcotest.(check int) "length = makespan" 440 cp.Analyze.cp_length_ns;
+  Alcotest.(check int) "three steps" 3 (List.length cp.Analyze.cp_steps);
+  let nth n = List.nth cp.Analyze.cp_steps n in
+  Alcotest.(check (list string)) "edge kinds"
+    [ "injection"; "resource"; "dependency" ]
+    (List.map (fun s -> Analyze.edge_name s.Analyze.s_edge) cp.Analyze.cp_steps);
+  Alcotest.(check (list string)) "path nodes" [ "A"; "B"; "C" ]
+    (List.map (fun s -> s.Analyze.s_task.Analyze.x_node) cp.Analyze.cp_steps);
+  Alcotest.(check (list int)) "gaps" [ 0; 20; 0 ]
+    (List.map (fun s -> s.Analyze.s_gap_ns) cp.Analyze.cp_steps);
+  Alcotest.(check (list int)) "services" [ 100; 150; 150 ]
+    (List.map (fun s -> s.Analyze.s_service_ns) cp.Analyze.cp_steps);
+  (* Slack: B's binding resource (A's completion at 100) could move up
+     to 100 ns earlier before B's own readiness binds; C's binding
+     dependency (B at 270) has A's completion at 100 as the
+     next-latest same-instance constraint. *)
+  Alcotest.(check int) "injection slack" 0 (nth 0).Analyze.s_slack_ns;
+  Alcotest.(check int) "resource slack" 100 (nth 1).Analyze.s_slack_ns;
+  Alcotest.(check int) "dependency slack" 170 (nth 2).Analyze.s_slack_ns;
+  Alcotest.(check int) "gap total" 20 cp.Analyze.cp_gap_ns;
+  Alcotest.(check int) "service total" 400 cp.Analyze.cp_service_ns;
+  Alcotest.(check int) "observe tail" 20 cp.Analyze.cp_observe_ns;
+  Alcotest.(check int) "no dma on a cpu-only path" 0 cp.Analyze.cp_dma_ns;
+  Alcotest.(check (float 1e-9)) "dma frac" 0.0 cp.Analyze.cp_dma_frac
+
+let test_analyze_utilization_and_queueing_pinned () =
+  let a = Analyze.of_events handbuilt_cpu_events in
+  (match Analyze.utilization a with
+  | [ ("cpu0", u) ] -> Alcotest.(check (float 1e-9)) "cpu0 busy fraction" (400.0 /. 440.0) u
+  | other -> Alcotest.failf "unexpected utilization shape (%d PEs)" (List.length other));
+  (match Analyze.utilization_by_class a with
+  | [ ("cpu", u) ] -> Alcotest.(check (float 1e-9)) "class mean" (400.0 /. 440.0) u
+  | _ -> Alcotest.fail "unexpected class shape");
+  (match Analyze.occupancy_by_class a with
+  | [ ("cpu", series) ] ->
+      (* dispatches at 0, 120, 270 against completions at 100, 270, 420:
+         cpu occupancy never exceeds one task. *)
+      Alcotest.(check bool) "single-PE occupancy <= 1" true
+        (List.for_all (fun (_, lvl) -> lvl <= 1) series);
+      Alcotest.(check bool) "goes idle at the end" true
+        (match List.rev series with (_, 0) :: _ -> true | _ -> false)
+  | _ -> Alcotest.fail "unexpected occupancy shape");
+  let q = Analyze.queueing a in
+  Alcotest.(check int) "three tasks" 3 q.Analyze.q_wait.Analyze.d_n;
+  Alcotest.(check (float 1e-9)) "mean wait us" 0.04 q.Analyze.q_wait.Analyze.d_mean_us;
+  Alcotest.(check (float 1e-9)) "max wait us" 0.12 q.Analyze.q_wait.Analyze.d_max_us;
+  Alcotest.(check (float 1e-9)) "max service us" 0.15 q.Analyze.q_service.Analyze.d_max_us;
+  Alcotest.(check (float 1e-9)) "no stalls" 0.0 q.Analyze.q_stall.Analyze.d_max_us
+
+let test_analyze_dma_and_stall_attribution () =
+  (* One accelerator task with DMA phases and a stalled stream inside
+     its service window: the path decomposition must charge both. *)
+  let events =
+    [
+      { Obs.t_ns = 0; body = Obs.Instance_injected { instance = 0; app = "app" } };
+      { Obs.t_ns = 0; body = Obs.Task_ready { task = 0; instance = 0; app = "app"; node = "K" } };
+      {
+        Obs.t_ns = 0;
+        body =
+          Obs.Task_dispatched
+            { task = 0; instance = 0; app = "app"; node = "K"; pe = "fft0"; pe_index = 1;
+              wait_ns = 0 };
+      };
+      {
+        Obs.t_ns = 50;
+        body = Obs.Phase { task = 0; pe_index = 1; phase = Obs.Dma_in; start_ns = 0; dur_ns = 50 };
+      };
+      {
+        Obs.t_ns = 150;
+        body =
+          Obs.Phase { task = 0; pe_index = 1; phase = Obs.Device_compute; start_ns = 50; dur_ns = 100 };
+      };
+      {
+        Obs.t_ns = 150;
+        body = Obs.Stream_admitted { pe_index = 1; bytes = 1024; stall_ns = 30; inflight = 1 };
+      };
+      {
+        Obs.t_ns = 200;
+        body = Obs.Phase { task = 0; pe_index = 1; phase = Obs.Dma_out; start_ns = 150; dur_ns = 50 };
+      };
+      {
+        Obs.t_ns = 200;
+        body =
+          Obs.Task_completed
+            { task = 0; instance = 0; app = "app"; node = "K"; pe = "fft0"; pe_index = 1;
+              service_ns = 200 };
+      };
+      { Obs.t_ns = 210; body = Obs.Wm_tick { completions = 1; injected = 0 } };
+    ]
+  in
+  let a = Analyze.of_events events in
+  (match Analyze.tasks a with
+  | [ x ] ->
+      Alcotest.(check int) "dma_in + dma_out charged" 100 x.Analyze.x_dma_ns;
+      Alcotest.(check int) "stall attributed to the occupying task" 30 x.Analyze.x_stall_ns
+  | _ -> Alcotest.fail "expected one task");
+  let cp = Analyze.critical_path a in
+  Alcotest.(check int) "length = makespan" 210 cp.Analyze.cp_length_ns;
+  Alcotest.(check int) "path dma" 100 cp.Analyze.cp_dma_ns;
+  Alcotest.(check int) "path stall" 30 cp.Analyze.cp_stall_ns;
+  Alcotest.(check (float 1e-9)) "dma fraction of the path" (100.0 /. 210.0)
+    cp.Analyze.cp_dma_frac
+
+let test_analyze_empty_log () =
+  let a = Analyze.of_events [] in
+  Alcotest.(check int) "zero makespan" 0 (Analyze.makespan_ns a);
+  let cp = Analyze.critical_path a in
+  Alcotest.(check int) "empty path" 0 (List.length cp.Analyze.cp_steps);
+  Alcotest.(check int) "zero length" 0 cp.Analyze.cp_length_ns;
+  Alcotest.(check bool) "no utilization" true (Analyze.utilization a = [])
+
+let test_analyze_pp_and_json () =
+  let a = Analyze.of_events handbuilt_cpu_events in
+  let text = Format.asprintf "%a" Analyze.pp a in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("report mentions " ^ needle) true (contains ~needle text))
+    [ "critical path"; "utilization"; "queueing"; "dependency"; "resource"; "injection" ];
+  let json = Analyze.to_json a in
+  Alcotest.(check bool) "round-trips through the parser" true
+    (Json.parse (Json.to_string json) = Ok json);
+  match Json.member "critical_path" json with
+  | Ok cp -> (
+      match (Json.member "length_ns" cp, Json.member "observe_ns" cp) with
+      | Ok l, Ok o ->
+          Alcotest.(check bool) "length pinned" true (l = Json.int 440);
+          Alcotest.(check bool) "observe pinned" true (o = Json.int 20)
+      | _ -> Alcotest.fail "length_ns/observe_ns missing")
+  | Error _ -> Alcotest.fail "critical_path missing"
+
+(* ---------------------- periodic metrics flusher ---------------------- *)
+
+let test_flush_snapshots_and_close () =
+  let path = Filename.temp_file "dssoc_metrics" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = Obs.Metrics.create () in
+      let c = Obs.Metrics.counter m "ticks" in
+      let f = Obs.Flush.every ~period_ms:1 ~path m in
+      Alcotest.(check string) "path recorded" path (Obs.Flush.path f);
+      for i = 1 to 6 do
+        Obs.Metrics.incr c;
+        (* 0.6 ms apart with a 1 ms period: snapshots due at ticks
+           1, 3 and 5; close covers the trailing tick at 3.6 ms. *)
+        Obs.Flush.tick f ~now:(i * 600_000)
+      done;
+      Obs.Flush.close f;
+      Alcotest.(check int) "snapshot count" 4 (Obs.Flush.snapshots f);
+      Obs.Flush.close f;
+      Alcotest.(check int) "close idempotent" 4 (Obs.Flush.snapshots f);
+      let lines =
+        In_channel.with_open_bin path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "one JSONL line per snapshot" 4 (List.length lines);
+      let ts =
+        List.map
+          (fun line ->
+            match Json.parse line with
+            | Ok j -> (
+                match (Json.member "t_ns" j, Json.member "counters" j) with
+                | Ok t, Ok (Json.Obj cs) ->
+                    Alcotest.(check bool) "counters present" true (List.mem_assoc "ticks" cs);
+                    (match t with Json.Int v -> v | _ -> Alcotest.fail "t_ns not an int")
+                | _ -> Alcotest.fail "snapshot shape")
+            | Error e -> Alcotest.failf "unparseable snapshot: %s" (Json.error_to_string e))
+          lines
+      in
+      Alcotest.(check (list int)) "snapshot times pinned"
+        [ 600_000; 1_800_000; 3_000_000; 3_600_000 ] ts)
+
+let test_flush_rejects_bad_period () =
+  let m = Obs.Metrics.create () in
+  Alcotest.check_raises "period 0 rejected"
+    (Invalid_argument "Obs.Flush.every: period_ms must be positive") (fun () ->
+      ignore (Obs.Flush.every ~period_ms:0 ~path:"/dev/null" m))
+
+let test_flush_driven_by_engine_run () =
+  (* End-to-end through the WM tick: the same seeded run produces the
+     same snapshot stream, byte for byte. *)
+  let snap () =
+    let path = Filename.temp_file "dssoc_metrics" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let config = Config.zcu102_cores_ffts ~cores:2 ~ffts:1 in
+        let workload =
+          Workload.validation
+            [ (Reference_apps.wifi_tx (), 1); (Reference_apps.range_detection (), 1) ]
+        in
+        let m = Obs.Metrics.create () in
+        let obs = Obs.make ~metrics:m () in
+        let f = Obs.Flush.every ~period_ms:1 ~path m in
+        Obs.set_flush obs f;
+        ignore
+          (Emulator.run_exn ~engine:(Emulator.virtual_seeded ~jitter:0.0 1L) ~config ~workload
+             ~obs ());
+        Obs.Flush.close f;
+        (Obs.Flush.snapshots f, In_channel.with_open_bin path In_channel.input_all))
+  in
+  let n1, s1 = snap () in
+  let n2, s2 = snap () in
+  Alcotest.(check bool) "snapshots taken" true (n1 > 1);
+  Alcotest.(check int) "snapshot count deterministic" n1 n2;
+  Alcotest.(check string) "snapshot stream deterministic" s1 s2
 
 let () =
   Alcotest.run "observability"
@@ -370,7 +741,26 @@ let () =
         [
           Alcotest.test_case "golden JSONL" `Quick test_jsonl_golden;
           Alcotest.test_case "parseable and deterministic" `Quick test_jsonl_parses_and_deterministic;
+          Alcotest.test_case "event JSON round-trip" `Quick test_event_json_roundtrip;
+          Alcotest.test_case "streaming writer byte-identical" `Quick
+            test_output_jsonl_streams_same_bytes;
         ] );
       ( "chrome trace + obs",
         [ Alcotest.test_case "counter tracks and DMA sub-spans" `Quick test_chrome_trace_with_obs ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "critical path pinned" `Quick test_analyze_critical_path_pinned;
+          Alcotest.test_case "utilization and queueing pinned" `Quick
+            test_analyze_utilization_and_queueing_pinned;
+          Alcotest.test_case "dma and stall attribution" `Quick
+            test_analyze_dma_and_stall_attribution;
+          Alcotest.test_case "empty log" `Quick test_analyze_empty_log;
+          Alcotest.test_case "pp and json" `Quick test_analyze_pp_and_json;
+        ] );
+      ( "metrics flusher",
+        [
+          Alcotest.test_case "snapshots and close" `Quick test_flush_snapshots_and_close;
+          Alcotest.test_case "bad period rejected" `Quick test_flush_rejects_bad_period;
+          Alcotest.test_case "engine-driven determinism" `Quick test_flush_driven_by_engine_run;
+        ] );
     ]
