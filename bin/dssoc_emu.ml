@@ -22,6 +22,7 @@ module Presets = Dssoc_explore.Presets
 module Pool = Dssoc_explore.Pool
 module Obs = Dssoc_obs.Obs
 module Fault = Dssoc_fault.Fault
+module Server = Dssoc_serve.Server
 
 open Cmdliner
 
@@ -844,6 +845,189 @@ let analyze_cmd =
           determines the report.")
     Term.(const run $ events_file $ json $ out)
 
+(* ---------------------- serve ---------------------- *)
+
+let serve_cmd =
+  let tenants =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tenants" ] ~docv:"SPEC"
+          ~doc:
+            "Tenant registrations, ';'-separated: \
+             'NAME:apps=APP[*W][+APP..]:rate=R[:prio=P][:slo=MS][:seed=S]'.  $(b,apps) is a \
+             weighted application mix, $(b,rate) the mean Poisson arrival rate in jobs per \
+             emulated millisecond.  Example: \
+             'gold:apps=wifi_tx*3+range_detection:rate=1.5:prio=2:slo=5ms;bulk:apps=wifi_rx:rate=4'.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 10.0
+      & info [ "duration-ms" ] ~docv:"MS"
+          ~doc:"Emulated arrival window: arrivals are generated strictly inside [0, MS).")
+  in
+  let admission =
+    Arg.(
+      value & opt string ""
+      & info [ "admission" ] ~docv:"SPEC"
+          ~doc:
+            "Admission control: 'policy=block|shed|degrade:queue=N:max-ready=N:timeout=DUR' \
+             (all fields optional; default shed with a 16-deep queue, 128 max-ready, no \
+             watchdog).  $(b,block) stalls the arrival stream, $(b,shed) rejects the newest \
+             arrival with a typed verdict, $(b,degrade) sheds from the lowest-priority tenant \
+             below the arrival's priority.  $(b,timeout) arms the watchdog that aborts \
+             instances exceeding the bound from arrival.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "On a drain request (SIGTERM/SIGINT, --drain-at-ms or --wall-budget-s), stop at \
+             the next quiescent instant and atomically write a versioned checkpoint here.")
+  in
+  let restore =
+    Arg.(
+      value & opt (some string) None
+      & info [ "restore" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by --checkpoint.  The spec must match the run \
+             that produced it; the final report is byte-identical to an uninterrupted run.")
+  in
+  let drain_at =
+    Arg.(
+      value & opt (some float) None
+      & info [ "drain-at-ms" ] ~docv:"MS"
+          ~doc:"Deterministic drain trigger at emulated time MS (for reproducible checkpoints).")
+  in
+  let wall_budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "wall-budget-s" ] ~docv:"S"
+          ~doc:"Drain once S wall-clock seconds have elapsed (soak harness).")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Append periodic metric snapshots to FILE as JSON Lines (see $(b,run)).")
+  in
+  let metrics_period =
+    Arg.(
+      value & opt int 10
+      & info [ "metrics-period" ] ~docv:"MS" ~doc:"Emulated-time period between snapshots.")
+  in
+  let report_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report-out" ] ~docv:"FILE"
+          ~doc:"Also write the per-tenant report to FILE (for byte-comparison across restores).")
+  in
+  let run host cores ffts big little policy seed jitter tenants duration admission checkpoint
+      restore drain_at wall_budget metrics_out metrics_period report_out =
+    let ( let* ) = Result.bind in
+    let result =
+      let* config = config_of host cores ffts big little in
+      let* policy = Scheduler.find policy in
+      let* admission = Server.admission_of_spec admission in
+      let* tenants = Server.tenants_of_spec tenants in
+      let* () = if duration <= 0.0 then Error "--duration-ms must be positive" else Ok () in
+      let spec =
+        {
+          Server.sp_config = config;
+          sp_policy = policy;
+          sp_seed = Int64.of_int seed;
+          sp_jitter = jitter;
+          sp_duration_ms = duration;
+          sp_admission = admission;
+          sp_tenants = tenants;
+        }
+      in
+      let obs =
+        match metrics_out with
+        | None -> Obs.disabled
+        | Some _ -> Obs.make ~metrics:(Obs.Metrics.create ()) ()
+      in
+      let* flusher =
+        match (metrics_out, Obs.metrics obs) with
+        | None, _ | _, None -> Ok None
+        | Some path, Some m ->
+          if metrics_period <= 0 then Error "--metrics-period must be positive"
+          else begin
+            let f = Obs.Flush.every ~period_ms:metrics_period ~path m in
+            Obs.set_flush obs f;
+            Ok (Some f)
+          end
+      in
+      (* A drain request stops the server at the next quiescent instant:
+         SIGTERM/SIGINT (graceful shutdown), an emulated-time trigger
+         (reproducible checkpoints), or a wall-clock budget (soak). *)
+      let stop = ref false in
+      let install s =
+        try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop := true))
+        with Invalid_argument _ | Sys_error _ -> ()
+      in
+      install Sys.sigterm;
+      install Sys.sigint;
+      let t0 = Unix.gettimeofday () in
+      let drain ~now_ns =
+        !stop
+        || (match drain_at with Some ms -> float_of_int now_ns >= ms *. 1e6 | None -> false)
+        ||
+        match wall_budget with
+        | Some s -> Unix.gettimeofday () -. t0 >= s
+        | None -> false
+      in
+      let r = Server.run ~obs ~drain ?checkpoint ?restore spec in
+      (* The flusher's close writes the final snapshot — on the drain
+         path this is the "flush observability, then checkpoint was
+         written" part of graceful shutdown. *)
+      Option.iter Obs.Flush.close flusher;
+      let* outcome = r in
+      Ok (outcome, flusher)
+    in
+    match result with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok (outcome, flusher) ->
+      let report = Server.render_report outcome in
+      print_string report;
+      (match report_out with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc report);
+        Printf.printf "wrote report to %s\n" path);
+      (match flusher with
+      | None -> ()
+      | Some f ->
+        Printf.printf "wrote %d metric snapshots to %s\n" (Obs.Flush.snapshots f)
+          (Obs.Flush.path f));
+      if outcome.Server.oc_drained then begin
+        match outcome.Server.oc_checkpoint with
+        | Some path ->
+          Printf.printf "drained at %d ns; checkpoint written to %s (restore with --restore)\n"
+            outcome.Server.oc_clock_ns path;
+          0
+        | None ->
+          Printf.printf "drained at %d ns; no --checkpoint given, pending work was discarded\n"
+            outcome.Server.oc_clock_ns;
+          0
+      end
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident emulation service: open-loop tenant arrival streams with admission \
+          control, backpressure, a watchdog, and checkpoint/restore at quiescent instants.  \
+          Virtual engine only.  SIGTERM/SIGINT drain gracefully (finish in-flight work, \
+          flush metrics, write the checkpoint if --checkpoint is set).")
+    Term.(
+      const run $ host_arg $ cores_arg $ ffts_arg $ big_arg $ little_arg $ policy_arg $ seed_arg
+      $ jitter_arg $ tenants $ duration $ admission $ checkpoint $ restore $ drain_at
+      $ wall_budget $ metrics_out $ metrics_period $ report_out)
+
 (* ---------------------- convert ---------------------- *)
 
 let convert_cmd =
@@ -908,4 +1092,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ apps_cmd; platforms_cmd; policies_cmd; run_cmd; sweep_cmd; analyze_cmd; convert_cmd ]))
+          [
+            apps_cmd;
+            platforms_cmd;
+            policies_cmd;
+            run_cmd;
+            serve_cmd;
+            sweep_cmd;
+            analyze_cmd;
+            convert_cmd;
+          ]))

@@ -60,27 +60,47 @@ let record_entry index ~source digest payload =
   | Some _ -> ()
   | None -> Hashtbl.add index digest payload
 
+(* A crash or kill during an append tears at most one line, and it is
+   necessarily the file's last: tolerate exactly that case (warn on
+   stderr and drop the line — the row is simply re-evaluated), while
+   corruption anywhere earlier in the stream still fails loudly. *)
 let load_file index path =
-  In_channel.with_open_bin path (fun ic ->
-      let rec go lineno =
-        match In_channel.input_line ic with
-        | None -> ()
-        | Some "" -> go (lineno + 1)
-        | Some line ->
-          let fail msg = raise (Conflict (Printf.sprintf "%s:%d: %s" path lineno msg)) in
-          (match Json.parse line with
-          | Error e -> fail ("unreadable cache line: " ^ Json.error_to_string e)
-          | Ok j -> (
-            match
-              ( Result.bind (Json.member "digest" j) Json.to_str,
-                Json.member "row" j )
-            with
-            | Ok digest, Ok row ->
-              record_entry index ~source:path digest (Json.to_string ~minify:true row)
-            | Error msg, _ | _, Error msg -> fail ("malformed cache line: " ^ msg)));
-          go (lineno + 1)
-      in
-      go 1)
+  let lines =
+    In_channel.with_open_bin path (fun ic ->
+        let rec go acc n =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line -> go ((n, line) :: acc) (n + 1)
+        in
+        go [] 1)
+  in
+  let last_content =
+    List.fold_left (fun acc (n, l) -> if l = "" then acc else n) 0 lines
+  in
+  List.iter
+    (fun (lineno, line) ->
+      if line <> "" then begin
+        let fail msg = raise (Conflict (Printf.sprintf "%s:%d: %s" path lineno msg)) in
+        let bad msg =
+          if lineno = last_content then
+            Printf.eprintf
+              "warning: %s:%d: dropping torn final cache line (%s); the interrupted append \
+               will be re-evaluated\n\
+               %!"
+              path lineno msg
+          else fail msg
+        in
+        match Json.parse line with
+        | Error e -> bad ("unreadable cache line: " ^ Json.error_to_string e)
+        | Ok j -> (
+          match
+            (Result.bind (Json.member "digest" j) Json.to_str, Json.member "row" j)
+          with
+          | Ok digest, Ok row ->
+            record_entry index ~source:path digest (Json.to_string ~minify:true row)
+          | Error msg, _ | _, Error msg -> bad ("malformed cache line: " ^ msg))
+      end)
+    lines
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin

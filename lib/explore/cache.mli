@@ -46,7 +46,11 @@ val open_ :
     construction — it is not itself part of the store.
     @raise Invalid_argument on a bad shard index, [readonly] with a
     missing directory, or a non-positive [fsync_every].
-    @raise Conflict when the loaded files disagree on a digest. *)
+    @raise Conflict when the loaded files disagree on a digest, or on
+    a corrupt line anywhere {e except} a file's final one — a torn
+    final line is the signature of an append interrupted by a crash,
+    so it is dropped with a warning on stderr and its point simply
+    re-evaluated. *)
 
 val close : t -> unit
 (** Flush, fsync and close the append channel (idempotent).  The

@@ -263,8 +263,8 @@ let parse_clause clause =
       | Some v -> (
         match parse_prob v with
         | Some p -> Ok p
-        | None -> err "%s: p wants a probability in [0,1], got %S" clause v)
-      | None -> err "%s: missing p=PROB" clause
+        | None -> err "p wants a probability in [0,1], got %S" v)
+      | None -> err "missing p=PROB"
     in
     let recover ~default =
       match field_value fields "recover" with
@@ -272,14 +272,14 @@ let parse_clause clause =
       | Some v -> (
         match parse_duration_ns v with
         | Some ns -> Ok ns
-        | None -> err "%s: recover wants a duration, got %S" clause v)
+        | None -> err "recover wants a duration, got %S" v)
     in
     match String.index_opt fault_s '@' with
     | Some i when String.equal (String.sub fault_s 0 i) "die" -> begin
       let v = String.sub fault_s (i + 1) (String.length fault_s - i - 1) in
       match parse_duration_ns v with
       | Some ns -> Ok (`Rule { target; fault = Die_at ns })
-      | None -> err "%s: die@ wants a duration, got %S" clause v
+      | None -> err "die@ wants a duration, got %S" v
     end
     | _ -> begin
       match fault_s with
@@ -299,28 +299,40 @@ let parse_clause clause =
         let* p = prob () in
         let* factor =
           match field_value fields "factor" with
-          | None -> err "%s: slow wants factor=F" clause
+          | None -> err "slow wants factor=F"
           | Some v -> (
             match float_of_string_opt v with
             | Some f when f >= 1.0 -> Ok f
-            | _ -> err "%s: factor wants a float >= 1, got %S" clause v)
+            | _ -> err "factor wants a float >= 1, got %S" v)
         in
         Ok (`Rule { target; fault = Slowdowns { p; factor } })
-      | "" -> err "%s: missing fault kind" clause
-      | other -> err "%s: unknown fault kind %S" clause other
+      | "" -> err "missing fault kind"
+      | other -> err "unknown fault kind %S" other
     end
   end
 
 let of_spec ?(seed = default_plan.fault_seed) spec =
-  let clauses = split_on ',' spec |> List.filter (fun c -> not (String.equal c "")) in
+  (* Clauses are carried with their character offset in [spec] so a
+     parse error can point at the offending token, not just fail. *)
+  let clauses =
+    let rec split off acc =
+      match String.index_from_opt spec off ',' with
+      | None -> List.rev ((off, String.sub spec off (String.length spec - off)) :: acc)
+      | Some i -> split (i + 1) ((off, String.sub spec off (i - off)) :: acc)
+    in
+    (if String.equal spec "" then [] else split 0 [])
+    |> List.filter (fun (_, c) -> not (String.equal c ""))
+  in
   if clauses = [] then Error "empty fault spec"
   else
-    let rec go (plan : plan) rules = function
+    let rec go (plan : plan) rules idx = function
       | [] -> Ok { plan with rules = List.rev rules }
-      | clause :: rest -> (
+      | (off, clause) :: rest -> (
         match parse_clause clause with
-        | Ok (`Rule r) -> go plan (r :: rules) rest
-        | Ok (`Knob f) -> go (f plan) rules rest
-        | Error _ as e -> e)
+        | Ok (`Rule r) -> go plan (r :: rules) (idx + 1) rest
+        | Ok (`Knob f) -> go (f plan) rules (idx + 1) rest
+        | Error msg ->
+          Error
+            (Printf.sprintf "fault spec: clause %d (%S, at offset %d): %s" idx clause off msg))
     in
-    go { default_plan with fault_seed = seed } [] clauses
+    go { default_plan with fault_seed = seed } [] 1 clauses

@@ -111,7 +111,13 @@ val of_spec : ?seed:int64 -> string -> (plan, string) result
     - [fft1:slow:p=0.2:factor=3] — slowdowns (x3 service time)
     - [retries=5], [backoff=50us], [backoff-cap=2ms] — knobs
 
-    Durations accept [ns]/[us]/[ms]/[s] suffixes (bare = ns). *)
+    Durations accept [ns]/[us]/[ms]/[s] suffixes (bare = ns).
+
+    Parse errors name the offending clause — its 1-based index, its
+    text, and its character offset in the spec — followed by what was
+    wrong with it, e.g.
+    [fault spec: clause 2 ("fft0:die@soon", at offset 21): die@ wants
+    a duration, got "soon"]. *)
 
 val spec_grammar : string
 (** One-paragraph grammar summary for CLI help. *)

@@ -76,6 +76,10 @@ type body =
   | Pe_recovered of { pe : string; pe_index : int }
   | Stream_stalled of { pe_index : int; bytes : int; queued : int }
   | Stream_admitted of { pe_index : int; bytes : int; stall_ns : int; inflight : int }
+  | Tenant_admitted of { tenant : string; instance : int; queue_depth : int }
+  | Tenant_shed of { tenant : string; instance : int; queue_depth : int }
+  | Instance_timed_out of { tenant : string; instance : int; age_ns : int }
+  | Checkpoint_written of { path : string; instances_done : int }
 
 type event = { t_ns : int; body : body }
 
@@ -93,7 +97,7 @@ module Sink = struct
   let sstride = 4
 
   type recorder = {
-    meta : int array;  (* (t_ns lsl 4) lor tag *)
+    meta : int array;  (* (t_ns lsl 5) lor tag *)
     ints : int array;  (* [istride] int fields per slot *)
     strs : string array;  (* [sstride] string fields per slot *)
     lock : Mutex.t;
@@ -133,12 +137,12 @@ module Sink = struct
   let phase_of_tag = function 0 -> Dma_in | 1 -> Device_compute | _ -> Dma_out
 
   (* Claims the next slot and stores the packed timestamp+tag word;
-     the caller fills the slot's field arrays.  16 constructors fit the
-     4 tag bits exactly, and emulated/monotonic timestamps stay far
-     below the remaining 58 bits. *)
+     the caller fills the slot's field arrays.  20 constructors fit the
+     5 tag bits, and emulated/monotonic timestamps stay far below the
+     remaining 57 bits. *)
   let slot r t_ns tag =
     let h = r.head in
-    r.meta.(h) <- (t_ns lsl 4) lor tag;
+    r.meta.(h) <- (t_ns lsl 5) lor tag;
     let cap = Array.length r.meta in
     let h' = h + 1 in
     r.head <- (if h' = cap then 0 else h');
@@ -267,7 +271,29 @@ module Sink = struct
             r.ints.(i) <- pe_index;
             r.ints.(i + 1) <- bytes;
             r.ints.(i + 2) <- stall_ns;
-            r.ints.(i + 3) <- inflight);
+            r.ints.(i + 3) <- inflight
+        | Tenant_admitted { tenant; instance; queue_depth } ->
+            let h = slot r t_ns 16 in
+            let i = h * istride in
+            r.ints.(i) <- instance;
+            r.ints.(i + 1) <- queue_depth;
+            r.strs.(h * sstride) <- tenant
+        | Tenant_shed { tenant; instance; queue_depth } ->
+            let h = slot r t_ns 17 in
+            let i = h * istride in
+            r.ints.(i) <- instance;
+            r.ints.(i + 1) <- queue_depth;
+            r.strs.(h * sstride) <- tenant
+        | Instance_timed_out { tenant; instance; age_ns } ->
+            let h = slot r t_ns 18 in
+            let i = h * istride in
+            r.ints.(i) <- instance;
+            r.ints.(i + 1) <- age_ns;
+            r.strs.(h * sstride) <- tenant
+        | Checkpoint_written { path; instances_done } ->
+            let h = slot r t_ns 19 in
+            r.ints.(h * istride) <- instances_done;
+            r.strs.(h * sstride) <- path);
         if r.concurrent then Mutex.unlock r.lock
 
   let length = function Null -> 0 | Ring r -> r.stored
@@ -283,7 +309,7 @@ module Sink = struct
         r.total <- 0
 
   let decode r h =
-    let t_ns = r.meta.(h) asr 4 in
+    let t_ns = r.meta.(h) asr 5 in
     let i = h * istride in
     let a = r.ints.(i)
     and b = r.ints.(i + 1)
@@ -296,7 +322,7 @@ module Sink = struct
     and s3 = r.strs.(j + 2)
     and s4 = r.strs.(j + 3) in
     let body =
-      match r.meta.(h) land 15 with
+      match r.meta.(h) land 31 with
       | 0 -> Instance_injected { instance = a; app = s1 }
       | 1 -> Task_ready { task = a; instance = b; app = s1; node = s2 }
       | 2 ->
@@ -339,7 +365,11 @@ module Sink = struct
           Pe_quarantined { pe = s1; pe_index = a; until_ns = b; permanent = c = 1 }
       | 13 -> Pe_recovered { pe = s1; pe_index = a }
       | 14 -> Stream_stalled { pe_index = a; bytes = b; queued = c }
-      | _ -> Stream_admitted { pe_index = a; bytes = b; stall_ns = c; inflight = d }
+      | 15 -> Stream_admitted { pe_index = a; bytes = b; stall_ns = c; inflight = d }
+      | 16 -> Tenant_admitted { tenant = s1; instance = a; queue_depth = b }
+      | 17 -> Tenant_shed { tenant = s1; instance = a; queue_depth = b }
+      | 18 -> Instance_timed_out { tenant = s1; instance = a; age_ns = b }
+      | _ -> Checkpoint_written { path = s1; instances_done = a }
     in
     { t_ns; body }
 
@@ -525,12 +555,18 @@ end
 module Flush = struct
   (* Periodic snapshots of a metrics registry, appended as JSONL.  The
      cadence runs on the emulated clock (driven from the WM tick), so
-     the snapshot stream is deterministic for a given seed. *)
+     the snapshot stream is deterministic for a given seed.
+
+     Durability: each snapshot rewrites the whole stream (any content
+     the file held when the flusher opened, plus every line of this
+     session) to [path ^ ".tmp"] and atomically renames it over
+     [path].  A reader therefore always sees a prefix of complete
+     lines; a killed process can never leave a torn final snapshot. *)
   type flusher = {
     f_metrics : Metrics.t;
     f_period_ns : int;
     f_path : string;
-    f_oc : out_channel;
+    f_acc : Buffer.t;  (* prior file content + all session snapshots *)
     f_buf : Buffer.t;  (* reused per snapshot; never grows a log string *)
     mutable f_next_ns : int;
     mutable f_last_ns : int;  (* latest tick time seen *)
@@ -578,11 +614,15 @@ module Flush = struct
 
   let every ~period_ms ~path metrics =
     if period_ms <= 0 then invalid_arg "Obs.Flush.every: period_ms must be positive";
+    let acc = Buffer.create 4096 in
+    if Sys.file_exists path then
+      In_channel.with_open_bin path (fun ic -> Buffer.add_string acc (In_channel.input_all ic))
+    else Out_channel.with_open_bin path ignore (* match the old create-on-open behaviour *);
     {
       f_metrics = metrics;
       f_period_ns = period_ms * 1_000_000;
       f_path = path;
-      f_oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path;
+      f_acc = acc;
       f_buf = Buffer.create 1024;
       f_next_ns = 0;
       f_last_ns = 0;
@@ -596,7 +636,10 @@ module Flush = struct
     Buffer.add_string t.f_buf
       (Json.to_string ~minify:true (snapshot_json t.f_metrics ~t_ns:now));
     Buffer.add_char t.f_buf '\n';
-    Buffer.output_buffer t.f_oc t.f_buf;
+    Buffer.add_buffer t.f_acc t.f_buf;
+    let tmp = t.f_path ^ ".tmp" in
+    Out_channel.with_open_bin tmp (fun oc -> Buffer.output_buffer oc t.f_acc);
+    Sys.rename tmp t.f_path;
     t.f_snapshots <- t.f_snapshots + 1;
     t.f_last_snap_ns <- now;
     t.f_next_ns <- now + t.f_period_ns
@@ -615,8 +658,7 @@ module Flush = struct
       (* Final snapshot at the last tick time: short runs and the tail
          between two periods are represented in the stream. *)
       if t.f_last_ns > t.f_last_snap_ns then snapshot t ~now:t.f_last_ns;
-      t.f_closed <- true;
-      close_out t.f_oc
+      t.f_closed <- true
     end
 end
 
@@ -806,6 +848,21 @@ let on_stream_stalled t ~now ~pe_index ~bytes ~queued =
 let on_stream_admitted t ~now ~pe_index ~bytes ~stall_ns ~inflight =
   Sink.emit t.sink now (Stream_admitted { pe_index; bytes; stall_ns; inflight })
 
+(* Service-mode events (serve extension): sink only — the server keeps
+   its own per-tenant counters and the engine gauges already cover
+   queue depths. *)
+let on_tenant_admitted t ~now ~tenant ~instance ~queue_depth =
+  Sink.emit t.sink now (Tenant_admitted { tenant; instance; queue_depth })
+
+let on_tenant_shed t ~now ~tenant ~instance ~queue_depth =
+  Sink.emit t.sink now (Tenant_shed { tenant; instance; queue_depth })
+
+let on_instance_timed_out t ~now ~tenant ~instance ~age_ns =
+  Sink.emit t.sink now (Instance_timed_out { tenant; instance; age_ns })
+
+let on_checkpoint_written t ~now ~path ~instances_done =
+  Sink.emit t.sink now (Checkpoint_written { path; instances_done })
+
 let record_drops t =
   match t.eng with
   | Some e ->
@@ -935,6 +992,30 @@ let event_to_json { t_ns; body } =
           ("stall_ns", Json.int stall_ns);
           ("inflight", Json.int inflight);
         ]
+  | Tenant_admitted { tenant; instance; queue_depth } ->
+      mk "tenant_admitted"
+        [
+          ("tenant", Json.str tenant);
+          ("instance", Json.int instance);
+          ("queue_depth", Json.int queue_depth);
+        ]
+  | Tenant_shed { tenant; instance; queue_depth } ->
+      mk "tenant_shed"
+        [
+          ("tenant", Json.str tenant);
+          ("instance", Json.int instance);
+          ("queue_depth", Json.int queue_depth);
+        ]
+  | Instance_timed_out { tenant; instance; age_ns } ->
+      mk "instance_timed_out"
+        [
+          ("tenant", Json.str tenant);
+          ("instance", Json.int instance);
+          ("age_ns", Json.int age_ns);
+        ]
+  | Checkpoint_written { path; instances_done } ->
+      mk "checkpoint_written"
+        [ ("path", Json.str path); ("instances_done", Json.int instances_done) ]
 
 let add_jsonl buf e =
   Buffer.add_string buf (Json.to_string ~minify:true (event_to_json e));
@@ -1081,6 +1162,25 @@ let event_of_json j =
         let* stall_ns = int "stall_ns" in
         let* inflight = int "inflight" in
         Ok (Stream_admitted { pe_index; bytes; stall_ns; inflight })
+    | "tenant_admitted" ->
+        let* tenant = str "tenant" in
+        let* instance = int "instance" in
+        let* queue_depth = int "queue_depth" in
+        Ok (Tenant_admitted { tenant; instance; queue_depth })
+    | "tenant_shed" ->
+        let* tenant = str "tenant" in
+        let* instance = int "instance" in
+        let* queue_depth = int "queue_depth" in
+        Ok (Tenant_shed { tenant; instance; queue_depth })
+    | "instance_timed_out" ->
+        let* tenant = str "tenant" in
+        let* instance = int "instance" in
+        let* age_ns = int "age_ns" in
+        Ok (Instance_timed_out { tenant; instance; age_ns })
+    | "checkpoint_written" ->
+        let* path = str "path" in
+        let* instances_done = int "instances_done" in
+        Ok (Checkpoint_written { path; instances_done })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   Ok { t_ns; body }

@@ -93,6 +93,17 @@ type body =
   | Stream_admitted of { pe_index : int; bytes : int; stall_ns : int; inflight : int }
       (** a DMA stream entered the shared link after [stall_ns] queued
           ([0] = admitted immediately); [inflight] includes it *)
+  | Tenant_admitted of { tenant : string; instance : int; queue_depth : int }
+      (** service mode: an arrival passed admission control;
+          [queue_depth] = the tenant's admission queue after the add *)
+  | Tenant_shed of { tenant : string; instance : int; queue_depth : int }
+      (** service mode: an arrival was rejected by the [shed] /
+          [degrade] overload policy (typed [Rejected] outcome) *)
+  | Instance_timed_out of { tenant : string; instance : int; age_ns : int }
+      (** service mode: the watchdog aborted an instance whose age
+          exceeded the wall-bound (typed [TimedOut] outcome) *)
+  | Checkpoint_written of { path : string; instances_done : int }
+      (** service mode: a drain completed and WM state was serialized *)
 
 type event = { t_ns : int; body : body }
 
@@ -200,10 +211,13 @@ module Flush : sig
   type flusher
 
   val every : period_ms:int -> path:string -> Metrics.t -> flusher
-  (** Open [path] for append and snapshot the registry at least every
-      [period_ms] of emulated time (the first due tick snapshots; a WM
-      sweep cadence coarser than the period yields one snapshot per
-      sweep).
+  (** Snapshot the registry to [path] at least every [period_ms] of
+      emulated time (the first due tick snapshots; a WM sweep cadence
+      coarser than the period yields one snapshot per sweep).  Existing
+      content of [path] is preserved (append semantics).  Every
+      snapshot rewrites the full stream to [path ^ ".tmp"] and
+      atomically renames it over [path], so a killed process never
+      leaves a torn final line.
       @raise Invalid_argument if [period_ms <= 0]. *)
 
   val tick : flusher -> now:int -> unit
@@ -318,6 +332,14 @@ val on_stream_stalled : t -> now:int -> pe_index:int -> bytes:int -> queued:int 
 
 val on_stream_admitted :
   t -> now:int -> pe_index:int -> bytes:int -> stall_ns:int -> inflight:int -> unit
+
+val on_tenant_admitted : t -> now:int -> tenant:string -> instance:int -> queue_depth:int -> unit
+(** Service-mode hooks (sink only; the server owns its tenant
+    counters). *)
+
+val on_tenant_shed : t -> now:int -> tenant:string -> instance:int -> queue_depth:int -> unit
+val on_instance_timed_out : t -> now:int -> tenant:string -> instance:int -> age_ns:int -> unit
+val on_checkpoint_written : t -> now:int -> path:string -> instances_done:int -> unit
 
 val record_drops : t -> unit
 (** Copy the sink's ring-overwrite count into the [events_dropped]

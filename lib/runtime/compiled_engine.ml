@@ -421,6 +421,7 @@ let instantiate_fast plan =
         entry = Array.to_list (Array.map (fun k -> tasks.(k)) cls.c_entry);
         remaining = cls.c_n;
         completed_at = -1;
+        cancelled = false;
       })
 
 (* ------------------------------------------------------------------ *)

@@ -244,9 +244,52 @@ val resource_manager :
     workload manager to process.  Slowdowns run the kernel once and
     append a modelled delay. *)
 
+(** {1 Service hooks (serve extension)}
+
+    A resident service (admission control, open-loop arrivals,
+    watchdog) plugs into the workload manager through these hooks.
+    The service decides {e which} instances enter the run and when;
+    the WM keeps owning the ready list, dispatch and completion
+    monitoring.  With a service installed the fixed-workload pending
+    list starts empty and termination is delegated to [sv_finished]. *)
+
+type service_ops = {
+  so_inject : Task.instance -> int;
+      (** admit one instance now: emits the injection event, makes its
+          entry tasks ready; returns how many tasks that was *)
+  so_cancel : Task.instance -> unit;
+      (** watchdog abort: marks the instance cancelled (suppressing
+          successor release), withdraws its Ready tasks by the same
+          lazy-deletion trick dispatch uses, and purges its retry
+          entries.  Only call on instances with no Running task — an
+          in-flight attempt must drain naturally first. *)
+  so_ready_live : unit -> int;  (** live ready-list length *)
+  so_inflight : unit -> int;  (** dispatched-but-unmonitored count *)
+  so_retry_empty : unit -> bool;  (** no task sleeping out a backoff *)
+}
+
+type service = {
+  sv_tick : service_ops -> now:int -> int;
+      (** one service sweep per WM tick, replacing the fixed-workload
+          injection drain: admission control over due arrivals,
+          completion harvesting, watchdog; returns the number of tasks
+          made ready (charged like an injection burst) *)
+  sv_next : now:int -> int option;
+      (** next service deadline (arrival or watchdog expiry), strictly
+          in the future; [None] when only completions can wake the WM *)
+  sv_finished : service_ops -> now:int -> bool;
+      (** termination test, evaluated at the end of every tick *)
+  sv_resume : bool;
+      (** restored from a checkpoint taken at a quiescent instant: the
+          WM skips the first tick and goes straight to the await on
+          [sv_next], reproducing the uninterrupted run's clock
+          trajectory exactly *)
+}
+
 val workload_manager :
   ?obs:Dssoc_obs.Obs.t ->
   ?fault:Dssoc_fault.Fault.t ->
+  ?service:service ->
   'h backend ->
   handlers:'h handler array ->
   instances:Task.instance array ->

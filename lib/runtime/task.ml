@@ -31,6 +31,7 @@ type instance = {
   entry : t list;
   mutable remaining : int;
   mutable completed_at : int;
+  mutable cancelled : bool;
 }
 
 let instantiate ~task_id_base ~inst_id ~arrival_ns (spec : App_spec.t) =
@@ -74,6 +75,7 @@ let instantiate ~task_id_base ~inst_id ~arrival_ns (spec : App_spec.t) =
     entry = Array.to_list tasks |> List.filter (fun t -> t.unmet = 0);
     remaining = Array.length tasks;
     completed_at = -1;
+    cancelled = false;
   }
 
 let entry_matches (e : App_spec.platform_entry) (pe : Pe.t) =

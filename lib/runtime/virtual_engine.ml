@@ -421,14 +421,29 @@ let backend eng ~fab ~wm_wake ~overlay_core ~overlay_perf ~est_table
 (* Top-level run                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
+(* Everything a virtual run needs, built identically for the one-shot
+   and the resident-service entry points.  [clock0]/[prng] are the
+   starting virtual time and engine PRNG — zero / freshly seeded for a
+   normal run, the checkpointed values for a restored service. *)
+type prepared = {
+  pr_eng : engine;
+  pr_instances : Task.instance array;
+  pr_handlers : vh Core.handler array;
+  pr_est_table : Exec_model.table;
+  pr_stats : Core.wm_stats;
+  pr_fault : Dssoc_fault.Fault.t;
+  pr_fabric_counters : Core.fabric_counters;
+  pr_b : vh Core.backend;
+}
+
+let prepare ~(params : params) ~obs ~engine_name ~clock0 ~prng ?fault
     ~(config : Config.t) ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
-  let instances = Core.instantiate ~engine_name:"Virtual_engine.run" ~config ~workload in
+  let instances = Core.instantiate ~engine_name ~config ~workload in
   let eng =
     {
-      now = 0;
+      now = clock0;
       events = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b);
-      prng = Prng.create ~seed:params.seed;
+      prng;
       jitter = params.jitter;
     }
   in
@@ -494,16 +509,109 @@ let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
     backend eng ~fab ~wm_wake ~overlay_core ~overlay_perf ~est_table ~policy
       ~n_pes:(Array.length handlers) ~stats ~obs
   in
+  {
+    pr_eng = eng;
+    pr_instances = instances;
+    pr_handlers = handlers;
+    pr_est_table = est_table;
+    pr_stats = stats;
+    pr_fault = fault;
+    pr_fabric_counters = fabric_counters;
+    pr_b = b;
+  }
+
+let run_detailed ?(params = default_params) ?(obs = Obs.disabled) ?fault
+    ~(config : Config.t) ~(workload : Workload.t) ~(policy : Scheduler.policy) () =
+  let p =
+    prepare ~params ~obs ~engine_name:"Virtual_engine.run" ~clock0:0
+      ~prng:(Prng.create ~seed:params.seed) ?fault ~config ~workload ~policy ()
+  in
+  let { pr_eng = eng; pr_instances = instances; pr_handlers = handlers; pr_fault = fault; _ } =
+    p
+  in
   Array.iter
-    (fun h -> spawn eng (fun () -> Core.resource_manager ~obs ~fault ~est_table b h))
+    (fun h ->
+      spawn eng (fun () ->
+          Core.resource_manager ~obs ~fault ~est_table:p.pr_est_table p.pr_b h))
     handlers;
   spawn eng (fun () ->
-      Core.workload_manager ~obs ~fault b ~handlers ~instances ~est_table ~policy
-        ~prng:eng.prng ~stats);
+      Core.workload_manager ~obs ~fault p.pr_b ~handlers ~instances
+        ~est_table:p.pr_est_table ~policy ~prng:eng.prng ~stats:p.pr_stats);
   run_loop eng;
   ( Core.report ~host_name:config.Config.host.Host.name ~config ~policy ~handlers
-      ~instances ~stats ~fabric:fabric_counters,
+      ~instances ~stats:p.pr_stats ~fabric:p.pr_fabric_counters,
     instances )
 
 let run ?params ?obs ?fault ~config ~workload ~policy () =
   fst (run_detailed ?params ?obs ?fault ~config ~workload ~policy ())
+
+(* ------------------------------------------------------------------ *)
+(* Resident service entry point                                        *)
+(* ------------------------------------------------------------------ *)
+
+type handler_snapshot = { hs_busy_until : int; hs_busy_ns : int; hs_tasks_run : int }
+
+type resume_state = {
+  rs_clock : int;
+  rs_prng : int64 * int64 * int64 * int64;
+  rs_handlers : handler_snapshot array;
+}
+
+type service_run = {
+  sr_instances : Task.instance array;
+  sr_stats : Core.wm_stats;
+  sr_fabric : Core.fabric_counters;
+  sr_prng : int64 * int64 * int64 * int64;
+  sr_handlers : handler_snapshot array;
+}
+
+let run_service ?(params = default_params) ?(obs = Obs.disabled) ?resume
+    ~(config : Config.t) ~(workload : Workload.t) ~(policy : Scheduler.policy)
+    ~(service : Task.instance array -> Core.service) () =
+  let clock0, prng =
+    match resume with
+    | None -> (0, Prng.create ~seed:params.seed)
+    | Some r -> (r.rs_clock, Prng.of_state r.rs_prng)
+  in
+  let p =
+    prepare ~params ~obs ~engine_name:"Virtual_engine.run_service" ~clock0 ~prng
+      ~config ~workload ~policy ()
+  in
+  let { pr_eng = eng; pr_instances = instances; pr_handlers = handlers; _ } = p in
+  (match resume with
+  | None -> ()
+  | Some r ->
+    if Array.length r.rs_handlers <> Array.length handlers then
+      invalid_arg "Virtual_engine.run_service: resume PE count mismatch";
+    Array.iteri
+      (fun i h ->
+        let s = r.rs_handlers.(i) in
+        h.Core.h_busy_until <- s.hs_busy_until;
+        h.Core.h_busy_ns <- s.hs_busy_ns;
+        h.Core.h_tasks_run <- s.hs_tasks_run)
+      handlers);
+  let service = { (service instances) with Core.sv_resume = Option.is_some resume } in
+  Array.iter
+    (fun h ->
+      spawn eng (fun () ->
+          Core.resource_manager ~obs ~est_table:p.pr_est_table p.pr_b h))
+    handlers;
+  spawn eng (fun () ->
+      Core.workload_manager ~obs ~service p.pr_b ~handlers ~instances
+        ~est_table:p.pr_est_table ~policy ~prng:eng.prng ~stats:p.pr_stats);
+  run_loop eng;
+  {
+    sr_instances = instances;
+    sr_stats = p.pr_stats;
+    sr_fabric = p.pr_fabric_counters;
+    sr_prng = Prng.state eng.prng;
+    sr_handlers =
+      Array.map
+        (fun h ->
+          {
+            hs_busy_until = h.Core.h_busy_until;
+            hs_busy_ns = h.Core.h_busy_ns;
+            hs_tasks_run = h.Core.h_tasks_run;
+          })
+        handlers;
+  }

@@ -21,6 +21,13 @@ let create ~seed =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let state t = (t.s0, t.s1, t.s2, t.s3)
+
+let of_state (s0, s1, s2, s3) =
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    invalid_arg "Prng.of_state: all-zero state";
+  { s0; s1; s2; s3 }
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 t =

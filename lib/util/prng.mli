@@ -17,6 +17,15 @@ val copy : t -> t
 (** [copy t] is an independent generator starting from [t]'s current
     state. *)
 
+val state : t -> int64 * int64 * int64 * int64
+(** The current 256-bit xoshiro state, for checkpointing.  Restoring
+    it with {!of_state} resumes the stream exactly where [t] left
+    off. *)
+
+val of_state : int64 * int64 * int64 * int64 -> t
+(** Rebuild a generator from a {!state} snapshot.
+    @raise Invalid_argument on the all-zero state (xoshiro forbids it). *)
+
 val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t].  Streams
     of the parent and child are statistically independent. *)

@@ -152,6 +152,37 @@ let test_cache_conflict () =
     | exception Invalid_argument _ -> true);
   Cache.close c2
 
+let test_cache_torn_final_line () =
+  (* a kill mid-append leaves a truncated final line: loading must
+     drop that line (it gets re-evaluated) and keep every whole row *)
+  let dir = tmp_dir () in
+  let c = Cache.open_ ~code_rev:"t" ~dir () in
+  Cache.add c ~digest:"d1" {|{"v":"a"}|};
+  Cache.add c ~digest:"d2" {|{"v":"b"}|};
+  Cache.close c;
+  let shard =
+    match Array.to_list (Sys.readdir dir) with
+    | [ f ] -> Filename.concat dir f
+    | l -> Alcotest.failf "expected one shard file, got %d" (List.length l)
+  in
+  let whole = In_channel.with_open_bin shard In_channel.input_all in
+  (* tear the final append mid-payload, no trailing newline *)
+  let torn = String.sub whole 0 (String.length whole - 8) in
+  Out_channel.with_open_bin shard (fun oc -> Out_channel.output_string oc torn);
+  let c2 = Cache.open_ ~readonly:true ~code_rev:"t" ~dir () in
+  Alcotest.(check int) "whole rows survive" 1 (Cache.size c2);
+  Alcotest.(check (option string)) "first row intact" (Some {|{"v":"a"}|})
+    (Cache.find c2 ~digest:"d1");
+  Alcotest.(check (option string)) "torn row dropped" None (Cache.find c2 ~digest:"d2");
+  Cache.close c2;
+  (* corruption that is NOT the final line still fails loudly *)
+  Out_channel.with_open_bin shard (fun oc ->
+      Out_channel.output_string oc ("{broken\n" ^ whole));
+  Alcotest.(check bool) "mid-file corruption still raises" true
+    (match Cache.open_ ~readonly:true ~code_rev:"t" ~dir () with
+    | c -> Cache.close c; false
+    | exception Cache.Conflict _ -> true)
+
 let warm_cold_roundtrip ~engine ?fault () =
   let dir = tmp_dir () in
   let g = small_grid ?fault () in
@@ -446,6 +477,7 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "conflict detection and persistence" `Quick test_cache_conflict;
+          Alcotest.test_case "torn final line tolerated" `Quick test_cache_torn_final_line;
           Alcotest.test_case "warm run byte-identical (virtual)" `Slow test_cache_roundtrip_virtual;
           Alcotest.test_case "warm run byte-identical (compiled)" `Slow test_cache_roundtrip_compiled;
           Alcotest.test_case "warm run byte-identical (fault grid)" `Slow test_cache_roundtrip_fault;

@@ -70,6 +70,27 @@ let test_spec_rejects () =
   rejects "retries=0";
   rejects "backoff=fast"
 
+(* Error messages name the offending clause: index, text and character
+   offset, then the specific complaint — pinned so the CLI surface
+   stays diagnosable. *)
+let test_spec_error_messages () =
+  let pin spec expected =
+    match Fault.of_spec spec with
+    | Ok _ -> Alcotest.failf "spec %S should be rejected" spec
+    | Error msg -> Alcotest.(check string) (Printf.sprintf "message for %S" spec) expected msg
+  in
+  pin "fft0:die@soon"
+    {|fault spec: clause 1 ("fft0:die@soon", at offset 0): die@ wants a duration, got "soon"|};
+  pin "fft0:die@1ms,*:meteor:p=0.1"
+    {|fault spec: clause 2 ("*:meteor:p=0.1", at offset 13): unknown fault kind "meteor"|};
+  pin "retries=3,*:transient"
+    "fault spec: clause 2 (\"*:transient\", at offset 10): missing p=PROB";
+  pin "*:hang:p=0.2,retries=0"
+    {|fault spec: clause 2 ("retries=0", at offset 13): retries wants a positive integer, got "0"|};
+  pin "*:slow:p=0.5:factor=0.5"
+    {|fault spec: clause 1 ("*:slow:p=0.5:factor=0.5", at offset 0): factor wants a float >= 1, got "0.5"|};
+  pin "" "empty fault spec"
+
 (* ---------------- compilation ---------------- *)
 
 let cpu label = { Fault.pe_label = label; pe_kind = "cpu_a53"; pe_is_cpu = true }
@@ -339,6 +360,8 @@ let () =
           Alcotest.test_case "parses rules and knobs" `Quick test_spec_ok;
           Alcotest.test_case "knob clauses" `Quick test_spec_knobs;
           Alcotest.test_case "rejects malformed specs" `Quick test_spec_rejects;
+          Alcotest.test_case "error messages name token and position" `Quick
+            test_spec_error_messages;
         ] );
       ( "compile",
         [

@@ -421,6 +421,10 @@ let sample_events =
     { Obs.t_ns = 95; body = Obs.Pe_quarantined { pe = "fft1"; pe_index = 4; until_ns = 500; permanent = false } };
     { Obs.t_ns = 99; body = Obs.Pe_recovered { pe = "fft1"; pe_index = 4 } };
     { Obs.t_ns = 100; body = Obs.Wm_tick { completions = 1; injected = 0 } };
+    { Obs.t_ns = 110; body = Obs.Tenant_admitted { tenant = "gold"; instance = 12; queue_depth = 3 } };
+    { Obs.t_ns = 115; body = Obs.Tenant_shed { tenant = "bulk"; instance = 13; queue_depth = 8 } };
+    { Obs.t_ns = 120; body = Obs.Instance_timed_out { tenant = "bulk"; instance = 9; age_ns = 5000 } };
+    { Obs.t_ns = 130; body = Obs.Checkpoint_written { path = "/tmp/ck.json"; instances_done = 14 } };
   ]
 
 let test_event_json_roundtrip () =
@@ -674,6 +678,43 @@ let test_flush_snapshots_and_close () =
       Alcotest.(check (list int)) "snapshot times pinned"
         [ 600_000; 1_800_000; 3_000_000; 3_600_000 ] ts)
 
+let test_flush_midstream_durability () =
+  (* The flusher rewrites to a temp file and renames: at ANY point in
+     the stream — i.e. after every snapshot — a concurrent reader (or a
+     process killed right here) sees only complete, parseable lines. *)
+  let path = Filename.temp_file "dssoc_metrics" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      let m = Obs.Metrics.create () in
+      let c = Obs.Metrics.counter m "ticks" in
+      let f = Obs.Flush.every ~period_ms:1 ~path m in
+      for i = 1 to 9 do
+        Obs.Metrics.incr c;
+        Obs.Flush.tick f ~now:(i * 1_000_000);
+        (* mid-stream check: every line on disk parses right now *)
+        let lines =
+          In_channel.with_open_bin path In_channel.input_all
+          |> String.split_on_char '\n'
+          |> List.filter (fun l -> l <> "")
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "tick %d: snapshots all on disk" i)
+          (Obs.Flush.snapshots f) (List.length lines);
+        List.iteri
+          (fun j line ->
+            match Json.parse line with
+            | Ok _ -> ()
+            | Error e ->
+              Alcotest.failf "tick %d line %d unparseable: %s" i j (Json.error_to_string e))
+          lines
+      done;
+      Obs.Flush.close f;
+      Alcotest.(check bool) "no temp file left behind" false
+        (Sys.file_exists (path ^ ".tmp")))
+
 let test_flush_rejects_bad_period () =
   let m = Obs.Metrics.create () in
   Alcotest.check_raises "period 0 rejected"
@@ -761,6 +802,7 @@ let () =
         [
           Alcotest.test_case "snapshots and close" `Quick test_flush_snapshots_and_close;
           Alcotest.test_case "bad period rejected" `Quick test_flush_rejects_bad_period;
+          Alcotest.test_case "mid-stream durability" `Quick test_flush_midstream_durability;
           Alcotest.test_case "engine-driven determinism" `Quick test_flush_driven_by_engine_run;
         ] );
     ]

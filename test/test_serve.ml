@@ -1,0 +1,325 @@
+(* Emulation-as-a-service: admission control, backpressure, watchdog,
+   checkpoint/restore determinism. *)
+
+module Server = Dssoc_serve.Server
+module Scheduler = Dssoc_runtime.Scheduler
+module Config = Dssoc_soc.Config
+module Obs = Dssoc_obs.Obs
+
+let policy =
+  match Scheduler.find "FRFS" with Ok p -> p | Error e -> failwith e
+
+let config = Config.zcu102_cores_ffts ~cores:3 ~ffts:1
+
+let tenants_exn s =
+  match Server.tenants_of_spec s with Ok t -> t | Error e -> failwith e
+
+let admission_exn s =
+  match Server.admission_of_spec s with Ok a -> a | Error e -> failwith e
+
+let mk_spec ?(admission = Server.default_admission) ?(duration_ms = 2.0) ?(seed = 7L)
+    tenants =
+  {
+    Server.sp_config = config;
+    sp_policy = policy;
+    sp_seed = seed;
+    sp_jitter = 0.0;
+    sp_duration_ms = duration_ms;
+    sp_admission = admission;
+    sp_tenants = tenants_exn tenants;
+  }
+
+let run_exn ?obs ?drain ?checkpoint ?restore spec =
+  match Server.run ?obs ?drain ?checkpoint ?restore spec with
+  | Ok oc -> oc
+  | Error e -> failwith e
+
+let tenant oc name =
+  match List.find_opt (fun tr -> tr.Server.tr_name = name) oc.Server.oc_tenants with
+  | Some tr -> tr
+  | None -> failwith ("no tenant " ^ name)
+
+let tmp_name =
+  let n = ref 0 in
+  fun suffix ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dssoc_serve_%d_%d_%s" (Unix.getpid ()) !n suffix)
+
+(* ------------------------------- specs ------------------------------ *)
+
+let test_tenant_spec_parses () =
+  let ts = tenants_exn "a:apps=wifi_tx*2+range_detection:rate=1.5:prio=3:slo=4ms;b:apps=wifi_rx:rate=0.5" in
+  Alcotest.(check int) "two tenants" 2 (List.length ts);
+  let a = List.hd ts in
+  Alcotest.(check string) "name" "a" a.Server.tn_name;
+  Alcotest.(check (list (pair string int)))
+    "mix" [ ("wifi_tx", 2); ("range_detection", 1) ] a.Server.tn_apps;
+  Alcotest.(check int) "prio" 3 a.Server.tn_priority;
+  Alcotest.(check (float 1e-9)) "slo" 4.0 a.Server.tn_slo_ms;
+  let b = List.nth ts 1 in
+  Alcotest.(check int) "default prio" 0 b.Server.tn_priority
+
+let test_tenant_spec_rejects () =
+  List.iter
+    (fun s ->
+      match Server.tenants_of_spec s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "a:rate=1.0";
+      "a:apps=wifi_tx";
+      "a:apps=wifi_tx:rate=0";
+      "a:apps=wifi_tx:rate=1:bogus=3";
+      "a:apps=wifi_tx*0:rate=1";
+      "a:apps=wifi_tx:rate=1;a:apps=wifi_rx:rate=1";
+      "rate=1:apps=wifi_tx";
+    ]
+
+let test_admission_spec () =
+  let a = admission_exn "policy=degrade:queue=4:max-ready=32:timeout=2ms" in
+  Alcotest.(check string) "policy" "degrade" (Server.overload_name a.Server.ad_policy);
+  Alcotest.(check int) "queue" 4 a.Server.ad_queue;
+  Alcotest.(check int) "max-ready" 32 a.Server.ad_max_ready;
+  Alcotest.(check int) "timeout" 2_000_000 a.Server.ad_timeout_ns;
+  (match Server.admission_of_spec "" with
+  | Ok a -> Alcotest.(check string) "default" "shed" (Server.overload_name a.Server.ad_policy)
+  | Error e -> failwith e);
+  List.iter
+    (fun s ->
+      match Server.admission_of_spec s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "policy=lossy"; "queue=0"; "queue=x"; "nonsense"; "timeout=abc" ]
+
+let test_materialize_deterministic () =
+  let spec = mk_spec "a:apps=wifi_tx:rate=2.0;b:apps=range_detection:rate=1.0" in
+  let x = Server.materialize_debug spec and y = Server.materialize_debug spec in
+  Alcotest.(check bool) "same schedule" true (x = y);
+  Alcotest.(check bool) "nonempty" true (List.length x > 0);
+  let sorted = List.sort compare (List.map (fun (t, ti, seq, _) -> (t, ti, seq)) x) in
+  Alcotest.(check bool) "time-sorted" true
+    (sorted = List.map (fun (t, ti, seq, _) -> (t, ti, seq)) x)
+
+(* ----------------------------- basic runs --------------------------- *)
+
+let test_underload_completes_everything () =
+  let spec = mk_spec ~duration_ms:3.0 "a:apps=range_detection:rate=0.8:slo=3ms" in
+  let oc = run_exn spec in
+  let tr = tenant oc "a" in
+  Alcotest.(check bool) "offered some" true (tr.Server.tr_offered > 0);
+  Alcotest.(check int) "admitted all" tr.Server.tr_offered tr.Server.tr_admitted;
+  Alcotest.(check int) "completed all" tr.Server.tr_offered tr.Server.tr_completed;
+  Alcotest.(check int) "no shed" 0 tr.Server.tr_shed;
+  Alcotest.(check string) "verdict" "ok" tr.Server.tr_verdict;
+  Alcotest.(check bool) "digest chained" true (String.length tr.Server.tr_digest = 32);
+  Array.iter
+    (fun d -> Alcotest.(check string) "disposition" "completed" (Server.disposition_name d))
+    oc.Server.oc_dispositions
+
+let test_run_deterministic () =
+  let spec = mk_spec ~duration_ms:3.0 "a:apps=wifi_tx:rate=1.0;b:apps=range_detection:rate=1.5" in
+  let a = run_exn spec and b = run_exn spec in
+  Alcotest.(check string) "reports byte-identical" (Server.render_report a)
+    (Server.render_report b);
+  Alcotest.(check bool) "dispositions equal" true
+    (a.Server.oc_dispositions = b.Server.oc_dispositions)
+
+(* ------------------------- overload policies ------------------------ *)
+
+let saturating = "hog:apps=range_detection:rate=40.0:slo=1ms"
+
+let test_shed_keeps_server_live () =
+  let admission = admission_exn "policy=shed:queue=8:max-ready=24" in
+  let obs = Obs.make ~metrics:(Obs.Metrics.create ()) () in
+  let spec = mk_spec ~admission ~duration_ms:2.0 saturating in
+  let oc = run_exn ~obs spec in
+  let tr = tenant oc "hog" in
+  Alcotest.(check bool) "shed some" true (tr.Server.tr_shed > 0);
+  Alcotest.(check int) "admitted work all completed" tr.Server.tr_admitted
+    tr.Server.tr_completed;
+  Alcotest.(check int) "offered = completed + shed"
+    tr.Server.tr_offered
+    (tr.Server.tr_completed + tr.Server.tr_shed);
+  Alcotest.(check string) "verdict" "shed" tr.Server.tr_verdict;
+  (* every rejected instance carries the typed disposition *)
+  let shed_count =
+    Array.fold_left
+      (fun acc d -> if d = Server.Rejected then acc + 1 else acc)
+      0 oc.Server.oc_dispositions
+  in
+  Alcotest.(check int) "typed Rejected dispositions" tr.Server.tr_shed shed_count;
+  (* backpressure bounds the ready list: max_ready plus one instance's
+     entry burst *)
+  let m = Option.get (Obs.metrics obs) in
+  let g = Option.get (Obs.Metrics.find_gauge m "ready_queue_depth") in
+  Alcotest.(check bool) "ready depth bounded" true (Obs.Metrics.gauge_max g <= 24 + 6)
+
+let test_block_sheds_nothing () =
+  let admission = admission_exn "policy=block:queue=4:max-ready=16" in
+  let spec = mk_spec ~admission ~duration_ms:1.0 saturating in
+  let oc = run_exn spec in
+  let tr = tenant oc "hog" in
+  Alcotest.(check int) "no shed" 0 tr.Server.tr_shed;
+  Alcotest.(check int) "everything offered completes" tr.Server.tr_offered
+    tr.Server.tr_completed;
+  Alcotest.(check string) "verdict" "ok" tr.Server.tr_verdict
+
+let test_degrade_protects_high_priority () =
+  let admission = admission_exn "policy=degrade:queue=6:max-ready=12" in
+  let spec =
+    mk_spec ~admission ~duration_ms:2.0
+      "gold:apps=range_detection:rate=8.0:prio=2:slo=2ms;best_effort:apps=range_detection:rate=30.0:prio=0:slo=2ms"
+  in
+  let oc = run_exn spec in
+  let gold = tenant oc "gold" and be = tenant oc "best_effort" in
+  Alcotest.(check bool) "low priority absorbs shedding" true (be.Server.tr_shed > 0);
+  Alcotest.(check int) "high priority never shed" 0 gold.Server.tr_shed;
+  Alcotest.(check int) "gold completes everything" gold.Server.tr_offered
+    gold.Server.tr_completed;
+  (* the SLO shield: gold's p95 stays under its bound while best-effort
+     runs saturated *)
+  Alcotest.(check bool) "gold keeps its SLO" true
+    (gold.Server.tr_p95_ms <= gold.Server.tr_slo_ms);
+  Alcotest.(check bool) "report is ordered by priority" true
+    (List.map (fun tr -> tr.Server.tr_name) oc.Server.oc_tenants
+    = [ "gold"; "best_effort" ])
+
+let test_watchdog_times_out () =
+  let admission = admission_exn "policy=block:queue=64:max-ready=8:timeout=300us" in
+  let spec = mk_spec ~admission ~duration_ms:1.0 saturating in
+  let oc = run_exn spec in
+  let tr = tenant oc "hog" in
+  Alcotest.(check bool) "timed out some" true (tr.Server.tr_timed_out > 0);
+  Alcotest.(check int) "admitted = completed + timed out" tr.Server.tr_admitted
+    (tr.Server.tr_completed + tr.Server.tr_timed_out);
+  let typed =
+    Array.fold_left
+      (fun acc d -> if d = Server.Timed_out then acc + 1 else acc)
+      0 oc.Server.oc_dispositions
+  in
+  Alcotest.(check int) "typed Timed_out dispositions" tr.Server.tr_timed_out typed
+
+(* ------------------------- checkpoint/restore ----------------------- *)
+
+let cmp_outcomes ~what (a : Server.outcome) (b : Server.outcome) =
+  Alcotest.(check string) (what ^ ": report") (Server.render_report a)
+    (Server.render_report b);
+  Alcotest.(check int) (what ^ ": clock") a.Server.oc_clock_ns b.Server.oc_clock_ns;
+  Alcotest.(check bool) (what ^ ": dispositions") true
+    (a.Server.oc_dispositions = b.Server.oc_dispositions);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) (what ^ ": digest " ^ x.Server.tr_name) x.Server.tr_digest
+        y.Server.tr_digest)
+    a.Server.oc_tenants b.Server.oc_tenants
+
+let restore_matches_uninterrupted ~drain_ns spec =
+  let reference = run_exn spec in
+  let path = tmp_name "ckpt.json" in
+  let oc1 =
+    run_exn ~drain:(fun ~now_ns -> now_ns >= drain_ns) ~checkpoint:path spec
+  in
+  let final =
+    if oc1.Server.oc_drained then begin
+      Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path);
+      run_exn ~restore:path spec
+    end
+    else oc1 (* drain point beyond the natural end: nothing to restore *)
+  in
+  cmp_outcomes ~what:(Printf.sprintf "drain@%d" drain_ns) reference final;
+  if Sys.file_exists path then Sys.remove path
+
+let test_checkpoint_restore_exact () =
+  let spec =
+    mk_spec ~duration_ms:3.0 "a:apps=wifi_tx:rate=1.2:slo=3ms;b:apps=range_detection:rate=2.0:slo=2ms"
+  in
+  restore_matches_uninterrupted ~drain_ns:1_000_000 spec
+
+let test_checkpoint_restore_under_shedding () =
+  let admission = admission_exn "policy=shed:queue=6:max-ready=16" in
+  let spec = mk_spec ~admission ~duration_ms:2.0 "hog:apps=range_detection:rate=20.0:slo=1ms" in
+  restore_matches_uninterrupted ~drain_ns:700_000 spec
+
+let test_restore_rejects_wrong_spec () =
+  let spec = mk_spec ~duration_ms:3.0 "a:apps=wifi_tx:rate=1.2" in
+  let path = tmp_name "ckpt.json" in
+  let oc = run_exn ~drain:(fun ~now_ns -> now_ns >= 500_000) ~checkpoint:path spec in
+  Alcotest.(check bool) "drained" true oc.Server.oc_drained;
+  let other = mk_spec ~duration_ms:3.0 ~seed:8L "a:apps=wifi_tx:rate=1.2" in
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (match Server.run ~restore:path other with
+  | Error e ->
+    Alcotest.(check bool) "mentions fingerprint" true (contains ~needle:"fingerprint" e)
+  | Ok _ -> Alcotest.fail "restore against a different spec must fail");
+  Sys.remove path
+
+let test_restore_qcheck =
+  QCheck.Test.make ~count:8 ~name:"run = drain;checkpoint;restore at any point"
+    QCheck.(int_range 1 28)
+    (fun tenth_ms ->
+      let spec =
+        mk_spec ~duration_ms:3.0
+          "a:apps=wifi_tx:rate=1.0:prio=1:slo=3ms;b:apps=range_detection:rate=3.0:slo=2ms"
+          ~admission:(admission_exn "policy=shed:queue=8:max-ready=24")
+      in
+      restore_matches_uninterrupted ~drain_ns:(tenth_ms * 100_000) spec;
+      true)
+
+(* ----------------------------- obs events --------------------------- *)
+
+let test_serve_events_recorded () =
+  let obs = Obs.make ~sink:(Obs.Sink.ring ()) ~metrics:(Obs.Metrics.create ()) () in
+  let admission = admission_exn "policy=shed:queue=4:max-ready=12:timeout=600us" in
+  let spec = mk_spec ~admission ~duration_ms:1.0 saturating in
+  let _ = run_exn ~obs spec in
+  let names =
+    List.map
+      (fun e ->
+        match e.Obs.body with
+        | Obs.Tenant_admitted _ -> "admitted"
+        | Obs.Tenant_shed _ -> "shed"
+        | Obs.Instance_timed_out _ -> "timeout"
+        | _ -> "other")
+      (Obs.recorded_events obs)
+  in
+  Alcotest.(check bool) "admissions seen" true (List.mem "admitted" names);
+  Alcotest.(check bool) "sheds seen" true (List.mem "shed" names)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "tenant grammar" `Quick test_tenant_spec_parses;
+          Alcotest.test_case "tenant rejects" `Quick test_tenant_spec_rejects;
+          Alcotest.test_case "admission grammar" `Quick test_admission_spec;
+          Alcotest.test_case "deterministic schedule" `Quick test_materialize_deterministic;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "underload completes" `Quick test_underload_completes_everything;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "shed stays live" `Quick test_shed_keeps_server_live;
+          Alcotest.test_case "block sheds nothing" `Quick test_block_sheds_nothing;
+          Alcotest.test_case "degrade protects priority" `Quick test_degrade_protects_high_priority;
+          Alcotest.test_case "watchdog" `Quick test_watchdog_times_out;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "restore is exact" `Quick test_checkpoint_restore_exact;
+          Alcotest.test_case "restore under shedding" `Quick test_checkpoint_restore_under_shedding;
+          Alcotest.test_case "wrong spec rejected" `Quick test_restore_rejects_wrong_spec;
+          q test_restore_qcheck;
+        ] );
+      ("observability", [ Alcotest.test_case "serve events" `Quick test_serve_events_recorded ]);
+    ]
